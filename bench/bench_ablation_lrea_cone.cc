@@ -1,0 +1,72 @@
+// Ablations for the design knobs DESIGN.md calls out:
+//  - LREA: rank cap and iteration count of the factored EigenAlign operator.
+//  - CONE: embedding dimension (Table 1 says 512; the useful dimension is
+//    far smaller and must stay well below n).
+#include <string>
+
+#include "align/cone.h"
+#include "align/lrea.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace graphalign {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  bench::Banner("Ablation", "LREA rank/iterations and CONE dimension", args);
+  const int n = args.full ? 1133 : 200;
+  const int reps = args.repetitions > 0 ? args.repetitions : 3;
+  Rng rng(args.seed);
+  auto base = PowerlawCluster(n, 5, 0.5, &rng);
+  GA_CHECK(base.ok());
+  NoiseOptions clean;
+  clean.level = 0.0;
+  NoiseOptions noisy;
+  noisy.level = 0.02;
+
+  Table lrea_table({"rank", "iterations", "acc@0%", "acc@2%"});
+  for (int rank : {2, 5, 10, 20}) {
+    for (int iters : {4, 8, 16}) {
+      LreaOptions opts;
+      opts.max_rank = rank;
+      opts.iterations = iters;
+      LreaAligner lrea(opts);
+      RunOutcome c = RunAveraged(&lrea, *base, clean,
+                                 AssignmentMethod::kJonkerVolgenant, reps,
+                                 args.seed, args.time_limit_seconds);
+      RunOutcome d = RunAveraged(&lrea, *base, noisy,
+                                 AssignmentMethod::kJonkerVolgenant, reps,
+                                 args.seed, args.time_limit_seconds);
+      lrea_table.AddRow({std::to_string(rank), std::to_string(iters),
+                         FormatAccuracy(c), FormatAccuracy(d)});
+    }
+  }
+  std::printf("-- LREA --\n");
+  bench::Emit(lrea_table, args);
+
+  Table cone_table({"dim", "acc@0%", "acc@2%", "similarity_s"});
+  for (int dim : {8, 16, 32, 64, 128}) {
+    ConeOptions opts;
+    opts.dim = dim;
+    ConeAligner cone(opts);
+    RunOutcome c = RunAveraged(&cone, *base, clean,
+                               AssignmentMethod::kJonkerVolgenant, reps,
+                               args.seed, args.time_limit_seconds);
+    RunOutcome d = RunAveraged(&cone, *base, noisy,
+                               AssignmentMethod::kJonkerVolgenant, reps,
+                               args.seed, args.time_limit_seconds);
+    cone_table.AddRow({std::to_string(dim), FormatAccuracy(c),
+                       FormatAccuracy(d),
+                       FormatOutcome(d, d.similarity_seconds)});
+  }
+  std::printf("-- CONE --\n");
+  bench::Emit(cone_table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace graphalign
+
+int main(int argc, char** argv) { return graphalign::Main(argc, argv); }

@@ -1,0 +1,16 @@
+// Figure 2: Accuracy, S3, and MNC on Erdos-Renyi random graphs (p = 0.009
+// at paper scale; density preserved in smoke mode), three noise types,
+// noise up to 5% (paper §6.3).
+#include "figure_synthetic.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  return graphalign::bench::RunSyntheticFigure(
+      "Figure 2", "Erdos-Renyi",
+      [](int n, graphalign::Rng* rng) {
+        // p = 0.009 at n = 1133 gives avg degree ~10.2; keep that density.
+        const double p = 0.009 * 1133 / n;
+        return graphalign::ErdosRenyi(n, p, rng);
+      },
+      argc, argv);
+}

@@ -1,0 +1,13 @@
+// Figure 3: Accuracy, S3, and MNC on Barabasi-Albert scale-free graphs
+// (m = 5), three noise types, noise up to 5% (paper §6.3).
+#include "figure_synthetic.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  return graphalign::bench::RunSyntheticFigure(
+      "Figure 3", "Barabasi-Albert",
+      [](int n, graphalign::Rng* rng) {
+        return graphalign::BarabasiAlbert(n, 5, rng);
+      },
+      argc, argv);
+}

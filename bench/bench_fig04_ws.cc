@@ -1,0 +1,13 @@
+// Figure 4: Accuracy, S3, and MNC on Watts-Strogatz small-world graphs
+// (k = 10, p = 0.5), three noise types, noise up to 5% (paper §6.3).
+#include "figure_synthetic.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  return graphalign::bench::RunSyntheticFigure(
+      "Figure 4", "Watts-Strogatz",
+      [](int n, graphalign::Rng* rng) {
+        return graphalign::WattsStrogatz(n, 10, 0.5, rng);
+      },
+      argc, argv);
+}

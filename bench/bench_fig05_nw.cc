@@ -1,0 +1,15 @@
+// Figure 5: Accuracy, S3, and MNC on Newman-Watts small-world graphs
+// (k = 7 -> ring degree 6 plus shortcuts, p = 0.5), three noise types,
+// noise up to 5% (paper §6.3).
+#include "figure_synthetic.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  return graphalign::bench::RunSyntheticFigure(
+      "Figure 5", "Newman-Watts",
+      [](int n, graphalign::Rng* rng) {
+        // The paper's k = 7; our ring lattice requires even k.
+        return graphalign::NewmanWatts(n, 6, 0.5, rng);
+      },
+      argc, argv);
+}

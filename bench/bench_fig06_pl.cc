@@ -1,0 +1,14 @@
+// Figure 6: Accuracy, S3, and MNC on powerlaw-cluster (Holme-Kim) graphs
+// (m = 5, triangle probability 0.5), three noise types, noise up to 5%
+// (paper §6.3).
+#include "figure_synthetic.h"
+#include "graph/generators.h"
+
+int main(int argc, char** argv) {
+  return graphalign::bench::RunSyntheticFigure(
+      "Figure 6", "Powerlaw-cluster",
+      [](int n, graphalign::Rng* rng) {
+        return graphalign::PowerlawCluster(n, 5, 0.5, rng);
+      },
+      argc, argv);
+}

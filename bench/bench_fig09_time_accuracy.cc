@@ -1,0 +1,46 @@
+// Figure 9: the time-accuracy tradeoff on NetScience; marks correspond to
+// one-way noise in {0.25, 0.2, 0.15, 0.1, 0.05, 0} (§6.4.2).
+//
+// Expected shape: CONE and S-GWL resolve the tradeoff best (high accuracy at
+// moderate runtime); GRAAL included despite heavy preprocessing.
+#include <string>
+
+#include "bench_util.h"
+#include "datasets/datasets.h"
+
+namespace graphalign {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  bench::Banner("Figure 9", "time vs accuracy on ca-netscience", args);
+  const int reps = args.repetitions > 0 ? args.repetitions : (args.full ? 5 : 1);
+  const double scale = args.full ? 1.0 : 0.5;
+  auto base = MakeStandIn("ca-netscience", args.seed, scale);
+  GA_CHECK(base.ok());
+  std::printf("ca-netscience stand-in: n=%d m=%lld\n", base->num_nodes(),
+              static_cast<long long>(base->num_edges()));
+
+  Table t({"algorithm", "noise", "accuracy", "similarity_s", "assignment_s"});
+  for (const std::string& name : SelectedAlgorithms(args)) {
+    auto aligner = bench::MakeBenchAligner(name, /*sparse_graph=*/true);
+    for (double level : bench::HighNoiseLevels(args.full)) {
+      NoiseOptions noise;
+      noise.level = level;
+      RunOutcome out = RunAveraged(
+          aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
+          reps, args.seed + static_cast<uint64_t>(level * 1000),
+          args.time_limit_seconds);
+      t.AddRow({name, Table::Num(level, 2), FormatAccuracy(out),
+                FormatOutcome(out, out.similarity_seconds),
+                FormatOutcome(out, out.assignment_seconds)});
+    }
+  }
+  bench::Emit(t, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace graphalign
+
+int main(int argc, char** argv) { return graphalign::Main(argc, argv); }

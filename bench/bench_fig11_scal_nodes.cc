@@ -1,0 +1,12 @@
+// Figure 11: similarity-stage runtime vs node count (2^10..2^16 at paper
+// scale) on configuration-model graphs with average degree 10 (§6.6).
+// Expected ordering: LREA/NSD/REGAL fastest, IsoRank/GWL slowest.
+#include "scalability.h"
+
+int main(int argc, char** argv) {
+  graphalign::BenchArgs probe = graphalign::ParseBenchArgs(argc, argv);
+  return graphalign::bench::RunScalabilitySweep(
+      "Figure 11", "runtime vs number of nodes (assignment excluded)",
+      graphalign::bench::NodeSweep(probe.full),
+      graphalign::bench::SweepMetric::kTime, argc, argv);
+}

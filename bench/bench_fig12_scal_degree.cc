@@ -1,0 +1,11 @@
+// Figure 12: similarity-stage runtime vs average degree (10..10^4 at paper
+// scale, n = 2^14) on configuration-model graphs (§6.6).
+#include "scalability.h"
+
+int main(int argc, char** argv) {
+  graphalign::BenchArgs probe = graphalign::ParseBenchArgs(argc, argv);
+  return graphalign::bench::RunScalabilitySweep(
+      "Figure 12", "runtime vs average degree (assignment excluded)",
+      graphalign::bench::DegreeSweep(probe.full),
+      graphalign::bench::SweepMetric::kTime, argc, argv);
+}

@@ -1,0 +1,11 @@
+// Figure 13: peak resident memory vs node count, measured per run in a
+// forked child (§6.6).
+#include "scalability.h"
+
+int main(int argc, char** argv) {
+  graphalign::BenchArgs probe = graphalign::ParseBenchArgs(argc, argv);
+  return graphalign::bench::RunScalabilitySweep(
+      "Figure 13", "peak memory vs number of nodes",
+      graphalign::bench::NodeSweep(probe.full),
+      graphalign::bench::SweepMetric::kMemory, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Figure 14: peak resident memory vs average degree, measured per run in a
+// forked child (§6.6). CONE's sparse representation keeps its footprint flat
+// as density grows.
+#include "scalability.h"
+
+int main(int argc, char** argv) {
+  graphalign::BenchArgs probe = graphalign::ParseBenchArgs(argc, argv);
+  return graphalign::bench::RunScalabilitySweep(
+      "Figure 14", "peak memory vs average degree",
+      graphalign::bench::DegreeSweep(probe.full),
+      graphalign::bench::SweepMetric::kMemory, argc, argv);
+}

@@ -1,0 +1,61 @@
+// Google-benchmark microbenchmarks for the similarity stage of every
+// alignment algorithm at a fixed small size — a quick regression guard for
+// the relative runtime ordering (NSD/REGAL/LREA fast; IsoRank/GWL slow).
+#include <benchmark/benchmark.h>
+
+#include "align/aligner.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+namespace {
+
+const AlignmentProblem& Problem() {
+  static const AlignmentProblem* problem = [] {
+    Rng rng(42);
+    auto base = PowerlawCluster(150, 5, 0.5, &rng);
+    GA_CHECK(base.ok());
+    NoiseOptions noise;
+    noise.level = 0.02;
+    auto p = MakeAlignmentProblem(*base, noise, &rng);
+    GA_CHECK(p.ok());
+    return new AlignmentProblem(*std::move(p));
+  }();
+  return *problem;
+}
+
+void RunSimilarity(benchmark::State& state, const std::string& name) {
+  auto aligner = MakeAligner(name);
+  GA_CHECK(aligner.ok());
+  for (auto _ : state) {
+    auto sim = (*aligner)->ComputeSimilarity(Problem().g1, Problem().g2);
+    GA_CHECK(sim.ok());
+    benchmark::DoNotOptimize(sim);
+  }
+}
+
+void BM_IsoRank(benchmark::State& s) { RunSimilarity(s, "IsoRank"); }
+void BM_Graal(benchmark::State& s) { RunSimilarity(s, "GRAAL"); }
+void BM_Nsd(benchmark::State& s) { RunSimilarity(s, "NSD"); }
+void BM_Lrea(benchmark::State& s) { RunSimilarity(s, "LREA"); }
+void BM_Regal(benchmark::State& s) { RunSimilarity(s, "REGAL"); }
+void BM_Gwl(benchmark::State& s) { RunSimilarity(s, "GWL"); }
+void BM_Sgwl(benchmark::State& s) { RunSimilarity(s, "S-GWL"); }
+void BM_Cone(benchmark::State& s) { RunSimilarity(s, "CONE"); }
+void BM_Grasp(benchmark::State& s) { RunSimilarity(s, "GRASP"); }
+
+BENCHMARK(BM_IsoRank);
+BENCHMARK(BM_Graal);
+BENCHMARK(BM_Nsd);
+BENCHMARK(BM_Lrea);
+BENCHMARK(BM_Regal);
+BENCHMARK(BM_Gwl);
+BENCHMARK(BM_Sgwl);
+BENCHMARK(BM_Cone);
+BENCHMARK(BM_Grasp);
+
+}  // namespace
+}  // namespace graphalign
+
+BENCHMARK_MAIN();

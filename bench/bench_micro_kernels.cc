@@ -1,0 +1,159 @@
+// Google-benchmark microbenchmarks for the numerical and combinatorial
+// kernels underneath the alignment algorithms: LAP solvers, eigensolvers,
+// SVD, Sinkhorn, sparse products, generators, and graphlet counting.
+#include <benchmark/benchmark.h>
+
+#include "assignment/assignment.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graphlets.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/sinkhorn.h"
+#include "linalg/svd.h"
+
+namespace graphalign {
+namespace {
+
+DenseMatrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) m(i, j) = rng.Uniform();
+  }
+  return m;
+}
+
+void BM_JonkerVolgenant(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix sim = RandomMatrix(n, n, 1);
+  for (auto _ : state) {
+    auto a = JonkerVolgenantAssign(sim);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_JonkerVolgenant)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix sim = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    auto a = HungarianAssign(sim);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(64)->Arg(256);
+
+void BM_SortGreedy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix sim = RandomMatrix(n, n, 3);
+  for (auto _ : state) {
+    auto a = SortGreedyAssign(sim);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SortGreedy)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SymmetricEigenFull(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix a = RandomMatrix(n, n, 4);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) a(j, i) = a(i, j);
+  }
+  for (auto _ : state) {
+    auto res = SymmetricEigen(a);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_SymmetricEigenFull)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_LanczosTop20(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  auto g = BarabasiAlbert(n, 5, &rng);
+  GA_CHECK(g.ok());
+  const CsrMatrix adj = g->SymNormalizedAdjacencyCsr();
+  LinearOperator op = [&adj](const std::vector<double>& x,
+                             std::vector<double>* y) {
+    *y = adj.Multiply(x);
+  };
+  for (auto _ : state) {
+    auto res = LanczosEigen(op, n, 20, SpectrumEnd::kLargest);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_LanczosTop20)->Arg(512)->Arg(2048);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix a = RandomMatrix(2 * n, n, 6);
+  for (auto _ : state) {
+    auto res = Svd(a);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Sinkhorn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DenseMatrix cost = RandomMatrix(n, n, 7);
+  auto mu = UniformMarginal(n);
+  for (auto _ : state) {
+    auto t = SinkhornTransport(cost, mu, mu);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_Sinkhorn)->Arg(128)->Arg(512);
+
+void BM_SpMMDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  auto g = BarabasiAlbert(n, 8, &rng);
+  GA_CHECK(g.ok());
+  const CsrMatrix adj = g->AdjacencyCsr();
+  DenseMatrix x = RandomMatrix(n, 64, 9);
+  for (auto _ : state) {
+    DenseMatrix y = adj.Multiply(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_SpMMDense)->Arg(1024)->Arg(4096);
+
+void BM_GeneratorEr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  for (auto _ : state) {
+    auto g = ErdosRenyi(n, 10.0 / n, &rng);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GeneratorEr)->Arg(1024)->Arg(16384);
+
+void BM_GeneratorConfigModel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    std::vector<int> deg = NormalDegreeSequence(n, 10.0, 2.5, &rng);
+    auto g = ConfigurationModel(deg, &rng);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GeneratorConfigModel)->Arg(1024)->Arg(16384);
+
+void BM_GraphletOrbits(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  auto g = BarabasiAlbert(n, 4, &rng);
+  GA_CHECK(g.ok());
+  for (auto _ : state) {
+    auto orbits = CountGraphletOrbits(*g);
+    benchmark::DoNotOptimize(orbits);
+  }
+}
+BENCHMARK(BM_GraphletOrbits)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace graphalign
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Table 1: the algorithm inventory — year, preprocessing, target domain,
+// author-proposed assignment, optimization target, complexity class, and the
+// hyperparameters this framework uses (grid-searched in the paper).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace graphalign {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  bench::Banner("Table 1", "algorithms considered in the experiments", args);
+
+  Table t({"Algorithm", "Year", "Prepr.", "Bio", "Assign", "Opt", "Time",
+           "Parameters"});
+  t.AddRow({"IsoRank", "2008", "Yes", "Yes", "SG", "Any", "O(n^4)",
+            "alpha=0.9, iters<=100"});
+  t.AddRow({"GRAAL", "2010", "Yes", "No", "SG", "Any", "O(n^3)",
+            "alpha=0.8, 15 orbits (73 available)"});
+  t.AddRow({"NSD", "2011", "Both", "No", "SG", "Any", "O(n^2)",
+            "alpha=0.8, depth=15"});
+  t.AddRow({"LREA", "2018", "No", "No", "MWM", "Any", "O(n log n)",
+            "iterations=8, rank<=10, (sO,sN,sC)=(2,1,0.5)"});
+  t.AddRow({"REGAL", "2018", "No", "No", "NN", "Any", "O(n log n)",
+            "k=2, p=10 log2 n, delta=0.1"});
+  t.AddRow({"GWL", "2019", "No", "No", "NN", "Any", "O(n^3)",
+            "epoch=1, beta=0.1"});
+  t.AddRow({"S-GWL", "2019", "No", "No", "NN", "Any", "O(n^2 log n)",
+            "beta in {0.025, 0.1}, K=4"});
+  t.AddRow({"CONE", "2020", "No", "No", "NN", "MNC", "O(n^2)",
+            "dim=32 (Table 1: 512; see DESIGN.md), window=10, eps=0.02"});
+  t.AddRow({"GRASP", "2021", "No", "No", "JV", "Any", "O(n^3)",
+            "q=100, k=20"});
+  bench::Emit(t, args);
+
+  // Verify every row is constructible through the factory.
+  for (const auto& name : AllAlignerNames()) {
+    auto aligner = MakeAligner(name);
+    GA_CHECK_MSG(aligner.ok(), name);
+  }
+  std::printf("all %zu algorithms constructible via MakeAligner\n",
+              AllAlignerNames().size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace graphalign
+
+int main(int argc, char** argv) { return graphalign::Main(argc, argv); }

@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary accepts the common flags of BenchArgs (see
+// bench_framework/experiment.h). By default benches run at reduced,
+// smoke-test scale so that `for b in build/bench/*; do $b; done` finishes in
+// minutes; pass --full for paper-scale sweeps.
+#ifndef GRAPHALIGN_BENCH_BENCH_UTIL_H_
+#define GRAPHALIGN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "align/sgwl.h"
+#include "bench_framework/experiment.h"
+#include "common/table.h"
+
+namespace graphalign {
+namespace bench {
+
+// Prints the standard bench banner.
+inline void Banner(const std::string& id, const std::string& what,
+                   const BenchArgs& args) {
+  std::printf("=== %s: %s ===\n", id.c_str(), what.c_str());
+  std::printf("mode: %s (pass --full for paper-scale)\n",
+              args.full ? "FULL" : "smoke");
+}
+
+// Instantiates an aligner; S-GWL gets the sparse-beta preset when requested
+// (the paper tunes beta by density, §6.4.2).
+inline std::unique_ptr<Aligner> MakeBenchAligner(const std::string& name,
+                                                 bool sparse_graph = false) {
+  if (name == "S-GWL" && sparse_graph) {
+    return std::make_unique<SgwlAligner>(SgwlOptions::ForSparseGraphs());
+  }
+  auto aligner = MakeAligner(name);
+  GA_CHECK_MSG(aligner.ok(), aligner.status().ToString());
+  return *std::move(aligner);
+}
+
+// Emits the table and optional CSV.
+inline void Emit(const Table& table, const BenchArgs& args) {
+  table.Print(std::cout);
+  if (!args.csv_path.empty()) {
+    if (table.WriteCsv(args.csv_path)) {
+      std::printf("csv written to %s\n", args.csv_path.c_str());
+    } else {
+      std::printf("FAILED to write csv %s\n", args.csv_path.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+// Noise levels for the low-noise experiments (Figs 1-7).
+inline std::vector<double> LowNoiseLevels(bool full) {
+  if (full) return {0.00, 0.01, 0.02, 0.03, 0.04, 0.05};
+  return {0.00, 0.02, 0.05};
+}
+
+// Noise levels for the high-noise experiments (Figs 8-9).
+inline std::vector<double> HighNoiseLevels(bool full) {
+  if (full) return {0.00, 0.05, 0.10, 0.15, 0.20, 0.25};
+  return {0.00, 0.10, 0.25};
+}
+
+}  // namespace bench
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// Shared implementation for Figures 2-6: one synthetic graph model, three
+// noise types, noise 0-5%, reporting Accuracy, S3, and MNC per algorithm
+// (paper §6.3). The paper fixes n = 1133 and matches degree distributions to
+// the real graphs; smoke mode shrinks n.
+#ifndef GRAPHALIGN_BENCH_FIGURE_SYNTHETIC_H_
+#define GRAPHALIGN_BENCH_FIGURE_SYNTHETIC_H_
+
+#include <functional>
+#include <string>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "graph/graph.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+namespace bench {
+
+using GraphFactory = std::function<Result<Graph>(int n, Rng* rng)>;
+
+inline int RunSyntheticFigure(const std::string& figure_id,
+                              const std::string& model_name,
+                              const GraphFactory& factory, int argc,
+                              char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  Banner(figure_id, "Accuracy/S3/MNC on " + model_name +
+                        " graphs, three noise types, noise 0-5%",
+         args);
+  const int n = args.full ? 1133 : 170;
+  const int reps = args.repetitions > 0 ? args.repetitions
+                                        : (args.full ? 10 : 1);
+  Rng rng(args.seed);
+  auto base = factory(n, &rng);
+  GA_CHECK_MSG(base.ok(), base.status().ToString());
+  std::printf("model %s: n=%d m=%lld avg_deg=%.1f\n", model_name.c_str(),
+              base->num_nodes(), static_cast<long long>(base->num_edges()),
+              base->AverageDegree());
+  const bool sparse = base->AverageDegree() < 20.0;
+
+  Table t({"algorithm", "noise_type", "noise", "accuracy", "s3", "mnc"});
+  for (const std::string& name : SelectedAlgorithms(args)) {
+    auto aligner = MakeBenchAligner(name, sparse);
+    for (NoiseType type : {NoiseType::kOneWay, NoiseType::kMultiModal,
+                           NoiseType::kTwoWay}) {
+      for (double level : LowNoiseLevels(args.full)) {
+        NoiseOptions noise;
+        noise.type = type;
+        noise.level = level;
+        RunOutcome out = RunAveraged(
+            aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
+            reps, args.seed + static_cast<uint64_t>(level * 1000),
+            args.time_limit_seconds);
+        t.AddRow({name, NoiseTypeName(type), Table::Num(level, 2),
+                  FormatAccuracy(out), FormatOutcome(out, out.quality.s3),
+                  FormatOutcome(out, out.quality.mnc)});
+      }
+    }
+  }
+  Emit(t, args);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_BENCH_FIGURE_SYNTHETIC_H_

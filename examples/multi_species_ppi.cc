@@ -1,0 +1,79 @@
+// Multiple-network alignment across "species": the IsoRankN-style extension
+// (paper §3.1) built from pairwise aligners via star composition.
+//
+// Four related interactomes (a base species and three diverged variants)
+// are aligned jointly; the output clusters group proteins believed to play
+// the same role in every species — the "functional orthologs" a biologist
+// would feed into downstream enrichment analysis.
+//
+// Build & run:  ./build/examples/multi_species_ppi [--full]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "align/cone.h"
+#include "align/multi.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "datasets/datasets.h"
+#include "noise/noise.h"
+
+int main(int argc, char** argv) {
+  using namespace graphalign;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  auto base = MakeStandIn("MultiMagna", /*seed=*/21, full ? 1.0 : 0.25);
+  if (!base.ok()) {
+    std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+    return 1;
+  }
+  // Three diverged species: 2% / 4% / 6% two-way structural drift.
+  Rng rng(55);
+  std::vector<Graph> species = {*base};
+  for (int i = 1; i <= 3; ++i) {
+    NoiseOptions drift;
+    drift.type = NoiseType::kTwoWay;
+    drift.level = 0.02 * i;
+    auto prob = MakeAlignmentProblem(*base, drift, &rng);
+    if (!prob.ok()) {
+      std::fprintf(stderr, "%s\n", prob.status().ToString().c_str());
+      return 1;
+    }
+    species.push_back(prob->g2);
+  }
+  std::printf("aligning %zu interactomes of %d proteins each\n",
+              species.size(), base->num_nodes());
+
+  ConeAligner cone;
+  auto result = AlignMultiple(species, &cone,
+                              AssignmentMethod::kJonkerVolgenant);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  auto clusters = AlignmentClusters(*result, species);
+
+  // Cluster census: complete clusters contain one protein per species.
+  int complete = 0;
+  for (const auto& cluster : clusters) {
+    std::vector<bool> seen(species.size(), false);
+    for (const auto& [g, u] : cluster) seen[g] = true;
+    bool all = true;
+    for (bool s : seen) all = all && s;
+    complete += all;
+  }
+  std::printf("reference species: %d\n", result->reference);
+  std::printf("ortholog clusters: %zu total, %d spanning all %zu species\n",
+              clusters.size(), complete, species.size());
+
+  // Any-to-any correspondence through the star: species 1 -> species 3.
+  auto map13 = ComposeAlignment(*result, species, 1, 3);
+  if (map13.ok()) {
+    int mapped = 0;
+    for (int v : *map13) mapped += (v >= 0);
+    std::printf("species1 -> species3 composed map covers %d/%zu proteins\n",
+                mapped, map13->size());
+  }
+  return complete > 0 ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Social-network de-anonymization (the paper's introductory motivation):
+// re-identify the same users across two crawls of a social network.
+//
+// Crawl A is the full network; crawl B is an "anonymized" release — node
+// ids shuffled and 8% of friendships missing. We compare the scalable
+// embedding methods (REGAL, CONE) against IsoRank with its degree prior and
+// report how many users each method re-identifies, plus the structural
+// overlap scores a practitioner would inspect when no ground truth exists.
+//
+// Build & run:  ./build/examples/social_deanonymization [--full]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "align/aligner.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "datasets/datasets.h"
+#include "metrics/metrics.h"
+#include "noise/noise.h"
+
+int main(int argc, char** argv) {
+  using namespace graphalign;
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  // A Facebook-like social graph (Table-2 stand-in).
+  auto crawl_a = MakeStandIn("Facebook", /*seed=*/7, full ? 1.0 : 0.1);
+  if (!crawl_a.ok()) {
+    std::fprintf(stderr, "%s\n", crawl_a.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("crawl A: %d users, %lld friendships\n", crawl_a->num_nodes(),
+              static_cast<long long>(crawl_a->num_edges()));
+
+  // The anonymized release: labels shuffled, 8% of edges not re-crawled.
+  Rng rng(99);
+  NoiseOptions noise;
+  noise.type = NoiseType::kOneWay;
+  noise.level = 0.08;
+  auto problem = MakeAlignmentProblem(*crawl_a, noise, &rng);
+  if (!problem.ok()) {
+    std::fprintf(stderr, "%s\n", problem.status().ToString().c_str());
+    return 1;
+  }
+
+  Table t({"method", "re-identified", "accuracy", "MNC", "S3", "seconds"});
+  for (const std::string& name : {"REGAL", "CONE", "IsoRank"}) {
+    auto aligner = MakeAligner(name);
+    WallTimer timer;
+    auto alignment = (*aligner)->Align(problem->g1, problem->g2,
+                                       AssignmentMethod::kJonkerVolgenant);
+    const double secs = timer.Seconds();
+    if (!alignment.ok()) {
+      t.AddRow({name, "-", "ERR", "-", "-", "-"});
+      continue;
+    }
+    QualityReport q = EvaluateAlignment(problem->g1, problem->g2, *alignment,
+                                        problem->ground_truth);
+    const int hits = static_cast<int>(q.accuracy * crawl_a->num_nodes());
+    t.AddRow({name, std::to_string(hits), Table::Num(q.accuracy),
+              Table::Num(q.mnc), Table::Num(q.s3), Table::Num(secs, 2)});
+  }
+  t.Print(std::cout);
+  std::printf(
+      "\nMNC and S3 are computable WITHOUT ground truth — they are what an\n"
+      "attacker (or auditor) would use to judge alignment confidence.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "align/aligner.h"
+
+#include "align/cone.h"
+#include "align/graal.h"
+#include "align/grasp.h"
+#include "align/gwl.h"
+#include "align/isorank.h"
+#include "align/lrea.h"
+#include "align/nsd.h"
+#include "align/regal.h"
+#include "align/sgwl.h"
+
+namespace graphalign {
+
+Status Aligner::ValidateInputs(const Graph& g1, const Graph& g2) {
+  if (g1.num_nodes() == 0 || g2.num_nodes() == 0) {
+    return Status::InvalidArgument("aligner: empty input graph");
+  }
+  return Status::Ok();
+}
+
+Result<Alignment> Aligner::Align(const Graph& g1, const Graph& g2,
+                                 AssignmentMethod method) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarity(g1, g2));
+  return ExtractAlignment(sim, method);
+}
+
+Result<std::unique_ptr<Aligner>> MakeAligner(const std::string& name) {
+  if (name == "IsoRank") return std::unique_ptr<Aligner>(new IsoRankAligner());
+  if (name == "GRAAL") return std::unique_ptr<Aligner>(new GraalAligner());
+  if (name == "NSD") return std::unique_ptr<Aligner>(new NsdAligner());
+  if (name == "LREA") return std::unique_ptr<Aligner>(new LreaAligner());
+  if (name == "REGAL") return std::unique_ptr<Aligner>(new RegalAligner());
+  if (name == "GWL") return std::unique_ptr<Aligner>(new GwlAligner());
+  if (name == "S-GWL") return std::unique_ptr<Aligner>(new SgwlAligner());
+  if (name == "CONE") return std::unique_ptr<Aligner>(new ConeAligner());
+  if (name == "GRASP") return std::unique_ptr<Aligner>(new GraspAligner());
+  return Status::NotFound("unknown aligner: " + name);
+}
+
+std::vector<std::string> AllAlignerNames() {
+  return {"IsoRank", "GRAAL", "NSD",  "LREA", "REGAL",
+          "GWL",     "S-GWL", "CONE", "GRASP"};
+}
+
+}  // namespace graphalign

@@ -1,0 +1,62 @@
+// Common interface for all nine unrestricted graph-alignment algorithms
+// (paper §3). Each algorithm produces a node-similarity matrix; the final
+// correspondence is extracted by a pluggable assignment method (§6.2), with
+// each algorithm also exposing the extraction its authors proposed
+// (Table 1) via AlignNative().
+#ifndef GRAPHALIGN_ALIGN_ALIGNER_H_
+#define GRAPHALIGN_ALIGN_ALIGNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assignment/assignment.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  // Short display name, e.g. "IsoRank".
+  virtual std::string name() const = 0;
+
+  // Assignment method the original authors proposed (Table 1).
+  virtual AssignmentMethod default_assignment() const = 0;
+
+  // The algorithm's core output: an n1 x n2 node-similarity matrix
+  // (higher = more similar). This is the step whose runtime the paper's
+  // scalability figures report (assignment excluded, §6.2).
+  virtual Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
+                                                const Graph& g2) = 0;
+
+  // Full pipeline with an explicit assignment method.
+  Result<Alignment> Align(const Graph& g1, const Graph& g2,
+                          AssignmentMethod method);
+
+  // Full pipeline with the author-proposed extraction. Algorithms whose
+  // native extraction is not "similarity + LAP" (GRAAL's seed-and-extend,
+  // LREA's sparse union-of-matchings, S-GWL's recursion) override this.
+  virtual Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) {
+    return Align(g1, g2, default_assignment());
+  }
+
+ protected:
+  // Shared input validation: non-empty graphs.
+  static Status ValidateInputs(const Graph& g1, const Graph& g2);
+};
+
+// Factory for all paper algorithms with Table-1 hyperparameters; names:
+// "IsoRank", "GRAAL", "NSD", "LREA", "REGAL", "GWL", "S-GWL", "CONE",
+// "GRASP". Returns NotFound for unknown names.
+Result<std::unique_ptr<Aligner>> MakeAligner(const std::string& name);
+
+// All paper algorithm names in Table-1 order.
+std::vector<std::string> AllAlignerNames();
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_ALIGNER_H_

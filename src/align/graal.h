@@ -1,0 +1,65 @@
+// GRAAL (Kuchaiev et al. 2010), paper §3.2: graphlet-degree-vector node
+// signatures combined with a degree term into the cost of Eq. 2,
+//   C(u,v) = 2 - ((1-alpha) (d_u + d_v)/(maxdeg_1 + maxdeg_2) + alpha S(u,v)),
+// followed by seed-and-extend alignment: repeatedly match the cheapest
+// unmatched pair and greedily align the BFS spheres around the two seeds,
+// finishing leftovers with SortGreedy.
+//
+// Signatures use the 15 orbits of 2-4-node graphlets (the original uses 73
+// orbits of 2-5-node graphlets; see the substitution note in DESIGN.md) with
+// the published log-scaled distance and orbit-dependency weights.
+#ifndef GRAPHALIGN_ALIGN_GRAAL_H_
+#define GRAPHALIGN_ALIGN_GRAAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "align/aligner.h"
+
+namespace graphalign {
+
+struct GraalOptions {
+  double alpha = 0.8;  // Signature weight in Eq. 2 (Table 1).
+  // Enumeration budget mirroring the paper's GRAAL timeouts on dense graphs.
+  int64_t max_subgraphs = 200'000'000;
+  // Use the full 73-orbit graphlet degree vector (2-5-node graphlets) as
+  // GRAAL was published with. Off by default: 5-node enumeration multiplies
+  // preprocessing cost (the paper excluded GRAAL from scalability runs for
+  // exactly this reason) and the 15-orbit signature reproduces GRAAL's
+  // mid-field benchmark position already.
+  bool use_five_node_orbits = false;
+};
+
+class GraalAligner : public Aligner {
+ public:
+  explicit GraalAligner(const GraalOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "GRAAL"; }
+  AssignmentMethod default_assignment() const override {
+    return AssignmentMethod::kSortGreedy;  // As proposed (Table 1).
+  }
+  // Similarity = 2 - C(u,v), in [0, 2].
+  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
+                                        const Graph& g2) override;
+
+  // Native seed-and-extend extraction.
+  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) override;
+
+ private:
+  GraalOptions options_;
+};
+
+// Graphlet-signature similarity S(u,v) in [0,1] for all node pairs, built
+// from per-orbit log-scaled distances with orbit-dependency weights
+// (Milenkovic & Przulj's graphlet degree signature similarity; orbits 0-14,
+// or the full 73-orbit GDV when `full_gdv`). Exposed for tests and the
+// GRAAL ablation bench.
+Result<DenseMatrix> GraphletSignatureSimilarity(const Graph& g1,
+                                                const Graph& g2,
+                                                int64_t max_subgraphs,
+                                                bool full_gdv = false);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_GRAAL_H_

@@ -1,0 +1,49 @@
+// Shared Gromov-Wasserstein machinery for GWL and S-GWL (paper §3.6).
+//
+// The GW discrepancy between relational cost matrices Cs, Ct under the
+// squared loss has gradient
+//   grad(T) = (Cs.^2) mu 1^T + 1 nu^T (Ct.^2)^T - 2 Cs T Ct^T,
+// and is minimized over the transport polytope by proximal-point updates
+//   T <- SinkhornProject(T .* exp(-grad/beta), mu, nu)
+// (Xie et al. 2020, used by both GWL and S-GWL).
+#ifndef GRAPHALIGN_ALIGN_GW_COMMON_H_
+#define GRAPHALIGN_ALIGN_GW_COMMON_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+struct GwOptions {
+  double beta = 0.1;        // Proximal step / entropic strength.
+  int outer_iterations = 30;  // Proximal-point steps.
+  int sinkhorn_iterations = 20;
+  double tolerance = 1e-6;  // Stop when T stops moving (max-abs).
+};
+
+// Proximal-point GW transport between two symmetric cost matrices given as
+// CSR (adjacency-based costs). `extra_cost`, if non-null, is added to the
+// gradient each step (GWL's Wasserstein embedding term). Returns the n1 x n2
+// transport plan.
+Result<DenseMatrix> GromovWassersteinTransport(
+    const CsrMatrix& cs, const CsrMatrix& ct, const std::vector<double>& mu,
+    const std::vector<double>& nu, const GwOptions& options,
+    const DenseMatrix* extra_cost = nullptr,
+    const DenseMatrix* initial_transport = nullptr);
+
+// GW objective value <L(Cs, Ct, T), T> under squared loss (for tests and
+// barycenter orientation decisions).
+double GromovWassersteinObjective(const CsrMatrix& cs, const CsrMatrix& ct,
+                                  const std::vector<double>& mu,
+                                  const std::vector<double>& nu,
+                                  const DenseMatrix& transport);
+
+// Dense (small) cost matrix to CSR, dropping zeros.
+CsrMatrix DenseToCsr(const DenseMatrix& m);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_GW_COMMON_H_

@@ -1,0 +1,47 @@
+// Gromov-Wasserstein Learning (Xu et al., ICML 2019), paper §3.6: jointly
+// estimates an optimal transport between the graphs and node embeddings,
+// alternating (a) proximal-point GW/Wasserstein transport updates and
+// (b) embedding updates regularized by the learned transport (Eq. 11).
+//
+// Embedding update (simplification of the reference's gradient descent, see
+// DESIGN.md): each graph's embeddings are pulled toward the transport-
+// weighted barycenter of the other graph's embeddings, which is the fixed
+// point the Wasserstein term drives toward.
+#ifndef GRAPHALIGN_ALIGN_GWL_H_
+#define GRAPHALIGN_ALIGN_GWL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "align/aligner.h"
+#include "align/gw_common.h"
+
+namespace graphalign {
+
+struct GwlOptions {
+  GwOptions gw;              // Proximal-point transport parameters.
+  int epochs = 1;            // Embedding/transport alternations (Table 1).
+  int embedding_dim = 16;    // Node embedding dimension.
+  double embedding_weight = 0.1;  // alpha in Eq. 11.
+  uint64_t seed = 11;
+};
+
+class GwlAligner : public Aligner {
+ public:
+  explicit GwlAligner(const GwlOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "GWL"; }
+  AssignmentMethod default_assignment() const override {
+    return AssignmentMethod::kNearestNeighbor;  // As proposed (Table 1).
+  }
+  // Similarity = the learned transport plan (scaled to max 1).
+  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
+                                        const Graph& g2) override;
+
+ private:
+  GwlOptions options_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_GWL_H_

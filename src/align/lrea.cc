@@ -1,0 +1,181 @@
+#include "align/lrea.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "assignment/sparse_lap.h"
+#include "linalg/csr.h"
+#include "linalg/svd.h"
+
+namespace graphalign {
+
+namespace {
+
+// Appends column `col` to matrix `m` (n x r -> n x r+1).
+DenseMatrix AppendColumns(const DenseMatrix& m,
+                          const std::vector<std::vector<double>>& cols) {
+  DenseMatrix out(m.rows(), m.cols() + static_cast<int>(cols.size()));
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* src = m.Row(i);
+    double* dst = out.Row(i);
+    std::copy(src, src + m.cols(), dst);
+    for (size_t c = 0; c < cols.size(); ++c) {
+      dst[m.cols() + c] = cols[c][i];
+    }
+  }
+  return out;
+}
+
+// Compresses X = U V^T to rank <= max_rank via thin QR of both factors and
+// SVD of the small core R_u R_v^T.
+Status Compress(int max_rank, DenseMatrix* u, DenseMatrix* v) {
+  GA_ASSIGN_OR_RETURN(QrResult qu, ThinQr(*u));
+  GA_ASSIGN_OR_RETURN(QrResult qv, ThinQr(*v));
+  DenseMatrix core = MultiplyABt(qu.r, qv.r);  // ru x rv
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(core));
+  const int r = std::min(
+      max_rank, static_cast<int>(svd.singular_values.size()));
+  // U <- Qu * U_core * sqrt(S), V <- Qv * V_core * sqrt(S).
+  DenseMatrix ucore(svd.u.rows(), r), vcore(svd.v.rows(), r);
+  for (int j = 0; j < r; ++j) {
+    const double s = std::sqrt(std::max(svd.singular_values[j], 0.0));
+    for (int i = 0; i < svd.u.rows(); ++i) ucore(i, j) = svd.u(i, j) * s;
+    for (int i = 0; i < svd.v.rows(); ++i) vcore(i, j) = svd.v(i, j) * s;
+  }
+  *u = Multiply(qu.q, ucore);
+  *v = Multiply(qv.q, vcore);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<LreaAligner::Factors> LreaAligner::ComputeFactors(const Graph& g1,
+                                                         const Graph& g2) {
+  GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
+  if (options_.iterations < 1 || options_.max_rank < 1) {
+    return Status::InvalidArgument("LREA: bad options");
+  }
+  const double c1 = options_.overlap_score + options_.conflict_score -
+                    2.0 * options_.noninform_score;
+  const double c2 = options_.noninform_score - options_.conflict_score;
+  const double c3 = options_.conflict_score;
+  if (c1 <= 0.0) {
+    return Status::InvalidArgument(
+        "LREA: scores must satisfy sO + sC > 2 sN (overlap-dominant)");
+  }
+  const int n1 = g1.num_nodes();
+  const int n2 = g2.num_nodes();
+  const CsrMatrix a = g1.AdjacencyCsr();
+  const CsrMatrix b = g2.AdjacencyCsr();
+
+  // Rank-1 start: X = (1/sqrt(n1 n2)) * 1 1^T.
+  DenseMatrix u(n1, 1, 1.0 / std::sqrt(static_cast<double>(n1)));
+  DenseMatrix v(n2, 1, 1.0 / std::sqrt(static_cast<double>(n2)));
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // Factored application of Eq. 7 with E = all-ones:
+    //   term1 = c1 (A U)(B V)^T
+    //   term2 = c2 (A U s_v) 1^T          with s_v = V^T 1
+    //   term3 = c2 1 (B V s_u)^T          with s_u = U^T 1
+    //   term4 = c3 (s_u . s_v) 1 1^T
+    DenseMatrix au = a.Multiply(u);  // n1 x r
+    DenseMatrix bv = b.Multiply(v);  // n2 x r
+    const int r = u.cols();
+    std::vector<double> su(r, 0.0), sv(r, 0.0);
+    for (int i = 0; i < n1; ++i) {
+      const double* row = u.Row(i);
+      for (int j = 0; j < r; ++j) su[j] += row[j];
+    }
+    for (int i = 0; i < n2; ++i) {
+      const double* row = v.Row(i);
+      for (int j = 0; j < r; ++j) sv[j] += row[j];
+    }
+    // New left factor columns: [sqrt(c1) A U | c2 (A U s_v) | 1 | 1].
+    // Weights are split so U carries c-scaling and V stays unscaled
+    // (term k contributes (u_col)(v_col)^T exactly).
+    std::vector<double> t2(n1, 0.0);
+    for (int i = 0; i < n1; ++i) {
+      const double* row = au.Row(i);
+      double s = 0.0;
+      for (int j = 0; j < r; ++j) s += row[j] * sv[j];
+      t2[i] = c2 * s;
+    }
+    std::vector<double> t3(n2, 0.0);
+    for (int i = 0; i < n2; ++i) {
+      const double* row = bv.Row(i);
+      double s = 0.0;
+      for (int j = 0; j < r; ++j) s += row[j] * su[j];
+      t3[i] = c2 * s;
+    }
+    const double susv = std::inner_product(su.begin(), su.end(), sv.begin(),
+                                           0.0);
+    DenseMatrix au_scaled = au;
+    au_scaled.Scale(c1);
+    std::vector<double> ones1(n1, 1.0), ones2(n2, 1.0);
+    std::vector<double> c3vec(n2, c3 * susv);
+    DenseMatrix new_u = AppendColumns(au_scaled, {t2, ones1, ones1});
+    DenseMatrix new_v = AppendColumns(bv, {ones2, t3, c3vec});
+    GA_RETURN_IF_ERROR(Compress(options_.max_rank, &new_u, &new_v));
+    // Normalize ||X||_F = sqrt(sum of sigma^2); factors carry sqrt(sigma),
+    // so scale both by the fourth root of the squared Frobenius norm.
+    double fro2 = 0.0;
+    DenseMatrix gram = MultiplyAtB(new_u, new_u);
+    DenseMatrix gram_v = MultiplyAtB(new_v, new_v);
+    DenseMatrix prod = Multiply(gram, gram_v);
+    for (int i = 0; i < prod.rows(); ++i) fro2 += prod(i, i);
+    const double fro = std::sqrt(std::max(fro2, 1e-300));
+    const double scale = 1.0 / std::sqrt(std::sqrt(fro * fro));
+    new_u.Scale(scale);
+    new_v.Scale(scale);
+    u = std::move(new_u);
+    v = std::move(new_v);
+  }
+  return Factors{std::move(u), std::move(v)};
+}
+
+Result<DenseMatrix> LreaAligner::ComputeSimilarity(const Graph& g1,
+                                                   const Graph& g2) {
+  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2));
+  return MultiplyABt(f.u, f.v);
+}
+
+Result<Alignment> LreaAligner::AlignNative(const Graph& g1, const Graph& g2) {
+  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2));
+  const int n1 = f.u.rows();
+  const int n2 = f.v.rows();
+  const int r = f.u.cols();
+
+  // Union of sorted matchings: for each rank component, sort both factors'
+  // entries (positives descending and negatives ascending, which pairs large
+  // positive with large positive and large negative with large negative) and
+  // propose position-wise pairs.
+  std::set<std::pair<int, int>> proposed;
+  std::vector<int> order1(n1), order2(n2);
+  for (int j = 0; j < r; ++j) {
+    std::iota(order1.begin(), order1.end(), 0);
+    std::iota(order2.begin(), order2.end(), 0);
+    std::sort(order1.begin(), order1.end(), [&](int x, int y) {
+      return f.u(x, j) > f.u(y, j);
+    });
+    std::sort(order2.begin(), order2.end(), [&](int x, int y) {
+      return f.v(x, j) > f.v(y, j);
+    });
+    for (int p = 0; p < std::min(n1, n2); ++p) {
+      proposed.insert({order1[p], order2[p]});
+    }
+  }
+  std::vector<SparseCandidate> candidates;
+  candidates.reserve(proposed.size());
+  for (const auto& [i, j] : proposed) {
+    double sim = 0.0;
+    for (int c = 0; c < r; ++c) sim += f.u(i, c) * f.v(j, c);
+    candidates.push_back({i, j, sim});
+  }
+  return SparseLapAssign(n1, n2, candidates);
+}
+
+}  // namespace graphalign

@@ -1,0 +1,92 @@
+#include "align/multi.h"
+
+#include <numeric>
+#include <string>
+
+namespace graphalign {
+
+Result<MultiAlignmentResult> AlignMultiple(const std::vector<Graph>& graphs,
+                                           Aligner* aligner,
+                                           AssignmentMethod method,
+                                           int reference) {
+  if (graphs.size() < 2) {
+    return Status::InvalidArgument("AlignMultiple: need at least 2 graphs");
+  }
+  if (reference >= static_cast<int>(graphs.size())) {
+    return Status::OutOfRange("AlignMultiple: reference index out of range");
+  }
+  MultiAlignmentResult result;
+  if (reference >= 0) {
+    result.reference = reference;
+  } else {
+    for (size_t g = 1; g < graphs.size(); ++g) {
+      if (graphs[g].num_nodes() >
+          graphs[result.reference].num_nodes()) {
+        result.reference = static_cast<int>(g);
+      }
+    }
+  }
+  const Graph& ref = graphs[result.reference];
+  result.to_reference.resize(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    if (static_cast<int>(g) == result.reference) {
+      Alignment identity(ref.num_nodes());
+      std::iota(identity.begin(), identity.end(), 0);
+      result.to_reference[g] = std::move(identity);
+      continue;
+    }
+    auto alignment = aligner->Align(graphs[g], ref, method);
+    if (!alignment.ok()) {
+      return Status(alignment.status().code(),
+                    "aligning graph " + std::to_string(g) + " to reference: " +
+                        alignment.status().message());
+    }
+    result.to_reference[g] = *std::move(alignment);
+  }
+  return result;
+}
+
+Result<Alignment> ComposeAlignment(const MultiAlignmentResult& result,
+                                   const std::vector<Graph>& graphs, int from,
+                                   int to) {
+  const int k = static_cast<int>(result.to_reference.size());
+  if (from < 0 || from >= k || to < 0 || to >= k) {
+    return Status::OutOfRange("ComposeAlignment: graph index out of range");
+  }
+  if (static_cast<size_t>(k) != graphs.size()) {
+    return Status::InvalidArgument("ComposeAlignment: graphs/result mismatch");
+  }
+  // Invert to_reference[to]: reference node -> node of `to`.
+  const int ref_nodes = graphs[result.reference].num_nodes();
+  std::vector<int> from_ref(ref_nodes, -1);
+  const Alignment& to_map = result.to_reference[to];
+  for (size_t v = 0; v < to_map.size(); ++v) {
+    if (to_map[v] >= 0 && to_map[v] < ref_nodes) {
+      from_ref[to_map[v]] = static_cast<int>(v);
+    }
+  }
+  const Alignment& from_map = result.to_reference[from];
+  Alignment composed(from_map.size(), -1);
+  for (size_t u = 0; u < from_map.size(); ++u) {
+    const int r = from_map[u];
+    if (r >= 0 && r < ref_nodes) composed[u] = from_ref[r];
+  }
+  return composed;
+}
+
+std::vector<std::vector<std::pair<int, int>>> AlignmentClusters(
+    const MultiAlignmentResult& result, const std::vector<Graph>& graphs) {
+  const int ref_nodes = graphs[result.reference].num_nodes();
+  std::vector<std::vector<std::pair<int, int>>> clusters(ref_nodes);
+  for (size_t g = 0; g < result.to_reference.size(); ++g) {
+    const Alignment& map = result.to_reference[g];
+    for (size_t u = 0; u < map.size(); ++u) {
+      if (map[u] >= 0 && map[u] < ref_nodes) {
+        clusters[map[u]].push_back({static_cast<int>(g), static_cast<int>(u)});
+      }
+    }
+  }
+  return clusters;
+}
+
+}  // namespace graphalign

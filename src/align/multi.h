@@ -1,0 +1,46 @@
+// Multiple-network alignment (the extension IsoRankN and GWL advertise,
+// paper §3.1/§3.6): aligns k graphs jointly by star composition — every
+// graph is aligned pairwise to a reference, and cross-graph correspondences
+// are obtained by composing through the reference.
+//
+// This is the standard reduction used by multi-alignment systems when the
+// pairwise aligner is a black box; it inherits the pairwise method's quality
+// and adds no hyperparameters.
+#ifndef GRAPHALIGN_ALIGN_MULTI_H_
+#define GRAPHALIGN_ALIGN_MULTI_H_
+
+#include <vector>
+
+#include "align/aligner.h"
+
+namespace graphalign {
+
+struct MultiAlignmentResult {
+  // Index of the reference graph (the largest by default).
+  int reference = 0;
+  // to_reference[g][u] = reference node aligned with node u of graph g
+  // (identity for the reference graph itself; -1 if unmatched).
+  std::vector<Alignment> to_reference;
+};
+
+// Aligns all graphs to a common reference with `aligner` + `method`.
+// `reference` < 0 selects the largest graph. Requires >= 2 graphs.
+Result<MultiAlignmentResult> AlignMultiple(const std::vector<Graph>& graphs,
+                                           Aligner* aligner,
+                                           AssignmentMethod method,
+                                           int reference = -1);
+
+// Correspondence from graph `from` to graph `to`, composed through the
+// reference: f = to_ref[to]^-1 ∘ to_ref[from]. Unresolvable nodes get -1.
+Result<Alignment> ComposeAlignment(const MultiAlignmentResult& result,
+                                   const std::vector<Graph>& graphs, int from,
+                                   int to);
+
+// Node clusters ("functional orthologs" in IsoRankN terms): for each
+// reference node, the list of (graph, node) pairs mapped onto it.
+std::vector<std::vector<std::pair<int, int>>> AlignmentClusters(
+    const MultiAlignmentResult& result, const std::vector<Graph>& graphs);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_MULTI_H_

@@ -1,0 +1,80 @@
+#include "align/nsd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/csr.h"
+
+namespace graphalign {
+
+namespace {
+
+// Adds s * z w^T to x.
+void AddOuterProduct(double s, const std::vector<double>& z,
+                     const std::vector<double>& w, DenseMatrix* x) {
+  for (int i = 0; i < x->rows(); ++i) {
+    const double zi = s * z[i];
+    if (zi == 0.0) continue;
+    double* row = x->Row(i);
+    for (int j = 0; j < x->cols(); ++j) row[j] += zi * w[j];
+  }
+}
+
+std::vector<double> UnitSum(std::vector<double> v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  if (s > 0.0) {
+    for (double& x : v) x /= s;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<DenseMatrix> NsdAligner::ComputeSimilarity(const Graph& g1,
+                                                  const Graph& g2) {
+  GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
+  if (options_.alpha < 0.0 || options_.alpha > 1.0) {
+    return Status::InvalidArgument("NSD: alpha outside [0,1]");
+  }
+  if (options_.iterations < 1) {
+    return Status::InvalidArgument("NSD: iterations must be >= 1");
+  }
+  const int n1 = g1.num_nodes();
+  const int n2 = g2.num_nodes();
+  const CsrMatrix rw1 = g1.RandomWalkCsr();
+  const CsrMatrix rw2 = g2.RandomWalkCsr();
+
+  // Unrestricted components: uniform and degree (both normalized to unit
+  // mass so the components are comparable).
+  std::vector<std::vector<double>> z0;
+  std::vector<std::vector<double>> w0;
+  z0.push_back(UnitSum(std::vector<double>(n1, 1.0)));
+  w0.push_back(UnitSum(std::vector<double>(n2, 1.0)));
+  std::vector<double> d1(n1), d2(n2);
+  for (int u = 0; u < n1; ++u) d1[u] = g1.Degree(u);
+  for (int v = 0; v < n2; ++v) d2[v] = g2.Degree(v);
+  z0.push_back(UnitSum(std::move(d1)));
+  w0.push_back(UnitSum(std::move(d2)));
+
+  const double alpha = options_.alpha;
+  const int depth = options_.iterations;
+  DenseMatrix x(n1, n2);
+  for (size_t comp = 0; comp < z0.size(); ++comp) {
+    std::vector<double> z = z0[comp];
+    std::vector<double> w = w0[comp];
+    double coeff = 1.0 - alpha;  // (1-a) * a^k for k = 0.
+    for (int k = 0; k < depth; ++k) {
+      AddOuterProduct(coeff, z, w, &x);
+      // Advance the power iteration: z <- A~ z, w <- B~ w (Eq. 3-4).
+      z = rw1.Multiply(z);
+      w = rw2.Multiply(w);
+      coeff *= alpha;
+    }
+    // Tail term a^n z^(n) w^(n)^T.
+    AddOuterProduct(std::pow(alpha, depth), z, w, &x);
+  }
+  return x;
+}
+
+}  // namespace graphalign

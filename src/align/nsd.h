@@ -1,0 +1,39 @@
+// Network Similarity Decomposition (Kollias, Mohammadi & Grama 2011),
+// paper §3.3: approximates the IsoRank fixed point by decomposing the
+// Kronecker power series into per-component outer products
+//     X^(n) = sum_i [ (1-a) sum_k a^k z_i^(k) (w_i^(k))^T + a^n z_i^(n) (w_i^(n))^T ]
+// with z_i^(k) = (A~^T)^k z_i and w_i^(k) = (B~^T)^k w_i, where A~ = D^-1 A.
+// In the unrestricted setting the components are the uniform and the
+// degree vector (no Blast prior).
+#ifndef GRAPHALIGN_ALIGN_NSD_H_
+#define GRAPHALIGN_ALIGN_NSD_H_
+
+#include <string>
+
+#include "align/aligner.h"
+
+namespace graphalign {
+
+struct NsdOptions {
+  double alpha = 0.8;  // Decay (Table 1).
+  int iterations = 15;  // Depth of the power series.
+};
+
+class NsdAligner : public Aligner {
+ public:
+  explicit NsdAligner(const NsdOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "NSD"; }
+  AssignmentMethod default_assignment() const override {
+    return AssignmentMethod::kSortGreedy;  // As proposed (Table 1).
+  }
+  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
+                                        const Graph& g2) override;
+
+ private:
+  NsdOptions options_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_NSD_H_

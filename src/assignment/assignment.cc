@@ -1,0 +1,91 @@
+#include "assignment/assignment.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphalign {
+
+const char* AssignmentMethodName(AssignmentMethod method) {
+  switch (method) {
+    case AssignmentMethod::kNearestNeighbor:
+      return "NN";
+    case AssignmentMethod::kSortGreedy:
+      return "SG";
+    case AssignmentMethod::kHungarian:
+      return "MWM";
+    case AssignmentMethod::kJonkerVolgenant:
+      return "JV";
+  }
+  return "unknown";
+}
+
+Result<Alignment> NearestNeighborAssign(const DenseMatrix& similarity) {
+  const int n = similarity.rows();
+  const int m = similarity.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("NearestNeighborAssign: empty matrix");
+  }
+  Alignment align(n, -1);
+  for (int i = 0; i < n; ++i) {
+    const double* row = similarity.Row(i);
+    int best = 0;
+    for (int j = 1; j < m; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    align[i] = best;
+  }
+  return align;
+}
+
+Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity) {
+  const int n = similarity.rows();
+  const int m = similarity.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("SortGreedyAssign: empty matrix");
+  }
+  // Sort flat indices by similarity, descending.
+  std::vector<int64_t> order(static_cast<size_t>(n) * m);
+  std::iota(order.begin(), order.end(), int64_t{0});
+  const double* data = similarity.data();
+  std::sort(order.begin(), order.end(),
+            [&](int64_t a, int64_t b) { return data[a] > data[b]; });
+  Alignment align(n, -1);
+  std::vector<bool> col_used(m, false);
+  int matched = 0;
+  const int target = std::min(n, m);
+  for (int64_t idx : order) {
+    const int i = static_cast<int>(idx / m);
+    const int j = static_cast<int>(idx % m);
+    if (align[i] != -1 || col_used[j]) continue;
+    align[i] = j;
+    col_used[j] = true;
+    if (++matched == target) break;
+  }
+  return align;
+}
+
+Result<Alignment> ExtractAlignment(const DenseMatrix& similarity,
+                                   AssignmentMethod method) {
+  switch (method) {
+    case AssignmentMethod::kNearestNeighbor:
+      return NearestNeighborAssign(similarity);
+    case AssignmentMethod::kSortGreedy:
+      return SortGreedyAssign(similarity);
+    case AssignmentMethod::kHungarian:
+      return HungarianAssign(similarity);
+    case AssignmentMethod::kJonkerVolgenant:
+      return JonkerVolgenantAssign(similarity);
+  }
+  return Status::InvalidArgument("unknown assignment method");
+}
+
+double AlignmentScore(const DenseMatrix& similarity,
+                      const Alignment& alignment) {
+  double s = 0.0;
+  for (int i = 0; i < static_cast<int>(alignment.size()); ++i) {
+    if (alignment[i] >= 0) s += similarity(i, alignment[i]);
+  }
+  return s;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,98 @@
+// Hungarian algorithm (Kuhn-Munkres) with dual potentials, O(n^2 m).
+// This is the "MWM" solver of the paper: an optimal linear-assignment
+// algorithm used by LREA and cross-checked against Jonker-Volgenant.
+#include <limits>
+#include <vector>
+
+#include "assignment/assignment.h"
+
+namespace graphalign {
+
+namespace {
+
+// Minimizes total cost for an n x m cost matrix with n <= m.
+// Returns row -> column assignment.
+std::vector<int> HungarianMinCost(const DenseMatrix& cost) {
+  const int n = cost.rows();
+  const int m = cost.cols();
+  GA_CHECK(n <= m);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // 1-indexed potentials and matching (p[j] = row matched to column j).
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0), way(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      int j1 = -1;
+      double delta = kInf;
+      const double* crow = cost.Row(i0 - 1);
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = crow[j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> row_to_col(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] > 0) row_to_col[p[j] - 1] = j - 1;
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+Result<Alignment> HungarianAssign(const DenseMatrix& similarity) {
+  const int n = similarity.rows();
+  const int m = similarity.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("HungarianAssign: empty matrix");
+  }
+  // Maximize similarity == minimize negated similarity.
+  if (n <= m) {
+    DenseMatrix cost(n, m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) cost(i, j) = -similarity(i, j);
+    }
+    return HungarianMinCost(cost);
+  }
+  // More sources than targets: solve the transpose, then invert.
+  DenseMatrix cost(m, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) cost(j, i) = -similarity(i, j);
+  }
+  std::vector<int> col_to_row = HungarianMinCost(cost);
+  Alignment align(n, -1);
+  for (int j = 0; j < m; ++j) {
+    if (col_to_row[j] >= 0) align[col_to_row[j]] = j;
+  }
+  return align;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,122 @@
+#include "assignment/sparse_lap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace graphalign {
+
+Result<Alignment> SparseLapAssign(
+    int num_rows, int num_cols,
+    const std::vector<SparseCandidate>& candidates) {
+  if (num_rows < 0 || num_cols < 0) {
+    return Status::InvalidArgument("SparseLapAssign: negative dimensions");
+  }
+  double max_sim = 0.0;
+  for (const SparseCandidate& c : candidates) {
+    if (c.row < 0 || c.row >= num_rows || c.col < 0 || c.col >= num_cols) {
+      return Status::OutOfRange("SparseLapAssign: candidate out of range");
+    }
+    if (!std::isfinite(c.similarity)) {
+      return Status::InvalidArgument("SparseLapAssign: non-finite similarity");
+    }
+    max_sim = std::max(max_sim, c.similarity);
+  }
+  // Non-negative costs for Dijkstra: cost = max_sim - sim. Every row also
+  // gets a private "skip" column (index num_cols + row) with a cost larger
+  // than any real augmenting path, so each row-wise augmentation succeeds
+  // and the final matching maximizes cardinality first, total similarity
+  // second — globally, not just per processing order.
+  struct Arc {
+    int col;
+    double cost;
+  };
+  const double kSkipCost =
+      (max_sim + 1.0) * (static_cast<double>(num_rows) + num_cols + 1.0);
+  const int total_cols = num_cols + num_rows;
+  std::vector<std::vector<Arc>> arcs(num_rows);
+  for (const SparseCandidate& c : candidates) {
+    arcs[c.row].push_back({c.col, max_sim - c.similarity});
+  }
+  for (int r = 0; r < num_rows; ++r) {
+    arcs[r].push_back({num_cols + r, kSkipCost});
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<int> row_match(num_rows, -1);
+  std::vector<int> col_match(total_cols, -1);
+  std::vector<double> u(num_rows, 0.0), v(total_cols, 0.0);
+  std::vector<double> dist(total_cols);
+  std::vector<int> pred_row(total_cols);
+  std::vector<bool> done(total_cols);
+
+  using QItem = std::pair<double, int>;  // (distance, column)
+  for (int s = 0; s < num_rows; ++s) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(pred_row.begin(), pred_row.end(), -1);
+    std::fill(done.begin(), done.end(), false);
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    for (const Arc& a : arcs[s]) {
+      const double rc = a.cost - u[s] - v[a.col];
+      if (rc < dist[a.col]) {
+        dist[a.col] = rc;
+        pred_row[a.col] = s;
+        pq.push({rc, a.col});
+      }
+    }
+    int found = -1;
+    double total = 0.0;
+    while (!pq.empty()) {
+      auto [d, j] = pq.top();
+      pq.pop();
+      if (done[j] || d > dist[j]) continue;
+      done[j] = true;
+      if (col_match[j] < 0) {
+        found = j;
+        total = d;
+        break;
+      }
+      const int i = col_match[j];
+      for (const Arc& a : arcs[i]) {
+        if (done[a.col]) continue;
+        const double nd = d + a.cost - u[i] - v[a.col];
+        if (nd < dist[a.col]) {
+          dist[a.col] = nd;
+          pred_row[a.col] = i;
+          pq.push({nd, a.col});
+        }
+      }
+    }
+    // The skip column guarantees an augmenting path always exists.
+    GA_CHECK(found >= 0);
+
+    // Dual update keeps reduced costs non-negative and matched edges tight.
+    u[s] += total;
+    for (int j = 0; j < total_cols; ++j) {
+      if (!done[j] || j == found) continue;
+      const double delta = total - dist[j];
+      v[j] -= delta;
+      if (col_match[j] >= 0) u[col_match[j]] += delta;
+    }
+
+    // Augment along the predecessor chain.
+    int j = found;
+    for (;;) {
+      const int i = pred_row[j];
+      col_match[j] = i;
+      const int prev_j = row_match[i];
+      row_match[i] = j;
+      if (i == s) break;
+      j = prev_j;
+    }
+  }
+  // Rows matched to their skip column are reported unmatched.
+  for (int r = 0; r < num_rows; ++r) {
+    if (row_match[r] >= num_cols) row_match[r] = -1;
+  }
+  return row_match;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,31 @@
+// Sparse linear assignment: optimal matching restricted to an explicit
+// candidate set, via successive shortest augmenting paths with potentials.
+//
+// LREA's "union of matchings" extraction produces O(n * rank) candidate
+// pairs; solving the LAP on that sparse set (rather than a dense n^2 matrix)
+// is what makes LREA scale (paper §3.4, §6.2).
+#ifndef GRAPHALIGN_ASSIGNMENT_SPARSE_LAP_H_
+#define GRAPHALIGN_ASSIGNMENT_SPARSE_LAP_H_
+
+#include <vector>
+
+#include "assignment/assignment.h"
+#include "common/status.h"
+
+namespace graphalign {
+
+struct SparseCandidate {
+  int row;
+  int col;
+  double similarity;
+};
+
+// Maximum-cardinality matching over the candidate edges that maximizes total
+// similarity among such matchings. Rows that cannot be matched get -1.
+// O(A * E log E) with A augmentations and E candidates.
+Result<Alignment> SparseLapAssign(int num_rows, int num_cols,
+                                  const std::vector<SparseCandidate>& candidates);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ASSIGNMENT_SPARSE_LAP_H_

@@ -1,0 +1,136 @@
+#include "bench_framework/experiment.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace graphalign {
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      GA_CHECK_MSG(i + 1 < argc, "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--full") {
+      args.full = true;
+    } else if (arg == "--reps") {
+      args.repetitions = std::atoi(next());
+    } else if (arg == "--algos") {
+      std::stringstream ss(next());
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (!tok.empty()) args.algorithms.push_back(tok);
+      }
+    } else if (arg == "--csv") {
+      args.csv_path = next();
+    } else if (arg == "--seed") {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--time-limit") {
+      args.time_limit_seconds = std::atof(next());
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --full --reps N --algos A,B "
+                   "--csv PATH --seed S --time-limit T)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+std::vector<std::string> SelectedAlgorithms(const BenchArgs& args) {
+  if (args.algorithms.empty()) return AllAlignerNames();
+  return args.algorithms;
+}
+
+RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
+                      AssignmentMethod method, double time_limit_seconds) {
+  RunOutcome out;
+  WallTimer timer;
+  auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2);
+  out.similarity_seconds = timer.Seconds();
+  if (!sim.ok()) {
+    out.error = sim.status().ToString();
+    return out;
+  }
+  if (out.similarity_seconds > time_limit_seconds) {
+    out.error = "DNF (time limit)";
+    return out;
+  }
+  timer.Restart();
+  auto align = ExtractAlignment(*sim, method);
+  out.assignment_seconds = timer.Seconds();
+  if (!align.ok()) {
+    out.error = align.status().ToString();
+    return out;
+  }
+  out.quality =
+      EvaluateAlignment(problem.g1, problem.g2, *align, problem.ground_truth);
+  out.completed = true;
+  out.completed_runs = 1;
+  return out;
+}
+
+RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
+                       const NoiseOptions& noise, AssignmentMethod method,
+                       int reps, uint64_t seed, double time_limit_seconds) {
+  RunOutcome total;
+  Rng rng(seed);
+  WallTimer budget;
+  for (int r = 0; r < reps; ++r) {
+    Rng instance_rng = rng.Fork();
+    auto problem = MakeAlignmentProblem(base, noise, &instance_rng);
+    if (!problem.ok()) {
+      total.error = problem.status().ToString();
+      return total;
+    }
+    RunOutcome one = RunAligner(aligner, *problem, method,
+                                time_limit_seconds - budget.Seconds());
+    if (!one.completed) {
+      if (total.completed_runs == 0) {
+        total.error = one.error;
+        return total;
+      }
+      break;  // Keep the average over the completed repetitions.
+    }
+    total.quality.accuracy += one.quality.accuracy;
+    total.quality.mnc += one.quality.mnc;
+    total.quality.ec += one.quality.ec;
+    total.quality.ics += one.quality.ics;
+    total.quality.s3 += one.quality.s3;
+    total.similarity_seconds += one.similarity_seconds;
+    total.assignment_seconds += one.assignment_seconds;
+    total.completed_runs += 1;
+    if (budget.Seconds() > time_limit_seconds) break;
+  }
+  const double k = total.completed_runs;
+  total.quality.accuracy /= k;
+  total.quality.mnc /= k;
+  total.quality.ec /= k;
+  total.quality.ics /= k;
+  total.quality.s3 /= k;
+  total.similarity_seconds /= k;
+  total.assignment_seconds /= k;
+  total.completed = true;
+  return total;
+}
+
+std::string FormatOutcome(const RunOutcome& outcome, double value) {
+  if (!outcome.completed) {
+    return outcome.error.rfind("DNF", 0) == 0 ? "DNF" : "ERR";
+  }
+  return Table::Num(value);
+}
+
+std::string FormatAccuracy(const RunOutcome& outcome) {
+  return FormatOutcome(outcome, outcome.quality.accuracy);
+}
+
+}  // namespace graphalign

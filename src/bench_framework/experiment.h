@@ -1,0 +1,72 @@
+// Experiment harness shared by the figure/table benchmarks.
+//
+// Mirrors the paper's protocol (§5.1): for each configuration, several noisy
+// instances are generated from one base graph, every algorithm aligns each
+// instance, and averaged quality/timing is reported. Runtime of the
+// similarity stage is reported separately from assignment (§6.2), and runs
+// exceeding a time budget are reported as DNF — the same semantics as the
+// paper's 3-hour limit (Table 3).
+#ifndef GRAPHALIGN_BENCH_FRAMEWORK_EXPERIMENT_H_
+#define GRAPHALIGN_BENCH_FRAMEWORK_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "metrics/metrics.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+
+// Command-line contract shared by all bench binaries:
+//   --full           paper-scale sizes (default: scaled-down smoke sizes)
+//   --reps N         repetitions per configuration
+//   --algos A,B,C    restrict to a subset of algorithms
+//   --csv PATH       also write the result table as CSV
+//   --seed S         master seed
+//   --time-limit T   per-run budget in seconds (DNF beyond it)
+struct BenchArgs {
+  bool full = false;
+  int repetitions = 0;  // 0 = bench-specific default.
+  std::vector<std::string> algorithms;  // Empty = all.
+  std::string csv_path;
+  uint64_t seed = 2023;
+  double time_limit_seconds = 600.0;
+};
+
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+// The algorithms selected by the args (all paper algorithms when empty).
+std::vector<std::string> SelectedAlgorithms(const BenchArgs& args);
+
+// Outcome of one or more alignment runs.
+struct RunOutcome {
+  bool completed = false;
+  std::string error;          // Set when not completed.
+  QualityReport quality;      // Averaged over completed repetitions.
+  double similarity_seconds = 0.0;  // Averaged.
+  double assignment_seconds = 0.0;  // Averaged.
+  int completed_runs = 0;
+};
+
+// Runs `aligner` once on `problem`, timing similarity and assignment
+// separately. A run whose similarity stage exceeds the budget is DNF.
+RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
+                      AssignmentMethod method, double time_limit_seconds);
+
+// The paper's averaged protocol: `reps` noisy instances from `base` per the
+// options, aligned and averaged. Stops early (DNF) once the budget is spent.
+RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
+                       const NoiseOptions& noise, AssignmentMethod method,
+                       int reps, uint64_t seed, double time_limit_seconds);
+
+// Formats an outcome's accuracy (or "DNF"/"ERR") for tables.
+std::string FormatOutcome(const RunOutcome& outcome, double value);
+std::string FormatAccuracy(const RunOutcome& outcome);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_BENCH_FRAMEWORK_EXPERIMENT_H_

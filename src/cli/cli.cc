@@ -1,0 +1,324 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "metrics/metrics.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+
+namespace {
+
+// Minimal --key value parser; flags without a value use "true".
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected positional argument: " + key;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  uint64_t GetSeed() const {
+    auto it = values_.find("seed");
+    return it == values_.end() ? 2023
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+Status WriteMapping(const Alignment& alignment, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::Internal("cannot write " + path);
+  for (size_t u = 0; u < alignment.size(); ++u) {
+    if (alignment[u] >= 0) f << u << " " << alignment[u] << "\n";
+  }
+  return f ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+Result<Alignment> ReadMapping(const std::string& path, int n1) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("cannot open " + path);
+  Alignment alignment(n1, -1);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    int u, v;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed mapping line");
+    }
+    if (u < 0 || u >= n1) {
+      return Status::OutOfRange(path + ": source node out of range");
+    }
+    alignment[u] = v;
+  }
+  return alignment;
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string model = flags.GetString("model");
+  const int n = flags.GetInt("n", 0);
+  const std::string path = flags.GetString("out");
+  if (model.empty() || n <= 0 || path.empty()) {
+    return Fail(err, Status::InvalidArgument(
+                         "generate requires --model, --n and --out"));
+  }
+  Rng rng(flags.GetSeed());
+  Result<Graph> g = Status::InvalidArgument("unknown model: " + model);
+  if (model == "er") {
+    g = ErdosRenyi(n, flags.GetDouble("p", 0.01), &rng);
+  } else if (model == "ba") {
+    g = BarabasiAlbert(n, flags.GetInt("m", 3), &rng);
+  } else if (model == "ws") {
+    g = WattsStrogatz(n, flags.GetInt("k", 10), flags.GetDouble("p", 0.5),
+                      &rng);
+  } else if (model == "nw") {
+    g = NewmanWatts(n, flags.GetInt("k", 6), flags.GetDouble("p", 0.5), &rng);
+  } else if (model == "pl") {
+    g = PowerlawCluster(n, flags.GetInt("m", 3), flags.GetDouble("p", 0.5),
+                        &rng);
+  } else if (model == "geometric") {
+    g = RandomGeometric(n, flags.GetDouble("radius", 0.05), &rng);
+  }
+  if (!g.ok()) return Fail(err, g.status());
+  Status s = WriteEdgeList(*g, path);
+  if (!s.ok()) return Fail(err, s);
+  out << "generated " << model << " graph: n=" << g->num_nodes()
+      << " m=" << g->num_edges() << " -> " << path << "\n";
+  return 0;
+}
+
+int CmdPerturb(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string in = flags.GetString("in");
+  const std::string out_path = flags.GetString("out");
+  if (in.empty() || out_path.empty()) {
+    return Fail(err,
+                Status::InvalidArgument("perturb requires --in and --out"));
+  }
+  auto g = ReadEdgeList(in);
+  if (!g.ok()) return Fail(err, g.status());
+  NoiseOptions noise;
+  const std::string type = flags.GetString("noise", "one-way");
+  if (type == "one-way") {
+    noise.type = NoiseType::kOneWay;
+  } else if (type == "multi-modal") {
+    noise.type = NoiseType::kMultiModal;
+  } else if (type == "two-way") {
+    noise.type = NoiseType::kTwoWay;
+  } else {
+    return Fail(err, Status::InvalidArgument("unknown noise type: " + type));
+  }
+  noise.level = flags.GetDouble("level", 0.05);
+  noise.permute = !flags.Has("no-permute");
+  Rng rng(flags.GetSeed());
+  auto problem = MakeAlignmentProblem(*g, noise, &rng);
+  if (!problem.ok()) return Fail(err, problem.status());
+  // Two-way noise also changes g1; warn when we silently keep the original.
+  if (noise.type == NoiseType::kTwoWay) {
+    err << "note: two-way noise perturbs the source too; writing only the "
+           "target (use the library API for full control)\n";
+  }
+  Status s = WriteEdgeList(problem->g2, out_path);
+  if (!s.ok()) return Fail(err, s);
+  const std::string truth_path = flags.GetString("truth");
+  if (!truth_path.empty()) {
+    GA_CHECK(problem->ground_truth.size() ==
+             static_cast<size_t>(g->num_nodes()));
+    Status ts = WriteMapping(problem->ground_truth, truth_path);
+    if (!ts.ok()) return Fail(err, ts);
+  }
+  out << "perturbed (" << type << ", level=" << noise.level
+      << "): m=" << g->num_edges() << " -> " << problem->g2.num_edges()
+      << ", wrote " << out_path << "\n";
+  return 0;
+}
+
+int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string g1_path = flags.GetString("g1");
+  const std::string g2_path = flags.GetString("g2");
+  const std::string algo = flags.GetString("algo");
+  if (g1_path.empty() || g2_path.empty() || algo.empty()) {
+    return Fail(err, Status::InvalidArgument(
+                         "align requires --g1, --g2 and --algo"));
+  }
+  auto g1 = ReadEdgeList(g1_path);
+  if (!g1.ok()) return Fail(err, g1.status());
+  auto g2 = ReadEdgeList(g2_path);
+  if (!g2.ok()) return Fail(err, g2.status());
+  auto aligner = MakeAligner(algo);
+  if (!aligner.ok()) return Fail(err, aligner.status());
+
+  const std::string assign = flags.GetString("assign", "JV");
+  WallTimer timer;
+  Result<Alignment> alignment = Status::Internal("unreachable");
+  if (assign == "native") {
+    alignment = (*aligner)->AlignNative(*g1, *g2);
+  } else {
+    AssignmentMethod method;
+    if (assign == "NN") {
+      method = AssignmentMethod::kNearestNeighbor;
+    } else if (assign == "SG") {
+      method = AssignmentMethod::kSortGreedy;
+    } else if (assign == "MWM") {
+      method = AssignmentMethod::kHungarian;
+    } else if (assign == "JV") {
+      method = AssignmentMethod::kJonkerVolgenant;
+    } else {
+      return Fail(err, Status::InvalidArgument(
+                           "unknown assignment method: " + assign));
+    }
+    alignment = (*aligner)->Align(*g1, *g2, method);
+  }
+  if (!alignment.ok()) return Fail(err, alignment.status());
+  const double secs = timer.Seconds();
+  int matched = 0;
+  for (int v : *alignment) matched += (v >= 0);
+  out << algo << "/" << assign << " aligned " << matched << "/"
+      << g1->num_nodes() << " nodes in " << Table::Num(secs, 2) << "s\n";
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty()) {
+    Status s = WriteMapping(*alignment, out_path);
+    if (!s.ok()) return Fail(err, s);
+    out << "mapping written to " << out_path << "\n";
+  }
+  // Structural quality is computable without ground truth.
+  out << "MNC=" << Table::Num(MeanMatchedNeighborhoodConsistency(
+                     *g1, *g2, *alignment))
+      << " EC=" << Table::Num(EdgeCorrectness(*g1, *g2, *alignment))
+      << " S3=" << Table::Num(SymmetricSubstructureScore(*g1, *g2, *alignment))
+      << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string g1_path = flags.GetString("g1");
+  const std::string g2_path = flags.GetString("g2");
+  const std::string mapping_path = flags.GetString("mapping");
+  if (g1_path.empty() || g2_path.empty() || mapping_path.empty()) {
+    return Fail(err, Status::InvalidArgument(
+                         "evaluate requires --g1, --g2 and --mapping"));
+  }
+  auto g1 = ReadEdgeList(g1_path);
+  if (!g1.ok()) return Fail(err, g1.status());
+  auto g2 = ReadEdgeList(g2_path);
+  if (!g2.ok()) return Fail(err, g2.status());
+  auto mapping = ReadMapping(mapping_path, g1->num_nodes());
+  if (!mapping.ok()) return Fail(err, mapping.status());
+  out << "MNC=" << Table::Num(MeanMatchedNeighborhoodConsistency(*g1, *g2,
+                                                                 *mapping))
+      << " EC=" << Table::Num(EdgeCorrectness(*g1, *g2, *mapping))
+      << " ICS=" << Table::Num(InducedConservedStructure(*g1, *g2, *mapping))
+      << " S3=" << Table::Num(SymmetricSubstructureScore(*g1, *g2, *mapping));
+  const std::string truth_path = flags.GetString("truth");
+  if (!truth_path.empty()) {
+    auto truth = ReadMapping(truth_path, g1->num_nodes());
+    if (!truth.ok()) return Fail(err, truth.status());
+    out << " accuracy=" << Table::Num(Accuracy(*mapping, *truth));
+  }
+  out << "\n";
+  return 0;
+}
+
+int CmdStats(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    return Fail(err, Status::InvalidArgument("stats requires --in"));
+  }
+  auto g = ReadEdgeList(in);
+  if (!g.ok()) return Fail(err, g.status());
+  int components = 0;
+  g->ConnectedComponents(&components);
+  int64_t triangles = 0;
+  for (int64_t t : g->TriangleCounts()) triangles += t;
+  out << "n=" << g->num_nodes() << " m=" << g->num_edges()
+      << " avg_degree=" << Table::Num(g->AverageDegree(), 2)
+      << " max_degree=" << g->MaxDegree() << " components=" << components
+      << " outside_lcc=" << g->NodesOutsideLargestComponent()
+      << " triangles=" << triangles / 3 << "\n";
+  return 0;
+}
+
+constexpr char kUsage[] =
+    "usage: graphalign <generate|perturb|align|evaluate|stats> [--flags]\n"
+    "  generate --model {er,ba,ws,nw,pl,geometric} --n N [--p P] [--m M]\n"
+    "           [--k K] [--radius R] [--seed S] --out FILE\n"
+    "  perturb  --in FILE [--noise {one-way,multi-modal,two-way}]\n"
+    "           [--level L] [--seed S] [--no-permute] --out FILE\n"
+    "           [--truth FILE]\n"
+    "  align    --g1 FILE --g2 FILE --algo NAME\n"
+    "           [--assign {NN,SG,MWM,JV,native}] [--out FILE]\n"
+    "  evaluate --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
+    "  stats    --in FILE\n"
+    "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n";
+
+}  // namespace
+
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.error().empty()) {
+    return Fail(err, Status::InvalidArgument(flags.error()));
+  }
+  if (cmd == "generate") return CmdGenerate(flags, out, err);
+  if (cmd == "perturb") return CmdPerturb(flags, out, err);
+  if (cmd == "align") return CmdAlign(flags, out, err);
+  if (cmd == "evaluate") return CmdEvaluate(flags, out, err);
+  if (cmd == "stats") return CmdStats(flags, out, err);
+  err << "unknown command: " << cmd << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace graphalign

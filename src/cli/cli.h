@@ -1,0 +1,28 @@
+// The graphalign command-line tool, as a library so tests can drive it.
+//
+// Subcommands:
+//   generate  --model {er,ba,ws,nw,pl,geometric} --n N [--p P] [--m M]
+//             [--k K] [--seed S] --out FILE
+//   perturb   --in FILE --noise {one-way,multi-modal,two-way} --level L
+//             [--seed S] [--no-permute] --out FILE [--truth FILE]
+//   align     --g1 FILE --g2 FILE --algo NAME
+//             [--assign {NN,SG,MWM,JV,native}] [--out FILE]
+//   evaluate  --g1 FILE --g2 FILE --mapping FILE [--truth FILE]
+//   stats     --in FILE
+//
+// Mapping/truth files are "u v" per line (node of g1, node of g2).
+#ifndef GRAPHALIGN_CLI_CLI_H_
+#define GRAPHALIGN_CLI_CLI_H_
+
+#include <ostream>
+
+namespace graphalign {
+
+// Runs the CLI; returns the process exit code. Output (including errors)
+// goes to `out` / `err`.
+int RunCli(int argc, const char* const* argv, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_CLI_CLI_H_

@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return graphalign::RunCli(argc, argv, std::cout, std::cerr);
+}

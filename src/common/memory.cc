@@ -1,0 +1,72 @@
+#include "common/memory.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace graphalign {
+
+namespace {
+
+// Parses "<Key>:   <value> kB" lines from /proc/self/status.
+int64_t ReadProcStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      kb = std::strtoll(line + key_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+Result<double> MeasurePeakMemoryMb(const std::function<void()>& workload) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    return Status::Internal("pipe() failed");
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return Status::Internal("fork() failed");
+  }
+  if (pid == 0) {
+    // Child: run the workload, report VmHWM, exit without running atexit
+    // handlers (the parent owns all shared state).
+    close(fds[0]);
+    workload();
+    int64_t peak = PeakRssBytes();
+    ssize_t ignored = write(fds[1], &peak, sizeof(peak));
+    (void)ignored;
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  int64_t peak = 0;
+  ssize_t n = read(fds[0], &peak, sizeof(peak));
+  close(fds[0]);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (n != sizeof(peak) || !WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+    return Status::Internal("child measurement process failed");
+  }
+  return static_cast<double>(peak) / (1024.0 * 1024.0);
+}
+
+}  // namespace graphalign

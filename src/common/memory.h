@@ -1,0 +1,31 @@
+// Memory measurement for the scalability experiments (Figs 13-14).
+//
+// The paper reports peak resident memory per algorithm run. VmHWM in
+// /proc/self/status is monotone over a process lifetime, so measuring several
+// runs in one process would only record the largest. MeasurePeakMemoryMb
+// therefore forks a child per measurement: the child runs the workload, reads
+// its own VmHWM, and reports it over a pipe.
+#ifndef GRAPHALIGN_COMMON_MEMORY_H_
+#define GRAPHALIGN_COMMON_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+// Peak resident set size (VmHWM) of the calling process, in bytes.
+// Returns 0 if /proc is unavailable.
+int64_t PeakRssBytes();
+
+// Current resident set size (VmRSS) of the calling process, in bytes.
+int64_t CurrentRssBytes();
+
+// Runs `workload` in a forked child and returns the child's peak RSS in MiB.
+// The workload must not depend on threads started before the fork.
+Result<double> MeasurePeakMemoryMb(const std::function<void()>& workload);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_MEMORY_H_

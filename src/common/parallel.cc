@@ -1,0 +1,119 @@
+#include "common/parallel.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace graphalign {
+
+namespace {
+
+// A minimal persistent pool: workers sleep on a condition variable and are
+// woken with a (fn, n, blocks) job; the submitting thread participates too.
+class Pool {
+ public:
+  static Pool& Instance() {
+    static Pool* pool = new Pool();  // Never destroyed (worker threads).
+    return *pool;
+  }
+
+  int thread_count() const { return workers_ + 1; }
+
+  // Worker threads do not survive fork(); a forked child must run inline.
+  bool InForkedChild() const { return getpid() != owner_pid_; }
+
+  void Run(int64_t n, const std::function<void(int64_t, int64_t)>& fn) {
+    const int parts = thread_count();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      fn_ = &fn;
+      n_ = n;
+      parts_ = parts;
+      next_block_ = 0;
+      pending_ = workers_;
+      ++generation_;
+      cv_.notify_all();
+    }
+    // The caller works through blocks alongside the workers.
+    DrainBlocks();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  Pool() {
+    int threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("GRAPHALIGN_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) threads = parsed;
+    }
+    threads = std::max(1, threads);
+    owner_pid_ = getpid();
+    workers_ = threads - 1;
+    for (int w = 0; w < workers_; ++w) {
+      std::thread([this] { WorkerLoop(); }).detach();
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return generation_ != seen_generation; });
+        seen_generation = generation_;
+      }
+      DrainBlocks();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void DrainBlocks() {
+    for (;;) {
+      const int block = next_block_.fetch_add(1);
+      if (block >= parts_) break;
+      const int64_t begin = n_ * block / parts_;
+      const int64_t end = n_ * (block + 1) / parts_;
+      if (begin < end) (*fn_)(begin, end);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int64_t, int64_t)>* fn_ = nullptr;
+  int64_t n_ = 0;
+  int parts_ = 1;
+  std::atomic<int> next_block_{0};
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  int workers_ = 0;
+  pid_t owner_pid_ = 0;
+};
+
+}  // namespace
+
+int ParallelThreadCount() { return Pool::Instance().thread_count(); }
+
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_work) {
+  if (n <= 0) return;
+  Pool& pool = Pool::Instance();
+  if (n < min_work || pool.thread_count() == 1 || pool.InForkedChild()) {
+    fn(0, n);
+    return;
+  }
+  pool.Run(n, fn);
+}
+
+}  // namespace graphalign

@@ -1,0 +1,30 @@
+// Deterministic data parallelism for the numerical kernels.
+//
+// The paper's testbed runs every algorithm on 28 cores; this pool provides
+// the equivalent for the row-parallel kernels (dense products, similarity
+// matrices, GW gradients). Work is partitioned into contiguous index blocks
+// and each block writes disjoint rows, so results are byte-identical to the
+// sequential execution regardless of thread count.
+//
+// Thread count: GRAPHALIGN_THREADS env var, else hardware concurrency.
+#ifndef GRAPHALIGN_COMMON_PARALLEL_H_
+#define GRAPHALIGN_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace graphalign {
+
+// Number of worker threads the pool uses (>= 1).
+int ParallelThreadCount();
+
+// Invokes fn(begin, end) over a partition of [0, n) across the pool.
+// Blocks until all blocks complete. Falls back to a single inline call when
+// n < min_work or only one thread is configured. fn must write only to
+// locations indexed by its own [begin, end) range.
+void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_work = 4096);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_PARALLEL_H_

@@ -1,0 +1,97 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// SplitMix64: used only to expand the seed into xoshiro's 256-bit state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  GA_CHECK(n > 0);
+  const uint64_t threshold = -n % n;  // = (2^64 - n) mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  GA_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Normal() {
+  for (;;) {
+    double u = Uniform(-1.0, 1.0);
+    double v = Uniform(-1.0, 1.0);
+    double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::PowerLaw(double alpha, double xmin) {
+  GA_CHECK(alpha > 1.0);
+  GA_CHECK(xmin > 0.0);
+  // Inverse transform for the Pareto density ~ x^-alpha, x >= xmin.
+  double u = 1.0 - Uniform();  // in (0, 1]
+  return xmin * std::pow(u, -1.0 / (alpha - 1.0));
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+std::vector<int> RandomPermutation(int n, Rng* rng) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng->Shuffle(&perm);
+  return perm;
+}
+
+}  // namespace graphalign

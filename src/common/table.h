@@ -1,0 +1,41 @@
+// Plain-text table and CSV emission for benchmark reports.
+//
+// Every figure/table bench prints (a) an aligned human-readable table that
+// mirrors the series the paper plots and (b) optional CSV for downstream
+// plotting.
+#ifndef GRAPHALIGN_COMMON_TABLE_H_
+#define GRAPHALIGN_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace graphalign {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with fixed precision, "-" for NaN.
+  static std::string Num(double v, int precision = 3);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  // Column-aligned plain text.
+  void Print(std::ostream& os) const;
+  // RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+  // Writes CSV to `path`; returns false on IO failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_TABLE_H_

@@ -1,0 +1,28 @@
+// Wall-clock timing utilities for the scalability experiments (Figs 11-12).
+#ifndef GRAPHALIGN_COMMON_TIMER_H_
+#define GRAPHALIGN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace graphalign {
+
+// Monotonic stopwatch. Started on construction; Restart() resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_TIMER_H_

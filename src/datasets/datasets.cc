@@ -1,0 +1,148 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <numeric>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+
+std::vector<DatasetSpec> Table2Specs() {
+  return {
+      {"Arenas", "communication", 1133, 5451, 0},
+      {"Facebook", "social", 4039, 88234, 0},
+      {"CA-AstroPh", "collaboration", 17903, 197031, 0},
+      {"inf-euroroad", "infrastructure", 1174, 1417, 200},
+      {"inf-power", "infrastructure", 4941, 6594, 0},
+      {"fb-Haverford76", "social", 1446, 59589, 0},
+      {"fb-Hamilton46", "social", 2314, 96394, 2},
+      {"fb-Bowdoin47", "social", 2252, 84387, 2},
+      {"fb-Swarthmore42", "social", 1659, 61050, 2},
+      {"soc-hamsterster", "social", 2426, 16630, 400},
+      {"bio-celegans", "biological", 453, 2025, 0},
+      {"ca-GrQc", "collaboration", 4158, 14422, 0},
+      {"ca-netscience", "collaboration", 379, 914, 0},
+      {"MultiMagna", "biological", 1004, 8323, 0},
+      {"HighSchool", "proximity", 327, 5818, 0},
+      {"Voles", "proximity", 712, 2391, 0},
+  };
+}
+
+namespace {
+
+// Geometric radius giving expected average degree `avg` at size n.
+double GeometricRadius(int n, double avg) {
+  return std::sqrt(avg / (3.14159265358979 * std::max(n, 2)));
+}
+
+// Attachment parameter giving ~avg/2 edges per node.
+int HalfDegree(double avg) {
+  return std::max(1, static_cast<int>(std::lround(avg / 2.0)));
+}
+
+}  // namespace
+
+Result<Graph> MakeStandIn(const std::string& name, uint64_t seed,
+                          double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("MakeStandIn: scale outside (0, 1]");
+  }
+  DatasetSpec spec;
+  bool found = false;
+  for (const DatasetSpec& s : Table2Specs()) {
+    if (s.name == name) {
+      spec = s;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return Status::NotFound("unknown dataset: " + name);
+
+  const int n = std::max(30, static_cast<int>(std::lround(spec.n * scale)));
+  const double avg_degree = 2.0 * spec.m / spec.n;
+  Rng rng(seed ^ std::hash<std::string>{}(name));
+
+  // Family recipes (see header / DESIGN.md).
+  if (name == "inf-euroroad") {
+    // Sparse road network: random geometric, naturally fragmented (l = 200).
+    return RandomGeometric(n, GeometricRadius(n, avg_degree), &rng);
+  }
+  if (name == "inf-power") {
+    // Power grid: ring lattice with shortcuts (the Watts-Strogatz original
+    // application), connected like the real grid.
+    const double p = std::max(0.0, avg_degree / 2.0 - 1.0);
+    return NewmanWatts(n, 2, std::min(p, 1.0), &rng);
+  }
+  if (name == "HighSchool" || name == "Voles") {
+    // Proximity contact networks: spatial.
+    return RandomGeometric(n, GeometricRadius(n, avg_degree), &rng);
+  }
+  if (name == "soc-hamsterster") {
+    // Heavy-tailed social graph with many small components (l = 400):
+    // erased configuration model over a powerlaw bulk, with ~12% of nodes
+    // forced to degree 1 so small fragments split off the giant component.
+    std::vector<int> degrees = PowerLawDegreeSequence(n, 2.5, 5, &rng);
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.12)) degrees[i] = 1;
+    }
+    if (std::accumulate(degrees.begin(), degrees.end(), 0LL) % 2 != 0) {
+      degrees[0] += 1;
+    }
+    return ConfigurationModel(degrees, &rng);
+  }
+  // Default family: powerlaw-cluster (Holme-Kim). Collaboration networks
+  // get a higher triangle probability than communication/social ones.
+  double triangle_p = 0.4;
+  if (spec.type == "collaboration") triangle_p = 0.7;
+  if (spec.type == "biological") triangle_p = 0.25;
+  const int m_attach = HalfDegree(avg_degree);
+  return PowerlawCluster(n, std::min(m_attach, n - 1), triangle_p, &rng);
+}
+
+Result<std::vector<Graph>> EvolvingSnapshots(
+    const Graph& base, const std::vector<double>& fractions, Rng* rng) {
+  if (fractions.empty()) {
+    return Status::InvalidArgument("EvolvingSnapshots: no fractions");
+  }
+  for (size_t i = 0; i < fractions.size(); ++i) {
+    if (fractions[i] <= 0.0 || fractions[i] > 1.0) {
+      return Status::InvalidArgument("EvolvingSnapshots: fraction outside (0,1]");
+    }
+    if (i > 0 && fractions[i] < fractions[i - 1]) {
+      return Status::InvalidArgument("EvolvingSnapshots: fractions must ascend");
+    }
+  }
+  // A single random edge order yields nested snapshots (temporal growth).
+  std::vector<Edge> edges = base.Edges();
+  rng->Shuffle(&edges);
+  std::vector<Graph> snapshots;
+  snapshots.reserve(fractions.size());
+  for (double f : fractions) {
+    const auto keep = static_cast<size_t>(
+        std::llround(f * static_cast<double>(edges.size())));
+    std::vector<Edge> subset(edges.begin(), edges.begin() + keep);
+    GA_ASSIGN_OR_RETURN(Graph g, Graph::FromEdges(base.num_nodes(), subset));
+    snapshots.push_back(std::move(g));
+  }
+  return snapshots;
+}
+
+Result<std::vector<Graph>> MultiMagnaVariants(const Graph& base, int count,
+                                              double step, Rng* rng) {
+  if (count < 1 || step <= 0.0 || step > 1.0) {
+    return Status::InvalidArgument("MultiMagnaVariants: bad parameters");
+  }
+  std::vector<Graph> variants;
+  variants.reserve(count);
+  for (int i = 1; i <= count; ++i) {
+    const auto extra = static_cast<int64_t>(
+        std::llround(i * step * static_cast<double>(base.num_edges())));
+    GA_ASSIGN_OR_RETURN(Graph g, AddRandomEdges(base, extra, rng));
+    variants.push_back(std::move(g));
+  }
+  return variants;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,56 @@
+// Synthetic stand-ins for the paper's real datasets (Table 2) and the
+// evolving ground-truth graphs of §6.5.
+//
+// The benchmark environment has no network access, so each real dataset is
+// replaced by a generated graph matching its size and structural family:
+// powerlaw-cluster models for social/communication/collaboration networks
+// (skewed degrees, triangles), random geometric graphs for proximity and
+// sparse infrastructure networks (spatial structure, natural disconnected
+// fragments), ring-plus-shortcuts for the power grid, and configuration-
+// model powerlaw graphs where the original has many small components.
+// See DESIGN.md §4 for the substitution rationale.
+#ifndef GRAPHALIGN_DATASETS_DATASETS_H_
+#define GRAPHALIGN_DATASETS_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+struct DatasetSpec {
+  std::string name;
+  std::string type;   // Table 2's network type.
+  int n;              // Node count of the original.
+  int64_t m;          // Edge count of the original.
+  int l;              // Nodes outside the largest connected component.
+};
+
+// All sixteen datasets of Table 2, in table order.
+std::vector<DatasetSpec> Table2Specs();
+
+// Generates the stand-in for `name` (exact Table-2 names, e.g. "Arenas").
+// `scale` in (0, 1] shrinks the node count proportionally (density family
+// preserved) so benches can run at laptop scale; scale = 1 reproduces the
+// full Table-2 size. Returns NotFound for unknown names.
+Result<Graph> MakeStandIn(const std::string& name, uint64_t seed = 2023,
+                          double scale = 1.0);
+
+// Temporal snapshots for the HighSchool/Voles protocol (§6.5): nested edge
+// subsets retaining the given fractions of the base graph's edges, over the
+// same node set. fractions must be ascending in (0, 1].
+Result<std::vector<Graph>> EvolvingSnapshots(
+    const Graph& base, const std::vector<double>& fractions, Rng* rng);
+
+// PPI-style variants for the MultiMagna protocol (§6.5): `count` graphs,
+// variant i carrying i * step extra noise edges relative to the base.
+Result<std::vector<Graph>> MultiMagnaVariants(const Graph& base, int count,
+                                              double step, Rng* rng);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_DATASETS_DATASETS_H_

@@ -1,0 +1,317 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace graphalign {
+
+Result<Graph> ErdosRenyi(int n, double p, Rng* rng) {
+  if (n < 0) return Status::InvalidArgument("ErdosRenyi: n < 0");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("ErdosRenyi: p outside [0,1]");
+  }
+  std::vector<Edge> edges;
+  if (p > 0.0 && n > 1) {
+    if (p == 1.0) {
+      for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) edges.push_back({u, v});
+      }
+    } else {
+      // Geometric skipping over the implicit enumeration of node pairs
+      // (Batagelj & Brandes): jump log(U)/log(1-p) pairs at a time.
+      const double log1p = std::log(1.0 - p);
+      int64_t v = 1;
+      int64_t w = -1;
+      while (v < n) {
+        const double r = 1.0 - rng->Uniform();  // in (0, 1]
+        w += 1 + static_cast<int64_t>(std::floor(std::log(r) / log1p));
+        while (w >= v && v < n) {
+          w -= v;
+          ++v;
+        }
+        if (v < n) edges.push_back({static_cast<int>(w), static_cast<int>(v)});
+      }
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> BarabasiAlbert(int n, int m, Rng* rng) {
+  if (m < 1) return Status::InvalidArgument("BarabasiAlbert: m < 1");
+  if (n <= m) {
+    return Status::InvalidArgument("BarabasiAlbert: need n > m");
+  }
+  std::vector<Edge> edges;
+  // `targets` holds each node once per incident edge; uniform sampling from
+  // it is degree-proportional sampling.
+  std::vector<int> targets;
+  targets.reserve(static_cast<size_t>(2) * m * n);
+  // Seed: star over the first m+1 nodes so every seed node has degree >= 1.
+  for (int v = 1; v <= m; ++v) {
+    edges.push_back({0, v});
+    targets.push_back(0);
+    targets.push_back(v);
+  }
+  std::vector<int> chosen;
+  for (int v = m + 1; v < n; ++v) {
+    chosen.clear();
+    while (static_cast<int>(chosen.size()) < m) {
+      int t = targets[rng->UniformInt(static_cast<uint64_t>(targets.size()))];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (int t : chosen) {
+      edges.push_back({v, t});
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+namespace {
+
+// Ring lattice edges: each node connects to its k/2 clockwise neighbors.
+Result<std::vector<Edge>> RingLattice(int n, int k) {
+  if (k < 0 || k % 2 != 0) {
+    return Status::InvalidArgument("ring lattice: k must be even and >= 0");
+  }
+  if (k >= n) {
+    return Status::InvalidArgument("ring lattice: need k < n");
+  }
+  std::vector<Edge> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int j = 1; j <= k / 2; ++j) {
+      edges.push_back({u, (u + j) % n});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Result<Graph> WattsStrogatz(int n, int k, double p, Rng* rng) {
+  GA_ASSIGN_OR_RETURN(std::vector<Edge> edges, RingLattice(n, k));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("WattsStrogatz: p outside [0,1]");
+  }
+  // Rewire the far endpoint of each lattice edge with probability p,
+  // avoiding self-loops and (best effort) duplicates.
+  std::set<std::pair<int, int>> present;
+  for (const Edge& e : edges) {
+    present.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  for (Edge& e : edges) {
+    if (!rng->Bernoulli(p)) continue;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      int w = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+      if (w == e.u || w == e.v) continue;
+      auto key = std::make_pair(std::min(e.u, w), std::max(e.u, w));
+      if (present.count(key) > 0) continue;
+      present.erase({std::min(e.u, e.v), std::max(e.u, e.v)});
+      present.insert(key);
+      e.v = w;
+      break;
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> NewmanWatts(int n, int k, double p, Rng* rng) {
+  GA_ASSIGN_OR_RETURN(std::vector<Edge> edges, RingLattice(n, k));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("NewmanWatts: p outside [0,1]");
+  }
+  const size_t lattice_edges = edges.size();
+  for (size_t i = 0; i < lattice_edges; ++i) {
+    if (!rng->Bernoulli(p)) continue;
+    const int u = edges[i].u;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      int w = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+      if (w == u) continue;
+      edges.push_back({u, w});  // Duplicates removed by Graph::FromEdges.
+      break;
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> PowerlawCluster(int n, int m, double p, Rng* rng) {
+  if (m < 1) return Status::InvalidArgument("PowerlawCluster: m < 1");
+  if (n <= m) return Status::InvalidArgument("PowerlawCluster: need n > m");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("PowerlawCluster: p outside [0,1]");
+  }
+  std::vector<Edge> edges;
+  std::vector<int> targets;
+  std::vector<std::set<int>> adj(n);
+  auto add_edge = [&](int u, int v) {
+    edges.push_back({u, v});
+    adj[u].insert(v);
+    adj[v].insert(u);
+    targets.push_back(u);
+    targets.push_back(v);
+  };
+  for (int v = 1; v <= m; ++v) add_edge(0, v);
+  for (int v = m + 1; v < n; ++v) {
+    int added = 0;
+    int last_target = -1;
+    while (added < m) {
+      int t;
+      if (last_target >= 0 && rng->Bernoulli(p)) {
+        // Triangle step: connect to a random neighbor of the last target.
+        const std::set<int>& nbrs = adj[last_target];
+        std::vector<int> candidates;
+        for (int w : nbrs) {
+          if (w != v && adj[v].count(w) == 0) candidates.push_back(w);
+        }
+        if (candidates.empty()) {
+          last_target = -1;
+          continue;  // Fall back to preferential attachment.
+        }
+        t = candidates[rng->UniformInt(candidates.size())];
+      } else {
+        t = targets[rng->UniformInt(targets.size())];
+        if (t == v || adj[v].count(t) > 0) continue;
+      }
+      add_edge(v, t);
+      last_target = t;
+      ++added;
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> ConfigurationModel(const std::vector<int>& degrees, Rng* rng) {
+  const int n = static_cast<int>(degrees.size());
+  int64_t total = 0;
+  for (int d : degrees) {
+    if (d < 0) {
+      return Status::InvalidArgument("ConfigurationModel: negative degree");
+    }
+    total += d;
+  }
+  if (total % 2 != 0) {
+    return Status::InvalidArgument("ConfigurationModel: odd degree sum");
+  }
+  std::vector<int> stubs;
+  stubs.reserve(static_cast<size_t>(total));
+  for (int v = 0; v < n; ++v) {
+    for (int i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  rng->Shuffle(&stubs);
+  std::vector<Edge> edges;
+  edges.reserve(stubs.size() / 2);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) {
+      edges.push_back({stubs[i], stubs[i + 1]});  // Dups erased by FromEdges.
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<Graph> RandomGeometric(int n, double radius, Rng* rng) {
+  if (n < 0) return Status::InvalidArgument("RandomGeometric: n < 0");
+  if (radius < 0.0) {
+    return Status::InvalidArgument("RandomGeometric: radius < 0");
+  }
+  std::vector<double> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = rng->Uniform();
+    y[i] = rng->Uniform();
+  }
+  // Grid-bucket neighbor search keeps this O(n) for small radii.
+  const int cells = std::max(1, static_cast<int>(1.0 / std::max(radius, 1e-9)));
+  std::vector<std::vector<int>> grid(static_cast<size_t>(cells) * cells);
+  auto cell_of = [&](double v) {
+    return std::min(cells - 1, static_cast<int>(v * cells));
+  };
+  for (int i = 0; i < n; ++i) {
+    grid[static_cast<size_t>(cell_of(x[i])) * cells + cell_of(y[i])].push_back(
+        i);
+  }
+  const double r2 = radius * radius;
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    const int cx = cell_of(x[i]);
+    const int cy = cell_of(y[i]);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || nx >= cells || ny < 0 || ny >= cells) continue;
+        for (int j : grid[static_cast<size_t>(nx) * cells + ny]) {
+          if (j <= i) continue;
+          const double ddx = x[i] - x[j];
+          const double ddy = y[i] - y[j];
+          if (ddx * ddx + ddy * ddy <= r2) edges.push_back({i, j});
+        }
+      }
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+namespace {
+
+void MakeSumEven(std::vector<int>* degrees) {
+  int64_t total = 0;
+  for (int d : *degrees) total += d;
+  if (total % 2 != 0 && !degrees->empty()) {
+    (*degrees)[0] += 1;
+  }
+}
+
+}  // namespace
+
+std::vector<int> NormalDegreeSequence(int n, double mean, double stddev,
+                                      Rng* rng) {
+  std::vector<int> degrees(n);
+  for (int i = 0; i < n; ++i) {
+    double d = rng->Normal(mean, stddev);
+    degrees[i] = std::clamp(static_cast<int>(std::lround(d)), 1,
+                            std::max(1, n - 1));
+  }
+  MakeSumEven(&degrees);
+  return degrees;
+}
+
+std::vector<int> PowerLawDegreeSequence(int n, double gamma, int kmin,
+                                        Rng* rng) {
+  std::vector<int> degrees(n);
+  for (int i = 0; i < n; ++i) {
+    double d = rng->PowerLaw(gamma, static_cast<double>(kmin));
+    degrees[i] = std::clamp(static_cast<int>(std::lround(d)), kmin,
+                            std::max(kmin, n - 1));
+  }
+  MakeSumEven(&degrees);
+  return degrees;
+}
+
+Graph LargestComponentSubgraph(const Graph& g, std::vector<int>* old_to_new) {
+  int k = 0;
+  std::vector<int> comp = g.ConnectedComponents(&k);
+  std::vector<int> sizes(std::max(k, 1), 0);
+  for (int c : comp) sizes[c]++;
+  const int best = static_cast<int>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<int> mapping(g.num_nodes(), -1);
+  int next = 0;
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    if (comp[v] == best) mapping[v] = next++;
+  }
+  std::vector<Edge> edges;
+  for (const Edge& e : g.Edges()) {
+    if (mapping[e.u] >= 0 && mapping[e.v] >= 0) {
+      edges.push_back({mapping[e.u], mapping[e.v]});
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  auto sub = Graph::FromEdges(next, edges);
+  GA_CHECK(sub.ok());
+  return *std::move(sub);
+}
+
+}  // namespace graphalign

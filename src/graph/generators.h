@@ -1,0 +1,63 @@
+// Random graph generators used by the paper's synthetic experiments (§5.1.2)
+// and scalability sweeps (§6.6): Erdős–Rényi, Barabási–Albert,
+// Watts–Strogatz, Newman–Watts, powerlaw-cluster (Holme–Kim), and the
+// configuration model, plus degree-sequence helpers and a random geometric
+// model used for infrastructure-network stand-ins.
+#ifndef GRAPHALIGN_GRAPH_GENERATORS_H_
+#define GRAPHALIGN_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+// G(n, p): each of the C(n,2) edges present independently with probability p.
+// Uses geometric skipping, O(n + m) expected time.
+Result<Graph> ErdosRenyi(int n, double p, Rng* rng);
+
+// Barabási–Albert preferential attachment: each new node attaches to m
+// existing nodes with probability proportional to degree.
+Result<Graph> BarabasiAlbert(int n, int m, Rng* rng);
+
+// Watts–Strogatz small world: ring lattice with k neighbors per node
+// (k even), each edge rewired with probability p.
+Result<Graph> WattsStrogatz(int n, int k, double p, Rng* rng);
+
+// Newman–Watts: ring lattice with k neighbors; for each lattice edge a
+// shortcut is added with probability p (no edges removed).
+Result<Graph> NewmanWatts(int n, int k, double p, Rng* rng);
+
+// Holme–Kim powerlaw cluster model: BA with probability p of closing a
+// triangle after each preferential attachment step.
+Result<Graph> PowerlawCluster(int n, int m, double p, Rng* rng);
+
+// Erased configuration model: random multigraph by stub matching with the
+// prescribed degree sequence, then self-loops/multi-edges removed.
+Result<Graph> ConfigurationModel(const std::vector<int>& degrees, Rng* rng);
+
+// Random geometric graph on the unit square: nodes connect within `radius`.
+// Stand-in family for road/power infrastructure networks.
+Result<Graph> RandomGeometric(int n, double radius, Rng* rng);
+
+// Degree sequence with approximately normal distribution, clamped to
+// [1, n-1], sum made even. Used for the configuration-model scalability
+// graphs ("normal degree distribution", §6.6).
+std::vector<int> NormalDegreeSequence(int n, double mean, double stddev,
+                                      Rng* rng);
+
+// Degree sequence sampled from a power law with exponent gamma >= 2 and
+// minimum degree kmin, clamped to n-1, sum made even.
+std::vector<int> PowerLawDegreeSequence(int n, double gamma, int kmin,
+                                        Rng* rng);
+
+// The subgraph induced by the largest connected component. `old_to_new`
+// (optional) receives the node mapping (-1 for dropped nodes).
+Graph LargestComponentSubgraph(const Graph& g,
+                               std::vector<int>* old_to_new = nullptr);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GRAPH_GENERATORS_H_

@@ -1,0 +1,219 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <string>
+
+namespace graphalign {
+
+Result<Graph> Graph::FromEdges(int num_nodes, const std::vector<Edge>& edges) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("Graph: negative node count");
+  }
+  for (const Edge& e : edges) {
+    if (e.u < 0 || e.u >= num_nodes || e.v < 0 || e.v >= num_nodes) {
+      return Status::OutOfRange("Graph: edge endpoint out of range (" +
+                                std::to_string(e.u) + "," +
+                                std::to_string(e.v) + ")");
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument("Graph: self-loop at node " +
+                                     std::to_string(e.u));
+    }
+  }
+  // Canonicalize, sort, dedup.
+  std::vector<std::pair<int, int>> canon;
+  canon.reserve(edges.size());
+  for (const Edge& e : edges) {
+    canon.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = static_cast<int64_t>(canon.size());
+  std::vector<int> degree(num_nodes, 0);
+  for (const auto& [u, v] : canon) {
+    degree[u]++;
+    degree[v]++;
+  }
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (int i = 0; i < num_nodes; ++i) g.offsets_[i + 1] = g.offsets_[i] + degree[i];
+  g.adj_.resize(static_cast<size_t>(g.offsets_[num_nodes]));
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : canon) {
+    g.adj_[cursor[u]++] = v;
+    g.adj_[cursor[v]++] = u;
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    std::sort(g.adj_.begin() + g.offsets_[i], g.adj_.begin() + g.offsets_[i + 1]);
+  }
+  return g;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+int Graph::MaxDegree() const {
+  int d = 0;
+  for (int i = 0; i < num_nodes_; ++i) d = std::max(d, Degree(i));
+  return d;
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<size_t>(num_edges_));
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : Neighbors(u)) {
+      if (u < v) out.push_back({u, v});
+    }
+  }
+  return out;
+}
+
+CsrMatrix Graph::AdjacencyCsr() const {
+  std::vector<Triplet> trip;
+  trip.reserve(adj_.size());
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : Neighbors(u)) trip.push_back({u, v, 1.0});
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(trip));
+}
+
+CsrMatrix Graph::RandomWalkCsr() const {
+  std::vector<Triplet> trip;
+  trip.reserve(adj_.size());
+  for (int u = 0; u < num_nodes_; ++u) {
+    const double inv = Degree(u) > 0 ? 1.0 / Degree(u) : 0.0;
+    for (int v : Neighbors(u)) trip.push_back({u, v, inv});
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(trip));
+}
+
+CsrMatrix Graph::SymNormalizedAdjacencyCsr() const {
+  std::vector<double> inv_sqrt(num_nodes_, 0.0);
+  for (int u = 0; u < num_nodes_; ++u) {
+    if (Degree(u) > 0) inv_sqrt[u] = 1.0 / std::sqrt(Degree(u));
+  }
+  std::vector<Triplet> trip;
+  trip.reserve(adj_.size());
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : Neighbors(u)) {
+      trip.push_back({u, v, inv_sqrt[u] * inv_sqrt[v]});
+    }
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(trip));
+}
+
+DenseMatrix Graph::NormalizedLaplacianDense() const {
+  DenseMatrix l(num_nodes_, num_nodes_);
+  std::vector<double> inv_sqrt(num_nodes_, 0.0);
+  for (int u = 0; u < num_nodes_; ++u) {
+    if (Degree(u) > 0) inv_sqrt[u] = 1.0 / std::sqrt(Degree(u));
+    l(u, u) = Degree(u) > 0 ? 1.0 : 0.0;
+  }
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : Neighbors(u)) {
+      l(u, v) = -inv_sqrt[u] * inv_sqrt[v];
+    }
+  }
+  return l;
+}
+
+Result<Graph> Graph::Permuted(const std::vector<int>& perm) const {
+  if (static_cast<int>(perm.size()) != num_nodes_) {
+    return Status::InvalidArgument("Permuted: permutation size mismatch");
+  }
+  std::vector<bool> seen(num_nodes_, false);
+  for (int p : perm) {
+    if (p < 0 || p >= num_nodes_ || seen[p]) {
+      return Status::InvalidArgument("Permuted: not a permutation");
+    }
+    seen[p] = true;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : Neighbors(u)) {
+      if (u < v) edges.push_back({perm[u], perm[v]});
+    }
+  }
+  return FromEdges(num_nodes_, edges);
+}
+
+std::vector<int> Graph::ConnectedComponents(int* num_components) const {
+  std::vector<int> comp(num_nodes_, -1);
+  int next = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < num_nodes_; ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (int v : Neighbors(u)) {
+        if (comp[v] == -1) {
+          comp[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes_ <= 1) return true;
+  int k = 0;
+  ConnectedComponents(&k);
+  return k == 1;
+}
+
+int Graph::NodesOutsideLargestComponent() const {
+  if (num_nodes_ == 0) return 0;
+  int k = 0;
+  std::vector<int> comp = ConnectedComponents(&k);
+  std::vector<int> sizes(k, 0);
+  for (int c : comp) sizes[c]++;
+  return num_nodes_ - *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<int64_t> Graph::TriangleCounts() const {
+  std::vector<int64_t> tri(num_nodes_, 0);
+  for (int u = 0; u < num_nodes_; ++u) {
+    auto nu = Neighbors(u);
+    for (int v : nu) {
+      if (v <= u) continue;
+      // Intersect sorted N(u) and N(v), counting w > v to count each
+      // triangle once.
+      auto nv = Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          if (nu[i] > v) {
+            tri[u]++;
+            tri[v]++;
+            tri[nu[i]]++;
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return tri;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,85 @@
+// Immutable undirected simple graph stored as sorted CSR adjacency lists.
+//
+// This is the substrate every alignment algorithm operates on. Nodes are
+// 0-based contiguous ints; self-loops and parallel edges are rejected or
+// deduplicated at construction.
+#ifndef GRAPHALIGN_GRAPH_GRAPH_H_
+#define GRAPHALIGN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+struct Edge {
+  int u;
+  int v;
+  bool operator==(const Edge&) const = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds a simple undirected graph on `num_nodes` nodes. Duplicate edges
+  // (in either orientation) are deduplicated; self-loops are rejected.
+  static Result<Graph> FromEdges(int num_nodes, const std::vector<Edge>& edges);
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return num_edges_; }
+
+  // Sorted neighbor list of u.
+  std::span<const int> Neighbors(int u) const {
+    return {adj_.data() + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+  int Degree(int u) const {
+    return static_cast<int>(offsets_[u + 1] - offsets_[u]);
+  }
+  bool HasEdge(int u, int v) const;
+
+  int MaxDegree() const;
+  double AverageDegree() const {
+    return num_nodes_ == 0 ? 0.0 : 2.0 * num_edges_ / num_nodes_;
+  }
+
+  // All edges with u < v.
+  std::vector<Edge> Edges() const;
+
+  // Binary adjacency as CSR (symmetric, unit weights).
+  CsrMatrix AdjacencyCsr() const;
+  // Row-stochastic random-walk matrix D^-1 A (isolated nodes get zero rows).
+  CsrMatrix RandomWalkCsr() const;
+  // Symmetrically normalized adjacency D^-1/2 A D^-1/2.
+  CsrMatrix SymNormalizedAdjacencyCsr() const;
+  // Dense normalized Laplacian I - D^-1/2 A D^-1/2 (O(n^2) memory).
+  DenseMatrix NormalizedLaplacianDense() const;
+
+  // Relabels node u to perm[u]; perm must be a permutation of 0..n-1.
+  Result<Graph> Permuted(const std::vector<int>& perm) const;
+
+  // Component id per node (ids are 0..k-1 in discovery order).
+  std::vector<int> ConnectedComponents(int* num_components = nullptr) const;
+  bool IsConnected() const;
+  // Number of nodes outside the largest connected component ("l" in Table 2).
+  int NodesOutsideLargestComponent() const;
+
+  // Triangle count incident to each node.
+  std::vector<int64_t> TriangleCounts() const;
+
+ private:
+  int num_nodes_ = 0;
+  int64_t num_edges_ = 0;
+  std::vector<int64_t> offsets_;  // size num_nodes_ + 1.
+  std::vector<int> adj_;          // concatenated sorted neighbor lists.
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GRAPH_GRAPH_H_

@@ -1,0 +1,60 @@
+// Graphlet-orbit counting for GRAAL's node signatures (paper §3.2).
+//
+// Counts, for every node, how often it touches each automorphism orbit of
+// the connected graphlets on 2-4 nodes (15 orbits). Orbits 0-3 are computed
+// analytically; orbits 4-14 by ESU enumeration (Wernicke) of connected
+// induced 4-node subgraphs, each visited exactly once.
+//
+// Orbit numbering (Przulj-style):
+//   0  edge endpoint (= degree)
+//   1  end of a 3-path            2  middle of a 3-path
+//   3  triangle vertex
+//   4  end of a 4-path            5  middle of a 4-path
+//   6  leaf of a 3-star (claw)    7  center of a 3-star
+//   8  4-cycle vertex
+//   9  pendant of a paw          10  triangle vertices of a paw (deg 2)
+//  11  hub of a paw (deg 3)
+//  12  degree-2 vertex of a diamond   13  degree-3 vertex of a diamond
+//  14  K4 vertex
+#ifndef GRAPHALIGN_GRAPH_GRAPHLETS_H_
+#define GRAPHALIGN_GRAPH_GRAPHLETS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+inline constexpr int kNumOrbits = 15;
+
+// Returns an n x 15 matrix of orbit counts. Enumeration stops with
+// ResourceExhausted if more than `max_subgraphs` connected 4-node subgraphs
+// exist (dense graphs make GRAAL's preprocessing intractable, mirroring the
+// paper's GRAAL timeouts).
+Result<DenseMatrix> CountGraphletOrbits(const Graph& g,
+                                        int64_t max_subgraphs = 200'000'000);
+
+// Orbits of the connected graphlets on exactly 5 nodes. There are 21 such
+// graphlets with 58 automorphism orbits; together with the 15 orbits of the
+// 2-4-node graphlets this yields the full 73-orbit graphlet degree vector
+// GRAAL was published with.
+inline constexpr int kNumOrbits5 = 58;
+
+// Returns an n x 58 matrix of 5-node orbit counts. Orbits are numbered
+// deterministically: connected 5-node graphs are canonized by exhaustive
+// permutation (a one-time 1024-entry table), ordered by (edge count,
+// canonical adjacency mask), and their automorphism orbits ordered by the
+// orbit's lowest canonical vertex. Enumeration uses ESU for k = 5 with the
+// same subgraph budget semantics as the 4-node counter.
+Result<DenseMatrix> CountGraphletOrbits5(const Graph& g,
+                                         int64_t max_subgraphs = 200'000'000);
+
+// Convenience: the full 73-column GDV [orbits 0-14 | 5-node orbits].
+Result<DenseMatrix> CountGraphletOrbits73(const Graph& g,
+                                          int64_t max_subgraphs = 200'000'000);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GRAPH_GRAPHLETS_H_

@@ -1,0 +1,72 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace graphalign {
+
+Result<Graph> ReadEdgeList(const std::string& path, int num_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<std::pair<long long, long long>> raw_edges;
+  long long max_id = -1;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    long long u, v;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": malformed edge line");
+    }
+    if (u < 0 || v < 0) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": negative node id");
+    }
+    if (u == v) continue;  // Drop self-loops silently, as the paper's loaders do.
+    raw_edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges.size());
+  int total_nodes;
+  if (max_id < 50'000'000) {
+    // Dense id space: ids are kept verbatim so that mapping/ground-truth
+    // files written against the same graph stay consistent across reloads.
+    for (const auto& [u, v] : raw_edges) {
+      edges.push_back({static_cast<int>(u), static_cast<int>(v)});
+    }
+    total_nodes = static_cast<int>(max_id + 1);
+  } else {
+    // Sparse id space (e.g. hash-like ids): compact by first appearance.
+    std::unordered_map<long long, int> id_map;
+    int next_id = 0;
+    auto intern = [&](long long raw) {
+      auto [it, inserted] = id_map.emplace(raw, next_id);
+      if (inserted) ++next_id;
+      return it->second;
+    };
+    for (const auto& [u, v] : raw_edges) {
+      edges.push_back({intern(u), intern(v)});
+    }
+    total_nodes = next_id;
+  }
+  return Graph::FromEdges(std::max(num_nodes, total_nodes), edges);
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot write " + path);
+  for (const Edge& e : g.Edges()) {
+    out << e.u << " " << e.v << "\n";
+  }
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace graphalign

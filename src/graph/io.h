@@ -1,0 +1,23 @@
+// Edge-list graph IO (whitespace-separated "u v" per line, '#' or '%'
+// comments), the format used by SNAP / KONECT / network-repository dumps.
+#ifndef GRAPHALIGN_GRAPH_IO_H_
+#define GRAPHALIGN_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+// Reads an edge list. Node ids may be arbitrary non-negative ints and are
+// compacted to 0..n-1 preserving order of first appearance; `num_nodes`
+// (if positive) forces at least that many nodes.
+Result<Graph> ReadEdgeList(const std::string& path, int num_nodes = 0);
+
+// Writes "u v" per line for every edge with u < v.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GRAPH_IO_H_

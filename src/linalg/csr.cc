@@ -1,0 +1,172 @@
+#include "linalg/csr.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace graphalign {
+
+CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
+                                  std::vector<Triplet> triplets) {
+  GA_CHECK(rows >= 0 && cols >= 0);
+  for (const Triplet& t : triplets) {
+    GA_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      // Sum duplicates.
+      double v = triplets[i].value;
+      int c = triplets[i].col;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[r + 1] = static_cast<int64_t>(m.col_idx_.size());
+  }
+  return m;
+}
+
+std::vector<double> CsrMatrix::Multiply(const std::vector<double>& x) const {
+  GA_CHECK(static_cast<int>(x.size()) == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+std::vector<double> CsrMatrix::MultiplyTransposed(
+    const std::vector<double>& x) const {
+  GA_CHECK(static_cast<int>(x.size()) == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      y[col_idx_[k]] += values_[k] * xr;
+    }
+  }
+  return y;
+}
+
+DenseMatrix CsrMatrix::Multiply(const DenseMatrix& b) const {
+  GA_CHECK(cols_ == b.rows());
+  DenseMatrix c(rows_, b.cols());
+  const int64_t avg_flops_per_row =
+      rows_ > 0 ? (nnz() * b.cols()) / rows_ + 1 : 1;
+  ParallelFor(
+      rows_,
+      [&](int64_t lo, int64_t hi) {
+        for (int r = static_cast<int>(lo); r < hi; ++r) {
+          double* crow = c.Row(r);
+          for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+            const double v = values_[k];
+            const double* brow = b.Row(col_idx_[k]);
+            for (int j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+          }
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / avg_flops_per_row));
+  return c;
+}
+
+DenseMatrix CsrMatrix::MultiplyTransposed(const DenseMatrix& b) const {
+  GA_CHECK(rows_ == b.rows());
+  DenseMatrix c(cols_, b.cols());
+  for (int r = 0; r < rows_; ++r) {
+    const double* brow = b.Row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      double* crow = c.Row(col_idx_[k]);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix CsrMatrix::RightMultiplied(const DenseMatrix& x) const {
+  GA_CHECK(x.cols() == rows_);
+  DenseMatrix c(x.rows(), cols_);
+  const int64_t flops_per_row = nnz() + rows_ + 1;
+  ParallelFor(
+      x.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const double* xrow = x.Row(i);
+          double* crow = c.Row(i);
+          for (int r = 0; r < rows_; ++r) {
+            const double xv = xrow[r];
+            if (xv == 0.0) continue;
+            for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+              crow[col_idx_[k]] += xv * values_[k];
+            }
+          }
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / flops_per_row));
+  return c;
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> t;
+  t.reserve(values_.size());
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      t.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(t));
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> s(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s[r] += values_[k];
+    }
+  }
+  return s;
+}
+
+CsrMatrix CsrMatrix::ScaleRows(const std::vector<double>& scale) const {
+  GA_CHECK(static_cast<int>(scale.size()) == rows_);
+  CsrMatrix m = *this;
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.values_[k] *= scale[r];
+    }
+  }
+  return m;
+}
+
+DenseMatrix CsrMatrix::ToDense() const {
+  DenseMatrix d(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace graphalign

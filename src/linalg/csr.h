@@ -1,0 +1,67 @@
+// Compressed sparse row matrix: the workhorse representation for adjacency
+// and random-walk operators in the alignment algorithms.
+#ifndef GRAPHALIGN_LINALG_CSR_H_
+#define GRAPHALIGN_LINALG_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+struct Triplet {
+  int row;
+  int col;
+  double value;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) { row_ptr_.push_back(0); }
+
+  // Builds from (row, col, value) triplets; duplicate entries are summed.
+  static CsrMatrix FromTriplets(int rows, int cols,
+                                std::vector<Triplet> triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>* mutable_values() { return &values_; }
+
+  // y = this * x.
+  std::vector<double> Multiply(const std::vector<double>& x) const;
+  // y = this^T * x.
+  std::vector<double> MultiplyTransposed(const std::vector<double>& x) const;
+  // C = this * B (dense).
+  DenseMatrix Multiply(const DenseMatrix& b) const;
+  // C = this^T * B (dense).
+  DenseMatrix MultiplyTransposed(const DenseMatrix& b) const;
+
+  // C = X * this (dense-times-sparse from the right).
+  DenseMatrix RightMultiplied(const DenseMatrix& x) const;
+
+  CsrMatrix Transposed() const;
+  // Per-row sum of values (weighted out-degree).
+  std::vector<double> RowSums() const;
+  // Returns a copy with every row scaled by scale[row].
+  CsrMatrix ScaleRows(const std::vector<double>& scale) const;
+  // Densifies (test/debug helper; O(rows*cols) memory).
+  DenseMatrix ToDense() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_LINALG_CSR_H_

@@ -1,0 +1,188 @@
+#include "linalg/dense.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace graphalign {
+
+DenseMatrix DenseMatrix::Identity(int n) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::FromRows(
+    const std::vector<std::vector<double>>& rows) {
+  const int r = static_cast<int>(rows.size());
+  const int c = r == 0 ? 0 : static_cast<int>(rows[0].size());
+  DenseMatrix m(r, c);
+  for (int i = 0; i < r; ++i) {
+    GA_CHECK(static_cast<int>(rows[i].size()) == c);
+    std::copy(rows[i].begin(), rows[i].end(), m.Row(i));
+  }
+  return m;
+}
+
+void DenseMatrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void DenseMatrix::Scale(double s) {
+  for (double& v : data_) v *= s;
+}
+
+void DenseMatrix::Axpy(double s, const DenseMatrix& other) {
+  GA_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const double* src = Row(r);
+    for (int c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double DenseMatrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double DenseMatrix::MaxAbs() const {
+  double s = 0.0;
+  for (double v : data_) s = std::max(s, std::fabs(v));
+  return s;
+}
+
+std::vector<double> DenseMatrix::Col(int c) const {
+  std::vector<double> v(rows_);
+  for (int r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void DenseMatrix::SetCol(int c, const std::vector<double>& v) {
+  GA_CHECK(static_cast<int>(v.size()) == rows_);
+  for (int r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  GA_CHECK(a.cols() == b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  const int64_t flops_per_row =
+      static_cast<int64_t>(a.cols()) * b.cols() + 1;
+  // i-k-j order: streams through rows of B, good locality for row-major.
+  ParallelFor(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          double* crow = c.Row(i);
+          const double* arow = a.Row(i);
+          for (int k = 0; k < a.cols(); ++k) {
+            const double aik = arow[k];
+            if (aik == 0.0) continue;
+            const double* brow = b.Row(k);
+            for (int j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+          }
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / flops_per_row));
+  return c;
+}
+
+DenseMatrix MultiplyAtB(const DenseMatrix& a, const DenseMatrix& b) {
+  GA_CHECK(a.rows() == b.rows());
+  DenseMatrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.Row(i);
+      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix MultiplyABt(const DenseMatrix& a, const DenseMatrix& b) {
+  GA_CHECK(a.cols() == b.cols());
+  DenseMatrix c(a.rows(), b.rows());
+  const int64_t flops_per_row =
+      static_cast<int64_t>(a.cols()) * b.rows() + 1;
+  ParallelFor(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const double* arow = a.Row(i);
+          double* crow = c.Row(i);
+          for (int j = 0; j < b.rows(); ++j) {
+            const double* brow = b.Row(j);
+            double s = 0.0;
+            for (int k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+            crow[j] = s;
+          }
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / flops_per_row));
+  return c;
+}
+
+std::vector<double> MultiplyVec(const DenseMatrix& a,
+                                const std::vector<double>& x) {
+  GA_CHECK(a.cols() == static_cast<int>(x.size()));
+  std::vector<double> y(a.rows(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double s = 0.0;
+    for (int j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> MultiplyVecT(const DenseMatrix& a,
+                                 const std::vector<double>& x) {
+  GA_CHECK(a.rows() == static_cast<int>(x.size()));
+  std::vector<double> y(a.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (int j = 0; j < a.cols(); ++j) y[j] += arow[j] * xi;
+  }
+  return y;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  GA_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
+  GA_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+double NormalizeInPlace(std::vector<double>* a) {
+  double n = Norm2(*a);
+  if (n > 0.0) {
+    for (double& v : *a) v /= n;
+  }
+  return n;
+}
+
+}  // namespace graphalign

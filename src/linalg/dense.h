@@ -1,0 +1,93 @@
+// Dense row-major matrix of doubles with the kernels the alignment
+// algorithms need (GEMM variants, norms, row operations).
+//
+// This module exists because no external linear-algebra library is available
+// in the build environment; it favors clarity and cache-friendly loop orders
+// over micro-optimized kernels.
+#ifndef GRAPHALIGN_LINALG_DENSE_H_
+#define GRAPHALIGN_LINALG_DENSE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    GA_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static DenseMatrix Identity(int n);
+  // Builds from row-major nested initializer data (test convenience).
+  static DenseMatrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double v);
+  void Scale(double s);
+  // this += s * other. Shapes must match.
+  void Axpy(double s, const DenseMatrix& other);
+
+  DenseMatrix Transposed() const;
+  double FrobeniusNorm() const;
+  double Sum() const;
+  double MaxAbs() const;
+
+  // Extracts column c as a vector.
+  std::vector<double> Col(int c) const;
+  void SetCol(int c, const std::vector<double>& v);
+
+  bool operator==(const DenseMatrix& other) const = default;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+// C = A * B.
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b);
+// C = A^T * B.
+DenseMatrix MultiplyAtB(const DenseMatrix& a, const DenseMatrix& b);
+// C = A * B^T.
+DenseMatrix MultiplyABt(const DenseMatrix& a, const DenseMatrix& b);
+// y = A * x.
+std::vector<double> MultiplyVec(const DenseMatrix& a,
+                                const std::vector<double>& x);
+// y = A^T * x.
+std::vector<double> MultiplyVecT(const DenseMatrix& a,
+                                 const std::vector<double>& x);
+
+// Vector helpers used throughout the numerical code.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+double Norm2(const std::vector<double>& a);
+// a += s * b.
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a);
+// Normalizes to unit 2-norm; returns the original norm (0 if zero vector).
+double NormalizeInPlace(std::vector<double>* a);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_LINALG_DENSE_H_

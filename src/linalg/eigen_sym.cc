@@ -1,0 +1,268 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace graphalign {
+
+namespace {
+
+// Householder reduction of symmetric `a` (n x n) to tridiagonal form.
+// On exit `a` holds the accumulated orthogonal transform Q, `d` the diagonal
+// and `e` the subdiagonal (e[0] unused).
+void Tred2(DenseMatrix* a_io, std::vector<double>* d_out,
+           std::vector<double>* e_out) {
+  DenseMatrix& a = *a_io;
+  const int n = a.rows();
+  std::vector<double>& d = *d_out;
+  std::vector<double>& e = *e_out;
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+
+  for (int i = n - 1; i >= 1; --i) {
+    const int l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (int k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (int k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (int j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (int k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (int k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (int k = 0; k <= j; ++k) {
+            a(j, k) -= f * e[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int l = i - 1;
+    if (d[i] != 0.0) {
+      for (int j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (int k = 0; k <= l; ++k) g += a(i, k) * a(k, j);
+        for (int k = 0; k <= l; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (int j = 0; j <= l; ++j) a(j, i) = a(i, j) = 0.0;
+  }
+}
+
+// Implicit-shift QL on a tridiagonal matrix; `z` accumulates eigenvectors
+// (initialized to the transform from Tred2, or identity).
+Status Tql2(std::vector<double>* d_io, std::vector<double>* e_io,
+            DenseMatrix* z_io) {
+  std::vector<double>& d = *d_io;
+  std::vector<double>& e = *e_io;
+  DenseMatrix& z = *z_io;
+  const int n = static_cast<int>(d.size());
+
+  for (int i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-14 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 100) {
+          return Status::Internal("tql2: QL iteration did not converge");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i;
+        for (i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (int k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return Status::Ok();
+}
+
+void SortAscending(SymmetricEigenResult* res) {
+  const int n = static_cast<int>(res->eigenvalues.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return res->eigenvalues[a] < res->eigenvalues[b];
+  });
+  std::vector<double> vals(n);
+  DenseMatrix vecs(res->eigenvectors.rows(), n);
+  for (int j = 0; j < n; ++j) {
+    vals[j] = res->eigenvalues[order[j]];
+    for (int r = 0; r < res->eigenvectors.rows(); ++r) {
+      vecs(r, j) = res->eigenvectors(r, order[j]);
+    }
+  }
+  res->eigenvalues = std::move(vals);
+  res->eigenvectors = std::move(vecs);
+}
+
+}  // namespace
+
+Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not square");
+  }
+  const int n = a.rows();
+  if (n == 0) {
+    return SymmetricEigenResult{{}, DenseMatrix(0, 0)};
+  }
+  std::vector<double> d;
+  std::vector<double> e;
+  Tred2(&a, &d, &e);
+  GA_RETURN_IF_ERROR(Tql2(&d, &e, &a));
+  SymmetricEigenResult res{std::move(d), std::move(a)};
+  SortAscending(&res);
+  return res;
+}
+
+Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
+                                          int k, SpectrumEnd end, int steps,
+                                          uint64_t seed) {
+  if (n <= 0) return Status::InvalidArgument("LanczosEigen: n must be > 0");
+  if (k <= 0 || k > n) {
+    return Status::InvalidArgument("LanczosEigen: need 0 < k <= n");
+  }
+  int m = steps > 0 ? steps : std::max(2 * k + 20, 40);
+  m = std::min(m, n);
+  if (m < k) m = k;
+
+  Rng rng(seed);
+  // Lanczos basis, rows are basis vectors (m x n).
+  std::vector<std::vector<double>> basis;
+  basis.reserve(m);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal();
+  NormalizeInPlace(&v);
+  basis.push_back(v);
+
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples basis[j] and basis[j+1].
+  std::vector<double> w(n);
+
+  for (int j = 0; j < m; ++j) {
+    op(basis[j], &w);
+    const double a = Dot(w, basis[j]);
+    alpha.push_back(a);
+    if (j + 1 == m) break;
+    Axpy(-a, basis[j], &w);
+    if (j > 0) Axpy(-beta[j - 1], basis[j - 1], &w);
+    // Full reorthogonalization (twice for numerical safety).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& q : basis) Axpy(-Dot(w, q), q, &w);
+    }
+    double b = Norm2(w);
+    if (b < 1e-12) {
+      // Invariant subspace found: restart with a random orthogonal vector.
+      for (double& x : w) x = rng.Normal();
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const auto& q : basis) Axpy(-Dot(w, q), q, &w);
+      }
+      b = Norm2(w);
+      if (b < 1e-12) {
+        m = j + 1;  // The whole space is exhausted.
+        break;
+      }
+      beta.push_back(0.0);
+    } else {
+      beta.push_back(b);
+    }
+    for (double& x : w) x /= b;
+    basis.push_back(w);
+  }
+
+  const int dim = static_cast<int>(alpha.size());
+  DenseMatrix t(dim, dim);
+  for (int i = 0; i < dim; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < dim) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  GA_ASSIGN_OR_RETURN(SymmetricEigenResult tri, SymmetricEigen(std::move(t)));
+
+  const int kk = std::min(k, dim);
+  SymmetricEigenResult out;
+  out.eigenvalues.resize(kk);
+  out.eigenvectors = DenseMatrix(n, kk);
+  for (int j = 0; j < kk; ++j) {
+    const int src = end == SpectrumEnd::kSmallest ? j : dim - kk + j;
+    out.eigenvalues[j] = tri.eigenvalues[src];
+    for (int i = 0; i < dim; ++i) {
+      const double s = tri.eigenvectors(i, src);
+      if (s == 0.0) continue;
+      const std::vector<double>& q = basis[i];
+      for (int r = 0; r < n; ++r) out.eigenvectors(r, j) += s * q[r];
+    }
+  }
+  return out;
+}
+
+}  // namespace graphalign

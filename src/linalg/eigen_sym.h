@@ -1,0 +1,47 @@
+// Dense symmetric eigendecomposition and Lanczos iteration.
+//
+// GRASP needs the k smallest eigenpairs of the normalized Laplacian; CONE
+// needs leading eigenpairs of a random-walk polynomial; LREA and IsoRank use
+// power iterations built on these kernels.
+#ifndef GRAPHALIGN_LINALG_EIGEN_SYM_H_
+#define GRAPHALIGN_LINALG_EIGEN_SYM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+struct SymmetricEigenResult {
+  // Ascending eigenvalues.
+  std::vector<double> eigenvalues;
+  // Column j of `eigenvectors` is the unit eigenvector for eigenvalues[j].
+  DenseMatrix eigenvectors;
+};
+
+// Full eigendecomposition of a dense symmetric matrix via Householder
+// tridiagonalization followed by the implicit-shift QL algorithm
+// (EISPACK tred2/tql2 lineage). O(n^3) time, O(n^2) space.
+// Fails if the input is not square or QL fails to converge.
+Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a);
+
+// Matrix-free symmetric operator: y = A x.
+using LinearOperator =
+    std::function<void(const std::vector<double>& x, std::vector<double>* y)>;
+
+enum class SpectrumEnd { kSmallest, kLargest };
+
+// k extremal eigenpairs of a symmetric operator of dimension n using Lanczos
+// with full reorthogonalization. `steps` bounds the Krylov dimension
+// (defaulted internally to min(n, max(2k + 20, 40)) when <= 0).
+Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
+                                          int k, SpectrumEnd end,
+                                          int steps = 0,
+                                          uint64_t seed = 12345);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_LINALG_EIGEN_SYM_H_

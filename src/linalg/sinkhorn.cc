@@ -1,0 +1,96 @@
+#include "linalg/sinkhorn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphalign {
+
+std::vector<double> UniformMarginal(int n) {
+  GA_CHECK(n > 0);
+  return std::vector<double>(n, 1.0 / n);
+}
+
+Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
+                                    const std::vector<double>& mu,
+                                    const std::vector<double>& nu,
+                                    int max_iters, double tolerance) {
+  const int n = kernel.rows();
+  const int m = kernel.cols();
+  if (static_cast<int>(mu.size()) != n || static_cast<int>(nu.size()) != m) {
+    return Status::InvalidArgument("SinkhornProject: marginal size mismatch");
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (!(kernel(i, j) >= 0.0) || !std::isfinite(kernel(i, j))) {
+        return Status::InvalidArgument(
+            "SinkhornProject: kernel must be finite and non-negative");
+      }
+    }
+  }
+  std::vector<double> a(n, 1.0);
+  std::vector<double> b(m, 1.0);
+  std::vector<double> kb(n), ka(m);
+  constexpr double kTiny = 1e-300;
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // a = mu / (K b)
+    for (int i = 0; i < n; ++i) {
+      double s = 0.0;
+      const double* krow = kernel.Row(i);
+      for (int j = 0; j < m; ++j) s += krow[j] * b[j];
+      kb[i] = s;
+      a[i] = mu[i] / std::max(s, kTiny);
+    }
+    // b = nu / (K^T a)
+    std::fill(ka.begin(), ka.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double* krow = kernel.Row(i);
+      const double ai = a[i];
+      for (int j = 0; j < m; ++j) ka[j] += krow[j] * ai;
+    }
+    double err = 0.0;
+    for (int j = 0; j < m; ++j) {
+      err += std::fabs(ka[j] * b[j] - nu[j]);
+      b[j] = nu[j] / std::max(ka[j], kTiny);
+    }
+    if (err < tolerance) break;
+  }
+
+  DenseMatrix t(n, m);
+  for (int i = 0; i < n; ++i) {
+    const double* krow = kernel.Row(i);
+    double* trow = t.Row(i);
+    for (int j = 0; j < m; ++j) trow[j] = a[i] * krow[j] * b[j];
+  }
+  return t;
+}
+
+Result<DenseMatrix> SinkhornTransport(const DenseMatrix& cost,
+                                      const std::vector<double>& mu,
+                                      const std::vector<double>& nu,
+                                      const SinkhornOptions& options) {
+  const int n = cost.rows();
+  const int m = cost.cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("SinkhornTransport: empty cost matrix");
+  }
+  if (options.epsilon <= 0.0) {
+    return Status::InvalidArgument("SinkhornTransport: epsilon must be > 0");
+  }
+  // Stabilize: exp(-(C - min C)/eps) keeps the kernel in (0, 1].
+  double cmin = cost(0, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) cmin = std::min(cmin, cost(i, j));
+  }
+  DenseMatrix kernel(n, m);
+  for (int i = 0; i < n; ++i) {
+    const double* crow = cost.Row(i);
+    double* krow = kernel.Row(i);
+    for (int j = 0; j < m; ++j) {
+      krow[j] = std::exp(-(crow[j] - cmin) / options.epsilon);
+    }
+  }
+  return SinkhornProject(kernel, mu, nu, options.max_iters, options.tolerance);
+}
+
+}  // namespace graphalign

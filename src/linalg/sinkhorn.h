@@ -1,0 +1,44 @@
+// Entropy-regularized optimal transport via Sinkhorn-Knopp scaling.
+//
+// GWL's proximal-point steps and CONE's Wasserstein alignment both reduce to
+// repeated Sinkhorn projections of a Gibbs kernel onto prescribed marginals.
+#ifndef GRAPHALIGN_LINALG_SINKHORN_H_
+#define GRAPHALIGN_LINALG_SINKHORN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+struct SinkhornOptions {
+  double epsilon = 0.05;     // Entropic regularization strength.
+  int max_iters = 200;       // Scaling iterations.
+  double tolerance = 1e-6;   // L1 marginal violation to stop at.
+};
+
+// Minimizes <C, T> - eps * H(T) over couplings T with marginals (mu, nu).
+// C is n x m; mu has length n, nu length m, both summing to ~1.
+// Returns the transport plan T (n x m). Numerically stabilized by shifting
+// each row of C by its minimum before exponentiation.
+Result<DenseMatrix> SinkhornTransport(const DenseMatrix& cost,
+                                      const std::vector<double>& mu,
+                                      const std::vector<double>& nu,
+                                      const SinkhornOptions& options = {});
+
+// Sinkhorn projection of an explicit positive kernel K onto the transport
+// polytope with marginals (mu, nu): T = diag(a) K diag(b). Used by GWL's
+// proximal updates where K = exp(-grad/beta) ⊙ T_prev.
+Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
+                                    const std::vector<double>& mu,
+                                    const std::vector<double>& nu,
+                                    int max_iters = 200,
+                                    double tolerance = 1e-6);
+
+// Uniform probability vector of length n.
+std::vector<double> UniformMarginal(int n);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_LINALG_SINKHORN_H_

@@ -1,0 +1,182 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace graphalign {
+
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: rotates column pairs of `a`
+// until all pairs are orthogonal; accumulates rotations into `v`.
+void JacobiSweep(DenseMatrix* a_io, DenseMatrix* v_io, bool* converged) {
+  DenseMatrix& a = *a_io;
+  DenseMatrix& v = *v_io;
+  const int m = a.rows();
+  const int n = a.cols();
+  *converged = true;
+  for (int p = 0; p < n - 1; ++p) {
+    for (int q = p + 1; q < n; ++q) {
+      double app = 0.0, aqq = 0.0, apq = 0.0;
+      for (int i = 0; i < m; ++i) {
+        const double x = a(i, p);
+        const double y = a(i, q);
+        app += x * x;
+        aqq += y * y;
+        apq += x * y;
+      }
+      if (std::fabs(apq) <= 1e-15 * std::sqrt(app * aqq) || apq == 0.0) {
+        continue;
+      }
+      *converged = false;
+      const double tau = (aqq - app) / (2.0 * apq);
+      const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                       (std::fabs(tau) + std::sqrt(1.0 + tau * tau));
+      const double c = 1.0 / std::sqrt(1.0 + t * t);
+      const double s = c * t;
+      for (int i = 0; i < m; ++i) {
+        const double x = a(i, p);
+        const double y = a(i, q);
+        a(i, p) = c * x - s * y;
+        a(i, q) = s * x + c * y;
+      }
+      for (int i = 0; i < n; ++i) {
+        const double x = v(i, p);
+        const double y = v(i, q);
+        v(i, p) = c * x - s * y;
+        v(i, q) = s * x + c * y;
+      }
+    }
+  }
+}
+
+Result<SvdResult> SvdTall(DenseMatrix a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (!std::isfinite(a(i, j))) {
+        return Status::InvalidArgument("Svd: non-finite input");
+      }
+    }
+  }
+  DenseMatrix v = DenseMatrix::Identity(n);
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    bool converged = false;
+    JacobiSweep(&a, &v, &converged);
+    if (converged) break;
+  }
+  // Singular values are the column norms of the rotated A.
+  std::vector<double> sigma(n);
+  for (int j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+    sigma[j] = std::sqrt(s);
+  }
+  // Order descending.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return sigma[x] > sigma[y]; });
+
+  SvdResult res;
+  res.u = DenseMatrix(m, n);
+  res.v = DenseMatrix(n, n);
+  res.singular_values.resize(n);
+  for (int j = 0; j < n; ++j) {
+    const int src = order[j];
+    res.singular_values[j] = sigma[src];
+    if (sigma[src] > 0.0) {
+      for (int i = 0; i < m; ++i) res.u(i, j) = a(i, src) / sigma[src];
+    }
+    for (int i = 0; i < n; ++i) res.v(i, j) = v(i, src);
+  }
+  return res;
+}
+
+}  // namespace
+
+Result<SvdResult> Svd(const DenseMatrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("Svd: empty matrix");
+  }
+  if (a.rows() >= a.cols()) return SvdTall(a);
+  // Wide matrix: factor the transpose and swap U/V.
+  GA_ASSIGN_OR_RETURN(SvdResult t, SvdTall(a.Transposed()));
+  SvdResult res;
+  res.u = std::move(t.v);
+  res.v = std::move(t.u);
+  res.singular_values = std::move(t.singular_values);
+  return res;
+}
+
+Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond) {
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(a));
+  const double cutoff =
+      svd.singular_values.empty() ? 0.0 : rcond * svd.singular_values[0];
+  const int r = static_cast<int>(svd.singular_values.size());
+  // pinv(A) = V * diag(1/sigma) * U^T.
+  DenseMatrix vs = svd.v;  // n x r
+  for (int j = 0; j < r; ++j) {
+    const double s = svd.singular_values[j];
+    const double inv = s > cutoff ? 1.0 / s : 0.0;
+    for (int i = 0; i < vs.rows(); ++i) vs(i, j) *= inv;
+  }
+  return MultiplyABt(vs, svd.u);
+}
+
+Result<QrResult> ThinQr(const DenseMatrix& a, double tol) {
+  const int m = a.rows();
+  const int n = a.cols();
+  if (m == 0 || n == 0) return Status::InvalidArgument("ThinQr: empty matrix");
+  std::vector<std::vector<double>> q_cols;
+  std::vector<std::vector<double>> r_rows;  // Row i of R (length n).
+  double max_norm = 0.0;
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> v = a.Col(j);
+    max_norm = std::max(max_norm, Norm2(v));
+  }
+  const double cutoff = std::max(tol * max_norm, 1e-300);
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> v = a.Col(j);
+    std::vector<double> coeffs(q_cols.size());
+    // Two MGS passes for numerical robustness.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < q_cols.size(); ++i) {
+        const double c = Dot(v, q_cols[i]);
+        coeffs[i] += c;
+        Axpy(-c, q_cols[i], &v);
+      }
+    }
+    const double norm = Norm2(v);
+    for (size_t i = 0; i < q_cols.size(); ++i) r_rows[i][j] = coeffs[i];
+    if (norm > cutoff) {
+      for (double& x : v) x /= norm;
+      q_cols.push_back(std::move(v));
+      r_rows.emplace_back(n, 0.0);
+      r_rows.back()[j] = norm;
+    }
+  }
+  const int r = static_cast<int>(q_cols.size());
+  QrResult res;
+  res.q = DenseMatrix(m, r);
+  res.r = DenseMatrix(r, n);
+  for (int i = 0; i < r; ++i) {
+    res.q.SetCol(i, q_cols[i]);
+    for (int j = 0; j < n; ++j) res.r(i, j) = r_rows[i][j];
+  }
+  return res;
+}
+
+Result<DenseMatrix> ProcrustesRotation(const DenseMatrix& a,
+                                       const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument("Procrustes: shape mismatch");
+  }
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(MultiplyAtB(a, b)));
+  // Q = U V^T.
+  return MultiplyABt(svd.u, svd.v);
+}
+
+}  // namespace graphalign

@@ -1,0 +1,48 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// Used by REGAL (Nyström landmark factorization), CONE (Procrustes updates),
+// and the Moore-Penrose pseudo-inverse. One-sided Jacobi is simple, robust,
+// and accurate for the small-to-medium matrices these call sites produce
+// (landmark counts p ~ 10 log n, embedding dims d <= 512).
+#ifndef GRAPHALIGN_LINALG_SVD_H_
+#define GRAPHALIGN_LINALG_SVD_H_
+
+#include "common/status.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+
+struct SvdResult {
+  // A (m x n) = U (m x r) * diag(singular_values) * V^T (r x n), with
+  // r = min(m, n) and singular values in descending order.
+  DenseMatrix u;
+  std::vector<double> singular_values;
+  DenseMatrix v;  // n x r; columns are right singular vectors.
+};
+
+// Thin SVD. Converges in O(min(m,n)^2 * max(m,n)) per sweep; a handful of
+// sweeps suffice in practice. Fails only on non-finite input.
+Result<SvdResult> Svd(const DenseMatrix& a);
+
+// Moore-Penrose pseudo-inverse computed from the SVD; singular values below
+// `rcond * sigma_max` are treated as zero.
+Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond = 1e-10);
+
+// Orthogonal Procrustes: the orthogonal Q minimizing ||A Q - B||_F, obtained
+// from the SVD of A^T B. A and B must be m x d with the same shape.
+Result<DenseMatrix> ProcrustesRotation(const DenseMatrix& a,
+                                       const DenseMatrix& b);
+
+struct QrResult {
+  DenseMatrix q;  // m x r with orthonormal columns.
+  DenseMatrix r;  // r x n upper triangular (rank-revealing: r <= n).
+};
+
+// Thin QR by modified Gram-Schmidt with column pivot-free rank truncation:
+// columns whose residual norm falls below `tol * ||col||` are dropped, so
+// q has full column rank. Used by LREA's low-rank compression.
+Result<QrResult> ThinQr(const DenseMatrix& a, double tol = 1e-12);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_LINALG_SVD_H_

@@ -1,0 +1,132 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace graphalign {
+
+double Accuracy(const Alignment& alignment,
+                const std::vector<int>& ground_truth) {
+  GA_CHECK(alignment.size() == ground_truth.size());
+  if (alignment.empty()) return 0.0;
+  int64_t correct = 0;
+  for (size_t u = 0; u < alignment.size(); ++u) {
+    if (alignment[u] >= 0 && alignment[u] == ground_truth[u]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(alignment.size());
+}
+
+double MeanMatchedNeighborhoodConsistency(const Graph& g1, const Graph& g2,
+                                          const Alignment& alignment) {
+  GA_CHECK(static_cast<int>(alignment.size()) == g1.num_nodes());
+  if (g1.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  std::vector<int> mapped;
+  for (int i = 0; i < g1.num_nodes(); ++i) {
+    const int j = alignment[i];
+    if (j < 0 || j >= g2.num_nodes()) continue;  // Unmatched scores 0.
+    // Mapped neighborhood of i: images of N_G1(i) that land inside G2.
+    mapped.clear();
+    for (int k : g1.Neighbors(i)) {
+      const int fk = alignment[k];
+      if (fk >= 0 && fk < g2.num_nodes()) mapped.push_back(fk);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+    auto nj = g2.Neighbors(j);
+    // |intersection| via merge of two sorted ranges.
+    size_t a = 0, b = 0;
+    int64_t inter = 0;
+    while (a < mapped.size() && b < nj.size()) {
+      if (mapped[a] < nj[b]) {
+        ++a;
+      } else if (mapped[a] > nj[b]) {
+        ++b;
+      } else {
+        ++inter;
+        ++a;
+        ++b;
+      }
+    }
+    const int64_t uni =
+        static_cast<int64_t>(mapped.size()) + static_cast<int64_t>(nj.size()) -
+        inter;
+    total += uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+  }
+  return total / g1.num_nodes();
+}
+
+EdgeOverlap ComputeEdgeOverlap(const Graph& g1, const Graph& g2,
+                               const Alignment& alignment) {
+  GA_CHECK(static_cast<int>(alignment.size()) == g1.num_nodes());
+  EdgeOverlap overlap;
+  overlap.source_edges = g1.num_edges();
+  for (int u = 0; u < g1.num_nodes(); ++u) {
+    const int fu = alignment[u];
+    if (fu < 0) continue;
+    for (int v : g1.Neighbors(u)) {
+      if (v <= u) continue;
+      const int fv = alignment[v];
+      if (fv < 0 || fu == fv) continue;
+      if (g2.HasEdge(fu, fv)) ++overlap.preserved_edges;
+    }
+  }
+  // Image node set and edges of G2 induced by it.
+  std::vector<bool> in_image(g2.num_nodes(), false);
+  for (int u = 0; u < g1.num_nodes(); ++u) {
+    if (alignment[u] >= 0 && alignment[u] < g2.num_nodes()) {
+      in_image[alignment[u]] = true;
+    }
+  }
+  for (int x = 0; x < g2.num_nodes(); ++x) {
+    if (!in_image[x]) continue;
+    for (int y : g2.Neighbors(x)) {
+      if (y > x && in_image[y]) ++overlap.induced_edges;
+    }
+  }
+  return overlap;
+}
+
+double EdgeCorrectness(const Graph& g1, const Graph& g2,
+                       const Alignment& alignment) {
+  EdgeOverlap o = ComputeEdgeOverlap(g1, g2, alignment);
+  return o.source_edges == 0
+             ? 0.0
+             : static_cast<double>(o.preserved_edges) / o.source_edges;
+}
+
+double InducedConservedStructure(const Graph& g1, const Graph& g2,
+                                 const Alignment& alignment) {
+  EdgeOverlap o = ComputeEdgeOverlap(g1, g2, alignment);
+  return o.induced_edges == 0
+             ? 0.0
+             : static_cast<double>(o.preserved_edges) / o.induced_edges;
+}
+
+double SymmetricSubstructureScore(const Graph& g1, const Graph& g2,
+                                  const Alignment& alignment) {
+  EdgeOverlap o = ComputeEdgeOverlap(g1, g2, alignment);
+  const int64_t denom = o.source_edges + o.induced_edges - o.preserved_edges;
+  return denom == 0 ? 0.0 : static_cast<double>(o.preserved_edges) / denom;
+}
+
+QualityReport EvaluateAlignment(const Graph& g1, const Graph& g2,
+                                const Alignment& alignment,
+                                const std::vector<int>& ground_truth) {
+  QualityReport report;
+  report.accuracy = Accuracy(alignment, ground_truth);
+  report.mnc = MeanMatchedNeighborhoodConsistency(g1, g2, alignment);
+  EdgeOverlap o = ComputeEdgeOverlap(g1, g2, alignment);
+  report.ec = o.source_edges == 0
+                  ? 0.0
+                  : static_cast<double>(o.preserved_edges) / o.source_edges;
+  report.ics = o.induced_edges == 0
+                   ? 0.0
+                   : static_cast<double>(o.preserved_edges) / o.induced_edges;
+  const int64_t denom = o.source_edges + o.induced_edges - o.preserved_edges;
+  report.s3 = denom == 0 ? 0.0 : static_cast<double>(o.preserved_edges) / denom;
+  return report;
+}
+
+}  // namespace graphalign

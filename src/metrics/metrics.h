@@ -1,0 +1,59 @@
+// Alignment quality measures (paper §5.2): node correctness (accuracy),
+// matched neighborhood consistency (MNC), edge correctness (EC), induced
+// conserved structure (ICS), and the symmetric substructure score (S3).
+#ifndef GRAPHALIGN_METRICS_METRICS_H_
+#define GRAPHALIGN_METRICS_METRICS_H_
+
+#include <vector>
+
+#include "assignment/assignment.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+// Fraction of nodes u with alignment[u] == ground_truth[u] (§5.2.2).
+double Accuracy(const Alignment& alignment,
+                const std::vector<int>& ground_truth);
+
+// Mean Jaccard similarity between the image of each node's neighborhood and
+// the neighborhood of its match (Eq. 15). Nodes with no match score 0; a
+// node whose mapped and target neighborhoods are both empty scores 1.
+double MeanMatchedNeighborhoodConsistency(const Graph& g1, const Graph& g2,
+                                          const Alignment& alignment);
+
+// Edge-overlap statistics shared by EC / ICS / S3.
+struct EdgeOverlap {
+  int64_t source_edges = 0;     // |E_A|
+  int64_t preserved_edges = 0;  // |f(E_A)|: source edges mapped onto edges.
+  int64_t induced_edges = 0;    // |E(G_B[f(V_A)])|
+};
+EdgeOverlap ComputeEdgeOverlap(const Graph& g1, const Graph& g2,
+                               const Alignment& alignment);
+
+// EC = |f(E_A)| / |E_A| (§5.2.3).
+double EdgeCorrectness(const Graph& g1, const Graph& g2,
+                       const Alignment& alignment);
+
+// ICS = |f(E_A)| / |E(G_B[f(V_A)])| (§5.2.3); 0 if the induced graph is empty.
+double InducedConservedStructure(const Graph& g1, const Graph& g2,
+                                 const Alignment& alignment);
+
+// S3 = |f(E_A)| / (|E_A| + |E(G_B[f(V_A)])| - |f(E_A)|) (Eq. 16).
+double SymmetricSubstructureScore(const Graph& g1, const Graph& g2,
+                                  const Alignment& alignment);
+
+// All five measures at once (cheaper than five separate passes).
+struct QualityReport {
+  double accuracy = 0.0;
+  double mnc = 0.0;
+  double ec = 0.0;
+  double ics = 0.0;
+  double s3 = 0.0;
+};
+QualityReport EvaluateAlignment(const Graph& g1, const Graph& g2,
+                                const Alignment& alignment,
+                                const std::vector<int>& ground_truth);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_METRICS_METRICS_H_

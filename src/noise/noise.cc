@@ -1,0 +1,151 @@
+#include "noise/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace graphalign {
+
+const char* NoiseTypeName(NoiseType type) {
+  switch (type) {
+    case NoiseType::kOneWay:
+      return "one-way";
+    case NoiseType::kMultiModal:
+      return "multi-modal";
+    case NoiseType::kTwoWay:
+      return "two-way";
+  }
+  return "unknown";
+}
+
+Result<Graph> RemoveRandomEdges(const Graph& g, int64_t count, Rng* rng,
+                                bool keep_connected) {
+  if (count < 0) {
+    return Status::InvalidArgument("RemoveRandomEdges: negative count");
+  }
+  if (count > g.num_edges()) count = g.num_edges();
+  std::vector<Edge> edges = g.Edges();
+  rng->Shuffle(&edges);
+  if (!keep_connected) {
+    edges.resize(edges.size() - static_cast<size_t>(count));
+    return Graph::FromEdges(g.num_nodes(), edges);
+  }
+  // Greedy connectivity-preserving removal: drop an edge only if the graph
+  // stays as connected as before (same number of components).
+  int base_components = 0;
+  g.ConnectedComponents(&base_components);
+  std::vector<bool> removed(edges.size(), false);
+  int64_t done = 0;
+  for (size_t i = 0; i < edges.size() && done < count; ++i) {
+    removed[i] = true;
+    std::vector<Edge> kept;
+    kept.reserve(edges.size());
+    for (size_t j = 0; j < edges.size(); ++j) {
+      if (!removed[j]) kept.push_back(edges[j]);
+    }
+    GA_ASSIGN_OR_RETURN(Graph candidate, Graph::FromEdges(g.num_nodes(), kept));
+    int comps = 0;
+    candidate.ConnectedComponents(&comps);
+    if (comps > base_components) {
+      removed[i] = false;  // Bridge: keep it.
+    } else {
+      ++done;
+    }
+  }
+  std::vector<Edge> kept;
+  for (size_t j = 0; j < edges.size(); ++j) {
+    if (!removed[j]) kept.push_back(edges[j]);
+  }
+  return Graph::FromEdges(g.num_nodes(), kept);
+}
+
+Result<Graph> AddRandomEdges(const Graph& g, int64_t count, Rng* rng) {
+  if (count < 0) {
+    return Status::InvalidArgument("AddRandomEdges: negative count");
+  }
+  const int n = g.num_nodes();
+  const int64_t capacity =
+      static_cast<int64_t>(n) * (n - 1) / 2 - g.num_edges();
+  if (count > capacity) count = capacity;
+  std::vector<Edge> edges = g.Edges();
+  std::set<std::pair<int, int>> present;
+  for (const Edge& e : edges) {
+    present.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  int64_t added = 0;
+  while (added < count) {
+    int u = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+    int v = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (!present.insert(key).second) continue;
+    edges.push_back({u, v});
+    ++added;
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Result<AlignmentProblem> MakeAlignmentProblem(const Graph& base,
+                                              const NoiseOptions& options,
+                                              Rng* rng) {
+  if (options.level < 0.0 || options.level > 1.0) {
+    return Status::InvalidArgument("noise level outside [0,1]");
+  }
+  const int64_t k = static_cast<int64_t>(
+      std::llround(options.level * static_cast<double>(base.num_edges())));
+
+  Graph g1 = base;
+  Graph g2 = base;
+  switch (options.type) {
+    case NoiseType::kOneWay: {
+      GA_ASSIGN_OR_RETURN(g2, RemoveRandomEdges(base, k, rng,
+                                                options.keep_connected));
+      break;
+    }
+    case NoiseType::kMultiModal: {
+      GA_ASSIGN_OR_RETURN(
+          Graph pruned,
+          RemoveRandomEdges(base, k, rng, options.keep_connected));
+      GA_ASSIGN_OR_RETURN(g2, AddRandomEdges(pruned, k, rng));
+      break;
+    }
+    case NoiseType::kTwoWay: {
+      GA_ASSIGN_OR_RETURN(
+          g1, RemoveRandomEdges(base, k, rng, options.keep_connected));
+      GA_ASSIGN_OR_RETURN(
+          g2, RemoveRandomEdges(base, k, rng, options.keep_connected));
+      break;
+    }
+  }
+
+  AlignmentProblem problem;
+  problem.g1 = std::move(g1);
+  if (options.permute) {
+    std::vector<int> perm = RandomPermutation(base.num_nodes(), rng);
+    GA_ASSIGN_OR_RETURN(problem.g2, g2.Permuted(perm));
+    problem.ground_truth = std::move(perm);
+  } else {
+    problem.g2 = std::move(g2);
+    problem.ground_truth.resize(base.num_nodes());
+    for (int i = 0; i < base.num_nodes(); ++i) problem.ground_truth[i] = i;
+  }
+  return problem;
+}
+
+Result<AlignmentProblem> MakeProblemFromPair(const Graph& g1, const Graph& g2,
+                                             Rng* rng) {
+  if (g1.num_nodes() != g2.num_nodes()) {
+    return Status::InvalidArgument(
+        "MakeProblemFromPair: node-count mismatch (paper protocol aligns "
+        "snapshots over the same node set)");
+  }
+  AlignmentProblem problem;
+  problem.g1 = g1;
+  std::vector<int> perm = RandomPermutation(g2.num_nodes(), rng);
+  GA_ASSIGN_OR_RETURN(problem.g2, g2.Permuted(perm));
+  problem.ground_truth = std::move(perm);
+  return problem;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,65 @@
+// Noise models and alignment-problem construction (paper §5.1.1).
+//
+// The paper perturbs a base graph with one of three strategies, permutes the
+// target's node labels, and asks algorithms to recover the permutation:
+//   One-Way:     remove edges from the target G2 only.
+//   Multi-Modal: remove AND add the same number of edges in G2.
+//   Two-Way:     remove edges independently from both G1 and G2.
+#ifndef GRAPHALIGN_NOISE_NOISE_H_
+#define GRAPHALIGN_NOISE_NOISE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+enum class NoiseType { kOneWay, kMultiModal, kTwoWay };
+
+const char* NoiseTypeName(NoiseType type);
+
+struct NoiseOptions {
+  NoiseType type = NoiseType::kOneWay;
+  // Fraction of edges perturbed, e.g. 0.05 for 5%.
+  double level = 0.0;
+  // If true, edge removals that would disconnect the graph are skipped
+  // (used in the assignment-method experiment, paper §6.2).
+  bool keep_connected = false;
+  // If true the target graph's node labels are shuffled (the usual protocol;
+  // disable only for debugging).
+  bool permute = true;
+};
+
+// A self-aligned benchmark instance: source graph, perturbed+permuted target,
+// and the hidden correspondence (ground_truth[u] = the g2 node for g1 node u).
+struct AlignmentProblem {
+  Graph g1;
+  Graph g2;
+  std::vector<int> ground_truth;
+};
+
+// Removes `count` uniformly random edges. With keep_connected, removals that
+// would disconnect the graph are skipped; if fewer than `count` removable
+// edges exist, removes as many as possible.
+Result<Graph> RemoveRandomEdges(const Graph& g, int64_t count, Rng* rng,
+                                bool keep_connected = false);
+
+// Adds `count` uniformly random non-edges (no-op pairs are retried).
+Result<Graph> AddRandomEdges(const Graph& g, int64_t count, Rng* rng);
+
+// Builds a noisy alignment instance from a base graph per the options.
+Result<AlignmentProblem> MakeAlignmentProblem(const Graph& base,
+                                              const NoiseOptions& options,
+                                              Rng* rng);
+
+// Builds an instance from two related graphs with identity correspondence
+// (the real-ground-truth protocol of §6.5); permutes g2's labels.
+Result<AlignmentProblem> MakeProblemFromPair(const Graph& g1, const Graph& g2,
+                                             Rng* rng);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_NOISE_NOISE_H_

@@ -1,0 +1,541 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "align/cone.h"
+#include "align/graal.h"
+#include "align/grasp.h"
+#include "align/gw_common.h"
+#include "align/gwl.h"
+#include "align/isorank.h"
+#include "align/lrea.h"
+#include "align/nsd.h"
+#include "align/regal.h"
+#include "align/sgwl.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "linalg/sinkhorn.h"
+#include "metrics/metrics.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+namespace {
+
+// Shared fixtures: a powerlaw-cluster base graph with a permuted copy
+// (zero noise) and a 5%-one-way-noise variant. The accuracy thresholds below
+// were calibrated against this instance and mirror the paper's findings
+// (all algorithms recover isomorphic graphs; robustness ordering under
+// noise: GWL/S-GWL/CONE > GRAAL > IsoRank/NSD > REGAL/GRASP > LREA).
+class AlignFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(123);
+    auto base = PowerlawCluster(80, 3, 0.3, &rng);
+    GA_CHECK(base.ok());
+    base_ = new Graph(*base);
+    NoiseOptions clean;
+    clean.level = 0.0;
+    Rng r1(7);
+    auto p0 = MakeAlignmentProblem(*base_, clean, &r1);
+    GA_CHECK(p0.ok());
+    clean_ = new AlignmentProblem(*std::move(p0));
+    NoiseOptions noisy;
+    noisy.level = 0.05;
+    Rng r2(7);
+    auto p5 = MakeAlignmentProblem(*base_, noisy, &r2);
+    GA_CHECK(p5.ok());
+    noisy_ = new AlignmentProblem(*std::move(p5));
+  }
+
+  static const Graph* base_;
+  static const AlignmentProblem* clean_;
+  static const AlignmentProblem* noisy_;
+};
+
+const Graph* AlignFixture::base_ = nullptr;
+const AlignmentProblem* AlignFixture::clean_ = nullptr;
+const AlignmentProblem* AlignFixture::noisy_ = nullptr;
+
+double JvAccuracy(Aligner* aligner, const AlignmentProblem& prob) {
+  auto align =
+      aligner->Align(prob.g1, prob.g2, AssignmentMethod::kJonkerVolgenant);
+  GA_CHECK(align.ok());
+  return Accuracy(*align, prob.ground_truth);
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+
+TEST(AlignerFactoryTest, CreatesAllPaperAlgorithms) {
+  for (const std::string& name : AllAlignerNames()) {
+    auto aligner = MakeAligner(name);
+    ASSERT_TRUE(aligner.ok()) << name;
+    EXPECT_EQ((*aligner)->name(), name);
+  }
+  EXPECT_EQ(AllAlignerNames().size(), 9u);
+}
+
+TEST(AlignerFactoryTest, UnknownNameRejected) {
+  EXPECT_EQ(MakeAligner("FooAlign").status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized over all nine algorithms: common contract.
+
+class AllAlignersTest : public AlignFixture,
+                        public testing::WithParamInterface<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Paper, AllAlignersTest,
+                         testing::Values("IsoRank", "GRAAL", "NSD", "LREA",
+                                         "REGAL", "GWL", "S-GWL", "CONE",
+                                         "GRASP"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST_P(AllAlignersTest, RecoversIsomorphicGraphs) {
+  auto aligner = MakeAligner(GetParam());
+  ASSERT_TRUE(aligner.ok());
+  const double acc = JvAccuracy(aligner->get(), *clean_);
+  // GRASP's spectral embedding tolerates slightly below-perfect recovery on
+  // graphs with near-degenerate eigenspaces (paper: "almost consistently").
+  const double threshold = GetParam() == "GRASP" ? 0.85 : 0.95;
+  EXPECT_GE(acc, threshold) << GetParam();
+}
+
+TEST_P(AllAlignersTest, SimilarityShapeAndFiniteness) {
+  auto aligner = MakeAligner(GetParam());
+  ASSERT_TRUE(aligner.ok());
+  auto sim = (*aligner)->ComputeSimilarity(clean_->g1, clean_->g2);
+  ASSERT_TRUE(sim.ok()) << GetParam();
+  EXPECT_EQ(sim->rows(), clean_->g1.num_nodes());
+  EXPECT_EQ(sim->cols(), clean_->g2.num_nodes());
+  for (int i = 0; i < sim->rows(); ++i) {
+    for (int j = 0; j < sim->cols(); ++j) {
+      ASSERT_TRUE(std::isfinite((*sim)(i, j)))
+          << GetParam() << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(AllAlignersTest, RejectsEmptyGraphs) {
+  auto aligner = MakeAligner(GetParam());
+  ASSERT_TRUE(aligner.ok());
+  Graph empty;
+  EXPECT_FALSE((*aligner)->ComputeSimilarity(empty, clean_->g2).ok());
+  EXPECT_FALSE((*aligner)->ComputeSimilarity(clean_->g1, empty).ok());
+}
+
+TEST_P(AllAlignersTest, DeterministicAcrossRuns) {
+  auto a1 = MakeAligner(GetParam());
+  auto a2 = MakeAligner(GetParam());
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  auto s1 = (*a1)->ComputeSimilarity(noisy_->g1, noisy_->g2);
+  auto s2 = (*a2)->ComputeSimilarity(noisy_->g1, noisy_->g2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  for (int i = 0; i < s1->rows(); ++i) {
+    for (int j = 0; j < s1->cols(); ++j) {
+      ASSERT_DOUBLE_EQ((*s1)(i, j), (*s2)(i, j)) << GetParam();
+    }
+  }
+}
+
+TEST_P(AllAlignersTest, NativeAlignmentIsValid) {
+  auto aligner = MakeAligner(GetParam());
+  ASSERT_TRUE(aligner.ok());
+  auto align = (*aligner)->AlignNative(noisy_->g1, noisy_->g2);
+  ASSERT_TRUE(align.ok()) << GetParam();
+  ASSERT_EQ(static_cast<int>(align->size()), noisy_->g1.num_nodes());
+  for (int t : *align) {
+    EXPECT_GE(t, -1);
+    EXPECT_LT(t, noisy_->g2.num_nodes());
+  }
+}
+
+TEST_P(AllAlignersTest, BetterThanRandomUnderNoise) {
+  auto aligner = MakeAligner(GetParam());
+  ASSERT_TRUE(aligner.ok());
+  const double acc = JvAccuracy(aligner->get(), *noisy_);
+  // Random matching on 80 nodes scores ~1/80 = 0.0125.
+  EXPECT_GE(acc, 0.10) << GetParam();
+}
+
+// ---------------------------------------------------------------------------
+// Paper finding (§6.2/§6.3): robustness ordering and assignment effects.
+
+TEST_F(AlignFixture, GwFamilyIsMostNoiseRobust) {
+  for (const std::string& name : {"GWL", "S-GWL", "CONE"}) {
+    auto aligner = MakeAligner(name);
+    ASSERT_TRUE(aligner.ok());
+    EXPECT_GE(JvAccuracy(aligner->get(), *noisy_), 0.85) << name;
+  }
+}
+
+TEST_F(AlignFixture, JvBeatsSortGreedyForIsoRank) {
+  // §6.2: "NSD and IsoRank ... benefit significantly from using JV."
+  IsoRankAligner iso;
+  auto jv = iso.Align(noisy_->g1, noisy_->g2,
+                      AssignmentMethod::kJonkerVolgenant);
+  auto sg = iso.Align(noisy_->g1, noisy_->g2, AssignmentMethod::kSortGreedy);
+  ASSERT_TRUE(jv.ok() && sg.ok());
+  EXPECT_GT(Accuracy(*jv, noisy_->ground_truth),
+            Accuracy(*sg, noisy_->ground_truth) + 0.1);
+}
+
+TEST_F(AlignFixture, LreaCollapsesUnderNoiseButNotToZero) {
+  // §6.3: LREA is perfect on isomorphic graphs yet drops sharply with noise.
+  LreaAligner lrea;
+  const double clean_acc = JvAccuracy(&lrea, *clean_);
+  const double noisy_acc = JvAccuracy(&lrea, *noisy_);
+  EXPECT_GE(clean_acc, 0.95);
+  EXPECT_LT(noisy_acc, clean_acc - 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm-specific behavior.
+
+TEST(IsoRankTest, DegreePriorProperties) {
+  Rng rng(1);
+  auto g1 = BarabasiAlbert(30, 2, &rng);
+  auto g2 = BarabasiAlbert(30, 2, &rng);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  DenseMatrix e = DegreeSimilarityPrior(*g1, *g2);
+  for (int u = 0; u < 30; ++u) {
+    for (int v = 0; v < 30; ++v) {
+      ASSERT_GE(e(u, v), 0.0);
+      ASSERT_LE(e(u, v), 1.0);
+      if (g1->Degree(u) == g2->Degree(v)) {
+        EXPECT_DOUBLE_EQ(e(u, v), 1.0);
+      }
+    }
+  }
+}
+
+TEST(IsoRankTest, InvalidAlphaRejected) {
+  IsoRankOptions opt;
+  opt.alpha = 1.5;
+  IsoRankAligner iso(opt);
+  Rng rng(2);
+  auto g = ErdosRenyi(10, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(iso.ComputeSimilarity(*g, *g).ok());
+}
+
+TEST(NsdTest, InvalidOptionsRejected) {
+  Rng rng(3);
+  auto g = ErdosRenyi(10, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  NsdOptions bad_alpha;
+  bad_alpha.alpha = -0.1;
+  EXPECT_FALSE(NsdAligner(bad_alpha).ComputeSimilarity(*g, *g).ok());
+  NsdOptions bad_iters;
+  bad_iters.iterations = 0;
+  EXPECT_FALSE(NsdAligner(bad_iters).ComputeSimilarity(*g, *g).ok());
+}
+
+TEST(LreaTest, FactorsMultiplyToSimilarity) {
+  Rng rng(4);
+  auto g = ErdosRenyi(25, 0.2, &rng);
+  ASSERT_TRUE(g.ok());
+  LreaAligner lrea;
+  auto factors = lrea.ComputeFactors(*g, *g);
+  ASSERT_TRUE(factors.ok());
+  EXPECT_EQ(factors->u.rows(), 25);
+  EXPECT_EQ(factors->v.rows(), 25);
+  EXPECT_EQ(factors->u.cols(), factors->v.cols());
+  EXPECT_LE(factors->u.cols(), LreaOptions().max_rank);
+  auto sim = lrea.ComputeSimilarity(*g, *g);
+  ASSERT_TRUE(sim.ok());
+  DenseMatrix rec = MultiplyABt(factors->u, factors->v);
+  for (int i = 0; i < 25; ++i) {
+    for (int j = 0; j < 25; ++j) {
+      EXPECT_NEAR(rec(i, j), (*sim)(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(LreaTest, ScoreConstraintEnforced) {
+  LreaOptions opt;
+  opt.overlap_score = 1.0;
+  opt.noninform_score = 1.0;
+  opt.conflict_score = 0.5;  // c1 = 1 + 0.5 - 2 < 0.
+  LreaAligner lrea(opt);
+  Rng rng(5);
+  auto g = ErdosRenyi(10, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(lrea.ComputeSimilarity(*g, *g).ok());
+}
+
+TEST(LreaTest, NativeExtractionIsOneToOne) {
+  Rng rng(6);
+  auto base = BarabasiAlbert(50, 3, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.level = 0.02;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  LreaAligner lrea;
+  auto align = lrea.AlignNative(prob->g1, prob->g2);
+  ASSERT_TRUE(align.ok());
+  std::set<int> used;
+  for (int t : *align) {
+    if (t < 0) continue;
+    EXPECT_TRUE(used.insert(t).second) << "duplicate target " << t;
+  }
+}
+
+TEST(RegalTest, EmbeddingsAreRowNormalized) {
+  Rng rng(7);
+  auto g1 = BarabasiAlbert(40, 3, &rng);
+  auto g2 = BarabasiAlbert(40, 3, &rng);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  RegalAligner regal;
+  auto y = regal.ComputeEmbeddings(*g1, *g2);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->rows(), 80);
+  for (int i = 0; i < y->rows(); ++i) {
+    double norm = 0.0;
+    for (int j = 0; j < y->cols(); ++j) norm += (*y)(i, j) * (*y)(i, j);
+    // Rows are unit-norm or all-zero (isolated structural class).
+    EXPECT_TRUE(std::fabs(std::sqrt(norm) - 1.0) < 1e-9 || norm == 0.0);
+  }
+}
+
+TEST(RegalTest, SimilarityIsExpOfNegativeDistance) {
+  Rng rng(8);
+  auto g = BarabasiAlbert(30, 2, &rng);
+  ASSERT_TRUE(g.ok());
+  RegalAligner regal;
+  auto sim = regal.ComputeSimilarity(*g, *g);
+  ASSERT_TRUE(sim.ok());
+  for (int i = 0; i < sim->rows(); ++i) {
+    for (int j = 0; j < sim->cols(); ++j) {
+      ASSERT_GT((*sim)(i, j), 0.0);
+      ASSERT_LE((*sim)(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(GraspTest, HandlesDisconnectedGraphsWithoutCrashing) {
+  // §6.4: GRASP falters on disconnected graphs — but must not fail.
+  Rng rng(9);
+  auto c1 = ErdosRenyi(20, 0.3, &rng);
+  auto c2 = ErdosRenyi(20, 0.3, &rng);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  std::vector<Edge> edges;
+  for (const Edge& e : c1->Edges()) edges.push_back(e);
+  for (const Edge& e : c2->Edges()) edges.push_back({e.u + 20, e.v + 20});
+  auto disconnected = Graph::FromEdges(40, edges);
+  ASSERT_TRUE(disconnected.ok());
+  ASSERT_FALSE(disconnected->IsConnected());
+  GraspAligner grasp;
+  auto sim = grasp.ComputeSimilarity(*disconnected, *disconnected);
+  EXPECT_TRUE(sim.ok());
+}
+
+TEST(GraspTest, InvalidTimeRangeRejected) {
+  GraspOptions opt;
+  opt.t_min = 5.0;
+  opt.t_max = 1.0;
+  GraspAligner grasp(opt);
+  Rng rng(10);
+  auto g = ErdosRenyi(10, 0.4, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(grasp.ComputeSimilarity(*g, *g).ok());
+}
+
+TEST(GwCommonTest, TransportHasPrescribedMarginals) {
+  Rng rng(11);
+  auto g1 = ErdosRenyi(15, 0.3, &rng);
+  auto g2 = ErdosRenyi(18, 0.3, &rng);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  std::vector<double> mu = UniformMarginal(15);
+  std::vector<double> nu = UniformMarginal(18);
+  GwOptions opts;
+  auto t = GromovWassersteinTransport(g1->AdjacencyCsr(), g2->AdjacencyCsr(),
+                                      mu, nu, opts);
+  ASSERT_TRUE(t.ok());
+  // The Sinkhorn projection ends on the column update, so column marginals
+  // are exact and row marginals approximate.
+  for (int j = 0; j < 18; ++j) {
+    double col = 0.0;
+    for (int i = 0; i < 15; ++i) col += (*t)(i, j);
+    EXPECT_NEAR(col, nu[j], 1e-9);
+  }
+  for (int i = 0; i < 15; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < 18; ++j) row += (*t)(i, j);
+    EXPECT_NEAR(row, mu[i], 5e-3);
+  }
+}
+
+TEST(GwCommonTest, IdenticalGraphsHaveLowerObjectiveThanShuffled) {
+  Rng rng(12);
+  auto g = BarabasiAlbert(25, 2, &rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<double> mu = UniformMarginal(25);
+  GwOptions opts;
+  opts.outer_iterations = 50;
+  auto t = GromovWassersteinTransport(g->AdjacencyCsr(), g->AdjacencyCsr(),
+                                      mu, mu, opts);
+  ASSERT_TRUE(t.ok());
+  const double obj = GromovWassersteinObjective(
+      g->AdjacencyCsr(), g->AdjacencyCsr(), mu, mu, *t);
+  // Product coupling is strictly worse than the learned transport.
+  DenseMatrix product(25, 25, 1.0 / (25.0 * 25.0));
+  const double base = GromovWassersteinObjective(
+      g->AdjacencyCsr(), g->AdjacencyCsr(), mu, mu, product);
+  EXPECT_LT(obj, base);
+}
+
+TEST(GwCommonTest, InvalidInputsRejected) {
+  Rng rng(13);
+  auto g = ErdosRenyi(10, 0.4, &rng);
+  ASSERT_TRUE(g.ok());
+  GwOptions opts;
+  EXPECT_FALSE(GromovWassersteinTransport(g->AdjacencyCsr(),
+                                          g->AdjacencyCsr(),
+                                          UniformMarginal(5),
+                                          UniformMarginal(10), opts)
+                   .ok());
+  GwOptions bad_beta;
+  bad_beta.beta = 0.0;
+  EXPECT_FALSE(GromovWassersteinTransport(g->AdjacencyCsr(),
+                                          g->AdjacencyCsr(),
+                                          UniformMarginal(10),
+                                          UniformMarginal(10), bad_beta)
+                   .ok());
+}
+
+TEST(SgwlTest, RecursionHandlesLargerGraphs) {
+  Rng rng(14);
+  auto base = BarabasiAlbert(300, 3, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.level = 0.0;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  SgwlOptions sopt = SgwlOptions::ForSparseGraphs();  // BA(m=3) is sparse.
+  sopt.leaf_size = 64;  // Force at least one partitioning level.
+  SgwlAligner sgwl(sopt);
+  auto align = sgwl.Align(prob->g1, prob->g2,
+                          AssignmentMethod::kJonkerVolgenant);
+  ASSERT_TRUE(align.ok());
+  // Divide-and-conquer trades accuracy for scalability (paper §3.6); it
+  // must stay far above random (1/300 ~ 0.003).
+  EXPECT_GE(Accuracy(*align, prob->ground_truth), 0.2);
+}
+
+TEST(SgwlTest, SparsePresetUsesSmallerBeta) {
+  EXPECT_LT(SgwlOptions::ForSparseGraphs().gw.beta, SgwlOptions().gw.beta);
+}
+
+TEST(GraalTest, SimilarityWithinExpectedRange) {
+  Rng rng(15);
+  auto g = BarabasiAlbert(30, 2, &rng);
+  ASSERT_TRUE(g.ok());
+  GraalAligner graal;
+  auto sim = graal.ComputeSimilarity(*g, *g);
+  ASSERT_TRUE(sim.ok());
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 30; ++j) {
+      ASSERT_GE((*sim)(i, j), 0.0);
+      ASSERT_LE((*sim)(i, j), 2.0);
+    }
+    // Self-similarity of the signature part is maximal on identical graphs.
+    EXPECT_GT((*sim)(i, i), 0.75);
+  }
+}
+
+TEST(GraalTest, SignatureSimilarityIsPermutationInvariant) {
+  Rng rng(16);
+  auto g = ErdosRenyi(25, 0.2, &rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<int> perm = RandomPermutation(25, &rng);
+  auto pg = g->Permuted(perm);
+  ASSERT_TRUE(pg.ok());
+  auto sim = GraphletSignatureSimilarity(*g, *pg, 1'000'000);
+  ASSERT_TRUE(sim.ok());
+  for (int u = 0; u < 25; ++u) {
+    EXPECT_NEAR((*sim)(u, perm[u]), 1.0, 1e-12);
+  }
+}
+
+TEST(GraalTest, EnumerationBudgetSurfacesAsError) {
+  GraalOptions opt;
+  opt.max_subgraphs = 3;
+  GraalAligner graal(opt);
+  Rng rng(17);
+  auto g = ErdosRenyi(20, 0.5, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(graal.ComputeSimilarity(*g, *g).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ConeTest, InvalidOptionsRejected) {
+  ConeOptions opt;
+  opt.dim = 1;
+  ConeAligner cone(opt);
+  Rng rng(18);
+  auto g = ErdosRenyi(10, 0.4, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(cone.ComputeSimilarity(*g, *g).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Integration: every algorithm x every assignment method produces a valid
+// alignment on a small instance.
+
+class AssignmentSwapTest
+    : public testing::TestWithParam<std::tuple<std::string, AssignmentMethod>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AssignmentSwapTest,
+    testing::Combine(testing::ValuesIn(AllAlignerNames()),
+                     testing::Values(AssignmentMethod::kNearestNeighbor,
+                                     AssignmentMethod::kSortGreedy,
+                                     AssignmentMethod::kHungarian,
+                                     AssignmentMethod::kJonkerVolgenant)),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n + "_" + AssignmentMethodName(std::get<1>(info.param));
+    });
+
+TEST_P(AssignmentSwapTest, ProducesValidAlignment) {
+  const auto& [name, method] = GetParam();
+  Rng rng(19);
+  auto base = BarabasiAlbert(40, 2, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.level = 0.02;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  auto aligner = MakeAligner(name);
+  ASSERT_TRUE(aligner.ok());
+  auto align = (*aligner)->Align(prob->g1, prob->g2, method);
+  ASSERT_TRUE(align.ok()) << name;
+  ASSERT_EQ(align->size(), static_cast<size_t>(40));
+  std::set<int> used;
+  for (int t : *align) {
+    ASSERT_GE(t, -1);
+    ASSERT_LT(t, 40);
+    if (method != AssignmentMethod::kNearestNeighbor && t >= 0) {
+      EXPECT_TRUE(used.insert(t).second)
+          << name << "/" << AssignmentMethodName(method)
+          << " produced a duplicate match";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graphalign

@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assignment/assignment.h"
+#include "assignment/sparse_lap.h"
+#include "common/random.h"
+
+namespace graphalign {
+namespace {
+
+// Exhaustive optimal LAP value for small square matrices.
+double BruteForceBest(const DenseMatrix& sim) {
+  const int n = sim.rows();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1e300;
+  do {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i) s += sim(i, perm[i]);
+    best = std::max(best, s);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+bool IsOneToOne(const Alignment& a) {
+  std::set<int> used;
+  for (int x : a) {
+    if (x < 0) continue;
+    if (!used.insert(x).second) return false;
+  }
+  return true;
+}
+
+DenseMatrix RandomSim(int n, int m, Rng* rng) {
+  DenseMatrix s(n, m);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) s(i, j) = rng->Uniform();
+  }
+  return s;
+}
+
+TEST(NearestNeighborTest, PicksRowArgmax) {
+  DenseMatrix sim = DenseMatrix::FromRows({{0.1, 0.9}, {0.8, 0.2}});
+  auto a = NearestNeighborAssign(sim);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ((*a)[1], 0);
+}
+
+TEST(NearestNeighborTest, AllowsManyToOne) {
+  DenseMatrix sim = DenseMatrix::FromRows({{0.9, 0.1}, {0.8, 0.2}});
+  auto a = NearestNeighborAssign(sim);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0], 0);
+  EXPECT_EQ((*a)[1], 0);  // Same target twice: NN is many-to-one.
+}
+
+TEST(SortGreedyTest, OneToOneAndGreedyOrder) {
+  DenseMatrix sim = DenseMatrix::FromRows({{0.9, 0.8}, {0.85, 0.1}});
+  auto a = SortGreedyAssign(sim);
+  ASSERT_TRUE(a.ok());
+  // Greedy takes (0,0)=0.9 first, forcing (1,?)... 1's best left is col 1.
+  EXPECT_EQ((*a)[0], 0);
+  EXPECT_EQ((*a)[1], 1);
+  EXPECT_TRUE(IsOneToOne(*a));
+}
+
+TEST(SortGreedyTest, GreedyIsNotAlwaysOptimal) {
+  // Classic counterexample: greedy picks 1.0 then 0.0 (total 1.0);
+  // optimum is 0.9 + 0.9 = 1.8.
+  DenseMatrix sim = DenseMatrix::FromRows({{1.0, 0.9}, {0.9, 0.0}});
+  auto greedy = SortGreedyAssign(sim);
+  auto optimal = HungarianAssign(sim);
+  ASSERT_TRUE(greedy.ok() && optimal.ok());
+  EXPECT_LT(AlignmentScore(sim, *greedy), AlignmentScore(sim, *optimal));
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+    DenseMatrix sim = RandomSim(n, n, &rng);
+    auto a = HungarianAssign(sim);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(IsOneToOne(*a));
+    EXPECT_NEAR(AlignmentScore(sim, *a), BruteForceBest(sim), 1e-9);
+  }
+}
+
+TEST(JonkerVolgenantTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(uint64_t{5}));
+    DenseMatrix sim = RandomSim(n, n, &rng);
+    auto a = JonkerVolgenantAssign(sim);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(IsOneToOne(*a));
+    EXPECT_NEAR(AlignmentScore(sim, *a), BruteForceBest(sim), 1e-9);
+  }
+}
+
+TEST(LapSolversTest, HungarianAndJvAgreeOnLargerInstances) {
+  Rng rng(3);
+  for (int n : {10, 40, 120}) {
+    DenseMatrix sim = RandomSim(n, n, &rng);
+    auto h = HungarianAssign(sim);
+    auto jv = JonkerVolgenantAssign(sim);
+    ASSERT_TRUE(h.ok() && jv.ok());
+    EXPECT_NEAR(AlignmentScore(sim, *h), AlignmentScore(sim, *jv), 1e-8)
+        << "n=" << n;
+  }
+}
+
+TEST(LapSolversTest, RectangularMatrices) {
+  Rng rng(4);
+  // Wide: fewer sources than targets.
+  DenseMatrix wide = RandomSim(3, 6, &rng);
+  for (auto method : {AssignmentMethod::kHungarian,
+                      AssignmentMethod::kJonkerVolgenant,
+                      AssignmentMethod::kSortGreedy}) {
+    auto a = ExtractAlignment(wide, method);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(IsOneToOne(*a));
+    int matched = 0;
+    for (int x : *a) matched += (x >= 0);
+    EXPECT_EQ(matched, 3);
+  }
+  // Tall: more sources than targets — some sources stay unmatched.
+  DenseMatrix tall = RandomSim(6, 3, &rng);
+  for (auto method : {AssignmentMethod::kHungarian,
+                      AssignmentMethod::kJonkerVolgenant,
+                      AssignmentMethod::kSortGreedy}) {
+    auto a = ExtractAlignment(tall, method);
+    ASSERT_TRUE(a.ok());
+    EXPECT_TRUE(IsOneToOne(*a));
+    int matched = 0;
+    for (int x : *a) matched += (x >= 0);
+    EXPECT_EQ(matched, 3) << AssignmentMethodName(method);
+  }
+}
+
+TEST(LapSolversTest, OptimalBeatsOrTiesGreedyAlways) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    DenseMatrix sim = RandomSim(15, 15, &rng);
+    auto sg = SortGreedyAssign(sim);
+    auto jv = JonkerVolgenantAssign(sim);
+    ASSERT_TRUE(sg.ok() && jv.ok());
+    EXPECT_GE(AlignmentScore(sim, *jv), AlignmentScore(sim, *sg) - 1e-9);
+  }
+}
+
+TEST(LapSolversTest, NegativeSimilaritiesHandled) {
+  Rng rng(6);
+  DenseMatrix sim(8, 8);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) sim(i, j) = rng.Normal();
+  auto h = HungarianAssign(sim);
+  auto jv = JonkerVolgenantAssign(sim);
+  ASSERT_TRUE(h.ok() && jv.ok());
+  EXPECT_NEAR(AlignmentScore(sim, *h), AlignmentScore(sim, *jv), 1e-8);
+}
+
+TEST(LapSolversTest, IdentityOnDiagonalDominantMatrix) {
+  const int n = 50;
+  DenseMatrix sim(n, n, 0.1);
+  for (int i = 0; i < n; ++i) sim(i, i) = 1.0;
+  for (auto method :
+       {AssignmentMethod::kNearestNeighbor, AssignmentMethod::kSortGreedy,
+        AssignmentMethod::kHungarian, AssignmentMethod::kJonkerVolgenant}) {
+    auto a = ExtractAlignment(sim, method);
+    ASSERT_TRUE(a.ok());
+    for (int i = 0; i < n; ++i) EXPECT_EQ((*a)[i], i);
+  }
+}
+
+TEST(LapSolversTest, EmptyMatricesRejected) {
+  DenseMatrix empty(0, 0);
+  EXPECT_FALSE(NearestNeighborAssign(empty).ok());
+  EXPECT_FALSE(SortGreedyAssign(empty).ok());
+  EXPECT_FALSE(HungarianAssign(empty).ok());
+  EXPECT_FALSE(JonkerVolgenantAssign(empty).ok());
+}
+
+TEST(AssignmentMethodTest, Names) {
+  EXPECT_STREQ(AssignmentMethodName(AssignmentMethod::kNearestNeighbor), "NN");
+  EXPECT_STREQ(AssignmentMethodName(AssignmentMethod::kSortGreedy), "SG");
+  EXPECT_STREQ(AssignmentMethodName(AssignmentMethod::kHungarian), "MWM");
+  EXPECT_STREQ(AssignmentMethodName(AssignmentMethod::kJonkerVolgenant), "JV");
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LAP.
+
+TEST(SparseLapTest, MatchesDenseJvOnFullCandidateSet) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 12;
+    DenseMatrix sim = RandomSim(n, n, &rng);
+    std::vector<SparseCandidate> cands;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) cands.push_back({i, j, sim(i, j)});
+    auto sparse = SparseLapAssign(n, n, cands);
+    auto dense = JonkerVolgenantAssign(sim);
+    ASSERT_TRUE(sparse.ok() && dense.ok());
+    EXPECT_NEAR(AlignmentScore(sim, *sparse), AlignmentScore(sim, *dense),
+                1e-8);
+  }
+}
+
+TEST(SparseLapTest, RespectsCandidateRestrictions) {
+  // Only the anti-diagonal is allowed.
+  std::vector<SparseCandidate> cands = {{0, 2, 1.0}, {1, 1, 1.0}, {2, 0, 1.0}};
+  auto a = SparseLapAssign(3, 3, cands);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0], 2);
+  EXPECT_EQ((*a)[1], 1);
+  EXPECT_EQ((*a)[2], 0);
+}
+
+TEST(SparseLapTest, MaximizesCardinalityFirst) {
+  // Row 0 could grab col 0 (sim 10), leaving row 1 unmatched; max
+  // cardinality requires 0->1, 1->0.
+  std::vector<SparseCandidate> cands = {
+      {0, 0, 10.0}, {0, 1, 1.0}, {1, 0, 1.0}};
+  auto a = SparseLapAssign(2, 2, cands);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ((*a)[1], 0);
+}
+
+TEST(SparseLapTest, UnmatchableRowsGetMinusOne) {
+  std::vector<SparseCandidate> cands = {{0, 0, 1.0}, {1, 0, 2.0}};
+  auto a = SparseLapAssign(3, 1, cands);
+  ASSERT_TRUE(a.ok());
+  int matched = 0;
+  for (int x : *a) matched += (x >= 0);
+  EXPECT_EQ(matched, 1);
+  EXPECT_EQ((*a)[2], -1);
+  // The higher-similarity row wins the single column.
+  EXPECT_EQ((*a)[1], 0);
+}
+
+TEST(SparseLapTest, ValidatesInput) {
+  EXPECT_FALSE(SparseLapAssign(2, 2, {{5, 0, 1.0}}).ok());
+  EXPECT_FALSE(SparseLapAssign(2, 2, {{0, -1, 1.0}}).ok());
+  EXPECT_FALSE(SparseLapAssign(-1, 2, {}).ok());
+  EXPECT_FALSE(SparseLapAssign(2, 2, {{0, 0, std::nan("")}}).ok());
+  auto empty = SparseLapAssign(3, 3, {});
+  ASSERT_TRUE(empty.ok());
+  for (int x : *empty) EXPECT_EQ(x, -1);
+}
+
+TEST(SparseLapTest, LargeRandomAgreesWithDense) {
+  Rng rng(8);
+  const int n = 60;
+  DenseMatrix sim = RandomSim(n, n, &rng);
+  std::vector<SparseCandidate> cands;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) cands.push_back({i, j, sim(i, j)});
+  auto sparse = SparseLapAssign(n, n, cands);
+  auto dense = HungarianAssign(sim);
+  ASSERT_TRUE(sparse.ok() && dense.ok());
+  EXPECT_NEAR(AlignmentScore(sim, *sparse), AlignmentScore(sim, *dense), 1e-7);
+}
+
+}  // namespace
+}  // namespace graphalign

@@ -1,0 +1,183 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+
+namespace graphalign {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunTool(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"graphalign"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  std::ostringstream out, err;
+  int code = RunCli(static_cast<int>(argv.size()), argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/cli_" + name;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  CliResult r = RunTool({});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandRejected) {
+  CliResult r = RunTool({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRequiresFlags) {
+  CliResult r = RunTool({"generate", "--model", "ba"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("requires"), std::string::npos);
+}
+
+TEST(CliTest, GenerateUnknownModelFails) {
+  CliResult r = RunTool({"generate", "--model", "quantum", "--n", "10", "--out",
+                     TempPath("x.txt")});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown model"), std::string::npos);
+}
+
+TEST(CliTest, GenerateAllModels) {
+  for (const std::string& model : {"er", "ba", "ws", "nw", "pl", "geometric"}) {
+    const std::string path = TempPath("gen_" + model + ".txt");
+    CliResult r = RunTool({"generate", "--model", model, "--n", "50", "--out",
+                       path, "--seed", "3"});
+    EXPECT_EQ(r.exit_code, 0) << model << ": " << r.err;
+    EXPECT_NE(r.out.find("generated"), std::string::npos);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CliTest, FullPipelineRecoversAlignment) {
+  const std::string g1 = TempPath("p_g1.txt");
+  const std::string g2 = TempPath("p_g2.txt");
+  const std::string truth = TempPath("p_truth.txt");
+  const std::string mapping = TempPath("p_map.txt");
+
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "80", "--m", "3",
+                 "--seed", "5", "--out", g1})
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool({"perturb", "--in", g1, "--level", "0.02", "--seed", "6",
+                 "--out", g2, "--truth", truth})
+                .exit_code,
+            0);
+  CliResult align = RunTool({"align", "--g1", g1, "--g2", g2, "--algo", "GWL",
+                         "--assign", "JV", "--out", mapping});
+  ASSERT_EQ(align.exit_code, 0) << align.err;
+  EXPECT_NE(align.out.find("aligned"), std::string::npos);
+  EXPECT_NE(align.out.find("MNC="), std::string::npos);
+
+  CliResult eval = RunTool({"evaluate", "--g1", g1, "--g2", g2, "--mapping",
+                        mapping, "--truth", truth});
+  ASSERT_EQ(eval.exit_code, 0) << eval.err;
+  // GWL at 2% noise on BA(80,3) recovers nearly everything.
+  const size_t pos = eval.out.find("accuracy=");
+  ASSERT_NE(pos, std::string::npos);
+  const double acc = std::atof(eval.out.substr(pos + 9).c_str());
+  EXPECT_GE(acc, 0.9) << eval.out;
+
+  for (const std::string& p : {g1, g2, truth, mapping}) std::remove(p.c_str());
+}
+
+TEST(CliTest, AlignNativeExtraction) {
+  const std::string g1 = TempPath("n_g1.txt");
+  const std::string g2 = TempPath("n_g2.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "pl", "--n", "60", "--m", "3",
+                 "--seed", "9", "--out", g1})
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool({"perturb", "--in", g1, "--level", "0.02", "--out", g2})
+                .exit_code,
+            0);
+  CliResult r = RunTool({"align", "--g1", g1, "--g2", g2, "--algo", "REGAL",
+                     "--assign", "native"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  std::remove(g1.c_str());
+  std::remove(g2.c_str());
+}
+
+TEST(CliTest, AlignRejectsBadInputs) {
+  EXPECT_EQ(RunTool({"align", "--g1", "/nonexistent", "--g2", "/nonexistent",
+                 "--algo", "GWL"})
+                .exit_code,
+            1);
+  const std::string g1 = TempPath("bad_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "er", "--n", "20", "--p", "0.2",
+                 "--out", g1})
+                .exit_code,
+            0);
+  EXPECT_EQ(
+      RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NoSuchAlgo"}).exit_code,
+      1);
+  EXPECT_EQ(RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "GWL", "--assign",
+                 "XX"})
+                .exit_code,
+            1);
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, PerturbRejectsUnknownNoise) {
+  const std::string g1 = TempPath("noise_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "er", "--n", "20", "--p", "0.2",
+                 "--out", g1})
+                .exit_code,
+            0);
+  CliResult r =
+      RunTool({"perturb", "--in", g1, "--noise", "gamma-ray", "--out", g1});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown noise type"), std::string::npos);
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, StatsReportsBasics) {
+  const std::string g1 = TempPath("stats_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "40", "--m", "2",
+                 "--seed", "1", "--out", g1})
+                .exit_code,
+            0);
+  CliResult r = RunTool({"stats", "--in", g1});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("n=40"), std::string::npos);
+  EXPECT_NE(r.out.find("components="), std::string::npos);
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, EvaluateWithoutTruthGivesStructuralScoresOnly) {
+  const std::string g1 = TempPath("e_g1.txt");
+  const std::string mapping = TempPath("e_map.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "ws", "--n", "30", "--k", "4",
+                 "--seed", "2", "--out", g1})
+                .exit_code,
+            0);
+  {
+    std::ofstream f(mapping);
+    for (int i = 0; i < 30; ++i) f << i << " " << i << "\n";
+  }
+  CliResult r = RunTool({"evaluate", "--g1", g1, "--g2", g1, "--mapping", mapping});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("EC=1.000"), std::string::npos);
+  EXPECT_EQ(r.out.find("accuracy"), std::string::npos);
+  std::remove(g1.c_str());
+  std::remove(mapping.c_str());
+}
+
+}  // namespace
+}  // namespace graphalign

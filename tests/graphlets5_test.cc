@@ -1,0 +1,184 @@
+// Tests for the exact 5-node graphlet-orbit counter and the full 73-orbit
+// graphlet degree vector used by GRAAL's published signature.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/graal.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graphlets.h"
+
+namespace graphalign {
+namespace {
+
+Graph MustGraph(int n, const std::vector<Edge>& edges) {
+  auto g = Graph::FromEdges(n, edges);
+  GA_CHECK(g.ok());
+  return *std::move(g);
+}
+
+TEST(Graphlets5Test, PathP5HasTwoEndTwoMidOneCenterOrbit) {
+  // 0-1-2-3-4 path: orbits {ends}, {next-to-ends}, {center}.
+  Graph g = MustGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto orbits = CountGraphletOrbits5(g);
+  ASSERT_TRUE(orbits.ok());
+  // Each node participates in exactly one 5-node subgraph (the path itself).
+  std::vector<int> orbit_of(5, -1);
+  for (int v = 0; v < 5; ++v) {
+    double total = 0.0;
+    for (int o = 0; o < kNumOrbits5; ++o) {
+      total += (*orbits)(v, o);
+      if ((*orbits)(v, o) > 0) orbit_of[v] = o;
+    }
+    EXPECT_DOUBLE_EQ(total, 1.0);
+  }
+  EXPECT_EQ(orbit_of[0], orbit_of[4]);  // Ends share an orbit.
+  EXPECT_EQ(orbit_of[1], orbit_of[3]);  // Next-to-ends share an orbit.
+  EXPECT_NE(orbit_of[0], orbit_of[1]);
+  EXPECT_NE(orbit_of[1], orbit_of[2]);
+  EXPECT_NE(orbit_of[0], orbit_of[2]);
+}
+
+TEST(Graphlets5Test, CycleC5IsVertexTransitive) {
+  Graph g = MustGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  auto orbits = CountGraphletOrbits5(g);
+  ASSERT_TRUE(orbits.ok());
+  int the_orbit = -1;
+  for (int v = 0; v < 5; ++v) {
+    for (int o = 0; o < kNumOrbits5; ++o) {
+      if ((*orbits)(v, o) > 0) {
+        if (the_orbit == -1) the_orbit = o;
+        EXPECT_EQ(o, the_orbit) << "C5 must be a single orbit";
+        EXPECT_DOUBLE_EQ((*orbits)(v, o), 1.0);
+      }
+    }
+  }
+  ASSERT_NE(the_orbit, -1);
+}
+
+TEST(Graphlets5Test, CompleteK5IsVertexTransitiveAndLastOrbit) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) edges.push_back({i, j});
+  }
+  Graph g = MustGraph(5, edges);
+  auto orbits = CountGraphletOrbits5(g);
+  ASSERT_TRUE(orbits.ok());
+  // K5 is the densest graphlet, hence the highest-numbered orbit.
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ((*orbits)(v, kNumOrbits5 - 1), 1.0);
+    for (int o = 0; o < kNumOrbits5 - 1; ++o) {
+      EXPECT_DOUBLE_EQ((*orbits)(v, o), 0.0);
+    }
+  }
+}
+
+TEST(Graphlets5Test, StarS4CenterAndLeaves) {
+  Graph g = MustGraph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  auto orbits = CountGraphletOrbits5(g);
+  ASSERT_TRUE(orbits.ok());
+  int center_orbit = -1, leaf_orbit = -1;
+  for (int o = 0; o < kNumOrbits5; ++o) {
+    if ((*orbits)(0, o) > 0) center_orbit = o;
+    if ((*orbits)(1, o) > 0) leaf_orbit = o;
+  }
+  ASSERT_NE(center_orbit, -1);
+  ASSERT_NE(leaf_orbit, -1);
+  EXPECT_NE(center_orbit, leaf_orbit);
+  for (int leaf = 2; leaf <= 4; ++leaf) {
+    EXPECT_DOUBLE_EQ((*orbits)(leaf, leaf_orbit), 1.0);
+  }
+}
+
+TEST(Graphlets5Test, OrbitsInvariantUnderPermutation) {
+  Rng rng(71);
+  auto g = ErdosRenyi(25, 0.25, &rng);
+  ASSERT_TRUE(g.ok());
+  auto orbits = CountGraphletOrbits5(*g);
+  ASSERT_TRUE(orbits.ok());
+  std::vector<int> perm = RandomPermutation(25, &rng);
+  auto pg = g->Permuted(perm);
+  ASSERT_TRUE(pg.ok());
+  auto porbits = CountGraphletOrbits5(*pg);
+  ASSERT_TRUE(porbits.ok());
+  for (int v = 0; v < 25; ++v) {
+    for (int o = 0; o < kNumOrbits5; ++o) {
+      ASSERT_DOUBLE_EQ((*orbits)(v, o), (*porbits)(perm[v], o))
+          << "node " << v << " orbit " << o;
+    }
+  }
+}
+
+TEST(Graphlets5Test, TotalTouchesAreFiveTimesSubgraphCount) {
+  // Every connected 5-node subgraph contributes exactly 5 orbit touches.
+  Rng rng(73);
+  auto g = BarabasiAlbert(30, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  auto orbits = CountGraphletOrbits5(*g);
+  ASSERT_TRUE(orbits.ok());
+  double total = orbits->Sum();
+  EXPECT_DOUBLE_EQ(std::fmod(total, 5.0), 0.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Graphlets5Test, Full73ColumnGdv) {
+  Rng rng(79);
+  auto g = ErdosRenyi(20, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  auto gdv = CountGraphletOrbits73(*g);
+  ASSERT_TRUE(gdv.ok());
+  EXPECT_EQ(gdv->cols(), 73);
+  auto small = CountGraphletOrbits(*g);
+  ASSERT_TRUE(small.ok());
+  for (int v = 0; v < 20; ++v) {
+    for (int o = 0; o < kNumOrbits; ++o) {
+      EXPECT_DOUBLE_EQ((*gdv)(v, o), (*small)(v, o));
+    }
+  }
+}
+
+TEST(Graphlets5Test, BudgetEnforced) {
+  Rng rng(83);
+  auto g = ErdosRenyi(30, 0.4, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(CountGraphletOrbits5(*g, /*max_subgraphs=*/5).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(GraalFullGdvTest, SignatureStillPerfectOnIdenticalNodes) {
+  Rng rng(89);
+  auto g = ErdosRenyi(22, 0.25, &rng);
+  ASSERT_TRUE(g.ok());
+  std::vector<int> perm = RandomPermutation(22, &rng);
+  auto pg = g->Permuted(perm);
+  ASSERT_TRUE(pg.ok());
+  auto sim = GraphletSignatureSimilarity(*g, *pg, 10'000'000,
+                                         /*full_gdv=*/true);
+  ASSERT_TRUE(sim.ok());
+  for (int u = 0; u < 22; ++u) {
+    EXPECT_NEAR((*sim)(u, perm[u]), 1.0, 1e-12);
+  }
+}
+
+TEST(GraalFullGdvTest, OptionProducesValidAlignment) {
+  Rng rng(97);
+  auto base = PowerlawCluster(50, 3, 0.3, &rng);
+  ASSERT_TRUE(base.ok());
+  std::vector<int> perm = RandomPermutation(50, &rng);
+  auto pg = base->Permuted(perm);
+  ASSERT_TRUE(pg.ok());
+  GraalOptions opts;
+  opts.use_five_node_orbits = true;
+  GraalAligner graal(opts);
+  auto align = graal.Align(*base, *pg, AssignmentMethod::kJonkerVolgenant);
+  ASSERT_TRUE(align.ok());
+  int correct = 0;
+  for (int u = 0; u < 50; ++u) correct += ((*align)[u] == perm[u]);
+  EXPECT_GE(correct, 45);  // Near-perfect on isomorphic graphs.
+}
+
+}  // namespace
+}  // namespace graphalign

@@ -1,0 +1,298 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "metrics/metrics.h"
+#include "noise/noise.h"
+
+namespace graphalign {
+namespace {
+
+Graph MustGraph(int n, const std::vector<Edge>& edges) {
+  auto g = Graph::FromEdges(n, edges);
+  GA_CHECK(g.ok());
+  return *std::move(g);
+}
+
+Alignment IdentityAlignment(int n) {
+  Alignment a(n);
+  std::iota(a.begin(), a.end(), 0);
+  return a;
+}
+
+TEST(AccuracyTest, PerfectAndPartial) {
+  std::vector<int> truth = {2, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy({2, 0, 1}, truth), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({2, 1, 0}, truth), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({-1, -1, -1}, truth), 0.0);
+}
+
+TEST(MncTest, IdentityAlignmentOnIdenticalGraphsIsPerfect) {
+  Graph g = MustGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_DOUBLE_EQ(MeanMatchedNeighborhoodConsistency(g, g,
+                                                      IdentityAlignment(4)),
+                   1.0);
+}
+
+TEST(MncTest, UnmatchedNodesScoreZero) {
+  Graph g = MustGraph(3, {{0, 1}, {1, 2}});
+  Alignment a = {0, 1, -1};
+  double mnc = MeanMatchedNeighborhoodConsistency(g, g, a);
+  EXPECT_LT(mnc, 1.0);
+  EXPECT_GT(mnc, 0.0);
+}
+
+TEST(MncTest, HandComputedExample) {
+  // G1: path 0-1-2. Alignment swaps 0 and 2 (an automorphism of the path),
+  // so MNC must be perfect.
+  Graph g = MustGraph(3, {{0, 1}, {1, 2}});
+  Alignment a = {2, 1, 0};
+  EXPECT_DOUBLE_EQ(MeanMatchedNeighborhoodConsistency(g, g, a), 1.0);
+}
+
+TEST(MncTest, BadAlignmentScoresLow) {
+  // Star vs itself, but alignment maps center to a leaf.
+  Graph g = MustGraph(4, {{0, 1}, {0, 2}, {0, 3}});
+  Alignment a = {1, 0, 2, 3};
+  EXPECT_LT(MeanMatchedNeighborhoodConsistency(g, g, a), 0.7);
+}
+
+TEST(EdgeMetricsTest, PerfectAlignment) {
+  Graph g = MustGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  Alignment id = IdentityAlignment(5);
+  EXPECT_DOUBLE_EQ(EdgeCorrectness(g, g, id), 1.0);
+  EXPECT_DOUBLE_EQ(InducedConservedStructure(g, g, id), 1.0);
+  EXPECT_DOUBLE_EQ(SymmetricSubstructureScore(g, g, id), 1.0);
+}
+
+TEST(EdgeMetricsTest, HandComputedOverlap) {
+  // G1: triangle 0-1-2. G2: path 0-1-2 plus edge 0-2 missing.
+  Graph g1 = MustGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  Graph g2 = MustGraph(3, {{0, 1}, {1, 2}});
+  Alignment id = IdentityAlignment(3);
+  EdgeOverlap o = ComputeEdgeOverlap(g1, g2, id);
+  EXPECT_EQ(o.source_edges, 3);
+  EXPECT_EQ(o.preserved_edges, 2);
+  EXPECT_EQ(o.induced_edges, 2);
+  EXPECT_DOUBLE_EQ(EdgeCorrectness(g1, g2, id), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(InducedConservedStructure(g1, g2, id), 1.0);
+  EXPECT_DOUBLE_EQ(SymmetricSubstructureScore(g1, g2, id), 2.0 / 3.0);
+}
+
+TEST(EdgeMetricsTest, IcsPenalizesDenseTargetRegion) {
+  // G1: single edge into a K3 region of G2.
+  Graph g1 = MustGraph(3, {{0, 1}});
+  Graph g2 = MustGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  Alignment a = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(EdgeCorrectness(g1, g2, a), 1.0);  // EC blind to density.
+  EXPECT_DOUBLE_EQ(InducedConservedStructure(g1, g2, a), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(SymmetricSubstructureScore(g1, g2, a), 1.0 / 3.0);
+}
+
+TEST(EdgeMetricsTest, MetricsInvariantUnderConsistentRelabeling) {
+  Rng rng(1);
+  auto base = ErdosRenyi(30, 0.2, &rng);
+  ASSERT_TRUE(base.ok());
+  std::vector<int> perm = RandomPermutation(30, &rng);
+  auto g2 = base->Permuted(perm);
+  ASSERT_TRUE(g2.ok());
+  // Aligning along the permutation is perfect.
+  Alignment a(30);
+  for (int i = 0; i < 30; ++i) a[i] = perm[i];
+  EXPECT_DOUBLE_EQ(EdgeCorrectness(*base, *g2, a), 1.0);
+  EXPECT_DOUBLE_EQ(SymmetricSubstructureScore(*base, *g2, a), 1.0);
+  EXPECT_DOUBLE_EQ(MeanMatchedNeighborhoodConsistency(*base, *g2, a), 1.0);
+}
+
+TEST(EvaluateAlignmentTest, AggregatesAllMeasures) {
+  Graph g = MustGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Alignment id = IdentityAlignment(4);
+  std::vector<int> truth = {0, 1, 2, 3};
+  QualityReport r = EvaluateAlignment(g, g, id, truth);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.mnc, 1.0);
+  EXPECT_DOUBLE_EQ(r.ec, 1.0);
+  EXPECT_DOUBLE_EQ(r.ics, 1.0);
+  EXPECT_DOUBLE_EQ(r.s3, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Noise models.
+
+TEST(NoiseTest, RemoveRandomEdgesCount) {
+  Rng rng(2);
+  auto g = ErdosRenyi(50, 0.2, &rng);
+  ASSERT_TRUE(g.ok());
+  auto h = RemoveRandomEdges(*g, 20, &rng);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_edges(), g->num_edges() - 20);
+  // Removing more than |E| clamps.
+  auto all = RemoveRandomEdges(*g, g->num_edges() + 100, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_edges(), 0);
+  EXPECT_FALSE(RemoveRandomEdges(*g, -1, &rng).ok());
+}
+
+TEST(NoiseTest, RemovedEdgesAreSubset) {
+  Rng rng(3);
+  auto g = ErdosRenyi(30, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  auto h = RemoveRandomEdges(*g, 10, &rng);
+  ASSERT_TRUE(h.ok());
+  for (const Edge& e : h->Edges()) EXPECT_TRUE(g->HasEdge(e.u, e.v));
+}
+
+TEST(NoiseTest, KeepConnectedPreservesConnectivity) {
+  Rng rng(4);
+  auto g = BarabasiAlbert(100, 2, &rng);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->IsConnected());
+  auto h = RemoveRandomEdges(*g, 30, &rng, /*keep_connected=*/true);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->IsConnected());
+  EXPECT_LE(h->num_edges(), g->num_edges() - 1);
+}
+
+TEST(NoiseTest, AddRandomEdgesCountAndNovelty) {
+  Rng rng(5);
+  auto g = ErdosRenyi(40, 0.1, &rng);
+  ASSERT_TRUE(g.ok());
+  auto h = AddRandomEdges(*g, 25, &rng);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_edges(), g->num_edges() + 25);
+  for (const Edge& e : g->Edges()) EXPECT_TRUE(h->HasEdge(e.u, e.v));
+}
+
+TEST(NoiseTest, AddRandomEdgesClampsAtCompleteGraph) {
+  Rng rng(6);
+  Graph g = MustGraph(4, {{0, 1}});
+  auto h = AddRandomEdges(g, 100, &rng);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_edges(), 6);
+}
+
+TEST(NoiseTest, OneWayProblemStructure) {
+  Rng rng(7);
+  auto base = BarabasiAlbert(60, 3, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.type = NoiseType::kOneWay;
+  opts.level = 0.10;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  // Source untouched; target lost ~10% of edges.
+  EXPECT_EQ(prob->g1.num_edges(), base->num_edges());
+  const int64_t k = std::llround(0.10 * base->num_edges());
+  EXPECT_EQ(prob->g2.num_edges(), base->num_edges() - k);
+  // Ground truth is a permutation and maps surviving edges correctly.
+  std::vector<bool> seen(60, false);
+  for (int t : prob->ground_truth) {
+    ASSERT_GE(t, 0);
+    ASSERT_FALSE(seen[t]);
+    seen[t] = true;
+  }
+  for (const Edge& e : prob->g2.Edges()) {
+    (void)e;  // Every g2 edge must be the image of some base edge.
+  }
+  int preserved = 0;
+  for (const Edge& e : base->Edges()) {
+    if (prob->g2.HasEdge(prob->ground_truth[e.u], prob->ground_truth[e.v])) {
+      ++preserved;
+    }
+  }
+  EXPECT_EQ(preserved, prob->g2.num_edges());
+}
+
+TEST(NoiseTest, MultiModalKeepsEdgeCount) {
+  Rng rng(8);
+  auto base = BarabasiAlbert(60, 3, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.type = NoiseType::kMultiModal;
+  opts.level = 0.10;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  EXPECT_EQ(prob->g2.num_edges(), base->num_edges());
+  EXPECT_EQ(prob->g1.num_edges(), base->num_edges());
+}
+
+TEST(NoiseTest, TwoWayPerturbsBothGraphs) {
+  Rng rng(9);
+  auto base = BarabasiAlbert(60, 3, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.type = NoiseType::kTwoWay;
+  opts.level = 0.10;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  const int64_t k = std::llround(0.10 * base->num_edges());
+  EXPECT_EQ(prob->g1.num_edges(), base->num_edges() - k);
+  EXPECT_EQ(prob->g2.num_edges(), base->num_edges() - k);
+}
+
+TEST(NoiseTest, ZeroNoiseIsIsomorphicPair) {
+  Rng rng(10);
+  auto base = ErdosRenyi(40, 0.15, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.level = 0.0;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  // Aligning along ground truth gives all metrics = 1.
+  QualityReport r = EvaluateAlignment(prob->g1, prob->g2, prob->ground_truth,
+                                      prob->ground_truth);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.ec, 1.0);
+  EXPECT_DOUBLE_EQ(r.s3, 1.0);
+  EXPECT_DOUBLE_EQ(r.mnc, 1.0);
+}
+
+TEST(NoiseTest, NoPermuteKeepsIdentityTruth) {
+  Rng rng(11);
+  auto base = ErdosRenyi(20, 0.2, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.level = 0.05;
+  opts.permute = false;
+  auto prob = MakeAlignmentProblem(*base, opts, &rng);
+  ASSERT_TRUE(prob.ok());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(prob->ground_truth[i], i);
+}
+
+TEST(NoiseTest, InvalidLevelRejected) {
+  Rng rng(12);
+  auto base = ErdosRenyi(20, 0.2, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions opts;
+  opts.level = 1.5;
+  EXPECT_FALSE(MakeAlignmentProblem(*base, opts, &rng).ok());
+}
+
+TEST(NoiseTest, PairProblemRequiresSameSize) {
+  Rng rng(13);
+  auto a = ErdosRenyi(10, 0.3, &rng);
+  auto b = ErdosRenyi(12, 0.3, &rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(MakeProblemFromPair(*a, *b, &rng).ok());
+  auto c = ErdosRenyi(10, 0.3, &rng);
+  ASSERT_TRUE(c.ok());
+  auto prob = MakeProblemFromPair(*a, *c, &rng);
+  ASSERT_TRUE(prob.ok());
+  EXPECT_EQ(prob->g1.num_edges(), a->num_edges());
+  EXPECT_EQ(prob->g2.num_edges(), c->num_edges());
+}
+
+TEST(NoiseTest, NoiseTypeNames) {
+  EXPECT_STREQ(NoiseTypeName(NoiseType::kOneWay), "one-way");
+  EXPECT_STREQ(NoiseTypeName(NoiseType::kMultiModal), "multi-modal");
+  EXPECT_STREQ(NoiseTypeName(NoiseType::kTwoWay), "two-way");
+}
+
+}  // namespace
+}  // namespace graphalign

@@ -1,0 +1,123 @@
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "linalg/csr.h"
+#include "linalg/dense.h"
+
+namespace graphalign {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const int64_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  }, /*min_work=*/1);
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, BlocksAreContiguousAndOrderedWithinCall) {
+  // Each invocation receives a [lo, hi) range; ranges must not overlap.
+  const int64_t n = 5000;
+  std::vector<int> owner(n, -1);
+  std::atomic<int> next_id{0};
+  ParallelFor(n, [&](int64_t lo, int64_t hi) {
+    const int id = next_id.fetch_add(1);
+    for (int64_t i = lo; i < hi; ++i) {
+      ASSERT_EQ(owner[i], -1);
+      owner[i] = id;
+    }
+  }, 1);
+  for (int64_t i = 0; i < n; ++i) ASSERT_NE(owner[i], -1);
+}
+
+TEST(ParallelForTest, SmallWorkRunsInline) {
+  // With n below min_work there is exactly one invocation covering all.
+  int calls = 0;
+  ParallelFor(10, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+  }, /*min_work=*/100);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ZeroAndNegativeSizesAreNoOps) {
+  int calls = 0;
+  ParallelFor(0, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(-5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, ThreadCountIsPositive) {
+  EXPECT_GE(ParallelThreadCount(), 1);
+}
+
+TEST(ParallelForTest, RepeatedCallsAreStable) {
+  // Stress the pool handshake: many back-to-back parallel regions.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(1000, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    }, 1);
+    ASSERT_EQ(sum.load(), 999LL * 1000 / 2);
+  }
+}
+
+TEST(ParallelKernelsTest, GemmMatchesSequentialReference) {
+  Rng rng(5);
+  const int n = 257;  // Odd size to exercise uneven partitioning.
+  DenseMatrix a(n, n), b(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a(i, j) = rng.Normal();
+      b(i, j) = rng.Normal();
+    }
+  }
+  DenseMatrix c = Multiply(a, b);  // Possibly parallel.
+  // Sequential reference for a few sampled entries.
+  for (int trial = 0; trial < 50; ++trial) {
+    const int i = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int j = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    double s = 0.0;
+    for (int k = 0; k < n; ++k) s += a(i, k) * b(k, j);
+    ASSERT_NEAR(c(i, j), s, 1e-9);
+  }
+}
+
+TEST(ParallelKernelsTest, SpmmDeterministicAcrossRuns) {
+  Rng rng(6);
+  std::vector<Triplet> trip;
+  const int n = 400;
+  for (int k = 0; k < 4000; ++k) {
+    trip.push_back({static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n))),
+                    static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n))),
+                    rng.Normal()});
+  }
+  CsrMatrix s = CsrMatrix::FromTriplets(n, n, trip);
+  DenseMatrix x(n, 80);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 80; ++j) x(i, j) = rng.Normal();
+  }
+  DenseMatrix y1 = s.Multiply(x);
+  DenseMatrix y2 = s.Multiply(x);
+  // Byte-identical: the row partition fixes the floating-point order.
+  EXPECT_TRUE(y1 == y2);
+  DenseMatrix xt = x.Transposed();  // 80 x n, conformable for x * S.
+  DenseMatrix z1 = s.RightMultiplied(xt);
+  DenseMatrix z2 = s.RightMultiplied(xt);
+  EXPECT_TRUE(z1 == z2);
+}
+
+}  // namespace
+}  // namespace graphalign

@@ -1,0 +1,121 @@
+// Failure injection: every algorithm must either produce a valid result or
+// return a clean Status on degenerate inputs — never crash, hang, or emit
+// NaNs. Parameterized over all nine algorithms x pathological graph shapes.
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "metrics/metrics.h"
+
+namespace graphalign {
+namespace {
+
+Graph MustGraph(int n, const std::vector<Edge>& edges) {
+  auto g = Graph::FromEdges(n, edges);
+  GA_CHECK(g.ok());
+  return *std::move(g);
+}
+
+// Pathological shapes: names map to graph builders.
+Graph MakeShape(const std::string& shape) {
+  Rng rng(7);
+  if (shape == "single_edge") return MustGraph(2, {{0, 1}});
+  if (shape == "triangle") return MustGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  if (shape == "star") {
+    std::vector<Edge> e;
+    for (int i = 1; i < 12; ++i) e.push_back({0, i});
+    return MustGraph(12, e);
+  }
+  if (shape == "path") {
+    std::vector<Edge> e;
+    for (int i = 0; i + 1 < 12; ++i) e.push_back({i, i + 1});
+    return MustGraph(12, e);
+  }
+  if (shape == "complete") {
+    std::vector<Edge> e;
+    for (int i = 0; i < 10; ++i) {
+      for (int j = i + 1; j < 10; ++j) e.push_back({i, j});
+    }
+    return MustGraph(10, e);
+  }
+  if (shape == "isolated_nodes") {
+    // Half the nodes have no edges at all.
+    return MustGraph(16, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  }
+  if (shape == "two_components") {
+    return MustGraph(12, {{0, 1}, {1, 2}, {2, 0}, {6, 7}, {7, 8}, {8, 9},
+                          {9, 6}});
+  }
+  GA_CHECK_MSG(false, "unknown shape " + shape);
+  return Graph();
+}
+
+class RobustnessTest
+    : public testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RobustnessTest,
+    testing::Combine(testing::ValuesIn(AllAlignerNames()),
+                     testing::Values("single_edge", "triangle", "star", "path",
+                                     "complete", "isolated_nodes",
+                                     "two_components")),
+    [](const auto& info) {
+      std::string n = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST_P(RobustnessTest, NoCrashNoNanOnDegenerateShapes) {
+  const auto& [algo, shape] = GetParam();
+  Graph g = MakeShape(shape);
+  auto aligner = MakeAligner(algo);
+  ASSERT_TRUE(aligner.ok());
+  auto sim = (*aligner)->ComputeSimilarity(g, g);
+  if (!sim.ok()) {
+    // A clean error is acceptable on degenerate inputs.
+    SUCCEED() << algo << " on " << shape << ": " << sim.status().ToString();
+    return;
+  }
+  for (int i = 0; i < sim->rows(); ++i) {
+    for (int j = 0; j < sim->cols(); ++j) {
+      ASSERT_TRUE(std::isfinite((*sim)(i, j)))
+          << algo << " emitted non-finite similarity on " << shape;
+    }
+  }
+  // The alignment pipeline must complete too.
+  auto align = ExtractAlignment(*sim, AssignmentMethod::kJonkerVolgenant);
+  ASSERT_TRUE(align.ok());
+  QualityReport q = EvaluateAlignment(g, g, *align, *align);
+  EXPECT_GE(q.mnc, 0.0);
+  EXPECT_LE(q.mnc, 1.0);
+}
+
+TEST_P(RobustnessTest, MismatchedSizesHandled) {
+  const auto& [algo, shape] = GetParam();
+  if (shape != "star") return;  // One representative per algorithm suffices.
+  Graph small = MakeShape("triangle");
+  Graph big = MakeShape("complete");
+  auto aligner = MakeAligner(algo);
+  ASSERT_TRUE(aligner.ok());
+  auto sim = (*aligner)->ComputeSimilarity(small, big);
+  if (!sim.ok()) {
+    SUCCEED() << algo << ": " << sim.status().ToString();
+    return;
+  }
+  EXPECT_EQ(sim->rows(), small.num_nodes());
+  EXPECT_EQ(sim->cols(), big.num_nodes());
+  auto align = ExtractAlignment(*sim, AssignmentMethod::kJonkerVolgenant);
+  ASSERT_TRUE(align.ok());
+  int matched = 0;
+  for (int v : *align) matched += (v >= 0);
+  EXPECT_EQ(matched, small.num_nodes());
+}
+
+}  // namespace
+}  // namespace graphalign
