@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grasp_disconnect.dir/bench_ablation_grasp_disconnect.cc.o"
+  "CMakeFiles/bench_ablation_grasp_disconnect.dir/bench_ablation_grasp_disconnect.cc.o.d"
+  "bench_ablation_grasp_disconnect"
+  "bench_ablation_grasp_disconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grasp_disconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_isorank_prior.dir/bench_ablation_isorank_prior.cc.o"
+  "CMakeFiles/bench_ablation_isorank_prior.dir/bench_ablation_isorank_prior.cc.o.d"
+  "bench_ablation_isorank_prior"
+  "bench_ablation_isorank_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_isorank_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

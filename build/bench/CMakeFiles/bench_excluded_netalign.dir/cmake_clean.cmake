@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_excluded_netalign.dir/bench_excluded_netalign.cc.o"
+  "CMakeFiles/bench_excluded_netalign.dir/bench_excluded_netalign.cc.o.d"
+  "bench_excluded_netalign"
+  "bench_excluded_netalign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_excluded_netalign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

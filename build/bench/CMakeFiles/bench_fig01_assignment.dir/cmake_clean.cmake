@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_assignment.dir/bench_fig01_assignment.cc.o"
+  "CMakeFiles/bench_fig01_assignment.dir/bench_fig01_assignment.cc.o.d"
+  "bench_fig01_assignment"
+  "bench_fig01_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

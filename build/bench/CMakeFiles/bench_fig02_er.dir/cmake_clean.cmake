@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_er.dir/bench_fig02_er.cc.o"
+  "CMakeFiles/bench_fig02_er.dir/bench_fig02_er.cc.o.d"
+  "bench_fig02_er"
+  "bench_fig02_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_ba.dir/bench_fig03_ba.cc.o"
+  "CMakeFiles/bench_fig03_ba.dir/bench_fig03_ba.cc.o.d"
+  "bench_fig03_ba"
+  "bench_fig03_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_ws.dir/bench_fig04_ws.cc.o"
+  "CMakeFiles/bench_fig04_ws.dir/bench_fig04_ws.cc.o.d"
+  "bench_fig04_ws"
+  "bench_fig04_ws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_nw.dir/bench_fig05_nw.cc.o"
+  "CMakeFiles/bench_fig05_nw.dir/bench_fig05_nw.cc.o.d"
+  "bench_fig05_nw"
+  "bench_fig05_nw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_nw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_pl.dir/bench_fig06_pl.cc.o"
+  "CMakeFiles/bench_fig06_pl.dir/bench_fig06_pl.cc.o.d"
+  "bench_fig06_pl"
+  "bench_fig06_pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

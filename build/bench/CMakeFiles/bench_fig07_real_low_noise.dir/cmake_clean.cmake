@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_real_low_noise.dir/bench_fig07_real_low_noise.cc.o"
+  "CMakeFiles/bench_fig07_real_low_noise.dir/bench_fig07_real_low_noise.cc.o.d"
+  "bench_fig07_real_low_noise"
+  "bench_fig07_real_low_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_real_low_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_real_high_noise.
+# This may be replaced when dependencies are built.

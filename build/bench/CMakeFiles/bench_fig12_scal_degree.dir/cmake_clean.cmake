@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_scal_degree.dir/bench_fig12_scal_degree.cc.o"
+  "CMakeFiles/bench_fig12_scal_degree.dir/bench_fig12_scal_degree.cc.o.d"
+  "bench_fig12_scal_degree"
+  "bench_fig12_scal_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_scal_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

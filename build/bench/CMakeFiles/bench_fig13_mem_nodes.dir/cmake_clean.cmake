@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_mem_nodes.dir/bench_fig13_mem_nodes.cc.o"
+  "CMakeFiles/bench_fig13_mem_nodes.dir/bench_fig13_mem_nodes.cc.o.d"
+  "bench_fig13_mem_nodes"
+  "bench_fig13_mem_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_mem_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_aligners.cc" "bench/CMakeFiles/bench_micro_aligners.dir/bench_micro_aligners.cc.o" "gcc" "bench/CMakeFiles/bench_micro_aligners.dir/bench_micro_aligners.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/ga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ga_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/ga_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ga_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/ga_assignment.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

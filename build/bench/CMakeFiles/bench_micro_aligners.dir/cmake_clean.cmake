@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_aligners.dir/bench_micro_aligners.cc.o"
+  "CMakeFiles/bench_micro_aligners.dir/bench_micro_aligners.cc.o.d"
+  "bench_micro_aligners"
+  "bench_micro_aligners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_aligners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

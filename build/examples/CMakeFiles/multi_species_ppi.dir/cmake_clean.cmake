@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_species_ppi.dir/multi_species_ppi.cc.o"
+  "CMakeFiles/multi_species_ppi.dir/multi_species_ppi.cc.o.d"
+  "multi_species_ppi"
+  "multi_species_ppi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_species_ppi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

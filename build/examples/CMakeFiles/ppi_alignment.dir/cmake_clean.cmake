@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppi_alignment.dir/ppi_alignment.cc.o"
+  "CMakeFiles/ppi_alignment.dir/ppi_alignment.cc.o.d"
+  "ppi_alignment"
+  "ppi_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppi_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_deanonymization.dir/social_deanonymization.cc.o"
+  "CMakeFiles/social_deanonymization.dir/social_deanonymization.cc.o.d"
+  "social_deanonymization"
+  "social_deanonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_deanonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

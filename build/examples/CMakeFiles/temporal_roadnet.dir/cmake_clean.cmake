@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_roadnet.dir/temporal_roadnet.cc.o"
+  "CMakeFiles/temporal_roadnet.dir/temporal_roadnet.cc.o.d"
+  "temporal_roadnet"
+  "temporal_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/aligner.cc" "src/align/CMakeFiles/ga_align.dir/aligner.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/aligner.cc.o.d"
+  "/root/repo/src/align/cone.cc" "src/align/CMakeFiles/ga_align.dir/cone.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/cone.cc.o.d"
+  "/root/repo/src/align/graal.cc" "src/align/CMakeFiles/ga_align.dir/graal.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/graal.cc.o.d"
+  "/root/repo/src/align/grasp.cc" "src/align/CMakeFiles/ga_align.dir/grasp.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/grasp.cc.o.d"
+  "/root/repo/src/align/gw_common.cc" "src/align/CMakeFiles/ga_align.dir/gw_common.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/gw_common.cc.o.d"
+  "/root/repo/src/align/gwl.cc" "src/align/CMakeFiles/ga_align.dir/gwl.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/gwl.cc.o.d"
+  "/root/repo/src/align/isorank.cc" "src/align/CMakeFiles/ga_align.dir/isorank.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/isorank.cc.o.d"
+  "/root/repo/src/align/lrea.cc" "src/align/CMakeFiles/ga_align.dir/lrea.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/lrea.cc.o.d"
+  "/root/repo/src/align/multi.cc" "src/align/CMakeFiles/ga_align.dir/multi.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/multi.cc.o.d"
+  "/root/repo/src/align/netalign.cc" "src/align/CMakeFiles/ga_align.dir/netalign.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/netalign.cc.o.d"
+  "/root/repo/src/align/nsd.cc" "src/align/CMakeFiles/ga_align.dir/nsd.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/nsd.cc.o.d"
+  "/root/repo/src/align/regal.cc" "src/align/CMakeFiles/ga_align.dir/regal.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/regal.cc.o.d"
+  "/root/repo/src/align/sgwl.cc" "src/align/CMakeFiles/ga_align.dir/sgwl.cc.o" "gcc" "src/align/CMakeFiles/ga_align.dir/sgwl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ga_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/ga_assignment.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

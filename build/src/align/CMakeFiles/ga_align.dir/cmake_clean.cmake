@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_align.dir/aligner.cc.o"
+  "CMakeFiles/ga_align.dir/aligner.cc.o.d"
+  "CMakeFiles/ga_align.dir/cone.cc.o"
+  "CMakeFiles/ga_align.dir/cone.cc.o.d"
+  "CMakeFiles/ga_align.dir/graal.cc.o"
+  "CMakeFiles/ga_align.dir/graal.cc.o.d"
+  "CMakeFiles/ga_align.dir/grasp.cc.o"
+  "CMakeFiles/ga_align.dir/grasp.cc.o.d"
+  "CMakeFiles/ga_align.dir/gw_common.cc.o"
+  "CMakeFiles/ga_align.dir/gw_common.cc.o.d"
+  "CMakeFiles/ga_align.dir/gwl.cc.o"
+  "CMakeFiles/ga_align.dir/gwl.cc.o.d"
+  "CMakeFiles/ga_align.dir/isorank.cc.o"
+  "CMakeFiles/ga_align.dir/isorank.cc.o.d"
+  "CMakeFiles/ga_align.dir/lrea.cc.o"
+  "CMakeFiles/ga_align.dir/lrea.cc.o.d"
+  "CMakeFiles/ga_align.dir/multi.cc.o"
+  "CMakeFiles/ga_align.dir/multi.cc.o.d"
+  "CMakeFiles/ga_align.dir/netalign.cc.o"
+  "CMakeFiles/ga_align.dir/netalign.cc.o.d"
+  "CMakeFiles/ga_align.dir/nsd.cc.o"
+  "CMakeFiles/ga_align.dir/nsd.cc.o.d"
+  "CMakeFiles/ga_align.dir/regal.cc.o"
+  "CMakeFiles/ga_align.dir/regal.cc.o.d"
+  "CMakeFiles/ga_align.dir/sgwl.cc.o"
+  "CMakeFiles/ga_align.dir/sgwl.cc.o.d"
+  "libga_align.a"
+  "libga_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assignment/assignment.cc" "src/assignment/CMakeFiles/ga_assignment.dir/assignment.cc.o" "gcc" "src/assignment/CMakeFiles/ga_assignment.dir/assignment.cc.o.d"
+  "/root/repo/src/assignment/hungarian.cc" "src/assignment/CMakeFiles/ga_assignment.dir/hungarian.cc.o" "gcc" "src/assignment/CMakeFiles/ga_assignment.dir/hungarian.cc.o.d"
+  "/root/repo/src/assignment/jv.cc" "src/assignment/CMakeFiles/ga_assignment.dir/jv.cc.o" "gcc" "src/assignment/CMakeFiles/ga_assignment.dir/jv.cc.o.d"
+  "/root/repo/src/assignment/sparse_lap.cc" "src/assignment/CMakeFiles/ga_assignment.dir/sparse_lap.cc.o" "gcc" "src/assignment/CMakeFiles/ga_assignment.dir/sparse_lap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ga_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_assignment.dir/assignment.cc.o"
+  "CMakeFiles/ga_assignment.dir/assignment.cc.o.d"
+  "CMakeFiles/ga_assignment.dir/hungarian.cc.o"
+  "CMakeFiles/ga_assignment.dir/hungarian.cc.o.d"
+  "CMakeFiles/ga_assignment.dir/jv.cc.o"
+  "CMakeFiles/ga_assignment.dir/jv.cc.o.d"
+  "CMakeFiles/ga_assignment.dir/sparse_lap.cc.o"
+  "CMakeFiles/ga_assignment.dir/sparse_lap.cc.o.d"
+  "libga_assignment.a"
+  "libga_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

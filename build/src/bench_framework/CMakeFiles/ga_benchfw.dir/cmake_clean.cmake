@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_benchfw.dir/experiment.cc.o"
+  "CMakeFiles/ga_benchfw.dir/experiment.cc.o.d"
+  "libga_benchfw.a"
+  "libga_benchfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_benchfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

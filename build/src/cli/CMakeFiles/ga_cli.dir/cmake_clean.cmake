@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_cli.dir/cli.cc.o"
+  "CMakeFiles/ga_cli.dir/cli.cc.o.d"
+  "libga_cli.a"
+  "libga_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphalign.dir/main.cc.o"
+  "CMakeFiles/graphalign.dir/main.cc.o.d"
+  "graphalign"
+  "graphalign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphalign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

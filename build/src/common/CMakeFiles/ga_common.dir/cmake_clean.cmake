@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_common.dir/memory.cc.o"
+  "CMakeFiles/ga_common.dir/memory.cc.o.d"
+  "CMakeFiles/ga_common.dir/parallel.cc.o"
+  "CMakeFiles/ga_common.dir/parallel.cc.o.d"
+  "CMakeFiles/ga_common.dir/random.cc.o"
+  "CMakeFiles/ga_common.dir/random.cc.o.d"
+  "CMakeFiles/ga_common.dir/status.cc.o"
+  "CMakeFiles/ga_common.dir/status.cc.o.d"
+  "CMakeFiles/ga_common.dir/table.cc.o"
+  "CMakeFiles/ga_common.dir/table.cc.o.d"
+  "libga_common.a"
+  "libga_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/datasets.cc" "src/datasets/CMakeFiles/ga_datasets.dir/datasets.cc.o" "gcc" "src/datasets/CMakeFiles/ga_datasets.dir/datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/ga_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ga_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_datasets.dir/datasets.cc.o"
+  "CMakeFiles/ga_datasets.dir/datasets.cc.o.d"
+  "libga_datasets.a"
+  "libga_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_graph.dir/generators.cc.o"
+  "CMakeFiles/ga_graph.dir/generators.cc.o.d"
+  "CMakeFiles/ga_graph.dir/graph.cc.o"
+  "CMakeFiles/ga_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ga_graph.dir/graphlets.cc.o"
+  "CMakeFiles/ga_graph.dir/graphlets.cc.o.d"
+  "CMakeFiles/ga_graph.dir/io.cc.o"
+  "CMakeFiles/ga_graph.dir/io.cc.o.d"
+  "libga_graph.a"
+  "libga_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

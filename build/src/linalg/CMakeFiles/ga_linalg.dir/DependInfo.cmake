@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/csr.cc" "src/linalg/CMakeFiles/ga_linalg.dir/csr.cc.o" "gcc" "src/linalg/CMakeFiles/ga_linalg.dir/csr.cc.o.d"
+  "/root/repo/src/linalg/dense.cc" "src/linalg/CMakeFiles/ga_linalg.dir/dense.cc.o" "gcc" "src/linalg/CMakeFiles/ga_linalg.dir/dense.cc.o.d"
+  "/root/repo/src/linalg/eigen_sym.cc" "src/linalg/CMakeFiles/ga_linalg.dir/eigen_sym.cc.o" "gcc" "src/linalg/CMakeFiles/ga_linalg.dir/eigen_sym.cc.o.d"
+  "/root/repo/src/linalg/kdtree.cc" "src/linalg/CMakeFiles/ga_linalg.dir/kdtree.cc.o" "gcc" "src/linalg/CMakeFiles/ga_linalg.dir/kdtree.cc.o.d"
+  "/root/repo/src/linalg/sinkhorn.cc" "src/linalg/CMakeFiles/ga_linalg.dir/sinkhorn.cc.o" "gcc" "src/linalg/CMakeFiles/ga_linalg.dir/sinkhorn.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/linalg/CMakeFiles/ga_linalg.dir/svd.cc.o" "gcc" "src/linalg/CMakeFiles/ga_linalg.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_linalg.dir/csr.cc.o"
+  "CMakeFiles/ga_linalg.dir/csr.cc.o.d"
+  "CMakeFiles/ga_linalg.dir/dense.cc.o"
+  "CMakeFiles/ga_linalg.dir/dense.cc.o.d"
+  "CMakeFiles/ga_linalg.dir/eigen_sym.cc.o"
+  "CMakeFiles/ga_linalg.dir/eigen_sym.cc.o.d"
+  "CMakeFiles/ga_linalg.dir/kdtree.cc.o"
+  "CMakeFiles/ga_linalg.dir/kdtree.cc.o.d"
+  "CMakeFiles/ga_linalg.dir/sinkhorn.cc.o"
+  "CMakeFiles/ga_linalg.dir/sinkhorn.cc.o.d"
+  "CMakeFiles/ga_linalg.dir/svd.cc.o"
+  "CMakeFiles/ga_linalg.dir/svd.cc.o.d"
+  "libga_linalg.a"
+  "libga_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

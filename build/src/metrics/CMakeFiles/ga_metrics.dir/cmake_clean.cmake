@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_metrics.dir/metrics.cc.o"
+  "CMakeFiles/ga_metrics.dir/metrics.cc.o.d"
+  "libga_metrics.a"
+  "libga_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_noise.dir/noise.cc.o"
+  "CMakeFiles/ga_noise.dir/noise.cc.o.d"
+  "libga_noise.a"
+  "libga_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

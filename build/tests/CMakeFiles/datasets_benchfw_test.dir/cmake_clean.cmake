@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_benchfw_test.dir/datasets_benchfw_test.cc.o"
+  "CMakeFiles/datasets_benchfw_test.dir/datasets_benchfw_test.cc.o.d"
+  "datasets_benchfw_test"
+  "datasets_benchfw_test.pdb"
+  "datasets_benchfw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_benchfw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphlets5_test.dir/graphlets5_test.cc.o"
+  "CMakeFiles/graphlets5_test.dir/graphlets5_test.cc.o.d"
+  "graphlets5_test"
+  "graphlets5_test.pdb"
+  "graphlets5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphlets5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_noise_test.dir/metrics_noise_test.cc.o"
+  "CMakeFiles/metrics_noise_test.dir/metrics_noise_test.cc.o.d"
+  "metrics_noise_test"
+  "metrics_noise_test.pdb"
+  "metrics_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/assignment_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_noise_test[1]_include.cmake")
+include("/root/repo/build/tests/align_test[1]_include.cmake")
+include("/root/repo/build/tests/datasets_benchfw_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/graphlets5_test[1]_include.cmake")
