@@ -199,16 +199,21 @@ bench/CMakeFiles/bench_ablation_isorank_prior.dir/bench_ablation_isorank_prior.c
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/utility \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/status.h \
+ /usr/include/c++/12/iostream /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/linalg/dense.h \
- /usr/include/c++/12/cstddef /root/repo/src/graph/graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/linalg/csr.h /root/repo/bench/bench_util.h \
- /root/repo/src/align/sgwl.h /root/repo/src/align/gw_common.h \
+ /root/repo/src/linalg/dense.h /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/graph.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/linalg/csr.h \
+ /root/repo/bench/bench_util.h /root/repo/src/align/sgwl.h \
+ /root/repo/src/align/gw_common.h \
  /root/repo/src/bench_framework/experiment.h \
  /root/repo/src/metrics/metrics.h /root/repo/src/noise/noise.h \
  /root/repo/src/common/random.h /root/repo/src/common/table.h \

@@ -211,9 +211,13 @@ bench/CMakeFiles/bench_fig04_ws.dir/bench_fig04_ws.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/align/aligner.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /root/repo/src/linalg/dense.h /usr/include/c++/12/cstddef \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
  /root/repo/src/linalg/csr.h /root/repo/src/align/sgwl.h \

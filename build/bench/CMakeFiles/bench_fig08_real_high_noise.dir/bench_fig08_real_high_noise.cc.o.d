@@ -200,15 +200,18 @@ bench/CMakeFiles/bench_fig08_real_high_noise.dir/bench_fig08_real_high_noise.cc.
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/align/aligner.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/common/status.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/linalg/dense.h \
- /usr/include/c++/12/cstddef /root/repo/src/graph/graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/linalg/csr.h /root/repo/src/align/sgwl.h \
- /root/repo/src/align/gw_common.h \
+ /root/repo/src/linalg/dense.h /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/graph.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/linalg/csr.h \
+ /root/repo/src/align/sgwl.h /root/repo/src/align/gw_common.h \
  /root/repo/src/bench_framework/experiment.h \
  /root/repo/src/metrics/metrics.h /root/repo/src/noise/noise.h \
  /root/repo/src/common/random.h /root/repo/src/common/table.h \

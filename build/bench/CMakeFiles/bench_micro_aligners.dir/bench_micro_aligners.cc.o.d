@@ -212,12 +212,15 @@ bench/CMakeFiles/bench_micro_aligners.dir/bench_micro_aligners.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/variant \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/status.h \
+ /usr/include/c++/12/iostream /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/linalg/dense.h \
- /root/repo/src/graph/graph.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/linalg/csr.h \
- /root/repo/src/common/random.h /root/repo/src/graph/generators.h \
- /root/repo/src/noise/noise.h
+ /root/repo/src/linalg/dense.h /root/repo/src/graph/graph.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/linalg/csr.h /root/repo/src/common/random.h \
+ /root/repo/src/graph/generators.h /root/repo/src/noise/noise.h

@@ -227,15 +227,18 @@ bench/CMakeFiles/bench_table03_summary.dir/bench_table03_summary.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/align/aligner.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/linalg/dense.h \
- /usr/include/c++/12/cstddef /root/repo/src/graph/graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/linalg/csr.h /root/repo/src/align/sgwl.h \
- /root/repo/src/align/gw_common.h \
+ /root/repo/src/linalg/dense.h /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/graph.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/linalg/csr.h \
+ /root/repo/src/align/sgwl.h /root/repo/src/align/gw_common.h \
  /root/repo/src/bench_framework/experiment.h \
  /root/repo/src/metrics/metrics.h /root/repo/src/noise/noise.h \
  /root/repo/src/common/random.h /root/repo/src/common/table.h \
@@ -248,10 +251,7 @@ bench/CMakeFiles/bench_table03_summary.dir/bench_table03_summary.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/graph/generators.h \
+ /root/repo/src/common/timer.h /root/repo/src/graph/generators.h \
  /root/repo/bench/scalability.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h

@@ -208,17 +208,18 @@ src/cli/CMakeFiles/ga_cli.dir/cli.cc.o: /root/repo/src/cli/cli.cc \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/linalg/dense.h \
- /usr/include/c++/12/cstddef /root/repo/src/graph/graph.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/linalg/csr.h /root/repo/src/common/random.h \
- /root/repo/src/common/table.h /root/repo/src/common/timer.h \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /root/repo/src/graph/generators.h \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/iostream \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/linalg/dense.h /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/graph.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/linalg/csr.h \
+ /root/repo/src/common/random.h /root/repo/src/common/table.h \
+ /root/repo/src/common/timer.h /root/repo/src/graph/generators.h \
  /root/repo/src/graph/io.h /root/repo/src/metrics/metrics.h \
  /root/repo/src/noise/noise.h

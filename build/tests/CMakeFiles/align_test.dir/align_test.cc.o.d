@@ -317,6 +317,8 @@ tests/CMakeFiles/align_test.dir/align_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/align/aligner.h /root/repo/src/assignment/assignment.h \
+ /root/repo/src/common/deadline.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/status.h /root/repo/src/linalg/dense.h \
  /root/repo/src/graph/graph.h /usr/include/c++/12/span \
  /root/repo/src/linalg/csr.h /root/repo/src/align/cone.h \

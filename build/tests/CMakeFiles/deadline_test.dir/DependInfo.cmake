@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/deadline_test.cc" "tests/CMakeFiles/deadline_test.dir/deadline_test.cc.o" "gcc" "tests/CMakeFiles/deadline_test.dir/deadline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ga_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ga_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ga_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/ga_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/assignment/CMakeFiles/ga_assignment.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ga_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/ga_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/ga_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_framework/CMakeFiles/ga_benchfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/ga_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -323,4 +323,6 @@ tests/CMakeFiles/graph_test.dir/graph_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/graph/graph.h \
  /usr/include/c++/12/span /root/repo/src/linalg/csr.h \
  /root/repo/src/linalg/dense.h /root/repo/src/graph/graphlets.h \
+ /root/repo/src/common/deadline.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/graph/io.h

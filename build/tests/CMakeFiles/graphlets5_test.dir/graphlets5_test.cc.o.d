@@ -317,7 +317,9 @@ tests/CMakeFiles/graphlets5_test.dir/graphlets5_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/align/graal.h /root/repo/src/align/aligner.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/common/status.h \
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/common/status.h \
  /root/repo/src/linalg/dense.h /root/repo/src/graph/graph.h \
  /usr/include/c++/12/span /root/repo/src/linalg/csr.h \
  /root/repo/src/common/random.h /root/repo/src/graph/generators.h \

@@ -317,5 +317,7 @@ tests/CMakeFiles/linalg_test.dir/linalg_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/common/random.h /root/repo/src/linalg/csr.h \
  /root/repo/src/common/status.h /root/repo/src/linalg/dense.h \
- /root/repo/src/linalg/eigen_sym.h /root/repo/src/linalg/kdtree.h \
+ /root/repo/src/linalg/eigen_sym.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/linalg/kdtree.h \
  /root/repo/src/linalg/sinkhorn.h /root/repo/src/linalg/svd.h

@@ -322,4 +322,6 @@ tests/CMakeFiles/metrics_noise_test.dir/metrics_noise_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/graph/graph.h \
  /usr/include/c++/12/span /root/repo/src/linalg/csr.h \
  /root/repo/src/linalg/dense.h /root/repo/src/metrics/metrics.h \
- /root/repo/src/assignment/assignment.h /root/repo/src/noise/noise.h
+ /root/repo/src/assignment/assignment.h /root/repo/src/common/deadline.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/noise/noise.h

@@ -4,6 +4,8 @@ file(REMOVE_RECURSE
   "parallel_test"
   "parallel_test.pdb"
   "parallel_test[1]_tests.cmake"
+  "parallel_test[2]_tests.cmake"
+  "parallel_test[3]_tests.cmake"
 )
 
 # Per-language clean rules from dependency scanning.

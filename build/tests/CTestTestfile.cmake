@@ -16,4 +16,9 @@ include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/multi_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[2]_include.cmake")
+include("/root/repo/build/tests/parallel_test[3]_include.cmake")
 include("/root/repo/build/tests/graphlets5_test[1]_include.cmake")
+include("/root/repo/build/tests/deadline_test[1]_include.cmake")
+include("/root/repo/build/tests/deadline_test[2]_include.cmake")
+include("/root/repo/build/tests/deadline_test[3]_include.cmake")

@@ -19,10 +19,26 @@ Status Aligner::ValidateInputs(const Graph& g1, const Graph& g2) {
   return Status::Ok();
 }
 
+Result<DenseMatrix> Aligner::ComputeSimilarity(const Graph& g1,
+                                               const Graph& g2,
+                                               const Deadline& deadline) {
+  // Zero-budget fast fail: an already-expired deadline returns before any
+  // algorithm-specific work begins.
+  GA_RETURN_IF_EXPIRED(deadline, name());
+  return ComputeSimilarityImpl(g1, g2, deadline);
+}
+
 Result<Alignment> Aligner::Align(const Graph& g1, const Graph& g2,
-                                 AssignmentMethod method) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarity(g1, g2));
-  return ExtractAlignment(sim, method);
+                                 AssignmentMethod method,
+                                 const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarity(g1, g2, deadline));
+  return ExtractAlignment(sim, method, deadline);
+}
+
+Result<Alignment> Aligner::AlignNative(const Graph& g1, const Graph& g2,
+                                       const Deadline& deadline) {
+  GA_RETURN_IF_EXPIRED(deadline, name());
+  return AlignNativeImpl(g1, g2, deadline);
 }
 
 Result<std::unique_ptr<Aligner>> MakeAligner(const std::string& name) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "assignment/assignment.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "linalg/dense.h"
@@ -30,21 +31,40 @@ class Aligner {
   // The algorithm's core output: an n1 x n2 node-similarity matrix
   // (higher = more similar). This is the step whose runtime the paper's
   // scalability figures report (assignment excluded, §6.2).
-  virtual Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                                const Graph& g2) = 0;
+  //
+  // An expired `deadline` aborts the computation cooperatively with
+  // StatusCode::kDeadlineExceeded (the harness reports it as DNF, matching
+  // the paper's budget semantics). The default deadline never expires.
+  Result<DenseMatrix> ComputeSimilarity(const Graph& g1, const Graph& g2,
+                                        const Deadline& deadline = Deadline());
 
-  // Full pipeline with an explicit assignment method.
+  // Full pipeline with an explicit assignment method. The deadline covers
+  // both stages: similarity and assignment extraction. (The bench harness
+  // instead deadlines only the similarity stage, which is what the paper
+  // times and budgets, §6.2.)
   Result<Alignment> Align(const Graph& g1, const Graph& g2,
-                          AssignmentMethod method);
+                          AssignmentMethod method,
+                          const Deadline& deadline = Deadline());
 
-  // Full pipeline with the author-proposed extraction. Algorithms whose
-  // native extraction is not "similarity + LAP" (GRAAL's seed-and-extend,
-  // LREA's sparse union-of-matchings, S-GWL's recursion) override this.
-  virtual Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) {
-    return Align(g1, g2, default_assignment());
-  }
+  // Full pipeline with the author-proposed extraction (Table 1).
+  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2,
+                                const Deadline& deadline = Deadline());
 
  protected:
+  // Algorithm-specific similarity computation. Implementations poll the
+  // deadline at their outer-iteration boundaries and forward it to the
+  // iterative solvers they call.
+  virtual Result<DenseMatrix> ComputeSimilarityImpl(
+      const Graph& g1, const Graph& g2, const Deadline& deadline) = 0;
+
+  // Author-proposed extraction. Algorithms whose native extraction is not
+  // "similarity + LAP" (GRAAL's seed-and-extend, LREA's sparse
+  // union-of-matchings, CONE/REGAL's kd-tree greedy) override this.
+  virtual Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) {
+    return Align(g1, g2, default_assignment(), deadline);
+  }
+
   // Shared input validation: non-empty graphs.
   static Status ValidateInputs(const Graph& g1, const Graph& g2);
 };

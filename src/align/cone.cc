@@ -19,7 +19,8 @@ namespace {
 // Proximity embedding: top-d eigenpairs of M = sum_{r=1..T} Ahat^r / T,
 // scaled by sqrt(|lambda|). Ahat is the symmetric normalized adjacency.
 Result<DenseMatrix> ProximityEmbedding(const Graph& g, int dim, int window,
-                                       uint64_t seed) {
+                                       uint64_t seed,
+                                       const Deadline& deadline) {
   const int n = g.num_nodes();
   // Clamp well below n: with d ~ n the Procrustes rotation is flexible
   // enough to map anything onto anything and alignment signal vanishes.
@@ -40,7 +41,7 @@ Result<DenseMatrix> ProximityEmbedding(const Graph& g, int dim, int window,
   GA_ASSIGN_OR_RETURN(
       SymmetricEigenResult eig,
       LanczosEigen(op, n, d, SpectrumEnd::kLargest,
-                   std::min(n, std::max(2 * d + 20, 60)), seed));
+                   std::min(n, std::max(2 * d + 20, 60)), seed, deadline));
   DenseMatrix y = eig.eigenvectors;  // n x d
   for (int j = 0; j < y.cols(); ++j) {
     const double s = std::sqrt(std::fabs(eig.eigenvalues[j]));
@@ -65,7 +66,8 @@ void PadColumns(DenseMatrix* m, int cols) {
 }  // namespace
 
 Result<DenseMatrix> ConeAligner::AlignedEmbeddings(const Graph& g1,
-                                                   const Graph& g2) {
+                                                   const Graph& g2,
+                                                   const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.dim < 2 || options_.window < 1 ||
       options_.outer_iterations < 1) {
@@ -75,10 +77,12 @@ Result<DenseMatrix> ConeAligner::AlignedEmbeddings(const Graph& g1,
   const int n2 = g2.num_nodes();
   GA_ASSIGN_OR_RETURN(
       DenseMatrix y1,
-      ProximityEmbedding(g1, options_.dim, options_.window, options_.seed));
+      ProximityEmbedding(g1, options_.dim, options_.window, options_.seed,
+                         deadline));
   GA_ASSIGN_OR_RETURN(
       DenseMatrix y2,
-      ProximityEmbedding(g2, options_.dim, options_.window, options_.seed + 1));
+      ProximityEmbedding(g2, options_.dim, options_.window, options_.seed + 1,
+                         deadline));
   const int d = std::max(y1.cols(), y2.cols());
   PadColumns(&y1, d);
   PadColumns(&y2, d);
@@ -93,15 +97,19 @@ Result<DenseMatrix> ConeAligner::AlignedEmbeddings(const Graph& g1,
   DenseMatrix q = DenseMatrix::Identity(d);
   {
     DenseMatrix prior = DegreeSimilarityPrior(g1, g2);
-    auto t0 = SinkhornProject(prior, mu, nu, options_.sinkhorn_iterations);
+    auto t0 = SinkhornProject(prior, mu, nu, options_.sinkhorn_iterations,
+                              /*tolerance=*/1e-6, deadline);
     if (t0.ok()) {
       DenseMatrix target = Multiply(*t0, y2);
       target.Scale(static_cast<double>(n1));
-      auto q0 = ProcrustesRotation(y1, target);
+      auto q0 = ProcrustesRotation(y1, target, deadline);
       if (q0.ok()) q = *std::move(q0);
     }
   }
   for (int iter = 0; iter < options_.outer_iterations; ++iter) {
+    // One Wasserstein/Procrustes alternation per check: each costs
+    // O(n1 n2 d), so the overshoot is bounded by a single alternation.
+    GA_RETURN_IF_EXPIRED(deadline, "CONE");
     DenseMatrix y1q = Multiply(y1, q);  // n1 x d
     // Cost: squared Euclidean distances.
     DenseMatrix cost(n1, n2);
@@ -131,11 +139,12 @@ Result<DenseMatrix> ConeAligner::AlignedEmbeddings(const Graph& g1,
     SinkhornOptions sopt;
     sopt.epsilon = options_.epsilon;
     sopt.max_iters = options_.sinkhorn_iterations;
-    GA_ASSIGN_OR_RETURN(DenseMatrix t, SinkhornTransport(cost, mu, nu, sopt));
+    GA_ASSIGN_OR_RETURN(DenseMatrix t,
+                        SinkhornTransport(cost, mu, nu, sopt, deadline));
     // Procrustes: rotate Y1 onto the barycentric projection n1 * T * Y2.
     DenseMatrix target = Multiply(t, y2);
     target.Scale(static_cast<double>(n1));
-    GA_ASSIGN_OR_RETURN(q, ProcrustesRotation(y1, target));
+    GA_ASSIGN_OR_RETURN(q, ProcrustesRotation(y1, target, deadline));
   }
 
   DenseMatrix stacked(n1 + n2, d);
@@ -149,9 +158,10 @@ Result<DenseMatrix> ConeAligner::AlignedEmbeddings(const Graph& g1,
   return stacked;
 }
 
-Result<DenseMatrix> ConeAligner::ComputeSimilarity(const Graph& g1,
-                                                   const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix y, AlignedEmbeddings(g1, g2));
+Result<DenseMatrix> ConeAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix y, AlignedEmbeddings(g1, g2, deadline));
+  GA_RETURN_IF_EXPIRED(deadline, "CONE similarity");
   const int n1 = g1.num_nodes();
   const int n2 = g2.num_nodes();
   const int d = y.cols();
@@ -174,8 +184,11 @@ Result<DenseMatrix> ConeAligner::ComputeSimilarity(const Graph& g1,
   return sim;
 }
 
-Result<Alignment> ConeAligner::AlignNative(const Graph& g1, const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix y, AlignedEmbeddings(g1, g2));
+Result<Alignment> ConeAligner::AlignNativeImpl(const Graph& g1,
+                                               const Graph& g2,
+                                               const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix y, AlignedEmbeddings(g1, g2, deadline));
+  GA_RETURN_IF_EXPIRED(deadline, "CONE nearest-neighbor");
   const int n1 = g1.num_nodes();
   const int n2 = g2.num_nodes();
   DenseMatrix targets(n2, y.cols());

@@ -39,16 +39,19 @@ class ConeAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kNearestNeighbor;  // As proposed (Table 1).
   }
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+ protected:
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
   // Native extraction: k-d tree NN over the aligned embeddings.
-  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) override;
+  Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
+                                    const Deadline& deadline) override;
 
  private:
   // Returns embeddings of g1 (rows 0..n1-1, already rotated into g2's
   // subspace) stacked over embeddings of g2.
-  Result<DenseMatrix> AlignedEmbeddings(const Graph& g1, const Graph& g2);
+  Result<DenseMatrix> AlignedEmbeddings(const Graph& g1, const Graph& g2,
+                                        const Deadline& deadline);
 
   ConeOptions options_;
 };

@@ -40,15 +40,19 @@ std::vector<double> SignatureWeights(int total) {
 Result<DenseMatrix> GraphletSignatureSimilarity(const Graph& g1,
                                                 const Graph& g2,
                                                 int64_t max_subgraphs,
-                                                bool full_gdv) {
+                                                bool full_gdv,
+                                                const Deadline& deadline) {
   DenseMatrix o1, o2;
   if (full_gdv) {
-    GA_ASSIGN_OR_RETURN(o1, CountGraphletOrbits73(g1, max_subgraphs));
-    GA_ASSIGN_OR_RETURN(o2, CountGraphletOrbits73(g2, max_subgraphs));
+    GA_ASSIGN_OR_RETURN(o1, CountGraphletOrbits73(g1, max_subgraphs, deadline));
+    GA_ASSIGN_OR_RETURN(o2, CountGraphletOrbits73(g2, max_subgraphs, deadline));
   } else {
-    GA_ASSIGN_OR_RETURN(o1, CountGraphletOrbits(g1, max_subgraphs));
-    GA_ASSIGN_OR_RETURN(o2, CountGraphletOrbits(g2, max_subgraphs));
+    GA_ASSIGN_OR_RETURN(o1, CountGraphletOrbits(g1, max_subgraphs, deadline));
+    GA_ASSIGN_OR_RETURN(o2, CountGraphletOrbits(g2, max_subgraphs, deadline));
   }
+  // The signature-distance pass below is a single bounded parallel region
+  // (n1 * n2 * total flops); it is covered by the enclosing check interval.
+  GA_RETURN_IF_EXPIRED(deadline, "GRAAL signature");
   const int total = o1.cols();
   const std::vector<double> weights = SignatureWeights(total);
   const double weight_sum =
@@ -76,8 +80,8 @@ Result<DenseMatrix> GraphletSignatureSimilarity(const Graph& g1,
   return sim;
 }
 
-Result<DenseMatrix> GraalAligner::ComputeSimilarity(const Graph& g1,
-                                                    const Graph& g2) {
+Result<DenseMatrix> GraalAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.alpha < 0.0 || options_.alpha > 1.0) {
     return Status::InvalidArgument("GRAAL: alpha outside [0,1]");
@@ -85,7 +89,7 @@ Result<DenseMatrix> GraalAligner::ComputeSimilarity(const Graph& g1,
   GA_ASSIGN_OR_RETURN(
       DenseMatrix sig,
       GraphletSignatureSimilarity(g1, g2, options_.max_subgraphs,
-                                  options_.use_five_node_orbits));
+                                  options_.use_five_node_orbits, deadline));
   const double denom =
       std::max(1, g1.MaxDegree() + g2.MaxDegree());
   // Similarity = 2 - C = (1-alpha) degree term + alpha signature term,
@@ -103,8 +107,10 @@ Result<DenseMatrix> GraalAligner::ComputeSimilarity(const Graph& g1,
   return sim;
 }
 
-Result<Alignment> GraalAligner::AlignNative(const Graph& g1, const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarity(g1, g2));
+Result<Alignment> GraalAligner::AlignNativeImpl(const Graph& g1,
+                                                const Graph& g2,
+                                                const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarity(g1, g2, deadline));
   const int n1 = g1.num_nodes();
   const int n2 = g2.num_nodes();
   Alignment align(n1, -1);
@@ -135,6 +141,9 @@ Result<Alignment> GraalAligner::AlignNative(const Graph& g1, const Graph& g2) {
   };
 
   while (matched < target) {
+    // Each seed-and-extend round scans O(n1 * n2) for the seed, so checking
+    // once per round keeps the overshoot within one round.
+    GA_RETURN_IF_EXPIRED(deadline, "GRAAL seed-and-extend");
     // Seed: globally most similar unmatched pair.
     int su = -1, sv = -1;
     double best = -std::numeric_limits<double>::infinity();

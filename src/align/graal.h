@@ -39,12 +39,15 @@ class GraalAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kSortGreedy;  // As proposed (Table 1).
   }
+
+ protected:
   // Similarity = 2 - C(u,v), in [0, 2].
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
   // Native seed-and-extend extraction.
-  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) override;
+  Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
+                                    const Deadline& deadline) override;
 
  private:
   GraalOptions options_;
@@ -58,7 +61,9 @@ class GraalAligner : public Aligner {
 Result<DenseMatrix> GraphletSignatureSimilarity(const Graph& g1,
                                                 const Graph& g2,
                                                 int64_t max_subgraphs,
-                                                bool full_gdv = false);
+                                                bool full_gdv = false,
+                                                const Deadline& deadline =
+                                                    Deadline());
 
 }  // namespace graphalign
 

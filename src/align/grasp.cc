@@ -15,11 +15,13 @@ namespace {
 
 // k smallest eigenpairs of the normalized Laplacian. Dense path for small
 // graphs (exact), Lanczos otherwise.
-Result<SymmetricEigenResult> LaplacianEigs(const Graph& g, int k) {
+Result<SymmetricEigenResult> LaplacianEigs(const Graph& g, int k,
+                                           const Deadline& deadline) {
   const int n = g.num_nodes();
   if (n <= 1200) {
-    GA_ASSIGN_OR_RETURN(SymmetricEigenResult full,
-                        SymmetricEigen(g.NormalizedLaplacianDense()));
+    GA_ASSIGN_OR_RETURN(
+        SymmetricEigenResult full,
+        SymmetricEigen(g.NormalizedLaplacianDense(), deadline));
     SymmetricEigenResult out;
     out.eigenvalues.assign(full.eigenvalues.begin(),
                            full.eigenvalues.begin() + k);
@@ -39,7 +41,8 @@ Result<SymmetricEigenResult> LaplacianEigs(const Graph& g, int k) {
     for (size_t i = 0; i < x.size(); ++i) (*y)[i] = x[i] - (*y)[i];
   };
   const int steps = std::min(g.num_nodes(), std::max(4 * k, 80));
-  return LanczosEigen(op, n, k, SpectrumEnd::kSmallest, steps);
+  return LanczosEigen(op, n, k, SpectrumEnd::kSmallest, steps,
+                      /*seed=*/12345, deadline);
 }
 
 // Heat-kernel diagonals: F(v, s) = sum_j exp(-t_s lambda_j) phi_j(v)^2.
@@ -65,8 +68,8 @@ DenseMatrix HeatKernelDiagonals(const SymmetricEigenResult& eig,
 
 }  // namespace
 
-Result<DenseMatrix> GraspAligner::ComputeSimilarity(const Graph& g1,
-                                                    const Graph& g2) {
+Result<DenseMatrix> GraspAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.q < 2 || options_.t_min <= 0.0 ||
       options_.t_max <= options_.t_min) {
@@ -85,9 +88,9 @@ Result<DenseMatrix> GraspAligner::ComputeSimilarity(const Graph& g1,
           : std::max(k, std::min({options_.k_functions, n1 - 1, n2 - 1}));
 
   GA_ASSIGN_OR_RETURN(SymmetricEigenResult eig_full1,
-                      LaplacianEigs(g1, k_func));
+                      LaplacianEigs(g1, k_func, deadline));
   GA_ASSIGN_OR_RETURN(SymmetricEigenResult eig_full2,
-                      LaplacianEigs(g2, k_func));
+                      LaplacianEigs(g2, k_func, deadline));
   // The k smallest eigenpairs are the aligned basis.
   SymmetricEigenResult eig1, eig2;
   eig1.eigenvalues.assign(eig_full1.eigenvalues.begin(),
@@ -114,6 +117,9 @@ Result<DenseMatrix> GraspAligner::ComputeSimilarity(const Graph& g1,
         std::exp(log_min + (log_max - log_min) * s / (options_.q - 1));
   }
 
+  // The heat-kernel and descriptor passes below are bounded parallel
+  // regions; one check between the eigensolves and them bounds overshoot.
+  GA_RETURN_IF_EXPIRED(deadline, "GRASP descriptors");
   DenseMatrix f = HeatKernelDiagonals(eig_full1, times);  // n1 x q
   DenseMatrix g = HeatKernelDiagonals(eig_full2, times);  // n2 x q
 
@@ -125,7 +131,7 @@ Result<DenseMatrix> GraspAligner::ComputeSimilarity(const Graph& g1,
   // (solves min ||b_hat^T Q - a_hat^T||, M = Q^T).
   GA_ASSIGN_OR_RETURN(DenseMatrix q_rot,
                       ProcrustesRotation(b_hat.Transposed(),
-                                         a_hat.Transposed()));
+                                         a_hat.Transposed(), deadline));
   // Aligned target basis Psi' = Psi * Q (so that Psi'^T G = M Psi^T G).
   DenseMatrix psi_aligned = Multiply(eig2.eigenvectors, q_rot);
   DenseMatrix b_aligned = MultiplyAtB(psi_aligned, g);  // = M * b_hat

@@ -41,8 +41,9 @@ class GraspAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kJonkerVolgenant;  // As proposed (Table 1).
   }
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+ protected:
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
  private:
   GraspOptions options_;

@@ -55,7 +55,8 @@ CsrMatrix DenseToCsr(const DenseMatrix& m) {
 Result<DenseMatrix> GromovWassersteinTransport(
     const CsrMatrix& cs, const CsrMatrix& ct, const std::vector<double>& mu,
     const std::vector<double>& nu, const GwOptions& options,
-    const DenseMatrix* extra_cost, const DenseMatrix* initial_transport) {
+    const DenseMatrix* extra_cost, const DenseMatrix* initial_transport,
+    const Deadline& deadline) {
   const int n1 = cs.rows();
   const int n2 = ct.rows();
   if (cs.rows() != cs.cols() || ct.rows() != ct.cols()) {
@@ -88,6 +89,9 @@ Result<DenseMatrix> GromovWassersteinTransport(
   }
 
   for (int iter = 0; iter < options.outer_iterations; ++iter) {
+    // Each proximal step costs O(nnz * n2 + n1 * n2), so checking every
+    // iteration bounds overshoot by one step.
+    GA_RETURN_IF_EXPIRED(deadline, "GW transport");
     DenseMatrix grad = GwGradient(cs, cs2, ct, ct2, mu, nu, t);
     if (extra_cost != nullptr) grad.Axpy(1.0, *extra_cost);
     // Proximal kernel K = T .* exp(-grad/beta), stabilized by the row-wise
@@ -110,7 +114,8 @@ Result<DenseMatrix> GromovWassersteinTransport(
     }
     GA_ASSIGN_OR_RETURN(
         DenseMatrix next,
-        SinkhornProject(kernel, mu, nu, options.sinkhorn_iterations));
+        SinkhornProject(kernel, mu, nu, options.sinkhorn_iterations,
+                        /*tolerance=*/1e-6, deadline));
     DenseMatrix delta = next;
     delta.Axpy(-1.0, t);
     const double change = delta.MaxAbs();

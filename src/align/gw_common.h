@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "linalg/csr.h"
 #include "linalg/dense.h"
@@ -32,7 +33,8 @@ Result<DenseMatrix> GromovWassersteinTransport(
     const CsrMatrix& cs, const CsrMatrix& ct, const std::vector<double>& mu,
     const std::vector<double>& nu, const GwOptions& options,
     const DenseMatrix* extra_cost = nullptr,
-    const DenseMatrix* initial_transport = nullptr);
+    const DenseMatrix* initial_transport = nullptr,
+    const Deadline& deadline = Deadline());
 
 // GW objective value <L(Cs, Ct, T), T> under squared loss (for tests and
 // barycenter orientation decisions).

@@ -66,8 +66,8 @@ void UpdateEmbeddings(const DenseMatrix& t, DenseMatrix* x1,
 
 }  // namespace
 
-Result<DenseMatrix> GwlAligner::ComputeSimilarity(const Graph& g1,
-                                                  const Graph& g2) {
+Result<DenseMatrix> GwlAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.epochs < 1 || options_.embedding_dim < 1) {
     return Status::InvalidArgument("GWL: bad options");
@@ -94,6 +94,7 @@ Result<DenseMatrix> GwlAligner::ComputeSimilarity(const Graph& g1,
     for (int j = 0; j < n2; ++j) t(i, j) = mu[i] * nu[j];
   }
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    GA_RETURN_IF_EXPIRED(deadline, "GWL");
     // The embedding (Wasserstein) term enters from the second epoch, once
     // the transport has shaped the embeddings.
     DenseMatrix extra;
@@ -104,7 +105,7 @@ Result<DenseMatrix> GwlAligner::ComputeSimilarity(const Graph& g1,
     }
     GA_ASSIGN_OR_RETURN(
         t, GromovWassersteinTransport(cs, ct, mu, nu, options_.gw, extra_ptr,
-                                      &t));
+                                      &t, deadline));
     UpdateEmbeddings(t, &x1, x2, /*lr=*/0.5);
     DenseMatrix tt = t.Transposed();
     UpdateEmbeddings(tt, &x2, x1, /*lr=*/0.5);

@@ -34,9 +34,10 @@ class GwlAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kNearestNeighbor;  // As proposed (Table 1).
   }
+ protected:
   // Similarity = the learned transport plan (scaled to max 1).
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
  private:
   GwlOptions options_;

@@ -23,8 +23,8 @@ DenseMatrix DegreeSimilarityPrior(const Graph& g1, const Graph& g2) {
   return e;
 }
 
-Result<DenseMatrix> IsoRankAligner::ComputeSimilarity(const Graph& g1,
-                                                      const Graph& g2) {
+Result<DenseMatrix> IsoRankAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.alpha < 0.0 || options_.alpha > 1.0) {
     return Status::InvalidArgument("IsoRank: alpha outside [0,1]");
@@ -43,6 +43,7 @@ Result<DenseMatrix> IsoRankAligner::ComputeSimilarity(const Graph& g1,
 
   DenseMatrix r = prior;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    GA_RETURN_IF_EXPIRED(deadline, "IsoRank");
     // M r = (A D_A^-1) r (D_B^-1 B) = RW_A^T * r * RW_B.
     DenseMatrix next = rw2.RightMultiplied(rw1.MultiplyTransposed(r));
     next.Scale(options_.alpha);

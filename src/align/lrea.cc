@@ -32,11 +32,12 @@ DenseMatrix AppendColumns(const DenseMatrix& m,
 
 // Compresses X = U V^T to rank <= max_rank via thin QR of both factors and
 // SVD of the small core R_u R_v^T.
-Status Compress(int max_rank, DenseMatrix* u, DenseMatrix* v) {
-  GA_ASSIGN_OR_RETURN(QrResult qu, ThinQr(*u));
-  GA_ASSIGN_OR_RETURN(QrResult qv, ThinQr(*v));
+Status Compress(int max_rank, const Deadline& deadline, DenseMatrix* u,
+                DenseMatrix* v) {
+  GA_ASSIGN_OR_RETURN(QrResult qu, ThinQr(*u, /*tol=*/1e-12, deadline));
+  GA_ASSIGN_OR_RETURN(QrResult qv, ThinQr(*v, /*tol=*/1e-12, deadline));
   DenseMatrix core = MultiplyABt(qu.r, qv.r);  // ru x rv
-  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(core));
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(core, deadline));
   const int r = std::min(
       max_rank, static_cast<int>(svd.singular_values.size()));
   // U <- Qu * U_core * sqrt(S), V <- Qv * V_core * sqrt(S).
@@ -53,8 +54,8 @@ Status Compress(int max_rank, DenseMatrix* u, DenseMatrix* v) {
 
 }  // namespace
 
-Result<LreaAligner::Factors> LreaAligner::ComputeFactors(const Graph& g1,
-                                                         const Graph& g2) {
+Result<LreaAligner::Factors> LreaAligner::ComputeFactors(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.iterations < 1 || options_.max_rank < 1) {
     return Status::InvalidArgument("LREA: bad options");
@@ -77,6 +78,7 @@ Result<LreaAligner::Factors> LreaAligner::ComputeFactors(const Graph& g1,
   DenseMatrix v(n2, 1, 1.0 / std::sqrt(static_cast<double>(n2)));
 
   for (int iter = 0; iter < options_.iterations; ++iter) {
+    GA_RETURN_IF_EXPIRED(deadline, "LREA");
     // Factored application of Eq. 7 with E = all-ones:
     //   term1 = c1 (A U)(B V)^T
     //   term2 = c2 (A U s_v) 1^T          with s_v = V^T 1
@@ -119,7 +121,7 @@ Result<LreaAligner::Factors> LreaAligner::ComputeFactors(const Graph& g1,
     std::vector<double> c3vec(n2, c3 * susv);
     DenseMatrix new_u = AppendColumns(au_scaled, {t2, ones1, ones1});
     DenseMatrix new_v = AppendColumns(bv, {ones2, t3, c3vec});
-    GA_RETURN_IF_ERROR(Compress(options_.max_rank, &new_u, &new_v));
+    GA_RETURN_IF_ERROR(Compress(options_.max_rank, deadline, &new_u, &new_v));
     // Normalize ||X||_F = sqrt(sum of sigma^2); factors carry sqrt(sigma),
     // so scale both by the fourth root of the squared Frobenius norm.
     double fro2 = 0.0;
@@ -137,14 +139,16 @@ Result<LreaAligner::Factors> LreaAligner::ComputeFactors(const Graph& g1,
   return Factors{std::move(u), std::move(v)};
 }
 
-Result<DenseMatrix> LreaAligner::ComputeSimilarity(const Graph& g1,
-                                                   const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2));
+Result<DenseMatrix> LreaAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2, deadline));
   return MultiplyABt(f.u, f.v);
 }
 
-Result<Alignment> LreaAligner::AlignNative(const Graph& g1, const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2));
+Result<Alignment> LreaAligner::AlignNativeImpl(const Graph& g1,
+                                               const Graph& g2,
+                                               const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2, deadline));
   const int n1 = f.u.rows();
   const int n2 = f.v.rows();
   const int r = f.u.cols();
@@ -175,7 +179,7 @@ Result<Alignment> LreaAligner::AlignNative(const Graph& g1, const Graph& g2) {
     for (int c = 0; c < r; ++c) sim += f.u(i, c) * f.v(j, c);
     candidates.push_back({i, j, sim});
   }
-  return SparseLapAssign(n1, n2, candidates);
+  return SparseLapAssign(n1, n2, candidates, deadline);
 }
 
 }  // namespace graphalign

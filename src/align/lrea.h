@@ -35,19 +35,22 @@ class LreaAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kHungarian;  // "MWM" (Table 1).
   }
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
-
   // The low-rank factors X = U V^T without densification.
   struct Factors {
     DenseMatrix u;  // n1 x r
     DenseMatrix v;  // n2 x r
   };
-  Result<Factors> ComputeFactors(const Graph& g1, const Graph& g2);
+  Result<Factors> ComputeFactors(const Graph& g1, const Graph& g2,
+                                 const Deadline& deadline = Deadline());
+
+ protected:
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
   // Native extraction: union of sorted matchings over the rank-1 components,
   // solved as an optimal sparse LAP (the authors' scalable path).
-  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) override;
+  Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
+                                    const Deadline& deadline) override;
 
  private:
   LreaOptions options_;

@@ -59,15 +59,17 @@ CandidateGraph BuildCandidates(const Graph& g1, const Graph& g2,
 }
 
 // Scores after damped neighborhood reinforcement over squares.
-std::vector<double> ReinforceScores(const Graph& g1, const Graph& g2,
-                                    const CandidateGraph& cg,
-                                    const NetAlignOptions& options) {
+Result<std::vector<double>> ReinforceScores(const Graph& g1, const Graph& g2,
+                                            const CandidateGraph& cg,
+                                            const NetAlignOptions& options,
+                                            const Deadline& deadline) {
   const size_t m = cg.row.size();
   std::vector<double> score(m);
   for (size_t k = 0; k < m; ++k) score[k] = options.alpha * cg.prior[k];
 
   std::vector<double> next(m);
   for (int iter = 0; iter < options.iterations; ++iter) {
+    GA_RETURN_IF_EXPIRED(deadline, "NetAlign reinforcement");
     // Normalize to unit max so beta acts as a relative weight.
     double mx = 0.0;
     for (double s : score) mx = std::max(mx, s);
@@ -94,8 +96,8 @@ std::vector<double> ReinforceScores(const Graph& g1, const Graph& g2,
 
 }  // namespace
 
-Result<DenseMatrix> NetAlignAligner::ComputeSimilarity(const Graph& g1,
-                                                       const Graph& g2) {
+Result<DenseMatrix> NetAlignAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.candidates_per_node < 1 || options_.iterations < 0 ||
       options_.damping < 0.0 || options_.damping >= 1.0) {
@@ -103,7 +105,8 @@ Result<DenseMatrix> NetAlignAligner::ComputeSimilarity(const Graph& g1,
   }
   CandidateGraph cg =
       BuildCandidates(g1, g2, options_.candidates_per_node);
-  std::vector<double> score = ReinforceScores(g1, g2, cg, options_);
+  GA_ASSIGN_OR_RETURN(std::vector<double> score,
+                      ReinforceScores(g1, g2, cg, options_, deadline));
   DenseMatrix sim(g1.num_nodes(), g2.num_nodes());
   for (size_t k = 0; k < cg.row.size(); ++k) {
     sim(cg.row[k], cg.col[k]) = score[k];
@@ -111,8 +114,9 @@ Result<DenseMatrix> NetAlignAligner::ComputeSimilarity(const Graph& g1,
   return sim;
 }
 
-Result<Alignment> NetAlignAligner::AlignNative(const Graph& g1,
-                                               const Graph& g2) {
+Result<Alignment> NetAlignAligner::AlignNativeImpl(const Graph& g1,
+                                                   const Graph& g2,
+                                                   const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.candidates_per_node < 1 || options_.iterations < 0 ||
       options_.damping < 0.0 || options_.damping >= 1.0) {
@@ -120,13 +124,14 @@ Result<Alignment> NetAlignAligner::AlignNative(const Graph& g1,
   }
   CandidateGraph cg =
       BuildCandidates(g1, g2, options_.candidates_per_node);
-  std::vector<double> score = ReinforceScores(g1, g2, cg, options_);
+  GA_ASSIGN_OR_RETURN(std::vector<double> score,
+                      ReinforceScores(g1, g2, cg, options_, deadline));
   std::vector<SparseCandidate> candidates;
   candidates.reserve(cg.row.size());
   for (size_t k = 0; k < cg.row.size(); ++k) {
     candidates.push_back({cg.row[k], cg.col[k], score[k]});
   }
-  return SparseLapAssign(g1.num_nodes(), g2.num_nodes(), candidates);
+  return SparseLapAssign(g1.num_nodes(), g2.num_nodes(), candidates, deadline);
 }
 
 }  // namespace graphalign

@@ -42,12 +42,14 @@ class NetAlignAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kJonkerVolgenant;  // The §4 enhancement.
   }
+ protected:
   // Densified from the sparse candidate scores (zero off-candidate).
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
   // Native extraction: optimal sparse LAP over the candidate set.
-  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) override;
+  Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
+                                    const Deadline& deadline) override;
 
  private:
   NetAlignOptions options_;

@@ -31,8 +31,8 @@ std::vector<double> UnitSum(std::vector<double> v) {
 
 }  // namespace
 
-Result<DenseMatrix> NsdAligner::ComputeSimilarity(const Graph& g1,
-                                                  const Graph& g2) {
+Result<DenseMatrix> NsdAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.alpha < 0.0 || options_.alpha > 1.0) {
     return Status::InvalidArgument("NSD: alpha outside [0,1]");
@@ -65,6 +65,7 @@ Result<DenseMatrix> NsdAligner::ComputeSimilarity(const Graph& g1,
     std::vector<double> w = w0[comp];
     double coeff = 1.0 - alpha;  // (1-a) * a^k for k = 0.
     for (int k = 0; k < depth; ++k) {
+      GA_RETURN_IF_EXPIRED(deadline, "NSD");
       AddOuterProduct(coeff, z, w, &x);
       // Advance the power iteration: z <- A~ z, w <- B~ w (Eq. 3-4).
       z = rw1.Multiply(z);

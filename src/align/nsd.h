@@ -27,8 +27,10 @@ class NsdAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kSortGreedy;  // As proposed (Table 1).
   }
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+
+ protected:
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
  private:
   NsdOptions options_;

@@ -15,12 +15,15 @@ namespace graphalign {
 namespace {
 
 // Discounted k-hop degree histogram features (Eq. 8), log2 buckets.
-void HopDegreeFeatures(const Graph& g, int max_hops, double discount,
-                       int num_buckets, DenseMatrix* features, int row_offset) {
+Status HopDegreeFeatures(const Graph& g, int max_hops, double discount,
+                         int num_buckets, const Deadline& deadline,
+                         DenseMatrix* features, int row_offset) {
   const int n = g.num_nodes();
+  DeadlineChecker checker(deadline, /*stride=*/64);
   std::vector<int> dist(n);
   std::vector<int> frontier;
   for (int src = 0; src < n; ++src) {
+    GA_RETURN_IF_EXPIRED(checker, "REGAL features");
     std::fill(dist.begin(), dist.end(), -1);
     dist[src] = 0;
     frontier.assign(1, src);
@@ -46,12 +49,14 @@ void HopDegreeFeatures(const Graph& g, int max_hops, double discount,
       weight *= discount;
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace
 
 Result<DenseMatrix> RegalAligner::ComputeEmbeddings(const Graph& g1,
-                                                    const Graph& g2) {
+                                                    const Graph& g2,
+                                                    const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.max_hops < 1 || options_.discount < 0.0 ||
       options_.landmark_factor < 1) {
@@ -65,10 +70,12 @@ Result<DenseMatrix> RegalAligner::ComputeEmbeddings(const Graph& g1,
       static_cast<int>(std::floor(std::log2(max_deg))) + 1;
 
   DenseMatrix features(n, num_buckets);
-  HopDegreeFeatures(g1, options_.max_hops, options_.discount, num_buckets,
-                    &features, 0);
-  HopDegreeFeatures(g2, options_.max_hops, options_.discount, num_buckets,
-                    &features, n1);
+  GA_RETURN_IF_ERROR(HopDegreeFeatures(g1, options_.max_hops,
+                                       options_.discount, num_buckets,
+                                       deadline, &features, 0));
+  GA_RETURN_IF_ERROR(HopDegreeFeatures(g2, options_.max_hops,
+                                       options_.discount, num_buckets,
+                                       deadline, &features, n1));
 
   // Landmark selection over the union of both node sets.
   const int p = std::min(
@@ -78,7 +85,9 @@ Result<DenseMatrix> RegalAligner::ComputeEmbeddings(const Graph& g1,
   std::vector<int> landmarks = RandomPermutation(n, &rng);
   landmarks.resize(p);
 
-  // Node-to-landmark similarities C (Eq. 9 with gamma_attr = 0).
+  // Node-to-landmark similarities C (Eq. 9 with gamma_attr = 0). One bounded
+  // parallel region; a single check before it keeps overshoot bounded.
+  GA_RETURN_IF_EXPIRED(deadline, "REGAL landmarks");
   DenseMatrix c(n, p);
   ParallelFor(n, [&](int64_t lo, int64_t hi) {
     for (int i = static_cast<int>(lo); i < hi; ++i) {
@@ -102,8 +111,8 @@ Result<DenseMatrix> RegalAligner::ComputeEmbeddings(const Graph& g1,
   for (int a = 0; a < p; ++a) {
     for (int b = 0; b < p; ++b) w(a, b) = c(landmarks[a], b);
   }
-  GA_ASSIGN_OR_RETURN(DenseMatrix w_pinv, PseudoInverse(w));
-  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(w_pinv));
+  GA_ASSIGN_OR_RETURN(DenseMatrix w_pinv, PseudoInverse(w, 1e-10, deadline));
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(w_pinv, deadline));
   DenseMatrix u_scaled = svd.u;  // p x p
   for (int j = 0; j < p; ++j) {
     const double s = std::sqrt(std::max(svd.singular_values[j], 0.0));
@@ -123,9 +132,10 @@ Result<DenseMatrix> RegalAligner::ComputeEmbeddings(const Graph& g1,
   return y;
 }
 
-Result<DenseMatrix> RegalAligner::ComputeSimilarity(const Graph& g1,
-                                                    const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix y, ComputeEmbeddings(g1, g2));
+Result<DenseMatrix> RegalAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix y, ComputeEmbeddings(g1, g2, deadline));
+  GA_RETURN_IF_EXPIRED(deadline, "REGAL similarity");
   const int n1 = g1.num_nodes();
   const int n2 = g2.num_nodes();
   const int d = y.cols();
@@ -148,8 +158,11 @@ Result<DenseMatrix> RegalAligner::ComputeSimilarity(const Graph& g1,
   return sim;
 }
 
-Result<Alignment> RegalAligner::AlignNative(const Graph& g1, const Graph& g2) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix y, ComputeEmbeddings(g1, g2));
+Result<Alignment> RegalAligner::AlignNativeImpl(const Graph& g1,
+                                                const Graph& g2,
+                                                const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix y, ComputeEmbeddings(g1, g2, deadline));
+  GA_RETURN_IF_EXPIRED(deadline, "REGAL nearest-neighbor");
   const int n1 = g1.num_nodes();
   const int n2 = g2.num_nodes();
   DenseMatrix targets(n2, y.cols());

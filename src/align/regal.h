@@ -30,15 +30,18 @@ class RegalAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kNearestNeighbor;  // As proposed (Table 1).
   }
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
-
   // The xNetMF embeddings themselves (n1+n2 rows); exposed for the k-d-tree
   // native extraction and for tests.
-  Result<DenseMatrix> ComputeEmbeddings(const Graph& g1, const Graph& g2);
+  Result<DenseMatrix> ComputeEmbeddings(const Graph& g1, const Graph& g2,
+                                        const Deadline& deadline = Deadline());
+
+ protected:
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
   // Native extraction: k-d tree nearest neighbor over target embeddings.
-  Result<Alignment> AlignNative(const Graph& g1, const Graph& g2) override;
+  Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
+                                    const Deadline& deadline) override;
 
  private:
   RegalOptions options_;

@@ -41,8 +41,8 @@ std::vector<double> DegreeMarginal(const CsrMatrix& adj) {
 class SgwlSolver {
  public:
   SgwlSolver(const Graph& g1, const Graph& g2, const SgwlOptions& options,
-             DenseMatrix* sim)
-      : g1_(g1), g2_(g2), options_(options), sim_(sim) {}
+             const Deadline& deadline, DenseMatrix* sim)
+      : g1_(g1), g2_(g2), options_(options), deadline_(deadline), sim_(sim) {}
 
   Status Run() {
     std::vector<int> all1(g1_.num_nodes()), all2(g2_.num_nodes());
@@ -61,7 +61,9 @@ class SgwlSolver {
     GA_ASSIGN_OR_RETURN(
         DenseMatrix t,
         GromovWassersteinTransport(cs, ct, DegreeMarginal(cs),
-                                   DegreeMarginal(ct), options_.gw));
+                                   DegreeMarginal(ct), options_.gw,
+                                   /*extra_cost=*/nullptr,
+                                   /*initial_transport=*/nullptr, deadline_));
     const double mx = t.MaxAbs();
     const double scale = mx > 0.0 ? 1.0 / mx : 1.0;
     for (size_t i = 0; i < nodes1.size(); ++i) {
@@ -101,11 +103,18 @@ class SgwlSolver {
     }
     DenseMatrix t1, t2;
     for (int it = 0; it < options_.barycenter_iterations; ++it) {
+      GA_RETURN_IF_EXPIRED(deadline_, "S-GWL barycenter");
       const CsrMatrix cb_csr = DenseToCsr(cb);
       GA_ASSIGN_OR_RETURN(
-          t1, GromovWassersteinTransport(cs, cb_csr, mu, wb, options_.gw));
+          t1, GromovWassersteinTransport(cs, cb_csr, mu, wb, options_.gw,
+                                         /*extra_cost=*/nullptr,
+                                         /*initial_transport=*/nullptr,
+                                         deadline_));
       GA_ASSIGN_OR_RETURN(
-          t2, GromovWassersteinTransport(ct, cb_csr, nu, wb, options_.gw));
+          t2, GromovWassersteinTransport(ct, cb_csr, nu, wb, options_.gw,
+                                         /*extra_cost=*/nullptr,
+                                         /*initial_transport=*/nullptr,
+                                         deadline_));
       // Barycenter update: Cb = avg_s (Ts^T Cs Ts) ./ (ms ms^T).
       DenseMatrix num1 = cs.Multiply(t1);        // n1 x k
       DenseMatrix c1 = MultiplyAtB(t1, num1);    // k x k
@@ -161,19 +170,20 @@ class SgwlSolver {
   const Graph& g1_;
   const Graph& g2_;
   const SgwlOptions& options_;
+  const Deadline& deadline_;
   DenseMatrix* sim_;
 };
 
 }  // namespace
 
-Result<DenseMatrix> SgwlAligner::ComputeSimilarity(const Graph& g1,
-                                                   const Graph& g2) {
+Result<DenseMatrix> SgwlAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.partition_k < 2 || options_.leaf_size < 2) {
     return Status::InvalidArgument("S-GWL: bad options");
   }
   DenseMatrix sim(g1.num_nodes(), g2.num_nodes());
-  SgwlSolver solver(g1, g2, options_, &sim);
+  SgwlSolver solver(g1, g2, options_, deadline, &sim);
   GA_RETURN_IF_ERROR(solver.Run());
   return sim;
 }

@@ -45,10 +45,11 @@ class SgwlAligner : public Aligner {
   AssignmentMethod default_assignment() const override {
     return AssignmentMethod::kNearestNeighbor;  // As proposed (Table 1).
   }
+ protected:
   // Block-sparse similarity assembled from the leaf transports (zero across
   // partitions), densified for assignment-method interchangeability.
-  Result<DenseMatrix> ComputeSimilarity(const Graph& g1,
-                                        const Graph& g2) override;
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
+                                            const Deadline& deadline) override;
 
  private:
   SgwlOptions options_;

@@ -19,12 +19,14 @@ const char* AssignmentMethodName(AssignmentMethod method) {
   return "unknown";
 }
 
-Result<Alignment> NearestNeighborAssign(const DenseMatrix& similarity) {
+Result<Alignment> NearestNeighborAssign(const DenseMatrix& similarity,
+                                        const Deadline& deadline) {
   const int n = similarity.rows();
   const int m = similarity.cols();
   if (n == 0 || m == 0) {
     return Status::InvalidArgument("NearestNeighborAssign: empty matrix");
   }
+  GA_RETURN_IF_EXPIRED(deadline, "NearestNeighborAssign");
   Alignment align(n, -1);
   for (int i = 0; i < n; ++i) {
     const double* row = similarity.Row(i);
@@ -37,12 +39,14 @@ Result<Alignment> NearestNeighborAssign(const DenseMatrix& similarity) {
   return align;
 }
 
-Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity) {
+Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity,
+                                   const Deadline& deadline) {
   const int n = similarity.rows();
   const int m = similarity.cols();
   if (n == 0 || m == 0) {
     return Status::InvalidArgument("SortGreedyAssign: empty matrix");
   }
+  GA_RETURN_IF_EXPIRED(deadline, "SortGreedyAssign");
   // Sort flat indices by similarity, descending.
   std::vector<int64_t> order(static_cast<size_t>(n) * m);
   std::iota(order.begin(), order.end(), int64_t{0});
@@ -65,16 +69,17 @@ Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity) {
 }
 
 Result<Alignment> ExtractAlignment(const DenseMatrix& similarity,
-                                   AssignmentMethod method) {
+                                   AssignmentMethod method,
+                                   const Deadline& deadline) {
   switch (method) {
     case AssignmentMethod::kNearestNeighbor:
-      return NearestNeighborAssign(similarity);
+      return NearestNeighborAssign(similarity, deadline);
     case AssignmentMethod::kSortGreedy:
-      return SortGreedyAssign(similarity);
+      return SortGreedyAssign(similarity, deadline);
     case AssignmentMethod::kHungarian:
-      return HungarianAssign(similarity);
+      return HungarianAssign(similarity, deadline);
     case AssignmentMethod::kJonkerVolgenant:
-      return JonkerVolgenantAssign(similarity);
+      return JonkerVolgenantAssign(similarity, deadline);
   }
   return Status::InvalidArgument("unknown assignment method");
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "linalg/dense.h"
 
@@ -27,26 +28,36 @@ enum class AssignmentMethod {
 
 const char* AssignmentMethodName(AssignmentMethod method);
 
+// All extraction entry points accept an optional deadline: the O(n^3)
+// solvers (Hungarian, JV) poll it between augmentation phases and abort
+// with kDeadlineExceeded; the near-linear ones (NN, SG) check it once
+// up front. The default deadline never expires.
+
 // Per-row argmax. May assign the same target to several sources (the paper
 // notes NN yields many-to-one matchings).
-Result<Alignment> NearestNeighborAssign(const DenseMatrix& similarity);
+Result<Alignment> NearestNeighborAssign(const DenseMatrix& similarity,
+                                        const Deadline& deadline = Deadline());
 
 // Greedily matches the globally most similar unmatched pair until no pair is
 // left. One-to-one. O(n*m log(n*m)).
-Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity);
+Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity,
+                                   const Deadline& deadline = Deadline());
 
 // Optimal linear assignment maximizing total similarity via the Hungarian
 // algorithm with potentials (Kuhn-Munkres). O(n^3). One-to-one.
-Result<Alignment> HungarianAssign(const DenseMatrix& similarity);
+Result<Alignment> HungarianAssign(const DenseMatrix& similarity,
+                                  const Deadline& deadline = Deadline());
 
 // Optimal linear assignment via the Jonker-Volgenant shortest-augmenting-path
 // algorithm with column reduction and augmenting row reduction. Produces the
 // same objective value as Hungarian, typically faster. One-to-one.
-Result<Alignment> JonkerVolgenantAssign(const DenseMatrix& similarity);
+Result<Alignment> JonkerVolgenantAssign(const DenseMatrix& similarity,
+                                        const Deadline& deadline = Deadline());
 
 // Dispatch by method enum.
 Result<Alignment> ExtractAlignment(const DenseMatrix& similarity,
-                                   AssignmentMethod method);
+                                   AssignmentMethod method,
+                                   const Deadline& deadline = Deadline());
 
 // Total similarity of an alignment (sum over matched pairs).
 double AlignmentScore(const DenseMatrix& similarity,

@@ -11,12 +11,17 @@ namespace graphalign {
 namespace {
 
 // Minimizes total cost for an n x m cost matrix with n <= m.
-// Returns row -> column assignment.
-std::vector<int> HungarianMinCost(const DenseMatrix& cost) {
+// Returns row -> column assignment, or kDeadlineExceeded if the deadline
+// expires between augmentation steps.
+Result<std::vector<int>> HungarianMinCost(const DenseMatrix& cost,
+                                          const Deadline& deadline) {
   const int n = cost.rows();
   const int m = cost.cols();
   GA_CHECK(n <= m);
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Each augmentation step below scans O(m) columns, so polling every 32
+  // steps bounds overshoot to ~32m operations.
+  DeadlineChecker checker(deadline, /*stride=*/32);
   // 1-indexed potentials and matching (p[j] = row matched to column j).
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
   std::vector<int> p(m + 1, 0), way(m + 1, 0);
@@ -26,6 +31,7 @@ std::vector<int> HungarianMinCost(const DenseMatrix& cost) {
     std::vector<double> minv(m + 1, kInf);
     std::vector<bool> used(m + 1, false);
     do {
+      GA_RETURN_IF_EXPIRED(checker, "HungarianAssign");
       used[j0] = true;
       const int i0 = p[j0];
       int j1 = -1;
@@ -68,7 +74,8 @@ std::vector<int> HungarianMinCost(const DenseMatrix& cost) {
 
 }  // namespace
 
-Result<Alignment> HungarianAssign(const DenseMatrix& similarity) {
+Result<Alignment> HungarianAssign(const DenseMatrix& similarity,
+                                  const Deadline& deadline) {
   const int n = similarity.rows();
   const int m = similarity.cols();
   if (n == 0 || m == 0) {
@@ -80,14 +87,15 @@ Result<Alignment> HungarianAssign(const DenseMatrix& similarity) {
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < m; ++j) cost(i, j) = -similarity(i, j);
     }
-    return HungarianMinCost(cost);
+    return HungarianMinCost(cost, deadline);
   }
   // More sources than targets: solve the transpose, then invert.
   DenseMatrix cost(m, n);
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < m; ++j) cost(j, i) = -similarity(i, j);
   }
-  std::vector<int> col_to_row = HungarianMinCost(cost);
+  GA_ASSIGN_OR_RETURN(std::vector<int> col_to_row,
+                      HungarianMinCost(cost, deadline));
   Alignment align(n, -1);
   for (int j = 0; j < m; ++j) {
     if (col_to_row[j] >= 0) align[col_to_row[j]] = j;

@@ -26,9 +26,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // tiny relative to |v[j]|. Gaps below a cost-scaled epsilon are therefore
 // treated as ties, which only reroutes rows into the (always-terminating)
 // shortest-augmenting-path phase; optimality is unaffected.
-void LapjvSquare(const DenseMatrix& c, std::vector<int>* rowsol_out) {
+Status LapjvSquare(const DenseMatrix& c, const Deadline& deadline,
+                   std::vector<int>* rowsol_out) {
   const int n = c.rows();
   const double tie_eps = 1e-12 * (c.MaxAbs() + 1.0);
+  // Polled between O(n)-cost steps of every phase; stride 32 bounds the
+  // overshoot to ~32n operations past the deadline.
+  DeadlineChecker checker(deadline, /*stride=*/32);
   std::vector<int>& rowsol = *rowsol_out;
   rowsol.assign(n, -1);
   std::vector<int> colsol(n, -1);
@@ -82,6 +86,7 @@ void LapjvSquare(const DenseMatrix& c, std::vector<int>* rowsol_out) {
     numfree = 0;
     int budget = 5 * prvnumfree + 100;
     while (k < prvnumfree) {
+      GA_RETURN_IF_EXPIRED(checker, "JonkerVolgenantAssign");
       if (--budget < 0) {
         // Defer every unprocessed row (numfree <= k, so this is in-place
         // compaction, never an overwrite of pending entries).
@@ -144,6 +149,7 @@ void LapjvSquare(const DenseMatrix& c, std::vector<int>* rowsol_out) {
     double min = 0.0;
     bool unassigned_found = false;
     do {
+      GA_RETURN_IF_EXPIRED(checker, "JonkerVolgenantAssign");
       if (up == low) {
         last = low - 1;
         min = d[collist[up++]];
@@ -208,11 +214,13 @@ void LapjvSquare(const DenseMatrix& c, std::vector<int>* rowsol_out) {
     } while (i != freerow);
   }
   (void)u;  // Row duals are implicit in this formulation.
+  return Status::Ok();
 }
 
 }  // namespace
 
-Result<Alignment> JonkerVolgenantAssign(const DenseMatrix& similarity) {
+Result<Alignment> JonkerVolgenantAssign(const DenseMatrix& similarity,
+                                        const Deadline& deadline) {
   const int n = similarity.rows();
   const int m = similarity.cols();
   if (n == 0 || m == 0) {
@@ -225,7 +233,7 @@ Result<Alignment> JonkerVolgenantAssign(const DenseMatrix& similarity) {
     for (int j = 0; j < m; ++j) cost(i, j) = -similarity(i, j);
   }
   std::vector<int> rowsol;
-  LapjvSquare(cost, &rowsol);
+  GA_RETURN_IF_ERROR(LapjvSquare(cost, deadline, &rowsol));
   Alignment align(n, -1);
   for (int i = 0; i < n; ++i) {
     align[i] = rowsol[i] < m ? rowsol[i] : -1;

@@ -10,10 +10,12 @@ namespace graphalign {
 
 Result<Alignment> SparseLapAssign(
     int num_rows, int num_cols,
-    const std::vector<SparseCandidate>& candidates) {
+    const std::vector<SparseCandidate>& candidates,
+    const Deadline& deadline) {
   if (num_rows < 0 || num_cols < 0) {
     return Status::InvalidArgument("SparseLapAssign: negative dimensions");
   }
+  DeadlineChecker checker(deadline, /*stride=*/8);
   double max_sim = 0.0;
   for (const SparseCandidate& c : candidates) {
     if (c.row < 0 || c.row >= num_rows || c.col < 0 || c.col >= num_cols) {
@@ -54,6 +56,7 @@ Result<Alignment> SparseLapAssign(
 
   using QItem = std::pair<double, int>;  // (distance, column)
   for (int s = 0; s < num_rows; ++s) {
+    GA_RETURN_IF_EXPIRED(checker, "SparseLapAssign");
     std::fill(dist.begin(), dist.end(), kInf);
     std::fill(pred_row.begin(), pred_row.end(), -1);
     std::fill(done.begin(), done.end(), false);

@@ -1,5 +1,8 @@
 #include "bench_framework/experiment.h"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -9,6 +12,55 @@
 #include "common/timer.h"
 
 namespace graphalign {
+
+namespace {
+
+// Exits with a usage error; bench binaries have no meaningful way to
+// continue past a malformed flag value.
+[[noreturn]] void BenchArgError(const std::string& flag,
+                                const std::string& value,
+                                const char* expected) {
+  std::fprintf(stderr, "invalid value '%s' for %s (expected %s)\n",
+               value.c_str(), flag.c_str(), expected);
+  std::exit(2);
+}
+
+// Whole-string strictly-positive integer, rejecting trailing junk ("5x"),
+// overflow, and non-positive values.
+int ParsePositiveInt(const std::string& flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || v <= 0 ||
+      v > INT_MAX) {
+    BenchArgError(flag, value, "a positive integer");
+  }
+  return static_cast<int>(v);
+}
+
+// Whole-string strictly-positive finite double (seconds).
+double ParsePositiveSeconds(const std::string& flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE || !std::isfinite(v) ||
+      v <= 0.0) {
+    BenchArgError(flag, value, "a positive number of seconds");
+  }
+  return v;
+}
+
+uint64_t ParseSeed(const std::string& flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    BenchArgError(flag, value, "an unsigned integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
 
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
@@ -21,7 +73,7 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     if (arg == "--full") {
       args.full = true;
     } else if (arg == "--reps") {
-      args.repetitions = std::atoi(next());
+      args.repetitions = ParsePositiveInt(arg, next());
     } else if (arg == "--algos") {
       std::stringstream ss(next());
       std::string tok;
@@ -31,9 +83,9 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (arg == "--csv") {
       args.csv_path = next();
     } else if (arg == "--seed") {
-      args.seed = std::strtoull(next(), nullptr, 10);
+      args.seed = ParseSeed(arg, next());
     } else if (arg == "--time-limit") {
-      args.time_limit_seconds = std::atof(next());
+      args.time_limit_seconds = ParsePositiveSeconds(arg, next());
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --full --reps N --algos A,B "
@@ -53,11 +105,19 @@ std::vector<std::string> SelectedAlgorithms(const BenchArgs& args) {
 RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
                       AssignmentMethod method, double time_limit_seconds) {
   RunOutcome out;
+  // The deadline covers the similarity stage only: the paper's budget and
+  // timing semantics apply to similarity computation (§6.2, Table 3), and
+  // the assignment stage is reported separately. AfterSeconds clamps huge
+  // budgets to "infinite" and treats non-positive budgets (a previous
+  // repetition already spent everything) as immediately expired.
+  const Deadline deadline = Deadline::AfterSeconds(time_limit_seconds);
   WallTimer timer;
-  auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2);
+  auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2, deadline);
   out.similarity_seconds = timer.Seconds();
   if (!sim.ok()) {
-    out.error = sim.status().ToString();
+    out.error = sim.status().code() == StatusCode::kDeadlineExceeded
+                    ? "DNF (time limit)"
+                    : sim.status().ToString();
     return out;
   }
   if (out.similarity_seconds > time_limit_seconds) {

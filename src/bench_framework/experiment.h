@@ -53,7 +53,9 @@ struct RunOutcome {
 };
 
 // Runs `aligner` once on `problem`, timing similarity and assignment
-// separately. A run whose similarity stage exceeds the budget is DNF.
+// separately. The budget is enforced cooperatively: the similarity stage is
+// given a Deadline and aborts with DNF soon after it expires, rather than
+// only being flagged DNF after running to completion.
 RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
                       AssignmentMethod method, double time_limit_seconds);
 

@@ -196,11 +196,24 @@ int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
   auto aligner = MakeAligner(algo);
   if (!aligner.ok()) return Fail(err, aligner.status());
 
+  // --time-limit T: cooperative budget in seconds over the whole alignment
+  // (similarity + assignment). The run aborts with DNF soon after expiry.
+  Deadline deadline;  // Infinite unless --time-limit is given.
+  if (flags.Has("time-limit")) {
+    const double limit = flags.GetDouble("time-limit", 0.0);
+    if (limit <= 0.0) {
+      return Fail(err, Status::InvalidArgument(
+                           "--time-limit must be a positive number of "
+                           "seconds"));
+    }
+    deadline = Deadline::AfterSeconds(limit);
+  }
+
   const std::string assign = flags.GetString("assign", "JV");
   WallTimer timer;
   Result<Alignment> alignment = Status::Internal("unreachable");
   if (assign == "native") {
-    alignment = (*aligner)->AlignNative(*g1, *g2);
+    alignment = (*aligner)->AlignNative(*g1, *g2, deadline);
   } else {
     AssignmentMethod method;
     if (assign == "NN") {
@@ -215,9 +228,16 @@ int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
       return Fail(err, Status::InvalidArgument(
                            "unknown assignment method: " + assign));
     }
-    alignment = (*aligner)->Align(*g1, *g2, method);
+    alignment = (*aligner)->Align(*g1, *g2, method, deadline);
   }
-  if (!alignment.ok()) return Fail(err, alignment.status());
+  if (!alignment.ok()) {
+    if (alignment.status().code() == StatusCode::kDeadlineExceeded) {
+      err << "DNF: " << algo << " exceeded the time limit after "
+          << Table::Num(timer.Seconds(), 2) << "s\n";
+      return 3;
+    }
+    return Fail(err, alignment.status());
+  }
   const double secs = timer.Seconds();
   int matched = 0;
   for (int v : *alignment) matched += (v >= 0);
@@ -294,7 +314,7 @@ constexpr char kUsage[] =
     "           [--level L] [--seed S] [--no-permute] --out FILE\n"
     "           [--truth FILE]\n"
     "  align    --g1 FILE --g2 FILE --algo NAME\n"
-    "           [--assign {NN,SG,MWM,JV,native}] [--out FILE]\n"
+    "           [--assign {NN,SG,MWM,JV,native}] [--time-limit T] [--out FILE]\n"
     "  evaluate --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "  stats    --in FILE\n"
     "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n";

@@ -1,0 +1,97 @@
+// Cooperative deadline propagation for long-running computations.
+//
+// The benchmark protocol (paper §5.1, Table 3) reports runs that exceed the
+// wall-clock budget as DNF. A Deadline carries a monotonic-clock expiry down
+// through the aligners, the iterative linalg solvers, graphlet enumeration,
+// and the assignment solvers; each long-running loop polls it cooperatively
+// and bails out with StatusCode::kDeadlineExceeded. A default-constructed
+// Deadline never expires, so every existing call site keeps its behavior.
+//
+// Polling the clock in a hot loop is not free, so inner loops go through
+// DeadlineChecker, which consults the clock only once every `stride` calls.
+#ifndef GRAPHALIGN_COMMON_DEADLINE_H_
+#define GRAPHALIGN_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Never expires.
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `seconds` from now; seconds <= 0 yields an already-expired
+  // deadline (zero-budget fast fail). Budgets beyond ~30 years are treated
+  // as infinite to avoid chrono overflow.
+  static Deadline AfterSeconds(double seconds) {
+    if (seconds >= kInfiniteSeconds) return Infinite();
+    if (seconds <= 0.0) return Deadline(Clock::now());
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+
+  bool is_infinite() const { return expiry_ == Clock::time_point::max(); }
+
+  // True once the expiry has passed. Consults the clock (cheap but not free;
+  // amortize via DeadlineChecker in tight loops).
+  bool Expired() const { return !is_infinite() && Clock::now() >= expiry_; }
+
+  // Seconds until expiry (<= 0 if expired; +inf if infinite).
+  double RemainingSeconds() const {
+    if (is_infinite()) return kInfiniteSeconds;
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  }
+
+ private:
+  static constexpr double kInfiniteSeconds = 1e9;  // ~31 years.
+
+  explicit Deadline(Clock::time_point expiry) : expiry_(expiry) {}
+
+  Clock::time_point expiry_ = Clock::time_point::max();
+};
+
+// Amortized deadline polling for tight loops: consults the clock on the
+// first call and every `stride` calls thereafter; once expired, stays
+// expired. An infinite deadline short-circuits to a single branch.
+class DeadlineChecker {
+ public:
+  explicit DeadlineChecker(const Deadline& deadline, int stride = 32)
+      : deadline_(deadline), stride_(stride) {}
+
+  bool Expired() {
+    if (expired_) return true;
+    if (deadline_.is_infinite()) return false;
+    if (--countdown_ > 0) return false;
+    countdown_ = stride_;
+    expired_ = deadline_.Expired();
+    return expired_;
+  }
+
+ private:
+  Deadline deadline_;
+  int stride_;
+  int countdown_ = 1;  // Check the clock on the first call.
+  bool expired_ = false;
+};
+
+}  // namespace graphalign
+
+// Returns Status::DeadlineExceeded from the enclosing function when the
+// deadline (or checker) has expired. `where` names the aborted computation.
+#define GA_RETURN_IF_EXPIRED(deadline_or_checker, where)             \
+  do {                                                               \
+    if ((deadline_or_checker).Expired()) {                           \
+      return ::graphalign::Status::DeadlineExceeded(                 \
+          std::string(where) + ": deadline exceeded");               \
+    }                                                                \
+  } while (false)
+
+#endif  // GRAPHALIGN_COMMON_DEADLINE_H_

@@ -14,6 +14,12 @@ namespace graphalign {
 
 namespace {
 
+// Set while the current thread is executing a block of a pool job. A nested
+// ParallelFor issued from inside a job must not touch the pool: Run() keeps
+// a single (fn_, n_, next_block_) job slot, so a reentrant submission would
+// overwrite the live state of the outer job and corrupt its partition.
+thread_local bool t_in_pool_job = false;
+
 // A minimal persistent pool: workers sleep on a condition variable and are
 // woken with a (fn, n, blocks) job; the submitting thread participates too.
 class Pool {
@@ -84,7 +90,11 @@ class Pool {
       if (block >= parts_) break;
       const int64_t begin = n_ * block / parts_;
       const int64_t end = n_ * (block + 1) / parts_;
-      if (begin < end) (*fn_)(begin, end);
+      if (begin < end) {
+        t_in_pool_job = true;
+        (*fn_)(begin, end);
+        t_in_pool_job = false;
+      }
     }
   }
 
@@ -108,6 +118,12 @@ int ParallelThreadCount() { return Pool::Instance().thread_count(); }
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_work) {
   if (n <= 0) return;
+  // A nested call from inside a pool job runs inline: the pool has a single
+  // job slot and reentrant submission would corrupt the outer job.
+  if (t_in_pool_job) {
+    fn(0, n);
+    return;
+  }
   Pool& pool = Pool::Instance();
   if (n < min_work || pool.thread_count() == 1 || pool.InForkedChild()) {
     fn(0, n);

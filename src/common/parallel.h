@@ -22,6 +22,10 @@ int ParallelThreadCount();
 // Blocks until all blocks complete. Falls back to a single inline call when
 // n < min_work or only one thread is configured. fn must write only to
 // locations indexed by its own [begin, end) range.
+//
+// Reentrancy: a ParallelFor issued from inside a pool job (i.e. from within
+// fn) runs inline on the calling thread — the pool has a single job slot,
+// so nesting never touches shared pool state.
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_work = 4096);
 

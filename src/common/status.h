@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kNotImplemented,
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -53,6 +54,9 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -214,12 +214,16 @@ const Orbit5Table& GetOrbit5Table() {
 
 class Esu {
  public:
-  Esu(const Graph& g, int size, int64_t max_subgraphs, DenseMatrix* orbits)
+  Esu(const Graph& g, int size, int64_t max_subgraphs,
+      const Deadline& deadline, DenseMatrix* orbits)
       : g_(g),
         size_(size),
         max_subgraphs_(max_subgraphs),
         orbits_(orbits),
-        blocked_(g.num_nodes(), false) {}
+        blocked_(g.num_nodes(), false),
+        // Emit costs O(size^2) adjacency probes; a 4096-emit stride keeps
+        // the clock entirely out of the enumeration profile.
+        checker_(deadline, /*stride=*/4096) {}
 
   Status Run() {
     const int n = g_.num_nodes();
@@ -270,10 +274,13 @@ class Esu {
   }
 
   Status Emit() {
+    // Two budget arms, both checked here: an exact cap on enumerated
+    // subgraphs and an amortized wall-clock deadline.
     if (++count_ > max_subgraphs_) {
       return Status::ResourceExhausted(
           "graphlet enumeration exceeded subgraph budget");
     }
+    GA_RETURN_IF_EXPIRED(checker_, "graphlet enumeration");
     if (size_ == 4) {
       std::array<int, 4> deg = {0, 0, 0, 0};
       int edges = 0;
@@ -308,13 +315,15 @@ class Esu {
   DenseMatrix* orbits_;
   std::array<int, 5> sub_ = {0, 0, 0, 0, 0};
   std::vector<bool> blocked_;  // In subgraph or already a known neighbor.
+  DeadlineChecker checker_;
   int64_t count_ = 0;
 };
 
 }  // namespace
 
 Result<DenseMatrix> CountGraphletOrbits(const Graph& g,
-                                        int64_t max_subgraphs) {
+                                        int64_t max_subgraphs,
+                                        const Deadline& deadline) {
   const int n = g.num_nodes();
   DenseMatrix orbits(n, kNumOrbits);
 
@@ -330,23 +339,27 @@ Result<DenseMatrix> CountGraphletOrbits(const Graph& g,
     orbits(v, 1) = ends - 2.0 * static_cast<double>(tri[v]);
   }
 
-  Esu esu(g, /*size=*/4, max_subgraphs, &orbits);
+  Esu esu(g, /*size=*/4, max_subgraphs, deadline, &orbits);
   GA_RETURN_IF_ERROR(esu.Run());
   return orbits;
 }
 
 Result<DenseMatrix> CountGraphletOrbits5(const Graph& g,
-                                         int64_t max_subgraphs) {
+                                         int64_t max_subgraphs,
+                                         const Deadline& deadline) {
   DenseMatrix orbits(g.num_nodes(), kNumOrbits5);
-  Esu esu(g, /*size=*/5, max_subgraphs, &orbits);
+  Esu esu(g, /*size=*/5, max_subgraphs, deadline, &orbits);
   GA_RETURN_IF_ERROR(esu.Run());
   return orbits;
 }
 
 Result<DenseMatrix> CountGraphletOrbits73(const Graph& g,
-                                          int64_t max_subgraphs) {
-  GA_ASSIGN_OR_RETURN(DenseMatrix small, CountGraphletOrbits(g, max_subgraphs));
-  GA_ASSIGN_OR_RETURN(DenseMatrix five, CountGraphletOrbits5(g, max_subgraphs));
+                                          int64_t max_subgraphs,
+                                          const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix small,
+                      CountGraphletOrbits(g, max_subgraphs, deadline));
+  GA_ASSIGN_OR_RETURN(DenseMatrix five,
+                      CountGraphletOrbits5(g, max_subgraphs, deadline));
   DenseMatrix full(g.num_nodes(), kNumOrbits + kNumOrbits5);
   for (int v = 0; v < g.num_nodes(); ++v) {
     for (int o = 0; o < kNumOrbits; ++o) full(v, o) = small(v, o);

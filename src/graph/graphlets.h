@@ -21,6 +21,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "linalg/dense.h"
@@ -32,9 +33,13 @@ inline constexpr int kNumOrbits = 15;
 // Returns an n x 15 matrix of orbit counts. Enumeration stops with
 // ResourceExhausted if more than `max_subgraphs` connected 4-node subgraphs
 // exist (dense graphs make GRAAL's preprocessing intractable, mirroring the
-// paper's GRAAL timeouts).
+// paper's GRAAL timeouts). The wall-clock deadline is the second arm of the
+// same budget mechanism: both are polled in the enumeration's emit path, the
+// count budget exactly and the deadline amortized, and expiry returns
+// kDeadlineExceeded.
 Result<DenseMatrix> CountGraphletOrbits(const Graph& g,
-                                        int64_t max_subgraphs = 200'000'000);
+                                        int64_t max_subgraphs = 200'000'000,
+                                        const Deadline& deadline = Deadline());
 
 // Orbits of the connected graphlets on exactly 5 nodes. There are 21 such
 // graphlets with 58 automorphism orbits; together with the 15 orbits of the
@@ -49,11 +54,13 @@ inline constexpr int kNumOrbits5 = 58;
 // orbit's lowest canonical vertex. Enumeration uses ESU for k = 5 with the
 // same subgraph budget semantics as the 4-node counter.
 Result<DenseMatrix> CountGraphletOrbits5(const Graph& g,
-                                         int64_t max_subgraphs = 200'000'000);
+                                         int64_t max_subgraphs = 200'000'000,
+                                         const Deadline& deadline = Deadline());
 
 // Convenience: the full 73-column GDV [orbits 0-14 | 5-node orbits].
 Result<DenseMatrix> CountGraphletOrbits73(const Graph& g,
-                                          int64_t max_subgraphs = 200'000'000);
+                                          int64_t max_subgraphs = 200'000'000,
+                                          const Deadline& deadline = Deadline());
 
 }  // namespace graphalign
 

@@ -93,14 +93,42 @@ DenseMatrix CsrMatrix::Multiply(const DenseMatrix& b) const {
 DenseMatrix CsrMatrix::MultiplyTransposed(const DenseMatrix& b) const {
   GA_CHECK(rows_ == b.rows());
   DenseMatrix c(cols_, b.cols());
-  for (int r = 0; r < rows_; ++r) {
-    const double* brow = b.Row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      double* crow = c.Row(col_idx_[k]);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+  // The natural row-major loop scatters into c.Row(col_idx_[k]), which races
+  // when rows are split across threads. Build a column-major view (CSC) with
+  // an O(nnz) counting sort, then give each block a disjoint range of output
+  // rows. The stable fill keeps each column's entries in ascending source-row
+  // order, so per-entry accumulation order — and therefore every bit of the
+  // result — matches the sequential scatter loop.
+  std::vector<int64_t> col_ptr(cols_ + 1, 0);
+  for (int c2 : col_idx_) ++col_ptr[c2 + 1];
+  for (int j = 0; j < cols_; ++j) col_ptr[j + 1] += col_ptr[j];
+  std::vector<int> src_row(values_.size());
+  std::vector<double> src_val(values_.size());
+  {
+    std::vector<int64_t> fill = col_ptr;
+    for (int r = 0; r < rows_; ++r) {
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const int64_t slot = fill[col_idx_[k]]++;
+        src_row[slot] = r;
+        src_val[slot] = values_[k];
+      }
     }
   }
+  const int64_t avg_flops_per_row =
+      cols_ > 0 ? (nnz() * b.cols()) / cols_ + 1 : 1;
+  ParallelFor(
+      cols_,
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          double* crow = c.Row(i);
+          for (int64_t k = col_ptr[i]; k < col_ptr[i + 1]; ++k) {
+            const double v = src_val[k];
+            const double* brow = b.Row(src_row[k]);
+            for (int j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+          }
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / avg_flops_per_row));
   return c;
 }
 

@@ -101,16 +101,27 @@ DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
 DenseMatrix MultiplyAtB(const DenseMatrix& a, const DenseMatrix& b) {
   GA_CHECK(a.rows() == b.rows());
   DenseMatrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* arow = a.Row(k);
-    const double* brow = b.Row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.Row(i);
-      for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  const int64_t flops_per_row =
+      static_cast<int64_t>(a.rows()) * b.cols() + 1;
+  // Block-column ownership: each block owns a contiguous range of A's
+  // columns (= rows of C) and accumulates over k in ascending order, so the
+  // per-entry summation order matches the sequential k-outer loop exactly
+  // and results stay byte-identical regardless of thread count.
+  ParallelFor(
+      a.cols(),
+      [&](int64_t lo, int64_t hi) {
+        for (int k = 0; k < a.rows(); ++k) {
+          const double* arow = a.Row(k);
+          const double* brow = b.Row(k);
+          for (int i = static_cast<int>(lo); i < hi; ++i) {
+            const double aki = arow[i];
+            if (aki == 0.0) continue;
+            double* crow = c.Row(i);
+            for (int j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+          }
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / flops_per_row));
   return c;
 }
 
@@ -141,12 +152,18 @@ std::vector<double> MultiplyVec(const DenseMatrix& a,
                                 const std::vector<double>& x) {
   GA_CHECK(a.cols() == static_cast<int>(x.size()));
   std::vector<double> y(a.rows(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* arow = a.Row(i);
-    double s = 0.0;
-    for (int j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
-    y[i] = s;
-  }
+  const int64_t flops_per_row = a.cols() + 1;
+  ParallelFor(
+      a.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const double* arow = a.Row(i);
+          double s = 0.0;
+          for (int j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+          y[i] = s;
+        }
+      },
+      /*min_work=*/std::max<int64_t>(2, 1'000'000 / flops_per_row));
   return y;
 }
 

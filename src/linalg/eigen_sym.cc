@@ -12,9 +12,10 @@ namespace {
 
 // Householder reduction of symmetric `a` (n x n) to tridiagonal form.
 // On exit `a` holds the accumulated orthogonal transform Q, `d` the diagonal
-// and `e` the subdiagonal (e[0] unused).
-void Tred2(DenseMatrix* a_io, std::vector<double>* d_out,
-           std::vector<double>* e_out) {
+// and `e` the subdiagonal (e[0] unused). The deadline is polled between
+// Householder columns (each column costs O(n^2)).
+Status Tred2(DenseMatrix* a_io, const Deadline& deadline,
+             std::vector<double>* d_out, std::vector<double>* e_out) {
   DenseMatrix& a = *a_io;
   const int n = a.rows();
   std::vector<double>& d = *d_out;
@@ -22,7 +23,9 @@ void Tred2(DenseMatrix* a_io, std::vector<double>* d_out,
   d.assign(n, 0.0);
   e.assign(n, 0.0);
 
+  DeadlineChecker checker(deadline, /*stride=*/8);
   for (int i = n - 1; i >= 1; --i) {
+    GA_RETURN_IF_EXPIRED(checker, "SymmetricEigen");
     const int l = i - 1;
     double h = 0.0;
     double scale = 0.0;
@@ -66,6 +69,7 @@ void Tred2(DenseMatrix* a_io, std::vector<double>* d_out,
   d[0] = 0.0;
   e[0] = 0.0;
   for (int i = 0; i < n; ++i) {
+    GA_RETURN_IF_EXPIRED(checker, "SymmetricEigen");
     const int l = i - 1;
     if (d[i] != 0.0) {
       for (int j = 0; j <= l; ++j) {
@@ -78,12 +82,13 @@ void Tred2(DenseMatrix* a_io, std::vector<double>* d_out,
     a(i, i) = 1.0;
     for (int j = 0; j <= l; ++j) a(j, i) = a(i, j) = 0.0;
   }
+  return Status::Ok();
 }
 
 // Implicit-shift QL on a tridiagonal matrix; `z` accumulates eigenvectors
 // (initialized to the transform from Tred2, or identity).
 Status Tql2(std::vector<double>* d_io, std::vector<double>* e_io,
-            DenseMatrix* z_io) {
+            const Deadline& deadline, DenseMatrix* z_io) {
   std::vector<double>& d = *d_io;
   std::vector<double>& e = *e_io;
   DenseMatrix& z = *z_io;
@@ -92,10 +97,12 @@ Status Tql2(std::vector<double>* d_io, std::vector<double>* e_io,
   for (int i = 1; i < n; ++i) e[i - 1] = e[i];
   e[n - 1] = 0.0;
 
+  DeadlineChecker checker(deadline, /*stride=*/16);
   for (int l = 0; l < n; ++l) {
     int iter = 0;
     int m;
     do {
+      GA_RETURN_IF_EXPIRED(checker, "SymmetricEigen");
       for (m = l; m < n - 1; ++m) {
         const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
         if (std::fabs(e[m]) <= 1e-14 * dd) break;
@@ -165,7 +172,8 @@ void SortAscending(SymmetricEigenResult* res) {
 
 }  // namespace
 
-Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a) {
+Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a,
+                                            const Deadline& deadline) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("SymmetricEigen: matrix is not square");
   }
@@ -175,8 +183,8 @@ Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a) {
   }
   std::vector<double> d;
   std::vector<double> e;
-  Tred2(&a, &d, &e);
-  GA_RETURN_IF_ERROR(Tql2(&d, &e, &a));
+  GA_RETURN_IF_ERROR(Tred2(&a, deadline, &d, &e));
+  GA_RETURN_IF_ERROR(Tql2(&d, &e, deadline, &a));
   SymmetricEigenResult res{std::move(d), std::move(a)};
   SortAscending(&res);
   return res;
@@ -184,7 +192,8 @@ Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a) {
 
 Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
                                           int k, SpectrumEnd end, int steps,
-                                          uint64_t seed) {
+                                          uint64_t seed,
+                                          const Deadline& deadline) {
   if (n <= 0) return Status::InvalidArgument("LanczosEigen: n must be > 0");
   if (k <= 0 || k > n) {
     return Status::InvalidArgument("LanczosEigen: need 0 < k <= n");
@@ -206,7 +215,9 @@ Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
   std::vector<double> beta;  // beta[j] couples basis[j] and basis[j+1].
   std::vector<double> w(n);
 
+  DeadlineChecker checker(deadline, /*stride=*/4);
   for (int j = 0; j < m; ++j) {
+    GA_RETURN_IF_EXPIRED(checker, "LanczosEigen");
     op(basis[j], &w);
     const double a = Dot(w, basis[j]);
     alpha.push_back(a);
@@ -246,7 +257,8 @@ Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
       t(i + 1, i) = beta[i];
     }
   }
-  GA_ASSIGN_OR_RETURN(SymmetricEigenResult tri, SymmetricEigen(std::move(t)));
+  GA_ASSIGN_OR_RETURN(SymmetricEigenResult tri,
+                      SymmetricEigen(std::move(t), deadline));
 
   const int kk = std::min(k, dim);
   SymmetricEigenResult out;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "linalg/dense.h"
 
@@ -25,8 +26,11 @@ struct SymmetricEigenResult {
 // Full eigendecomposition of a dense symmetric matrix via Householder
 // tridiagonalization followed by the implicit-shift QL algorithm
 // (EISPACK tred2/tql2 lineage). O(n^3) time, O(n^2) space.
-// Fails if the input is not square or QL fails to converge.
-Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a);
+// Fails if the input is not square or QL fails to converge. The deadline is
+// polled between Householder columns and QL sweeps.
+Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a,
+                                            const Deadline& deadline =
+                                                Deadline());
 
 // Matrix-free symmetric operator: y = A x.
 using LinearOperator =
@@ -36,11 +40,14 @@ enum class SpectrumEnd { kSmallest, kLargest };
 
 // k extremal eigenpairs of a symmetric operator of dimension n using Lanczos
 // with full reorthogonalization. `steps` bounds the Krylov dimension
-// (defaulted internally to min(n, max(2k + 20, 40)) when <= 0).
+// (defaulted internally to min(n, max(2k + 20, 40)) when <= 0). The deadline
+// is polled between Lanczos steps.
 Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
                                           int k, SpectrumEnd end,
                                           int steps = 0,
-                                          uint64_t seed = 12345);
+                                          uint64_t seed = 12345,
+                                          const Deadline& deadline =
+                                              Deadline());
 
 }  // namespace graphalign
 

@@ -13,7 +13,8 @@ std::vector<double> UniformMarginal(int n) {
 Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
                                     const std::vector<double>& mu,
                                     const std::vector<double>& nu,
-                                    int max_iters, double tolerance) {
+                                    int max_iters, double tolerance,
+                                    const Deadline& deadline) {
   const int n = kernel.rows();
   const int m = kernel.cols();
   if (static_cast<int>(mu.size()) != n || static_cast<int>(nu.size()) != m) {
@@ -32,7 +33,9 @@ Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
   std::vector<double> kb(n), ka(m);
   constexpr double kTiny = 1e-300;
 
+  DeadlineChecker checker(deadline, /*stride=*/8);
   for (int iter = 0; iter < max_iters; ++iter) {
+    GA_RETURN_IF_EXPIRED(checker, "SinkhornProject");
     // a = mu / (K b)
     for (int i = 0; i < n; ++i) {
       double s = 0.0;
@@ -68,7 +71,8 @@ Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
 Result<DenseMatrix> SinkhornTransport(const DenseMatrix& cost,
                                       const std::vector<double>& mu,
                                       const std::vector<double>& nu,
-                                      const SinkhornOptions& options) {
+                                      const SinkhornOptions& options,
+                                      const Deadline& deadline) {
   const int n = cost.rows();
   const int m = cost.cols();
   if (n == 0 || m == 0) {
@@ -90,7 +94,8 @@ Result<DenseMatrix> SinkhornTransport(const DenseMatrix& cost,
       krow[j] = std::exp(-(crow[j] - cmin) / options.epsilon);
     }
   }
-  return SinkhornProject(kernel, mu, nu, options.max_iters, options.tolerance);
+  return SinkhornProject(kernel, mu, nu, options.max_iters, options.tolerance,
+                         deadline);
 }
 
 }  // namespace graphalign

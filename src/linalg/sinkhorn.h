@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "linalg/dense.h"
 
@@ -25,7 +26,8 @@ struct SinkhornOptions {
 Result<DenseMatrix> SinkhornTransport(const DenseMatrix& cost,
                                       const std::vector<double>& mu,
                                       const std::vector<double>& nu,
-                                      const SinkhornOptions& options = {});
+                                      const SinkhornOptions& options = {},
+                                      const Deadline& deadline = Deadline());
 
 // Sinkhorn projection of an explicit positive kernel K onto the transport
 // polytope with marginals (mu, nu): T = diag(a) K diag(b). Used by GWL's
@@ -34,7 +36,8 @@ Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
                                     const std::vector<double>& mu,
                                     const std::vector<double>& nu,
                                     int max_iters = 200,
-                                    double tolerance = 1e-6);
+                                    double tolerance = 1e-6,
+                                    const Deadline& deadline = Deadline());
 
 // Uniform probability vector of length n.
 std::vector<double> UniformMarginal(int n);

@@ -9,8 +9,10 @@ namespace graphalign {
 namespace {
 
 // One-sided Jacobi on a tall (m >= n) matrix: rotates column pairs of `a`
-// until all pairs are orthogonal; accumulates rotations into `v`.
-void JacobiSweep(DenseMatrix* a_io, DenseMatrix* v_io, bool* converged) {
+// until all pairs are orthogonal; accumulates rotations into `v`. Each
+// column-pair rotation costs O(m); the checker is polled per pair.
+Status JacobiSweep(DenseMatrix* a_io, DenseMatrix* v_io,
+                   DeadlineChecker* checker, bool* converged) {
   DenseMatrix& a = *a_io;
   DenseMatrix& v = *v_io;
   const int m = a.rows();
@@ -18,6 +20,7 @@ void JacobiSweep(DenseMatrix* a_io, DenseMatrix* v_io, bool* converged) {
   *converged = true;
   for (int p = 0; p < n - 1; ++p) {
     for (int q = p + 1; q < n; ++q) {
+      GA_RETURN_IF_EXPIRED(*checker, "Svd");
       double app = 0.0, aqq = 0.0, apq = 0.0;
       for (int i = 0; i < m; ++i) {
         const double x = a(i, p);
@@ -49,9 +52,10 @@ void JacobiSweep(DenseMatrix* a_io, DenseMatrix* v_io, bool* converged) {
       }
     }
   }
+  return Status::Ok();
 }
 
-Result<SvdResult> SvdTall(DenseMatrix a) {
+Result<SvdResult> SvdTall(DenseMatrix a, const Deadline& deadline) {
   const int m = a.rows();
   const int n = a.cols();
   for (int i = 0; i < m; ++i) {
@@ -62,9 +66,10 @@ Result<SvdResult> SvdTall(DenseMatrix a) {
     }
   }
   DenseMatrix v = DenseMatrix::Identity(n);
+  DeadlineChecker checker(deadline, /*stride=*/64);
   for (int sweep = 0; sweep < 60; ++sweep) {
     bool converged = false;
-    JacobiSweep(&a, &v, &converged);
+    GA_RETURN_IF_ERROR(JacobiSweep(&a, &v, &checker, &converged));
     if (converged) break;
   }
   // Singular values are the column norms of the rotated A.
@@ -97,13 +102,13 @@ Result<SvdResult> SvdTall(DenseMatrix a) {
 
 }  // namespace
 
-Result<SvdResult> Svd(const DenseMatrix& a) {
+Result<SvdResult> Svd(const DenseMatrix& a, const Deadline& deadline) {
   if (a.rows() == 0 || a.cols() == 0) {
     return Status::InvalidArgument("Svd: empty matrix");
   }
-  if (a.rows() >= a.cols()) return SvdTall(a);
+  if (a.rows() >= a.cols()) return SvdTall(a, deadline);
   // Wide matrix: factor the transpose and swap U/V.
-  GA_ASSIGN_OR_RETURN(SvdResult t, SvdTall(a.Transposed()));
+  GA_ASSIGN_OR_RETURN(SvdResult t, SvdTall(a.Transposed(), deadline));
   SvdResult res;
   res.u = std::move(t.v);
   res.v = std::move(t.u);
@@ -111,8 +116,9 @@ Result<SvdResult> Svd(const DenseMatrix& a) {
   return res;
 }
 
-Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond) {
-  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(a));
+Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond,
+                                  const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(a, deadline));
   const double cutoff =
       svd.singular_values.empty() ? 0.0 : rcond * svd.singular_values[0];
   const int r = static_cast<int>(svd.singular_values.size());
@@ -126,10 +132,12 @@ Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond) {
   return MultiplyABt(vs, svd.u);
 }
 
-Result<QrResult> ThinQr(const DenseMatrix& a, double tol) {
+Result<QrResult> ThinQr(const DenseMatrix& a, double tol,
+                        const Deadline& deadline) {
   const int m = a.rows();
   const int n = a.cols();
   if (m == 0 || n == 0) return Status::InvalidArgument("ThinQr: empty matrix");
+  DeadlineChecker checker(deadline, /*stride=*/16);
   std::vector<std::vector<double>> q_cols;
   std::vector<std::vector<double>> r_rows;  // Row i of R (length n).
   double max_norm = 0.0;
@@ -139,6 +147,7 @@ Result<QrResult> ThinQr(const DenseMatrix& a, double tol) {
   }
   const double cutoff = std::max(tol * max_norm, 1e-300);
   for (int j = 0; j < n; ++j) {
+    GA_RETURN_IF_EXPIRED(checker, "ThinQr");
     std::vector<double> v = a.Col(j);
     std::vector<double> coeffs(q_cols.size());
     // Two MGS passes for numerical robustness.
@@ -170,11 +179,12 @@ Result<QrResult> ThinQr(const DenseMatrix& a, double tol) {
 }
 
 Result<DenseMatrix> ProcrustesRotation(const DenseMatrix& a,
-                                       const DenseMatrix& b) {
+                                       const DenseMatrix& b,
+                                       const Deadline& deadline) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) {
     return Status::InvalidArgument("Procrustes: shape mismatch");
   }
-  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(MultiplyAtB(a, b)));
+  GA_ASSIGN_OR_RETURN(SvdResult svd, Svd(MultiplyAtB(a, b), deadline));
   // Q = U V^T.
   return MultiplyABt(svd.u, svd.v);
 }

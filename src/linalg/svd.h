@@ -7,6 +7,7 @@
 #ifndef GRAPHALIGN_LINALG_SVD_H_
 #define GRAPHALIGN_LINALG_SVD_H_
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "linalg/dense.h"
 
@@ -21,17 +22,21 @@ struct SvdResult {
 };
 
 // Thin SVD. Converges in O(min(m,n)^2 * max(m,n)) per sweep; a handful of
-// sweeps suffice in practice. Fails only on non-finite input.
-Result<SvdResult> Svd(const DenseMatrix& a);
+// sweeps suffice in practice. Fails only on non-finite input or an expired
+// deadline (polled between Jacobi column-pair rotations).
+Result<SvdResult> Svd(const DenseMatrix& a,
+                      const Deadline& deadline = Deadline());
 
 // Moore-Penrose pseudo-inverse computed from the SVD; singular values below
 // `rcond * sigma_max` are treated as zero.
-Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond = 1e-10);
+Result<DenseMatrix> PseudoInverse(const DenseMatrix& a, double rcond = 1e-10,
+                                  const Deadline& deadline = Deadline());
 
 // Orthogonal Procrustes: the orthogonal Q minimizing ||A Q - B||_F, obtained
 // from the SVD of A^T B. A and B must be m x d with the same shape.
 Result<DenseMatrix> ProcrustesRotation(const DenseMatrix& a,
-                                       const DenseMatrix& b);
+                                       const DenseMatrix& b,
+                                       const Deadline& deadline = Deadline());
 
 struct QrResult {
   DenseMatrix q;  // m x r with orthonormal columns.
@@ -41,7 +46,8 @@ struct QrResult {
 // Thin QR by modified Gram-Schmidt with column pivot-free rank truncation:
 // columns whose residual norm falls below `tol * ||col||` are dropped, so
 // q has full column rank. Used by LREA's low-rank compression.
-Result<QrResult> ThinQr(const DenseMatrix& a, double tol = 1e-12);
+Result<QrResult> ThinQr(const DenseMatrix& a, double tol = 1e-12,
+                        const Deadline& deadline = Deadline());
 
 }  // namespace graphalign
 
