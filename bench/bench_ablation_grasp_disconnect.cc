@@ -52,7 +52,7 @@ int Main(int argc, char** argv) {
       RunOutcome out = RunAveraged(&grasp, *graph, noise,
                                    AssignmentMethod::kJonkerVolgenant,
                                    args.repetitions > 0 ? args.repetitions : 3,
-                                   args.seed, args.time_limit_seconds);
+                                   args.seed, args);
       t.AddRow({label, std::to_string(comps), Table::Num(level, 2),
                 FormatAccuracy(out)});
     }

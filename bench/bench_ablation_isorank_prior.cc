@@ -32,7 +32,7 @@ int Main(int argc, char** argv) {
       noise.level = level;
       RunOutcome out = RunAveraged(&iso, *base, noise,
                                    AssignmentMethod::kJonkerVolgenant, reps,
-                                   args.seed, args.time_limit_seconds);
+                                   args.seed, args);
       t.AddRow({degree_prior ? "degree" : "uniform", Table::Num(level, 2),
                 FormatAccuracy(out)});
     }

@@ -35,10 +35,10 @@ int Main(int argc, char** argv) {
       LreaAligner lrea(opts);
       RunOutcome c = RunAveraged(&lrea, *base, clean,
                                  AssignmentMethod::kJonkerVolgenant, reps,
-                                 args.seed, args.time_limit_seconds);
+                                 args.seed, args);
       RunOutcome d = RunAveraged(&lrea, *base, noisy,
                                  AssignmentMethod::kJonkerVolgenant, reps,
-                                 args.seed, args.time_limit_seconds);
+                                 args.seed, args);
       lrea_table.AddRow({std::to_string(rank), std::to_string(iters),
                          FormatAccuracy(c), FormatAccuracy(d)});
     }
@@ -53,10 +53,10 @@ int Main(int argc, char** argv) {
     ConeAligner cone(opts);
     RunOutcome c = RunAveraged(&cone, *base, clean,
                                AssignmentMethod::kJonkerVolgenant, reps,
-                               args.seed, args.time_limit_seconds);
+                               args.seed, args);
     RunOutcome d = RunAveraged(&cone, *base, noisy,
                                AssignmentMethod::kJonkerVolgenant, reps,
-                               args.seed, args.time_limit_seconds);
+                               args.seed, args);
     cone_table.AddRow({std::to_string(dim), FormatAccuracy(c),
                        FormatAccuracy(d),
                        FormatOutcome(d, d.similarity_seconds)});

@@ -54,8 +54,7 @@ int Main(int argc, char** argv) {
       noise.level = level;
       RunOutcome out = RunAveraged(
           aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
-          reps, args.seed + static_cast<uint64_t>(level * 1000),
-          args.time_limit_seconds);
+          reps, args.seed + static_cast<uint64_t>(level * 1000), args);
       t.AddRow({name, Table::Num(level, 2), FormatAccuracy(out)});
     }
   }

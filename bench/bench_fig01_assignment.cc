@@ -6,6 +6,7 @@
 // JV gains for GWL, IsoRank, and NSD.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/random.h"
@@ -35,6 +36,7 @@ int Main(int argc, char** argv) {
       AssignmentMethod::kNearestNeighbor, AssignmentMethod::kSortGreedy,
       AssignmentMethod::kHungarian, AssignmentMethod::kJonkerVolgenant};
 
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"graph", "algorithm", "assignment", "noise", "accuracy"});
   struct Dataset {
     const char* label;
@@ -55,12 +57,18 @@ int Main(int argc, char** argv) {
           NoiseOptions noise;
           noise.level = level;
           noise.keep_connected = true;  // §6.2 keeps graphs connected.
-          RunOutcome out =
-              RunAveraged(aligner.get(), *ds.graph, noise, method, reps,
-                          args.seed + static_cast<uint64_t>(level * 100),
-                          args.time_limit_seconds);
-          t.AddRow({ds.label, name, AssignmentMethodName(method),
-                    Table::Num(level, 2), FormatAccuracy(out)});
+          bench::JournaledRow(
+              &t, &journal,
+              bench::CellKey({ds.label, name, AssignmentMethodName(method),
+                              Table::Num(level, 2)}),
+              [&] {
+                RunOutcome out = RunAveraged(
+                    aligner.get(), *ds.graph, noise, method, reps,
+                    args.seed + static_cast<uint64_t>(level * 100), args);
+                return std::vector<std::string>{
+                    ds.label, name, AssignmentMethodName(method),
+                    Table::Num(level, 2), FormatAccuracy(out)};
+              });
         }
       }
     }

@@ -5,6 +5,7 @@
 // graphs at paper scale; CONE weaker under multi-modal noise; IsoRank best
 // on Facebook.
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "datasets/datasets.h"
@@ -20,6 +21,7 @@ int Main(int argc, char** argv) {
   // exceeded the limit); smoke mode shrinks them hard.
   const double scale = args.full ? 1.0 : 0.06;
 
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"dataset", "algorithm", "noise_type", "noise", "accuracy"});
   for (const std::string& dataset : {"Arenas", "Facebook", "CA-AstroPh"}) {
     const double ds_scale = dataset == std::string("Arenas")
@@ -39,13 +41,20 @@ int Main(int argc, char** argv) {
           NoiseOptions noise;
           noise.type = type;
           noise.level = level;
-          RunOutcome out = RunAveraged(
-              aligner.get(), *base, noise,
-              AssignmentMethod::kJonkerVolgenant, reps,
-              args.seed + static_cast<uint64_t>(level * 1000),
-              args.time_limit_seconds);
-          t.AddRow({dataset, name, NoiseTypeName(type), Table::Num(level, 2),
-                    FormatAccuracy(out)});
+          bench::JournaledRow(
+              &t, &journal,
+              bench::CellKey(
+                  {dataset, name, NoiseTypeName(type), Table::Num(level, 2)}),
+              [&] {
+                RunOutcome out = RunAveraged(
+                    aligner.get(), *base, noise,
+                    AssignmentMethod::kJonkerVolgenant, reps,
+                    args.seed + static_cast<uint64_t>(level * 1000), args);
+                return std::vector<std::string>{dataset, name,
+                                                NoiseTypeName(type),
+                                                Table::Num(level, 2),
+                                                FormatAccuracy(out)};
+              });
         }
       }
     }

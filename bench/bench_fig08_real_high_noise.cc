@@ -6,6 +6,7 @@
 // (inf-euroroad, soc-hamsterster); IsoRank consistently third-best and best
 // on infrastructure graphs; S-GWL close to the best with density-tuned beta.
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "datasets/datasets.h"
@@ -25,6 +26,7 @@ int Main(int argc, char** argv) {
                             "fb-Bowdoin47",    "fb-Swarthmore42",
                             "soc-hamsterster", "bio-celegans",
                             "ca-GrQc",         "ca-netscience"};
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"dataset", "algorithm", "noise", "accuracy"});
   for (const char* dataset : datasets) {
     auto base = MakeStandIn(dataset, args.seed, scale);
@@ -38,11 +40,17 @@ int Main(int argc, char** argv) {
       for (double level : bench::HighNoiseLevels(args.full)) {
         NoiseOptions noise;
         noise.level = level;
-        RunOutcome out = RunAveraged(
-            aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
-            reps, args.seed + static_cast<uint64_t>(level * 1000),
-            args.time_limit_seconds);
-        t.AddRow({dataset, name, Table::Num(level, 2), FormatAccuracy(out)});
+        bench::JournaledRow(
+            &t, &journal,
+            bench::CellKey({dataset, name, Table::Num(level, 2)}), [&] {
+              RunOutcome out = RunAveraged(
+                  aligner.get(), *base, noise,
+                  AssignmentMethod::kJonkerVolgenant, reps,
+                  args.seed + static_cast<uint64_t>(level * 1000), args);
+              return std::vector<std::string>{dataset, name,
+                                              Table::Num(level, 2),
+                                              FormatAccuracy(out)};
+            });
       }
     }
   }

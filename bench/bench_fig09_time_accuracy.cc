@@ -4,6 +4,7 @@
 // Expected shape: CONE and S-GWL resolve the tradeoff best (high accuracy at
 // moderate runtime); GRAAL included despite heavy preprocessing.
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "datasets/datasets.h"
@@ -21,19 +22,24 @@ int Main(int argc, char** argv) {
   std::printf("ca-netscience stand-in: n=%d m=%lld\n", base->num_nodes(),
               static_cast<long long>(base->num_edges()));
 
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"algorithm", "noise", "accuracy", "similarity_s", "assignment_s"});
   for (const std::string& name : SelectedAlgorithms(args)) {
     auto aligner = bench::MakeBenchAligner(name, /*sparse_graph=*/true);
     for (double level : bench::HighNoiseLevels(args.full)) {
       NoiseOptions noise;
       noise.level = level;
-      RunOutcome out = RunAveraged(
-          aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
-          reps, args.seed + static_cast<uint64_t>(level * 1000),
-          args.time_limit_seconds);
-      t.AddRow({name, Table::Num(level, 2), FormatAccuracy(out),
+      bench::JournaledRow(
+          &t, &journal, bench::CellKey({name, Table::Num(level, 2)}), [&] {
+            RunOutcome out = RunAveraged(
+                aligner.get(), *base, noise,
+                AssignmentMethod::kJonkerVolgenant, reps,
+                args.seed + static_cast<uint64_t>(level * 1000), args);
+            return std::vector<std::string>{
+                name, Table::Num(level, 2), FormatAccuracy(out),
                 FormatOutcome(out, out.similarity_seconds),
-                FormatOutcome(out, out.assignment_seconds)});
+                FormatOutcome(out, out.assignment_seconds)};
+          });
     }
   }
   bench::Emit(t, args);

@@ -26,6 +26,7 @@ int Main(int argc, char** argv) {
   const double scale = args.full ? 1.0 : 0.5;
   Rng rng(args.seed);
 
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"dataset", "variant", "algorithm", "accuracy", "mnc", "s3"});
 
   // Temporal protocol: match the full graph against earlier snapshots.
@@ -42,13 +43,16 @@ int Main(int argc, char** argv) {
       GA_CHECK(problem.ok());
       for (const std::string& name : SelectedAlgorithms(args)) {
         auto aligner = bench::MakeBenchAligner(name, sparse);
-        RunOutcome out =
-            RunAligner(aligner.get(), *problem,
-                       AssignmentMethod::kJonkerVolgenant,
-                       args.time_limit_seconds);
-        t.AddRow({dataset, labels[s], name, FormatAccuracy(out),
+        bench::JournaledRow(
+            &t, &journal, bench::CellKey({dataset, labels[s], name}), [&] {
+              RunOutcome out =
+                  RunAligner(aligner.get(), *problem,
+                             AssignmentMethod::kJonkerVolgenant, args);
+              return std::vector<std::string>{
+                  dataset, labels[s], name, FormatAccuracy(out),
                   FormatOutcome(out, out.quality.mnc),
-                  FormatOutcome(out, out.quality.s3)});
+                  FormatOutcome(out, out.quality.s3)};
+            });
       }
     }
   }
@@ -63,15 +67,19 @@ int Main(int argc, char** argv) {
       Rng prng = rng.Fork();
       auto problem = MakeProblemFromPair(*base, (*variants)[v], &prng);
       GA_CHECK(problem.ok());
+      const std::string variant = "variant" + std::to_string(v + 1);
       for (const std::string& name : SelectedAlgorithms(args)) {
         auto aligner = bench::MakeBenchAligner(name, /*sparse_graph=*/true);
-        RunOutcome out =
-            RunAligner(aligner.get(), *problem,
-                       AssignmentMethod::kJonkerVolgenant,
-                       args.time_limit_seconds);
-        t.AddRow({"MultiMagna", "variant" + std::to_string(v + 1), name,
-                  FormatAccuracy(out), FormatOutcome(out, out.quality.mnc),
-                  FormatOutcome(out, out.quality.s3)});
+        bench::JournaledRow(
+            &t, &journal, bench::CellKey({"MultiMagna", variant, name}), [&] {
+              RunOutcome out =
+                  RunAligner(aligner.get(), *problem,
+                             AssignmentMethod::kJonkerVolgenant, args);
+              return std::vector<std::string>{
+                  "MultiMagna", variant, name, FormatAccuracy(out),
+                  FormatOutcome(out, out.quality.mnc),
+                  FormatOutcome(out, out.quality.s3)};
+            });
       }
     }
   }

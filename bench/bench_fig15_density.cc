@@ -24,6 +24,7 @@ int Main(int argc, char** argv) {
   const int n = args.full ? 2000 : 300;
   const int reps = args.repetitions > 0 ? args.repetitions : (args.full ? 5 : 1);
 
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"sweep", "k", "p", "algorithm", "accuracy"});
   auto run_point = [&](const std::string& sweep, int k, double p) {
     Rng rng(args.seed);
@@ -34,11 +35,17 @@ int Main(int argc, char** argv) {
       auto aligner = bench::MakeBenchAligner(name, sparse);
       NoiseOptions noise;
       noise.level = 0.01;
-      RunOutcome out = RunAveraged(
-          aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
-          reps, args.seed + k, args.time_limit_seconds);
-      t.AddRow({sweep, std::to_string(k), Table::Num(p, 1), name,
-                FormatAccuracy(out)});
+      bench::JournaledRow(
+          &t, &journal,
+          bench::CellKey({sweep, std::to_string(k), Table::Num(p, 1), name}),
+          [&] {
+            RunOutcome out = RunAveraged(
+                aligner.get(), *base, noise,
+                AssignmentMethod::kJonkerVolgenant, reps, args.seed + k, args);
+            return std::vector<std::string>{sweep, std::to_string(k),
+                                            Table::Num(p, 1), name,
+                                            FormatAccuracy(out)};
+          });
     }
   };
 

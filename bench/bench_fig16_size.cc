@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
                 "accuracy vs size, Newman-Watts, 1% one-way noise", args);
   const int reps = args.repetitions > 0 ? args.repetitions : (args.full ? 5 : 1);
 
+  Journal journal = bench::MustOpenJournal(args);
   Table t({"sweep", "n", "k", "algorithm", "accuracy"});
   auto run_point = [&](const std::string& sweep, int n, int k) {
     Rng rng(args.seed);
@@ -29,11 +30,18 @@ int Main(int argc, char** argv) {
       auto aligner = bench::MakeBenchAligner(name, sparse);
       NoiseOptions noise;
       noise.level = 0.01;
-      RunOutcome out = RunAveraged(
-          aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
-          reps, args.seed + n, args.time_limit_seconds);
-      t.AddRow({sweep, std::to_string(n), std::to_string(k), name,
-                FormatAccuracy(out)});
+      bench::JournaledRow(
+          &t, &journal,
+          bench::CellKey(
+              {sweep, std::to_string(n), std::to_string(k), name}),
+          [&] {
+            RunOutcome out = RunAveraged(
+                aligner.get(), *base, noise,
+                AssignmentMethod::kJonkerVolgenant, reps, args.seed + n, args);
+            return std::vector<std::string>{sweep, std::to_string(n),
+                                            std::to_string(k), name,
+                                            FormatAccuracy(out)};
+          });
     }
   };
 

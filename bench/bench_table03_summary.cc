@@ -12,7 +12,6 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "common/memory.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/generators.h"
@@ -46,13 +45,12 @@ Feasibility MeasureFeasibility(const std::string& name, const BenchArgs& args) {
   auto probe = [&](int n, double deg, double* seconds, double* mem_mb) {
     Rng rng(args.seed);
     AlignmentProblem problem = bench::MakeScalabilityProblem(n, deg, &rng);
-    auto mem = MeasurePeakMemoryMb([&] {
+    RunOutcome mem = MeasurePeakMemory(args, [&] {
       auto aligner = bench::MakeBenchAligner(name, deg < 20.0);
-      WallTimer timer;
       auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2);
       (void)sim;
     });
-    *mem_mb = mem.ok() ? *mem : 1e9;
+    *mem_mb = mem.completed ? mem.peak_mem_mb : 1e9;
     auto aligner = bench::MakeBenchAligner(name, deg < 20.0);
     WallTimer timer;
     auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2);
@@ -118,7 +116,7 @@ int Main(int argc, char** argv) {
       noise.level = 0.05;
       RunOutcome out = RunAveraged(aligner.get(), *base, noise,
                                    AssignmentMethod::kJonkerVolgenant, reps,
-                                   args.seed, args.time_limit_seconds);
+                                   args.seed, args);
       acc[model.name][name] = out.completed ? out.quality.accuracy : -1.0;
     }
   }

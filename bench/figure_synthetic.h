@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/random.h"
@@ -37,6 +38,7 @@ inline int RunSyntheticFigure(const std::string& figure_id,
               base->AverageDegree());
   const bool sparse = base->AverageDegree() < 20.0;
 
+  Journal journal = MustOpenJournal(args);
   Table t({"algorithm", "noise_type", "noise", "accuracy", "s3", "mnc"});
   for (const std::string& name : SelectedAlgorithms(args)) {
     auto aligner = MakeBenchAligner(name, sparse);
@@ -46,13 +48,18 @@ inline int RunSyntheticFigure(const std::string& figure_id,
         NoiseOptions noise;
         noise.type = type;
         noise.level = level;
-        RunOutcome out = RunAveraged(
-            aligner.get(), *base, noise, AssignmentMethod::kJonkerVolgenant,
-            reps, args.seed + static_cast<uint64_t>(level * 1000),
-            args.time_limit_seconds);
-        t.AddRow({name, NoiseTypeName(type), Table::Num(level, 2),
+        JournaledRow(
+            &t, &journal,
+            CellKey({name, NoiseTypeName(type), Table::Num(level, 2)}), [&] {
+              RunOutcome out = RunAveraged(
+                  aligner.get(), *base, noise,
+                  AssignmentMethod::kJonkerVolgenant, reps,
+                  args.seed + static_cast<uint64_t>(level * 1000), args);
+              return std::vector<std::string>{
+                  name, NoiseTypeName(type), Table::Num(level, 2),
                   FormatAccuracy(out), FormatOutcome(out, out.quality.s3),
-                  FormatOutcome(out, out.quality.mnc)});
+                  FormatOutcome(out, out.quality.mnc)};
+            });
       }
     }
   }

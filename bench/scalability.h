@@ -8,12 +8,12 @@
 #ifndef GRAPHALIGN_BENCH_SCALABILITY_H_
 #define GRAPHALIGN_BENCH_SCALABILITY_H_
 
+#include <cstdio>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "common/memory.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "graph/generators.h"
@@ -60,6 +60,7 @@ inline int RunScalabilitySweep(const std::string& figure_id,
     algorithms.push_back(name);
   }
 
+  Journal journal = MustOpenJournal(args);
   Table t({"point", "n", "avg_deg", "algorithm",
            metric == SweepMetric::kTime ? "similarity_s" : "peak_mem_mb"});
   std::set<std::string> dnf;
@@ -68,39 +69,72 @@ inline int RunScalabilitySweep(const std::string& figure_id,
     AlignmentProblem problem =
         MakeScalabilityProblem(point.n, point.avg_degree, &rng);
     for (const std::string& name : algorithms) {
-      std::string cell;
-      if (dnf.count(name) > 0) {
-        cell = "DNF";
-      } else if (metric == SweepMetric::kTime) {
-        auto aligner = MakeBenchAligner(name, point.avg_degree < 20.0);
-        double total = 0.0;
-        bool ok = true;
-        for (int r = 0; r < reps && ok; ++r) {
-          WallTimer timer;
-          auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2);
-          const double secs = timer.Seconds();
-          if (!sim.ok()) {
-            cell = "ERR";
-            ok = false;
-          } else if (secs > args.time_limit_seconds) {
+      // Computes the metric cell; crashes/OOM kills are contained per cell
+      // when isolation is on (the default for --full) and rendered as
+      // CRASH/OOM alongside the DNF semantics of the time budget.
+      auto compute_cell = [&]() -> std::string {
+        if (dnf.count(name) > 0) return "DNF";
+        if (metric == SweepMetric::kTime) {
+          RunOutcome out = RunContained(args, [&] {
+            auto aligner = MakeBenchAligner(name, point.avg_degree < 20.0);
+            const Deadline deadline =
+                Deadline::AfterSeconds(args.time_limit_seconds);
+            RunOutcome one;
+            double total = 0.0;
+            for (int r = 0; r < reps; ++r) {
+              WallTimer timer;
+              auto sim =
+                  aligner->ComputeSimilarity(problem.g1, problem.g2, deadline);
+              const double secs = timer.Seconds();
+              if (!sim.ok()) {
+                one.error =
+                    sim.status().code() == StatusCode::kDeadlineExceeded
+                        ? "DNF (time limit)"
+                        : sim.status().ToString();
+                return one;
+              }
+              if (secs > args.time_limit_seconds) {
+                one.error = "DNF (time limit)";
+                return one;
+              }
+              total += secs;
+            }
+            one.completed = true;
+            one.completed_runs = reps;
+            one.similarity_seconds = total / reps;
+            return one;
+          });
+          // An over-budget point disqualifies the algorithm for all larger
+          // points, mirroring the paper's cutoff.
+          if (!out.completed && out.error.rfind("DNF", 0) == 0) {
             dnf.insert(name);
-            cell = "DNF";
-            ok = false;
-          } else {
-            total += secs;
           }
+          return FormatOutcome(out, out.similarity_seconds);
         }
-        if (ok) cell = Table::Num(total / reps);
-      } else {
-        auto mem = MeasurePeakMemoryMb([&] {
+        RunOutcome out = MeasurePeakMemory(args, [&] {
           auto aligner = MakeBenchAligner(name, point.avg_degree < 20.0);
           auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2);
           (void)sim;
         });
-        cell = mem.ok() ? Table::Num(*mem, 1) : "ERR";
+        if (!out.completed) return FormatOutcome(out, 0.0);
+        return Table::Num(out.peak_mem_mb, 1);
+      };
+      const std::string key = CellKey({point.label, name});
+      if (const std::vector<std::string>* cached = journal.Row(key)) {
+        // Keep the DNF skip-set consistent on resume, so an algorithm that
+        // already timed out is not re-run at larger points.
+        if (!cached->empty() && cached->back() == "DNF") dnf.insert(name);
+        t.AddRow(*cached);
+        continue;
       }
-      t.AddRow({point.label, std::to_string(point.n),
-                Table::Num(point.avg_degree, 1), name, cell});
+      const std::vector<std::string> cells = {
+          point.label, std::to_string(point.n), Table::Num(point.avg_degree, 1),
+          name, compute_cell()};
+      Status recorded = journal.Record(key, cells);
+      if (!recorded.ok()) {
+        std::fprintf(stderr, "journal: %s\n", recorded.ToString().c_str());
+      }
+      t.AddRow(cells);
     }
   }
   Emit(t, args);

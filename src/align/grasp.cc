@@ -77,15 +77,22 @@ Result<DenseMatrix> GraspAligner::ComputeSimilarityImpl(
   }
   const int n1 = g1.num_nodes();
   const int n2 = g2.num_nodes();
-  const int k = std::max(2, std::min({options_.k, n1 - 1, n2 - 1}));
+  // The basis can never exceed the eigenpairs both graphs actually have:
+  // clamping k below by 2 regardless used to read past the eigenvector
+  // matrix on 1- and 2-node graphs.
+  const int max_basis = std::min(n1 - 1, n2 - 1);
+  if (max_basis < 1) {
+    return Status::InvalidArgument(
+        "GRASP: graphs must have at least 2 nodes for a spectral basis");
+  }
+  const int k = std::max(1, std::min(options_.k, max_basis));
   // Heat kernels use the full spectrum when the dense eigensolver is in
   // play (n <= 1200, matching GRASP's O(n^3) profile in Table 1); beyond
-  // that, a Lanczos subset bounded by k_functions.
+  // that, a Lanczos subset bounded by k_functions (never below k).
   const int small = std::min(n1, n2);
   const int k_func =
-      small <= 1200
-          ? std::min(n1 - 1, n2 - 1)
-          : std::max(k, std::min({options_.k_functions, n1 - 1, n2 - 1}));
+      small <= 1200 ? max_basis
+                    : std::max(k, std::min(options_.k_functions, max_basis));
 
   GA_ASSIGN_OR_RETURN(SymmetricEigenResult eig_full1,
                       LaplacianEigs(g1, k_func, deadline));

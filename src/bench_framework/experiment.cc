@@ -1,5 +1,7 @@
 #include "bench_framework/experiment.h"
 
+#include <signal.h>
+
 #include <cerrno>
 #include <climits>
 #include <cmath>
@@ -7,7 +9,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/memory.h"
 #include "common/random.h"
+#include "common/subprocess.h"
 #include "common/table.h"
 #include "common/timer.h"
 
@@ -38,14 +42,15 @@ int ParsePositiveInt(const std::string& flag, const char* value) {
   return static_cast<int>(v);
 }
 
-// Whole-string strictly-positive finite double (seconds).
-double ParsePositiveSeconds(const std::string& flag, const char* value) {
+// Whole-string strictly-positive finite double (seconds or megabytes).
+double ParsePositiveNumber(const std::string& flag, const char* value,
+                           const char* expected) {
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(value, &end);
   if (end == value || *end != '\0' || errno == ERANGE || !std::isfinite(v) ||
       v <= 0.0) {
-    BenchArgError(flag, value, "a positive number of seconds");
+    BenchArgError(flag, value, expected);
   }
   return v;
 }
@@ -60,10 +65,196 @@ uint64_t ParseSeed(const std::string& flag, const char* value) {
   return static_cast<uint64_t>(v);
 }
 
+// ---------------------------------------------------------------------------
+// RunOutcome marshaling across the isolation pipe. Parent and child are the
+// same binary, so a fixed struct of the POD fields plus the error string is
+// enough; a version tag guards against a stale parent reading a child built
+// from different code (impossible via fork, cheap to check anyway).
+
+constexpr uint32_t kWireVersion = 2;
+
+struct WireOutcome {
+  uint32_t version;
+  uint8_t completed;
+  int32_t completed_runs;
+  double accuracy, mnc, ec, ics, s3;
+  double similarity_seconds, assignment_seconds, peak_mem_mb;
+  uint64_t error_len;
+};
+
+std::string EncodeRunOutcome(const RunOutcome& out) {
+  WireOutcome wire = {};
+  wire.version = kWireVersion;
+  wire.completed = out.completed ? 1 : 0;
+  wire.completed_runs = out.completed_runs;
+  wire.accuracy = out.quality.accuracy;
+  wire.mnc = out.quality.mnc;
+  wire.ec = out.quality.ec;
+  wire.ics = out.quality.ics;
+  wire.s3 = out.quality.s3;
+  wire.similarity_seconds = out.similarity_seconds;
+  wire.assignment_seconds = out.assignment_seconds;
+  wire.peak_mem_mb = out.peak_mem_mb;
+  wire.error_len = out.error.size();
+  std::string bytes(reinterpret_cast<const char*>(&wire), sizeof(wire));
+  bytes.append(out.error);
+  return bytes;
+}
+
+bool DecodeRunOutcome(const std::string& bytes, RunOutcome* out) {
+  if (bytes.size() < sizeof(WireOutcome)) return false;
+  WireOutcome wire;
+  std::memcpy(&wire, bytes.data(), sizeof(wire));
+  if (wire.version != kWireVersion) return false;
+  if (bytes.size() != sizeof(wire) + wire.error_len) return false;
+  out->completed = wire.completed != 0;
+  out->completed_runs = wire.completed_runs;
+  out->quality.accuracy = wire.accuracy;
+  out->quality.mnc = wire.mnc;
+  out->quality.ec = wire.ec;
+  out->quality.ics = wire.ics;
+  out->quality.s3 = wire.s3;
+  out->similarity_seconds = wire.similarity_seconds;
+  out->assignment_seconds = wire.assignment_seconds;
+  out->peak_mem_mb = wire.peak_mem_mb;
+  out->error = bytes.substr(sizeof(wire));
+  return true;
+}
+
+SubprocessOptions OptionsFromArgs(const BenchArgs& args) {
+  SubprocessOptions opt;
+  opt.mem_limit_bytes =
+      static_cast<int64_t>(args.mem_limit_mb * 1024.0 * 1024.0);
+  // The cooperative Deadline inside the child handles well-behaved
+  // overruns; the hard kill is only the backstop for code that stops
+  // polling (a hang in a foreign library, a livelock), so give it slack.
+  if (args.time_limit_seconds > 0.0 && args.time_limit_seconds < 1e8) {
+    opt.wall_limit_seconds = 2.0 * args.time_limit_seconds + 30.0;
+  }
+  return opt;
+}
+
+// Forks, runs `body`, and maps every way the child can die onto the
+// outcome-error taxonomy the tables render.
+RunOutcome RunOutcomeInChild(const SubprocessOptions& options,
+                             const std::function<RunOutcome()>& body) {
+  auto run = RunIsolated(
+      [&](int payload_fd) {
+        RunOutcome out = body();
+        if (out.peak_mem_mb <= 0.0) {
+          out.peak_mem_mb =
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0);
+        }
+        return WritePayload(payload_fd, EncodeRunOutcome(out)) ? 0 : 1;
+      },
+      options);
+  RunOutcome out;
+  if (!run.ok()) {
+    out.error = run.status().ToString();
+    return out;
+  }
+  switch (run->status) {
+    case RunStatus::kOk: {
+      if (run->payload_valid && DecodeRunOutcome(run->payload, &out)) {
+        return out;
+      }
+      out.error = "isolated child exited cleanly but returned no result";
+      return out;
+    }
+    case RunStatus::kExit:
+      out.error = "ERR (isolated child " + run->detail + ")";
+      return out;
+    case RunStatus::kCrash:
+      out.error = "CRASH (" + run->detail + ")";
+      return out;
+    case RunStatus::kOom:
+      out.error = "OOM (" + run->detail + ")";
+      return out;
+    case RunStatus::kTimeout:
+      out.error = "DNF (hard-killed at the wall-clock backstop)";
+      return out;
+  }
+  out.error = "isolated child ended in an unknown state";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection aligners (test hooks; see experiment.h).
+
+class FaultAligner : public Aligner {
+ public:
+  enum class Kind { kCrash, kOom, kHang };
+
+  explicit FaultAligner(Kind kind) : kind_(kind) {}
+
+  std::string name() const override {
+    switch (kind_) {
+      case Kind::kCrash: return "_CRASH";
+      case Kind::kOom: return "_OOM";
+      case Kind::kHang: return "_HANG";
+    }
+    return "_FAULT";
+  }
+
+  AssignmentMethod default_assignment() const override {
+    return AssignmentMethod::kSortGreedy;
+  }
+
+ protected:
+  Result<DenseMatrix> ComputeSimilarityImpl(const Graph&, const Graph&,
+                                            const Deadline&) override {
+    switch (kind_) {
+      case Kind::kCrash:
+        raise(SIGSEGV);
+        break;
+      case Kind::kOom: {
+        // Allocate-and-touch until the rlimit (or, as a safety net when run
+        // without one, a 4 GB appetite) is hit. Touching every page makes
+        // the usage resident, so RLIMIT_AS and the OOM killer both see it.
+        std::vector<std::unique_ptr<char[]>> hog;
+        constexpr size_t kChunk = 64 << 20;
+        for (int i = 0; i < 64; ++i) {
+          hog.push_back(std::make_unique<char[]>(kChunk));
+          for (size_t off = 0; off < kChunk; off += 4096) {
+            hog.back()[off] = static_cast<char>(off);
+          }
+        }
+        return Status::ResourceExhausted(
+            "_OOM injector survived its 4 GB appetite (no memory limit?)");
+      }
+      case Kind::kHang:
+        // Deliberately never polls the deadline: only the executor's hard
+        // wall-clock kill can stop this.
+        for (volatile uint64_t spin = 0;; spin = spin + 1) {
+        }
+        break;
+    }
+    return Status::Internal("unreachable fault injector state");
+  }
+
+ private:
+  Kind kind_;
+};
+
 }  // namespace
+
+std::unique_ptr<Aligner> MakeFaultAligner(const std::string& name) {
+  if (name == "_CRASH") {
+    return std::make_unique<FaultAligner>(FaultAligner::Kind::kCrash);
+  }
+  if (name == "_OOM") {
+    return std::make_unique<FaultAligner>(FaultAligner::Kind::kOom);
+  }
+  if (name == "_HANG") {
+    return std::make_unique<FaultAligner>(FaultAligner::Kind::kHang);
+  }
+  return nullptr;
+}
 
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
+  bool explicit_isolate = false;
+  bool no_isolate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -85,15 +276,41 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else if (arg == "--seed") {
       args.seed = ParseSeed(arg, next());
     } else if (arg == "--time-limit") {
-      args.time_limit_seconds = ParsePositiveSeconds(arg, next());
+      args.time_limit_seconds =
+          ParsePositiveNumber(arg, next(), "a positive number of seconds");
+    } else if (arg == "--isolate") {
+      explicit_isolate = true;
+    } else if (arg == "--no-isolate") {
+      no_isolate = true;
+    } else if (arg == "--mem-limit") {
+      args.mem_limit_mb =
+          ParsePositiveNumber(arg, next(), "a positive number of megabytes");
+    } else if (arg == "--journal") {
+      args.journal_path = next();
+    } else if (arg == "--resume") {
+      args.resume = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --full --reps N --algos A,B "
-                   "--csv PATH --seed S --time-limit T)\n",
+                   "--csv PATH --seed S --time-limit T --isolate "
+                   "--no-isolate --mem-limit MB --journal PATH --resume)\n",
                    arg.c_str());
       std::exit(2);
     }
   }
+  if (no_isolate && (explicit_isolate || args.mem_limit_mb > 0.0)) {
+    std::fprintf(stderr,
+                 "--no-isolate conflicts with --isolate/--mem-limit\n");
+    std::exit(2);
+  }
+  if (args.resume && args.journal_path.empty()) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    std::exit(2);
+  }
+  // Paper-scale sweeps isolate by default: a single crashed cell must not
+  // take down hours of accumulated results.
+  args.isolate = !no_isolate && (explicit_isolate || args.mem_limit_mb > 0.0 ||
+                                 args.full);
   return args;
 }
 
@@ -182,9 +399,45 @@ RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
   return total;
 }
 
+RunOutcome RunContained(const BenchArgs& args,
+                        const std::function<RunOutcome()>& body) {
+  if (!args.isolate) return body();
+  return RunOutcomeInChild(OptionsFromArgs(args), body);
+}
+
+RunOutcome MeasurePeakMemory(const BenchArgs& args,
+                             const std::function<void()>& body) {
+  return RunOutcomeInChild(OptionsFromArgs(args), [&] {
+    body();
+    RunOutcome out;
+    out.completed = true;
+    out.completed_runs = 1;
+    return out;
+  });
+}
+
+RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
+                      AssignmentMethod method, const BenchArgs& args) {
+  return RunContained(args, [&] {
+    return RunAligner(aligner, problem, method, args.time_limit_seconds);
+  });
+}
+
+RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
+                       const NoiseOptions& noise, AssignmentMethod method,
+                       int reps, uint64_t seed, const BenchArgs& args) {
+  return RunContained(args, [&] {
+    return RunAveraged(aligner, base, noise, method, reps, seed,
+                       args.time_limit_seconds);
+  });
+}
+
 std::string FormatOutcome(const RunOutcome& outcome, double value) {
   if (!outcome.completed) {
-    return outcome.error.rfind("DNF", 0) == 0 ? "DNF" : "ERR";
+    for (const char* tag : {"DNF", "CRASH", "OOM"}) {
+      if (outcome.error.rfind(tag, 0) == 0) return tag;
+    }
+    return "ERR";
   }
   return Table::Num(value);
 }

@@ -6,10 +6,19 @@
 // similarity stage is reported separately from assignment (§6.2), and runs
 // exceeding a time budget are reported as DNF — the same semantics as the
 // paper's 3-hour limit (Table 3).
+//
+// Failure containment: with isolation on (--isolate; the default for --full
+// sweeps), every cell runs in a forked child under rlimit memory and
+// wall-clock caps (common/subprocess.h). A segfault, GA_CHECK abort, or
+// out-of-memory kill in one cell becomes a CRASH/OOM table entry and the
+// sweep continues; the outcome taxonomy is OK / ERR / DNF / CRASH / OOM
+// (DESIGN.md §10).
 #ifndef GRAPHALIGN_BENCH_FRAMEWORK_EXPERIMENT_H_
 #define GRAPHALIGN_BENCH_FRAMEWORK_EXPERIMENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +37,11 @@ namespace graphalign {
 //   --csv PATH       also write the result table as CSV
 //   --seed S         master seed
 //   --time-limit T   per-run budget in seconds (DNF beyond it)
+//   --isolate        run every cell in a forked child (crash/OOM containment)
+//   --no-isolate     opt out of the --full default isolation
+//   --mem-limit MB   per-cell memory cap (implies --isolate)
+//   --journal PATH   append every completed cell to a checkpoint journal
+//   --resume         skip cells already present in the journal
 struct BenchArgs {
   bool full = false;
   int repetitions = 0;  // 0 = bench-specific default.
@@ -35,6 +49,11 @@ struct BenchArgs {
   std::string csv_path;
   uint64_t seed = 2023;
   double time_limit_seconds = 600.0;
+  bool isolate = false;          // Resolved: --isolate, --mem-limit, or
+                                 // --full without --no-isolate.
+  double mem_limit_mb = 0.0;     // 0 = no memory cap.
+  std::string journal_path;      // Empty = no journal.
+  bool resume = false;
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv);
@@ -45,11 +64,14 @@ std::vector<std::string> SelectedAlgorithms(const BenchArgs& args);
 // Outcome of one or more alignment runs.
 struct RunOutcome {
   bool completed = false;
-  std::string error;          // Set when not completed.
+  std::string error;          // Set when not completed; the leading token
+                              // ("DNF"/"CRASH"/"OOM", else ERR) is what the
+                              // tables render.
   QualityReport quality;      // Averaged over completed repetitions.
   double similarity_seconds = 0.0;  // Averaged.
   double assignment_seconds = 0.0;  // Averaged.
   int completed_runs = 0;
+  double peak_mem_mb = 0.0;   // Child's peak RSS; only set by isolated runs.
 };
 
 // Runs `aligner` once on `problem`, timing similarity and assignment
@@ -65,7 +87,39 @@ RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
                        const NoiseOptions& noise, AssignmentMethod method,
                        int reps, uint64_t seed, double time_limit_seconds);
 
-// Formats an outcome's accuracy (or "DNF"/"ERR") for tables.
+// Isolation-aware overloads: honor args.isolate / args.mem_limit_mb on top
+// of the cooperative args.time_limit_seconds budget. When isolation is on,
+// the run executes in a forked child and a crash, memory blow-up, or
+// non-cooperative hang is contained there and reported in the outcome.
+RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
+                      AssignmentMethod method, const BenchArgs& args);
+RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
+                       const NoiseOptions& noise, AssignmentMethod method,
+                       int reps, uint64_t seed, const BenchArgs& args);
+
+// Runs `body` under the args' isolation policy: inline when isolation is
+// off, otherwise in a forked child with the args' memory cap and a hard
+// wall-clock backstop derived from the time limit. Crash/OOM/kill outcomes
+// come back as RunOutcome errors ("CRASH (...)", "OOM (...)", "DNF (...)").
+RunOutcome RunContained(const BenchArgs& args,
+                        const std::function<RunOutcome()>& body);
+
+// Peak-memory probe for the scalability benches: always forks (VmHWM is
+// monotone per process), applies the args' limits, and reports the child's
+// peak RSS in outcome.peak_mem_mb with the same failure classification as
+// RunContained.
+RunOutcome MeasurePeakMemory(const BenchArgs& args,
+                             const std::function<void()>& body);
+
+// Test-only fault injectors, reachable from every bench via --algos:
+//   _CRASH  raises SIGSEGV inside ComputeSimilarity
+//   _OOM    allocates unboundedly (capped at a few GB as a safety net)
+//   _HANG   spins without polling the cooperative deadline
+// They model exactly the non-cooperative failures the isolated executor
+// contains; run them only under --isolate. Returns nullptr for other names.
+std::unique_ptr<Aligner> MakeFaultAligner(const std::string& name);
+
+// Formats an outcome's accuracy (or "DNF"/"CRASH"/"OOM"/"ERR") for tables.
 std::string FormatOutcome(const RunOutcome& outcome, double value);
 std::string FormatAccuracy(const RunOutcome& outcome);
 

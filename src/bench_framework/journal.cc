@@ -1,0 +1,95 @@
+#include "bench_framework/journal.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace graphalign {
+
+namespace {
+
+Status CheckField(const std::string& field) {
+  if (field.find('\t') != std::string::npos ||
+      field.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("journal fields must not contain tabs or "
+                                   "newlines: '" + field + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Journal> Journal::Open(const std::string& path, bool resume) {
+  Journal journal;
+  journal.path_ = path;
+  if (!resume) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::Internal("cannot create journal " + path);
+    return journal;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    // Resuming with no journal yet is a fresh start, not an error: the
+    // sweep may have been killed before its first cell completed.
+    std::ofstream out(path, std::ios::app);
+    if (!out) return Status::Internal("cannot create journal " + path);
+    return journal;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  size_t start = 0;
+  while (start < content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) break;  // Trailing partial record: drop it.
+    const std::string line = content.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    size_t field_start = 0;
+    for (;;) {
+      const size_t tab = line.find('\t', field_start);
+      if (tab == std::string::npos) {
+        fields.push_back(line.substr(field_start));
+        break;
+      }
+      fields.push_back(line.substr(field_start, tab - field_start));
+      field_start = tab + 1;
+    }
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("malformed journal record in " + path +
+                                     ": '" + line + "'");
+    }
+    const std::string key = fields.front();
+    fields.erase(fields.begin());
+    // Last record wins; duplicate keys can appear if a sweep was resumed
+    // from a journal written without --resume semantics in mind.
+    journal.done_[key] = std::move(fields);
+  }
+  return journal;
+}
+
+const std::vector<std::string>* Journal::Row(const std::string& key) const {
+  auto it = done_.find(key);
+  return it == done_.end() ? nullptr : &it->second;
+}
+
+Status Journal::Record(const std::string& key,
+                       const std::vector<std::string>& cells) {
+  if (!enabled()) return Status::Ok();
+  GA_RETURN_IF_ERROR(CheckField(key));
+  if (cells.empty()) {
+    return Status::InvalidArgument("journal record needs at least one cell");
+  }
+  for (const std::string& cell : cells) GA_RETURN_IF_ERROR(CheckField(cell));
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return Status::Internal("cannot append to journal " + path_);
+  out << key;
+  for (const std::string& cell : cells) out << '\t' << cell;
+  out << '\n';
+  out.flush();
+  if (!out) return Status::Internal("journal write failed for " + path_);
+  done_[key] = cells;
+  return Status::Ok();
+}
+
+}  // namespace graphalign

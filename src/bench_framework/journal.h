@@ -1,0 +1,55 @@
+// Checkpoint journal for resumable benchmark sweeps.
+//
+// A paper-scale sweep (§5.1: algorithms × datasets × noise levels under a
+// 3-hour budget) can run for many hours; a kill — machine reboot, OOM of the
+// harness itself, ctrl-C — must not discard the cells already computed.
+// Each bench binary appends one line per completed cell to a journal file as
+// it goes ("<key>\t<cell>\t<cell>..."); restarted with --resume, rows whose
+// key is already journaled are replayed verbatim instead of recomputed, so
+// an interrupted sweep finishes byte-identical to an uninterrupted one
+// (cells are deterministic given the seed and do not depend on the fate of
+// other cells).
+//
+// Crash consistency: records are flushed line-by-line, and a trailing
+// partial line (the harness died mid-write) is dropped on load.
+#ifndef GRAPHALIGN_BENCH_FRAMEWORK_JOURNAL_H_
+#define GRAPHALIGN_BENCH_FRAMEWORK_JOURNAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+class Journal {
+ public:
+  // Disabled journal: Row() always misses, Record() is a no-op.
+  Journal() = default;
+
+  // Opens `path` for appending. With `resume` the existing records are
+  // loaded and served from Row(); without it the file is truncated and the
+  // sweep starts fresh.
+  static Result<Journal> Open(const std::string& path, bool resume);
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Number of records loaded from a resumed journal.
+  size_t loaded() const { return done_.size(); }
+
+  // The journaled cells for `key`, or nullptr if the cell still has to run.
+  const std::vector<std::string>* Row(const std::string& key) const;
+
+  // Appends and flushes one completed cell. Keys and cells must not contain
+  // tabs or newlines (InvalidArgument). No-op Ok() when disabled.
+  Status Record(const std::string& key, const std::vector<std::string>& cells);
+
+ private:
+  std::string path_;
+  std::map<std::string, std::vector<std::string>> done_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_BENCH_FRAMEWORK_JOURNAL_H_

@@ -9,6 +9,7 @@
 #include "align/aligner.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/subprocess.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "graph/generators.h"
@@ -181,7 +182,7 @@ int CmdPerturb(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
+int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
   const std::string g1_path = flags.GetString("g1");
   const std::string g2_path = flags.GetString("g2");
   const std::string algo = flags.GetString("algo");
@@ -258,6 +259,63 @@ int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// `align` front door: --isolate / --mem-limit MB run the alignment in a
+// forked child under rlimit caps, so a crashing or memory-hungry aligner
+// yields a distinct exit code (4 = crash, 5 = OOM, 3 = DNF) instead of
+// taking the CLI down with it.
+int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
+  const bool isolate = flags.Has("isolate") || flags.Has("mem-limit");
+  if (!isolate) return CmdAlignInner(flags, out, err);
+
+  SubprocessOptions options;
+  if (flags.Has("mem-limit")) {
+    const double mb = flags.GetDouble("mem-limit", 0.0);
+    if (mb <= 0.0) {
+      return Fail(err, Status::InvalidArgument(
+                           "--mem-limit must be a positive number of "
+                           "megabytes"));
+    }
+    options.mem_limit_bytes = static_cast<int64_t>(mb * 1024.0 * 1024.0);
+  }
+  if (flags.Has("time-limit")) {
+    const double limit = flags.GetDouble("time-limit", 0.0);
+    if (limit <= 0.0) {
+      return Fail(err, Status::InvalidArgument(
+                           "--time-limit must be a positive number of "
+                           "seconds"));
+    }
+    // The cooperative deadline inside the child remains the primary limit;
+    // the hard kill is a backstop for non-cooperative hangs.
+    options.wall_limit_seconds = 2.0 * limit + 30.0;
+  }
+  auto result = RunIsolated(
+      [&](int) {
+        const int rc = CmdAlignInner(flags, out, err);
+        out.flush();
+        err.flush();
+        return rc;
+      },
+      options);
+  if (!result.ok()) return Fail(err, result.status());
+  switch (result->status) {
+    case RunStatus::kOk:
+      return 0;
+    case RunStatus::kExit:
+      return result->exit_code;
+    case RunStatus::kCrash:
+      err << "CRASH: " << result->detail << "\n";
+      return 4;
+    case RunStatus::kOom:
+      err << "OOM: " << result->detail << "\n";
+      return 5;
+    case RunStatus::kTimeout:
+      err << "DNF: hard-killed at the wall-clock backstop after "
+          << Table::Num(result->wall_seconds, 2) << "s\n";
+      return 3;
+  }
+  return 1;
+}
+
 int CmdEvaluate(const Flags& flags, std::ostream& out, std::ostream& err) {
   const std::string g1_path = flags.GetString("g1");
   const std::string g2_path = flags.GetString("g2");
@@ -315,9 +373,12 @@ constexpr char kUsage[] =
     "           [--truth FILE]\n"
     "  align    --g1 FILE --g2 FILE --algo NAME\n"
     "           [--assign {NN,SG,MWM,JV,native}] [--time-limit T] [--out FILE]\n"
+    "           [--isolate] [--mem-limit MB]\n"
     "  evaluate --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "  stats    --in FILE\n"
-    "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n";
+    "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n"
+    "align exit codes: 0 ok, 1 error, 3 DNF, and with --isolate/--mem-limit\n"
+    "  4 = the aligner crashed, 5 = it exceeded the memory limit\n";
 
 }  // namespace
 

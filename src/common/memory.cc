@@ -1,12 +1,12 @@
 #include "common/memory.h"
 
-#include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include "common/subprocess.h"
 
 namespace graphalign {
 
@@ -29,43 +29,49 @@ int64_t ReadProcStatusKb(const char* key) {
   return kb;
 }
 
+// Child exit code distinguishing "VmHWM unreadable" from workload errors.
+constexpr int kNoProcExitCode = 119;
+
 }  // namespace
 
 int64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
 
 int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
 
+int64_t CurrentVmBytes() { return ReadProcStatusKb("VmSize") * 1024; }
+
 Result<double> MeasurePeakMemoryMb(const std::function<void()>& workload) {
-  int fds[2];
-  if (pipe(fds) != 0) {
-    return Status::Internal("pipe() failed");
-  }
-  pid_t pid = fork();
-  if (pid < 0) {
-    close(fds[0]);
-    close(fds[1]);
-    return Status::Internal("fork() failed");
-  }
-  if (pid == 0) {
-    // Child: run the workload, report VmHWM, exit without running atexit
-    // handlers (the parent owns all shared state).
-    close(fds[0]);
+  auto run = RunIsolated([&](int payload_fd) {
     workload();
-    int64_t peak = PeakRssBytes();
-    ssize_t ignored = write(fds[1], &peak, sizeof(peak));
-    (void)ignored;
-    close(fds[1]);
-    _exit(0);
+    const int64_t peak = PeakRssBytes();
+    if (peak <= 0) return kNoProcExitCode;
+    const std::string bytes(reinterpret_cast<const char*>(&peak),
+                            sizeof(peak));
+    return WritePayload(payload_fd, bytes) ? 0 : 1;
+  });
+  if (!run.ok()) return run.status();
+  switch (run->status) {
+    case RunStatus::kOk:
+      break;
+    case RunStatus::kExit:
+      if (run->exit_code == kNoProcExitCode) {
+        return Status::Internal(
+            "peak RSS not measurable: /proc unavailable in the child");
+      }
+      return Status::Internal("measurement child failed: " + run->detail);
+    case RunStatus::kCrash:
+      return Status::Internal("workload crashed: " + run->detail);
+    case RunStatus::kOom:
+      return Status::ResourceExhausted("workload ran out of memory: " +
+                                       run->detail);
+    case RunStatus::kTimeout:
+      return Status::DeadlineExceeded("measurement child timed out");
   }
-  close(fds[1]);
+  if (!run->payload_valid || run->payload.size() != sizeof(int64_t)) {
+    return Status::Internal("measurement child reported no peak RSS");
+  }
   int64_t peak = 0;
-  ssize_t n = read(fds[0], &peak, sizeof(peak));
-  close(fds[0]);
-  int wstatus = 0;
-  waitpid(pid, &wstatus, 0);
-  if (n != sizeof(peak) || !WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
-    return Status::Internal("child measurement process failed");
-  }
+  std::memcpy(&peak, run->payload.data(), sizeof(peak));
   return static_cast<double>(peak) / (1024.0 * 1024.0);
 }
 

@@ -3,8 +3,9 @@
 // The paper reports peak resident memory per algorithm run. VmHWM in
 // /proc/self/status is monotone over a process lifetime, so measuring several
 // runs in one process would only record the largest. MeasurePeakMemoryMb
-// therefore forks a child per measurement: the child runs the workload, reads
-// its own VmHWM, and reports it over a pipe.
+// therefore runs each workload in a forked child (via RunIsolated in
+// common/subprocess.h): the child runs the workload, reads its own VmHWM,
+// and reports it over a pipe.
 #ifndef GRAPHALIGN_COMMON_MEMORY_H_
 #define GRAPHALIGN_COMMON_MEMORY_H_
 
@@ -22,8 +23,18 @@ int64_t PeakRssBytes();
 // Current resident set size (VmRSS) of the calling process, in bytes.
 int64_t CurrentRssBytes();
 
+// Current virtual address-space size (VmSize) of the calling process, in
+// bytes. Returns 0 if /proc is unavailable. This is the baseline on top of
+// which subprocess memory limits budget their headroom.
+int64_t CurrentVmBytes();
+
 // Runs `workload` in a forked child and returns the child's peak RSS in MiB.
-// The workload must not depend on threads started before the fork.
+//
+// Errors are a Status, never a silent 0: FailedPrecondition when foreign
+// threads make forking unsafe (the graphalign pool is accounted for — its
+// workers are fork-tolerant), Internal when /proc is unavailable in the
+// child or the workload crashed. The workload itself must not depend on
+// threads started before the fork; ParallelFor inside it runs inline.
 Result<double> MeasurePeakMemoryMb(const std::function<void()>& workload);
 
 }  // namespace graphalign

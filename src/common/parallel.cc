@@ -20,6 +20,9 @@ namespace {
 // overwrite the live state of the outer job and corrupt its partition.
 thread_local bool t_in_pool_job = false;
 
+// Worker threads launched so far (set once in the Pool constructor).
+std::atomic<int> g_workers_started{0};
+
 // A minimal persistent pool: workers sleep on a condition variable and are
 // woken with a (fn, n, blocks) job; the submitting thread participates too.
 class Pool {
@@ -63,6 +66,7 @@ class Pool {
     threads = std::max(1, threads);
     owner_pid_ = getpid();
     workers_ = threads - 1;
+    g_workers_started.store(workers_, std::memory_order_relaxed);
     for (int w = 0; w < workers_; ++w) {
       std::thread([this] { WorkerLoop(); }).detach();
     }
@@ -114,6 +118,10 @@ class Pool {
 }  // namespace
 
 int ParallelThreadCount() { return Pool::Instance().thread_count(); }
+
+int ParallelWorkersStarted() {
+  return g_workers_started.load(std::memory_order_relaxed);
+}
 
 void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                  int64_t min_work) {

@@ -18,6 +18,12 @@ namespace graphalign {
 // Number of worker threads the pool uses (>= 1).
 int ParallelThreadCount();
 
+// Number of pool worker threads actually started so far: 0 until the first
+// pool dispatch, ParallelThreadCount() - 1 afterwards. Fork-based isolation
+// (common/subprocess.h) uses this to tell the known fork-tolerant pool
+// threads apart from foreign threads it must refuse to fork under.
+int ParallelWorkersStarted();
+
 // Invokes fn(begin, end) over a partition of [0, n) across the pool.
 // Blocks until all blocks complete. Falls back to a single inline call when
 // n < min_work or only one thread is configured. fn must write only to

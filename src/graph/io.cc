@@ -1,37 +1,98 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace graphalign {
+
+namespace {
+
+Status ParseError(const std::string& path, int line_no,
+                  const std::string& message) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                                 message);
+}
+
+struct EdgeKeyHash {
+  size_t operator()(const std::pair<long long, long long>& e) const {
+    const uint64_t a = static_cast<uint64_t>(e.first);
+    const uint64_t b = static_cast<uint64_t>(e.second);
+    // Splitmix-style combine; ids are already canonicalised (min, max).
+    uint64_t h = a * 0x9E3779B97F4A7C15ull ^ (b + 0x9E3779B97F4A7C15ull +
+                                              (a << 6) + (a >> 2));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
 
 Result<Graph> ReadEdgeList(const std::string& path, int num_nodes) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   std::vector<std::pair<long long, long long>> raw_edges;
+  // First line each canonical (min, max) edge appeared on, to name both
+  // offenders when a duplicate shows up.
+  std::unordered_map<std::pair<long long, long long>, int, EdgeKeyHash>
+      first_seen;
   long long max_id = -1;
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ss(line);
-    long long u, v;
-    if (!(ss >> u >> v)) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": malformed edge line");
+    // Parse exactly two integer ids with strtoll so that overflow (ERANGE)
+    // is distinguishable from a malformed line, then insist the rest of the
+    // line is blank: silently ignoring a third column would misread
+    // weighted edge lists as unweighted ones.
+    const char* cursor = line.c_str();
+    long long ids[2];
+    for (int k = 0; k < 2; ++k) {
+      char* end = nullptr;
+      errno = 0;
+      ids[k] = std::strtoll(cursor, &end, 10);
+      if (end == cursor) {
+        return ParseError(path, line_no,
+                          "malformed edge line (expected two integer ids): '" +
+                              line + "'");
+      }
+      if (errno == ERANGE) {
+        return ParseError(path, line_no, "node id out of range: '" + line +
+                                             "'");
+      }
+      cursor = end;
     }
+    while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r') ++cursor;
+    if (*cursor != '\0') {
+      return ParseError(path, line_no,
+                        "trailing data after edge (expected two integer "
+                        "ids): '" +
+                            line + "'");
+    }
+    const long long u = ids[0], v = ids[1];
     if (u < 0 || v < 0) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": negative node id");
+      return ParseError(path, line_no, "negative node id: '" + line + "'");
     }
     if (u == v) continue;  // Drop self-loops silently, as the paper's loaders do.
+    const std::pair<long long, long long> key =
+        u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+    auto [it, inserted] = first_seen.emplace(key, line_no);
+    if (!inserted) {
+      return ParseError(path, line_no,
+                        "duplicate edge " + std::to_string(u) + " " +
+                            std::to_string(v) + " (first seen at line " +
+                            std::to_string(it->second) + ")");
+    }
     raw_edges.emplace_back(u, v);
     max_id = std::max({max_id, u, v});
   }
+  if (in.bad()) return Status::Internal("read failed for " + path);
   std::vector<Edge> edges;
   edges.reserve(raw_edges.size());
   int total_nodes;

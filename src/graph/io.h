@@ -13,6 +13,11 @@ namespace graphalign {
 // Reads an edge list. Node ids may be arbitrary non-negative ints and are
 // compacted to 0..n-1 preserving order of first appearance; `num_nodes`
 // (if positive) forces at least that many nodes.
+//
+// Malformed input never aborts: a line that is not exactly two integer ids,
+// an id that overflows long long, a negative id, or a duplicate edge
+// (either orientation) yields InvalidArgument naming "path:line". Self-loops
+// are dropped silently, matching the paper's loaders.
 Result<Graph> ReadEdgeList(const std::string& path, int num_nodes = 0);
 
 // Writes "u v" per line for every edge with u < v.

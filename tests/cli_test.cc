@@ -134,6 +134,55 @@ TEST(CliTest, AlignRejectsBadInputs) {
   std::remove(g1.c_str());
 }
 
+TEST(CliTest, AlignIsolatedSucceedsUnderGenerousLimits) {
+  const std::string g1 = TempPath("iso_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "60", "--m", "3",
+                 "--seed", "3", "--out", g1})
+                .exit_code,
+            0);
+  // The child's stdout is an in-process ostringstream the fork cannot share,
+  // so only the exit code is observable here; 0 means the isolated alignment
+  // ran to completion.
+  EXPECT_EQ(RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NSD",
+                 "--isolate"})
+                .exit_code,
+            0);
+  EXPECT_EQ(RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NSD",
+                 "--mem-limit", "16384"})
+                .exit_code,
+            0);
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, AlignTinyMemLimitYieldsOomExitCode) {
+  const std::string g1 = TempPath("oom_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "1500", "--m", "4",
+                 "--seed", "3", "--out", g1})
+                .exit_code,
+            0);
+  // An n x n similarity matrix needs ~18 MB; 4 MB of headroom cannot hold
+  // it, so the child dies on allocation and the parent reports OOM via the
+  // dedicated exit code.
+  CliResult r = RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NSD",
+                         "--mem-limit", "4"});
+  EXPECT_EQ(r.exit_code, 5) << r.err;
+  EXPECT_NE(r.err.find("OOM"), std::string::npos) << r.err;
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, AlignRejectsNonPositiveMemLimit) {
+  const std::string g1 = TempPath("memflag_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "er", "--n", "20", "--p", "0.2",
+                 "--out", g1})
+                .exit_code,
+            0);
+  CliResult r = RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NSD",
+                         "--mem-limit", "0"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--mem-limit"), std::string::npos);
+  std::remove(g1.c_str());
+}
+
 TEST(CliTest, PerturbRejectsUnknownNoise) {
   const std::string g1 = TempPath("noise_g1.txt");
   ASSERT_EQ(RunTool({"generate", "--model", "er", "--n", "20", "--p", "0.2",

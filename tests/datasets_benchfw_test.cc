@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -6,6 +8,7 @@
 
 #include "align/isorank.h"
 #include "bench_framework/experiment.h"
+#include "bench_framework/journal.h"
 #include "common/random.h"
 #include "common/table.h"
 #include "datasets/datasets.h"
@@ -229,6 +232,168 @@ TEST(RunAveragedTest, DeterministicForSeed) {
                              AssignmentMethod::kJonkerVolgenant, 2, 5, 60.0);
   ASSERT_TRUE(a.completed && b.completed);
   EXPECT_DOUBLE_EQ(a.quality.accuracy, b.quality.accuracy);
+}
+
+// ---------------------------------------------------------------------------
+// Isolation flags, journal, and crash/OOM containment.
+
+TEST(BenchArgsTest, ParsesIsolationFlags) {
+  const char* argv[] = {"bench", "--isolate", "--mem-limit", "512",
+                        "--journal", "/tmp/j.tsv", "--resume"};
+  BenchArgs args = ParseBenchArgs(7, const_cast<char**>(argv));
+  EXPECT_TRUE(args.isolate);
+  EXPECT_DOUBLE_EQ(args.mem_limit_mb, 512.0);
+  EXPECT_EQ(args.journal_path, "/tmp/j.tsv");
+  EXPECT_TRUE(args.resume);
+}
+
+TEST(BenchArgsTest, MemLimitAloneImpliesIsolation) {
+  const char* argv[] = {"bench", "--mem-limit", "256"};
+  BenchArgs args = ParseBenchArgs(3, const_cast<char**>(argv));
+  EXPECT_TRUE(args.isolate);
+}
+
+TEST(BenchArgsTest, FullImpliesIsolationUnlessOptedOut) {
+  const char* full_argv[] = {"bench", "--full"};
+  EXPECT_TRUE(ParseBenchArgs(2, const_cast<char**>(full_argv)).isolate);
+  const char* opt_out_argv[] = {"bench", "--full", "--no-isolate"};
+  EXPECT_FALSE(ParseBenchArgs(3, const_cast<char**>(opt_out_argv)).isolate);
+  const char* smoke_argv[] = {"bench"};
+  EXPECT_FALSE(ParseBenchArgs(1, const_cast<char**>(smoke_argv)).isolate);
+}
+
+TEST(JournalTest, RecordsAndResumes) {
+  const std::string path = testing::TempDir() + "/journal_resume.tsv";
+  std::remove(path.c_str());
+  {
+    auto j = Journal::Open(path, /*resume=*/true);  // Missing file is fine.
+    ASSERT_TRUE(j.ok()) << j.status().ToString();
+    EXPECT_EQ(j->loaded(), 0u);
+    ASSERT_TRUE(j->Record("NSD|0.05", {"NSD", "0.05", "0.91"}).ok());
+    ASSERT_TRUE(j->Record("GWL|0.05", {"GWL", "0.05", "DNF"}).ok());
+  }
+  auto j = Journal::Open(path, /*resume=*/true);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ(j->loaded(), 2u);
+  const std::vector<std::string>* row = j->Row("NSD|0.05");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[2], "0.91");
+  EXPECT_EQ(j->Row("missing"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, WithoutResumeTruncatesAndRejectsBadCells) {
+  const std::string path = testing::TempDir() + "/journal_trunc.tsv";
+  {
+    auto j = Journal::Open(path, /*resume=*/true);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j->Record("k", {"a", "b"}).ok());
+  }
+  auto j = Journal::Open(path, /*resume=*/false);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->loaded(), 0u);
+  EXPECT_EQ(j->Row("k"), nullptr);
+  EXPECT_FALSE(j->Record("bad\tkey", {"a"}).ok());
+  EXPECT_FALSE(j->Record("k", {"multi\nline"}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, DropsTrailingPartialLine) {
+  const std::string path = testing::TempDir() + "/journal_partial.tsv";
+  {
+    std::ofstream f(path);
+    f << "done\tA\t1\n"
+      << "torn\tB\t0.5";  // No newline: the writer died mid-record.
+  }
+  auto j = Journal::Open(path, /*resume=*/true);
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ(j->loaded(), 1u);
+  EXPECT_NE(j->Row("done"), nullptr);
+  EXPECT_EQ(j->Row("torn"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(FaultAlignerTest, OnlyFaultNamesResolve) {
+  EXPECT_NE(MakeFaultAligner("_CRASH"), nullptr);
+  EXPECT_NE(MakeFaultAligner("_OOM"), nullptr);
+  EXPECT_NE(MakeFaultAligner("_HANG"), nullptr);
+  EXPECT_EQ(MakeFaultAligner("GWL"), nullptr);
+  EXPECT_EQ(MakeFaultAligner(""), nullptr);
+}
+
+BenchArgs IsolatedArgs() {
+  BenchArgs args;
+  args.isolate = true;
+  args.time_limit_seconds = 120.0;
+  return args;
+}
+
+AlignmentProblem SmallProblem() {
+  Rng rng(11);
+  auto base = BarabasiAlbert(30, 3, &rng);
+  GA_CHECK(base.ok());
+  NoiseOptions noise;
+  noise.level = 0.02;
+  auto prob = MakeAlignmentProblem(*base, noise, &rng);
+  GA_CHECK(prob.ok());
+  return *std::move(prob);
+}
+
+TEST(ContainmentTest, CrashingAlignerYieldsCrashOutcome) {
+  auto crash = MakeFaultAligner("_CRASH");
+  ASSERT_NE(crash, nullptr);
+  AlignmentProblem prob = SmallProblem();
+  RunOutcome out = RunAligner(crash.get(), prob,
+                              AssignmentMethod::kJonkerVolgenant,
+                              IsolatedArgs());
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.error.rfind("CRASH", 0), 0u) << out.error;
+  EXPECT_EQ(FormatAccuracy(out), "CRASH");
+}
+
+TEST(ContainmentTest, OomAlignerYieldsOomOutcome) {
+  auto oom = MakeFaultAligner("_OOM");
+  ASSERT_NE(oom, nullptr);
+  AlignmentProblem prob = SmallProblem();
+  BenchArgs args = IsolatedArgs();
+  args.mem_limit_mb = 256.0;
+  RunOutcome out = RunAligner(oom.get(), prob,
+                              AssignmentMethod::kJonkerVolgenant, args);
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.error.rfind("OOM", 0), 0u) << out.error;
+  EXPECT_EQ(FormatOutcome(out, 0.0), "OOM");
+}
+
+TEST(ContainmentTest, HealthyRunRoundtripsThroughTheChild) {
+  Rng rng(7);
+  auto base = BarabasiAlbert(40, 3, &rng);
+  ASSERT_TRUE(base.ok());
+  NoiseOptions noise;
+  noise.level = 0.03;
+  IsoRankAligner iso;
+  // The isolated result must match the inline result bit-for-bit: the child
+  // runs the same deterministic code and only the transport differs.
+  RunOutcome inline_out = RunAveraged(&iso, *base, noise,
+                                      AssignmentMethod::kJonkerVolgenant, 2, 5,
+                                      60.0);
+  RunOutcome isolated = RunAveraged(&iso, *base, noise,
+                                    AssignmentMethod::kJonkerVolgenant, 2, 5,
+                                    IsolatedArgs());
+  ASSERT_TRUE(inline_out.completed);
+  ASSERT_TRUE(isolated.completed) << isolated.error;
+  EXPECT_DOUBLE_EQ(isolated.quality.accuracy, inline_out.quality.accuracy);
+  EXPECT_EQ(isolated.completed_runs, inline_out.completed_runs);
+  EXPECT_GT(isolated.peak_mem_mb, 0.0);
+}
+
+TEST(ContainmentTest, MeasurePeakMemoryReportsChildPeak) {
+  BenchArgs args;  // Isolation off: MeasurePeakMemory forks regardless.
+  RunOutcome out = MeasurePeakMemory(args, [] {
+    std::vector<char> block(32u << 20, 1);
+    EXPECT_GT(block[1 << 20], 0);
+  });
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_GE(out.peak_mem_mb, 32.0);
 }
 
 }  // namespace

@@ -212,6 +212,59 @@ TEST(IoTest, MissingFileAndMalformedLine) {
   std::remove(path.c_str());
 }
 
+// Writes `content` to a temp file, reads it as an edge list, and returns the
+// resulting status (removing the file again).
+Status ReadStatusOf(const std::string& name, const std::string& content) {
+  const std::string path = testing::TempDir() + "/io_" + name;
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(content.c_str(), f);
+  fclose(f);
+  Status s = ReadEdgeList(path).status();
+  std::remove(path.c_str());
+  return s;
+}
+
+TEST(IoTest, MalformedLinesNameTheLine) {
+  Status s = ReadStatusOf("malformed.txt", "0 1\n1 2\nbogus line\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find(":3:"), std::string::npos) << s.ToString();
+
+  // One id only is malformed, not silently padded.
+  s = ReadStatusOf("oneid.txt", "0 1\n7\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find(":2:"), std::string::npos) << s.ToString();
+}
+
+TEST(IoTest, TrailingDataRejected) {
+  // A third column means a weighted list; misreading it silently as
+  // unweighted would be worse than failing.
+  Status s = ReadStatusOf("weighted.txt", "0 1 0.75\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find(":1:"), std::string::npos) << s.ToString();
+  // Trailing whitespace and \r are fine.
+  EXPECT_TRUE(ReadStatusOf("crlf.txt", "0 1 \t\r\n2 3\r\n").ok());
+}
+
+TEST(IoTest, NegativeAndOverflowingIdsRejected) {
+  Status s = ReadStatusOf("negative.txt", "0 1\n-2 3\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find(":2:"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("negative"), std::string::npos) << s.ToString();
+
+  s = ReadStatusOf("overflow.txt", "0 99999999999999999999999999\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("out of range"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(IoTest, DuplicateEdgesRejectedWithBothLines) {
+  // Exact repeats and reversed orientation both count as duplicates.
+  Status s = ReadStatusOf("dup.txt", "0 1\n1 2\n1 0\n");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find(":3:"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("line 1"), std::string::npos) << s.ToString();
+}
+
 // ---------------------------------------------------------------------------
 // Generators.
 

@@ -48,6 +48,9 @@ Graph MakeShape(const std::string& shape) {
     // Half the nodes have no edges at all.
     return MustGraph(16, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
   }
+  if (shape == "empty") return MustGraph(0, {});
+  if (shape == "single_node") return MustGraph(1, {});
+  if (shape == "all_isolated") return MustGraph(8, {});
   if (shape == "two_components") {
     return MustGraph(12, {{0, 1}, {1, 2}, {2, 0}, {6, 7}, {7, 8}, {8, 9},
                           {9, 6}});
@@ -64,7 +67,8 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::ValuesIn(AllAlignerNames()),
                      testing::Values("single_edge", "triangle", "star", "path",
                                      "complete", "isolated_nodes",
-                                     "two_components")),
+                                     "two_components", "empty", "single_node",
+                                     "all_isolated")),
     [](const auto& info) {
       std::string n = std::get<0>(info.param) + "_" + std::get<1>(info.param);
       std::replace(n.begin(), n.end(), '-', '_');

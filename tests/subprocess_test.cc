@@ -1,0 +1,141 @@
+// Tests for the process-isolated run executor (common/subprocess.h): real
+// crashes, real out-of-memory kills, and real hangs are injected in the
+// child and must come back as classified outcomes, never as test-process
+// failures.
+#include "common/subprocess.h"
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace graphalign {
+namespace {
+
+TEST(RunStatusNameTest, CoversAllStatuses) {
+  EXPECT_STREQ(RunStatusName(RunStatus::kOk), "OK");
+  EXPECT_STREQ(RunStatusName(RunStatus::kExit), "EXIT");
+  EXPECT_STREQ(RunStatusName(RunStatus::kCrash), "CRASH");
+  EXPECT_STREQ(RunStatusName(RunStatus::kOom), "OOM");
+  EXPECT_STREQ(RunStatusName(RunStatus::kTimeout), "TIMEOUT");
+}
+
+TEST(RunIsolatedTest, CleanExitRoundtripsPayload) {
+  auto result = RunIsolated([](int payload_fd) {
+    return WritePayload(payload_fd, "forty-two") ? 0 : 1;
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kOk);
+  EXPECT_EQ(result->exit_code, 0);
+  ASSERT_TRUE(result->payload_valid);
+  EXPECT_EQ(result->payload, "forty-two");
+}
+
+TEST(RunIsolatedTest, LargePayloadSurvivesPipeBuffering) {
+  // Well past the 64KB default pipe capacity: the parent must drain while
+  // the child writes, or this deadlocks and the wall cap kills it.
+  const std::string big(4 << 20, 'x');
+  SubprocessOptions options;
+  options.wall_limit_seconds = 30.0;
+  auto result = RunIsolated(
+      [&](int payload_fd) { return WritePayload(payload_fd, big) ? 0 : 1; },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->status, RunStatus::kOk) << result->detail;
+  ASSERT_TRUE(result->payload_valid);
+  EXPECT_EQ(result->payload, big);
+}
+
+TEST(RunIsolatedTest, NonzeroExitIsExitNotCrash) {
+  auto result = RunIsolated([](int) { return 7; });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kExit);
+  EXPECT_EQ(result->exit_code, 7);
+  EXPECT_FALSE(result->payload_valid);
+}
+
+TEST(RunIsolatedTest, AbortIsClassifiedAsCrash) {
+  auto result = RunIsolated([](int) -> int { std::abort(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kCrash);
+  EXPECT_EQ(result->term_signal, SIGABRT);
+  EXPECT_NE(result->detail.find("SIGABRT"), std::string::npos)
+      << result->detail;
+}
+
+TEST(RunIsolatedTest, SegfaultIsClassifiedAsCrash) {
+  auto result = RunIsolated([](int) {
+    std::raise(SIGSEGV);
+    return 0;
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kCrash);
+  EXPECT_EQ(result->term_signal, SIGSEGV);
+}
+
+TEST(RunIsolatedTest, CrashMidWriteLeavesPayloadInvalid) {
+  auto result = RunIsolated([](int payload_fd) {
+    // A torn frame: a few header bytes, then death.
+    (void)!write(payload_fd, "GA", 2);
+    std::raise(SIGSEGV);
+    return 0;
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kCrash);
+  EXPECT_FALSE(result->payload_valid);
+}
+
+TEST(RunIsolatedTest, AllocationBeyondLimitIsOom) {
+  SubprocessOptions options;
+  options.mem_limit_bytes = 192ll << 20;  // 192 MB of headroom.
+  options.wall_limit_seconds = 60.0;
+  auto result = RunIsolated(
+      [](int) {
+        // Keep every block reachable and touch each page: an unused `new`
+        // is legally elided by the optimizer, and untouched mappings stay
+        // lazy.
+        constexpr size_t kChunk = 32u << 20;
+        std::vector<char*> blocks;
+        unsigned long sum = 0;
+        for (int i = 0; i < 64; ++i) {
+          char* block = new char[kChunk];
+          for (size_t off = 0; off < kChunk; off += 4096) block[off] = 1;
+          blocks.push_back(block);
+          sum += static_cast<unsigned long>(block[kChunk - 1]);
+        }
+        return sum > 0 ? 0 : 1;  // Unreachable under the limit.
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kOom) << result->detail;
+}
+
+TEST(RunIsolatedTest, NonCooperativeHangIsKilledAtWallCap) {
+  SubprocessOptions options;
+  options.wall_limit_seconds = 0.5;
+  auto result = RunIsolated(
+      [](int) {
+        for (volatile uint64_t spin = 0;; spin = spin + 1) {
+        }
+        return 0;
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kTimeout);
+  EXPECT_GE(result->wall_seconds, 0.5);
+  EXPECT_LT(result->wall_seconds, 30.0);
+}
+
+TEST(CountProcThreadsTest, SeesAtLeastTheMainThread) {
+  auto threads = CountProcThreads();
+  ASSERT_TRUE(threads.ok()) << threads.status().ToString();
+  EXPECT_GE(*threads, 1);
+}
+
+}  // namespace
+}  // namespace graphalign

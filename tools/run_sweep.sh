@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the sweep robustness features (DESIGN.md §10):
+#   1. a journaled baseline sweep,
+#   2. an interrupted sweep resumed with --resume, whose CSV must be
+#      byte-identical to the baseline,
+#   3. a sweep with crashing/OOMing cells contained by --isolate.
+#
+# Usage: tools/run_sweep.sh [path-to-bench-binary]
+# The binary must speak the common BenchArgs flags; bench_fig02_er is the
+# default and what the ctest registration passes.
+set -euo pipefail
+
+BENCH="${1:-build/bench/bench_fig02_er}"
+if [[ ! -x "$BENCH" ]]; then
+  echo "bench binary not found: $BENCH (build it first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== 1/3 baseline journaled sweep =="
+"$BENCH" --algos NSD,LREA --reps 1 --seed 7 \
+  --journal "$WORK/full.tsv" --csv "$WORK/full.csv" > /dev/null
+[[ -s "$WORK/full.csv" ]] || { echo "baseline csv missing" >&2; exit 1; }
+[[ -s "$WORK/full.tsv" ]] || { echo "baseline journal missing" >&2; exit 1; }
+
+echo "== 2/3 interrupted sweep, then --resume =="
+# Simulate an interruption: only the NSD cells complete before the "crash".
+"$BENCH" --algos NSD --reps 1 --seed 7 \
+  --journal "$WORK/part.tsv" --csv "$WORK/part.csv" > /dev/null
+# Resume the full sweep on the partial journal: NSD replays, LREA computes.
+"$BENCH" --algos NSD,LREA --reps 1 --seed 7 --resume \
+  --journal "$WORK/part.tsv" --csv "$WORK/resumed.csv" > /dev/null
+if ! cmp -s "$WORK/full.csv" "$WORK/resumed.csv"; then
+  echo "resumed sweep diverged from the uninterrupted baseline:" >&2
+  diff "$WORK/full.csv" "$WORK/resumed.csv" >&2 || true
+  exit 1
+fi
+echo "resume reproduced the baseline CSV byte-identically"
+
+echo "== 3/3 crash/OOM containment =="
+"$BENCH" --algos NSD,_CRASH,_OOM --reps 1 --seed 7 \
+  --isolate --mem-limit 512 --time-limit 60 \
+  --csv "$WORK/contained.csv" > /dev/null
+grep -q "CRASH" "$WORK/contained.csv" || {
+  echo "expected CRASH cells in the contained sweep" >&2; exit 1; }
+grep -q "OOM" "$WORK/contained.csv" || {
+  echo "expected OOM cells in the contained sweep" >&2; exit 1; }
+if grep "^NSD," "$WORK/contained.csv" | grep -Eq "CRASH|OOM"; then
+  echo "healthy NSD cells were poisoned by faulting neighbors" >&2
+  exit 1
+fi
+grep -cq "^NSD," "$WORK/contained.csv" || {
+  echo "NSD cells missing from the contained sweep" >&2; exit 1; }
+echo "faulting cells contained; healthy cells unaffected"
+
+echo "all sweep robustness checks passed"
