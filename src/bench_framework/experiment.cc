@@ -9,7 +9,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/exit_codes.h"
 #include "common/memory.h"
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/subprocess.h"
 #include "common/table.h"
@@ -26,43 +28,28 @@ namespace {
                                 const char* expected) {
   std::fprintf(stderr, "invalid value '%s' for %s (expected %s)\n",
                value.c_str(), flag.c_str(), expected);
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
-// Whole-string strictly-positive integer, rejecting trailing junk ("5x"),
-// overflow, and non-positive values.
+// Strict whole-string parsing lives in common/parse.h (shared with the CLI
+// and server flags); these wrappers keep the exit-on-error bench contract.
 int ParsePositiveInt(const std::string& flag, const char* value) {
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE || v <= 0 ||
-      v > INT_MAX) {
-    BenchArgError(flag, value, "a positive integer");
-  }
-  return static_cast<int>(v);
+  auto v = ParseStrictPositiveInt(value);
+  if (!v.ok()) BenchArgError(flag, value, "a positive integer");
+  return *v;
 }
 
-// Whole-string strictly-positive finite double (seconds or megabytes).
 double ParsePositiveNumber(const std::string& flag, const char* value,
                            const char* expected) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(value, &end);
-  if (end == value || *end != '\0' || errno == ERANGE || !std::isfinite(v) ||
-      v <= 0.0) {
-    BenchArgError(flag, value, expected);
-  }
-  return v;
+  auto v = ParseStrictPositiveDouble(value);
+  if (!v.ok()) BenchArgError(flag, value, expected);
+  return *v;
 }
 
 uint64_t ParseSeed(const std::string& flag, const char* value) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || errno == ERANGE) {
-    BenchArgError(flag, value, "an unsigned integer");
-  }
-  return static_cast<uint64_t>(v);
+  auto v = ParseStrictUint64(value);
+  if (!v.ok()) BenchArgError(flag, value, "an unsigned integer");
+  return *v;
 }
 
 // ---------------------------------------------------------------------------
@@ -295,17 +282,17 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
                    "--csv PATH --seed S --time-limit T --isolate "
                    "--no-isolate --mem-limit MB --journal PATH --resume)\n",
                    arg.c_str());
-      std::exit(2);
+      std::exit(kExitUsage);
     }
   }
   if (no_isolate && (explicit_isolate || args.mem_limit_mb > 0.0)) {
     std::fprintf(stderr,
                  "--no-isolate conflicts with --isolate/--mem-limit\n");
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   if (args.resume && args.journal_path.empty()) {
     std::fprintf(stderr, "--resume requires --journal PATH\n");
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   // Paper-scale sweeps isolate by default: a single crashed cell must not
   // take down hours of accumulated results.

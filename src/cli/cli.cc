@@ -1,12 +1,20 @@
 #include "cli/cli.h"
 
+#include <pthread.h>
+#include <signal.h>
+#include <stdlib.h>
+
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "align/aligner.h"
+#include "common/exit_codes.h"
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/subprocess.h"
@@ -16,6 +24,9 @@
 #include "graph/io.h"
 #include "metrics/metrics.h"
 #include "noise/noise.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 
 namespace graphalign {
 
@@ -101,7 +112,24 @@ Result<Alignment> ReadMapping(const std::string& path, int n1) {
 
 int Fail(std::ostream& err, const Status& status) {
   err << "error: " << status.ToString() << "\n";
-  return 1;
+  return kExitError;
+}
+
+// --threads N: per-invocation override of GRAPHALIGN_THREADS, validated with
+// the same strict whole-string rules as the bench flags. Must run before the
+// first ParallelFor of the process — the pool latches its size on first use
+// — which holds for every CLI path (commands parse flags before computing).
+Status ApplyThreadsFlag(const Flags& flags) {
+  if (!flags.Has("threads")) return Status::Ok();
+  const std::string value = flags.GetString("threads");
+  auto n = ParseStrictPositiveInt(value);
+  if (!n.ok() || *n > 1024) {
+    return Status::InvalidArgument(
+        "--threads must be a positive integer (1..1024), got '" + value +
+        "'");
+  }
+  setenv("GRAPHALIGN_THREADS", std::to_string(*n).c_str(), 1);
+  return Status::Ok();
 }
 
 int CmdGenerate(const Flags& flags, std::ostream& out, std::ostream& err) {
@@ -235,7 +263,7 @@ int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
     if (alignment.status().code() == StatusCode::kDeadlineExceeded) {
       err << "DNF: " << algo << " exceeded the time limit after "
           << Table::Num(timer.Seconds(), 2) << "s\n";
-      return 3;
+      return kExitDnf;
     }
     return Fail(err, alignment.status());
   }
@@ -264,6 +292,8 @@ int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
 // yields a distinct exit code (4 = crash, 5 = OOM, 3 = DNF) instead of
 // taking the CLI down with it.
 int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
+  Status threads = ApplyThreadsFlag(flags);
+  if (!threads.ok()) return Fail(err, threads);
   const bool isolate = flags.Has("isolate") || flags.Has("mem-limit");
   if (!isolate) return CmdAlignInner(flags, out, err);
 
@@ -299,21 +329,21 @@ int CmdAlign(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!result.ok()) return Fail(err, result.status());
   switch (result->status) {
     case RunStatus::kOk:
-      return 0;
+      return kExitOk;
     case RunStatus::kExit:
       return result->exit_code;
     case RunStatus::kCrash:
       err << "CRASH: " << result->detail << "\n";
-      return 4;
+      return kExitCrash;
     case RunStatus::kOom:
       err << "OOM: " << result->detail << "\n";
-      return 5;
+      return kExitOom;
     case RunStatus::kTimeout:
       err << "DNF: hard-killed at the wall-clock backstop after "
           << Table::Num(result->wall_seconds, 2) << "s\n";
-      return 3;
+      return kExitDnf;
   }
-  return 1;
+  return kExitError;
 }
 
 int CmdEvaluate(const Flags& flags, std::ostream& out, std::ostream& err) {
@@ -356,16 +386,300 @@ int CmdStats(const Flags& flags, std::ostream& out, std::ostream& err) {
   g->ConnectedComponents(&components);
   int64_t triangles = 0;
   for (int64_t t : g->TriangleCounts()) triangles += t;
+  char hash[24];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(g->ContentHash()));
   out << "n=" << g->num_nodes() << " m=" << g->num_edges()
       << " avg_degree=" << Table::Num(g->AverageDegree(), 2)
       << " max_degree=" << g->MaxDegree() << " components=" << components
       << " outside_lcc=" << g->NodesOutsideLargestComponent()
-      << " triangles=" << triangles / 3 << "\n";
+      << " triangles=" << triangles / 3 << " hash=" << hash << "\n";
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve / submit: the alignment service daemon and its client.
+
+// Strict flag parsing shared by serve/submit: positive whole-string values,
+// same rules as the bench harness (ParseBenchArgs).
+Result<int> StrictIntFlag(const Flags& flags, const std::string& key,
+                          int fallback) {
+  if (!flags.Has(key)) return fallback;
+  auto v = ParseStrictPositiveInt(flags.GetString(key));
+  if (!v.ok()) {
+    return Status::InvalidArgument("--" + key +
+                                   " must be a positive integer, got '" +
+                                   flags.GetString(key) + "'");
+  }
+  return *v;
+}
+
+Result<double> StrictDoubleFlag(const Flags& flags, const std::string& key,
+                                double fallback) {
+  if (!flags.Has(key)) return fallback;
+  auto v = ParseStrictPositiveDouble(flags.GetString(key));
+  if (!v.ok()) {
+    return Status::InvalidArgument("--" + key +
+                                   " must be a positive number, got '" +
+                                   flags.GetString(key) + "'");
+  }
+  return *v;
+}
+
+int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
+  Status threads = ApplyThreadsFlag(flags);
+  if (!threads.ok()) return Fail(err, threads);
+  ServerOptions options;
+  options.socket_path = flags.GetString("socket");
+  if (flags.Has("port")) {
+    // Port 0 (kernel-assigned) is allowed, so parse as unsigned, not
+    // strictly positive.
+    auto port = ParseStrictUint64(flags.GetString("port"));
+    if (!port.ok() || *port > 65535) {
+      return Fail(err, Status::InvalidArgument(
+                           "--port must be an integer in 0..65535, got '" +
+                           flags.GetString("port") + "'"));
+    }
+    options.port = static_cast<int>(*port);
+  }
+  auto workers = StrictIntFlag(flags, "workers", options.workers);
+  if (!workers.ok()) return Fail(err, workers.status());
+  options.workers = *workers;
+  auto queue = StrictIntFlag(flags, "queue", 0);
+  if (!queue.ok()) return Fail(err, queue.status());
+  options.queue_capacity = *queue;
+  auto cache_mb = StrictDoubleFlag(flags, "cache-mb", options.cache_mb);
+  if (!cache_mb.ok()) return Fail(err, cache_mb.status());
+  options.cache_mb = *cache_mb;
+  auto io_timeout =
+      StrictDoubleFlag(flags, "io-timeout", options.io_timeout_seconds);
+  if (!io_timeout.ok()) return Fail(err, io_timeout.status());
+  options.io_timeout_seconds = *io_timeout;
+
+  // Block SIGINT/SIGTERM before spawning server threads (they inherit the
+  // mask), then consume them on a dedicated sigwait thread that triggers a
+  // clean Shutdown. Signal-driven shutdown thus runs in normal thread
+  // context, free of async-signal-safety constraints.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  auto server = Server::Create(options);
+  if (!server.ok()) return Fail(err, server.status());
+  Status started = (*server)->Start();
+  if (!started.ok()) return Fail(err, started);
+
+  std::thread sigwaiter([&sigs, &server] {
+    // Blocks in sigwait only and holds no locks, so forking alignment
+    // workers remain safe while this thread exists.
+    ScopedForkTolerantThread fork_tolerant;
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    (*server)->Shutdown();
+  });
+
+  if (!options.socket_path.empty()) {
+    out << "graphalign daemon serving on unix socket " << options.socket_path;
+  } else {
+    out << "graphalign daemon serving on 127.0.0.1:" << (*server)->port();
+  }
+  out << " (workers=" << options.workers << ", cache="
+      << Table::Num(options.cache_mb, 0) << "MB)\n";
+  out.flush();
+
+  (*server)->Wait();
+  // Wake the sigwaiter if shutdown came from a kShutdown request instead of
+  // a signal; sigwait consumes the nudge.
+  pthread_kill(sigwaiter.native_handle(), SIGTERM);
+  sigwaiter.join();
+  const ResultCache::Stats stats = (*server)->cache_stats();
+  out << "daemon stopped (cache: " << stats.hits << " hits, " << stats.misses
+      << " misses, " << stats.entries << " entries)\n";
+  return kExitOk;
+}
+
+Result<WireGraph> LoadWireGraph(const std::string& path) {
+  GA_ASSIGN_OR_RETURN(Graph g, ReadEdgeList(path));
+  return ToWire(g);
+}
+
+int PrintAlignResponse(const Response& response, const AlignRequest& request,
+                       int n1, const std::string& out_path, std::ostream& out,
+                       std::ostream& err) {
+  auto result = DecodeAlignResult(response.body);
+  if (!result.ok()) return Fail(err, result.status());
+  int matched = 0;
+  for (int32_t v : result->mapping) matched += (v >= 0);
+  out << request.algo << "/" << request.assign << " aligned " << matched
+      << "/" << n1 << " nodes in " << Table::Num(result->align_seconds, 2)
+      << "s (server)\n";
+  out << "MNC=" << Table::Num(result->mnc) << " EC=" << Table::Num(result->ec)
+      << " S3=" << Table::Num(result->s3) << "\n";
+  if (!out_path.empty()) {
+    Alignment alignment(result->mapping.begin(), result->mapping.end());
+    Status s = WriteMapping(alignment, out_path);
+    if (!s.ok()) return Fail(err, s);
+    out << "mapping written to " << out_path << "\n";
+  }
+  return kExitOk;
+}
+
+int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
+  ClientOptions conn;
+  conn.socket_path = flags.GetString("socket");
+  if (flags.Has("port")) {
+    auto port = ParseStrictUint64(flags.GetString("port"));
+    if (!port.ok() || *port == 0 || *port > 65535) {
+      return Fail(err, Status::InvalidArgument(
+                           "--port must be an integer in 1..65535, got '" +
+                           flags.GetString("port") + "'"));
+    }
+    conn.port = static_cast<int>(*port);
+  }
+  conn.host = flags.GetString("host", conn.host);
+  auto timeout = StrictDoubleFlag(flags, "timeout", conn.timeout_seconds);
+  if (!timeout.ok()) return Fail(err, timeout.status());
+  conn.timeout_seconds = *timeout;
+
+  // Build the request: --ping / --shutdown / --cache-info / --stats FILE,
+  // evaluate when --mapping is present, align when --algo is present.
+  Request request;
+  int align_n1 = 0;
+  if (flags.Has("ping")) {
+    request.type = RequestType::kPing;
+  } else if (flags.Has("shutdown")) {
+    request.type = RequestType::kShutdown;
+  } else if (flags.Has("cache-info")) {
+    request.type = RequestType::kCacheInfo;
+  } else if (flags.Has("stats")) {
+    request.type = RequestType::kStats;
+    auto g = LoadWireGraph(flags.GetString("stats"));
+    if (!g.ok()) return Fail(err, g.status());
+    request.stats.g = std::move(*g);
+  } else if (flags.Has("mapping")) {
+    request.type = RequestType::kEvaluate;
+    const std::string g1_path = flags.GetString("g1");
+    const std::string g2_path = flags.GetString("g2");
+    if (g1_path.empty() || g2_path.empty()) {
+      return Fail(err, Status::InvalidArgument(
+                           "submit evaluate requires --g1, --g2, --mapping"));
+    }
+    auto g1 = ReadEdgeList(g1_path);
+    if (!g1.ok()) return Fail(err, g1.status());
+    auto g2 = ReadEdgeList(g2_path);
+    if (!g2.ok()) return Fail(err, g2.status());
+    auto mapping = ReadMapping(flags.GetString("mapping"), g1->num_nodes());
+    if (!mapping.ok()) return Fail(err, mapping.status());
+    request.evaluate.g1 = ToWire(*g1);
+    request.evaluate.g2 = ToWire(*g2);
+    request.evaluate.mapping.assign(mapping->begin(), mapping->end());
+    const std::string truth_path = flags.GetString("truth");
+    if (!truth_path.empty()) {
+      auto truth = ReadMapping(truth_path, g1->num_nodes());
+      if (!truth.ok()) return Fail(err, truth.status());
+      request.evaluate.truth.assign(truth->begin(), truth->end());
+    }
+  } else if (flags.Has("algo")) {
+    request.type = RequestType::kAlign;
+    AlignRequest& a = request.align;
+    a.algo = flags.GetString("algo");
+    a.assign = flags.GetString("assign", "JV");
+    a.no_cache = flags.Has("no-cache");
+    const std::string g1_path = flags.GetString("g1");
+    const std::string g2_path = flags.GetString("g2");
+    if (g1_path.empty() || g2_path.empty()) {
+      return Fail(err, Status::InvalidArgument(
+                           "submit align requires --g1, --g2 and --algo"));
+    }
+    auto g1 = LoadWireGraph(g1_path);
+    if (!g1.ok()) return Fail(err, g1.status());
+    auto g2 = LoadWireGraph(g2_path);
+    if (!g2.ok()) return Fail(err, g2.status());
+    align_n1 = g1->num_nodes;
+    a.g1 = std::move(*g1);
+    a.g2 = std::move(*g2);
+    if (flags.Has("time-limit")) {
+      auto limit = StrictDoubleFlag(flags, "time-limit", 0.0);
+      if (!limit.ok()) return Fail(err, limit.status());
+      a.deadline_ms = static_cast<uint64_t>(*limit * 1000.0);
+    }
+    if (flags.Has("mem-limit")) {
+      auto mb = StrictDoubleFlag(flags, "mem-limit", 0.0);
+      if (!mb.ok()) return Fail(err, mb.status());
+      a.mem_limit_mb = static_cast<uint64_t>(*mb);
+    }
+  } else {
+    return Fail(err, Status::InvalidArgument(
+                         "submit requires an action: --ping, --shutdown, "
+                         "--cache-info, --stats FILE, align flags (--g1 "
+                         "--g2 --algo), or evaluate flags (--g1 --g2 "
+                         "--mapping)"));
+  }
+
+  auto client = Client::Connect(conn);
+  if (!client.ok()) return Fail(err, client.status());
+  auto response = client->Call(request);
+  if (!response.ok()) return Fail(err, response.status());
+
+  // Machine-greppable outcome line first; details follow.
+  out << "status=" << ResponseCodeName(response->code)
+      << " cache=" << (response->cache_hit ? "hit" : "miss")
+      << " elapsed_us=" << response->elapsed_us << "\n";
+  if (response->code != ResponseCode::kOk) {
+    err << ResponseCodeName(response->code) << ": " << response->message
+        << "\n";
+    return static_cast<int>(response->code);
+  }
+  switch (request.type) {
+    case RequestType::kPing:
+    case RequestType::kShutdown:
+      out << response->message << "\n";
+      return kExitOk;
+    case RequestType::kCacheInfo: {
+      auto info = DecodeCacheInfoResult(response->body);
+      if (!info.ok()) return Fail(err, info.status());
+      out << "cache: hits=" << info->hits << " misses=" << info->misses
+          << " evictions=" << info->evictions << " entries=" << info->entries
+          << " bytes=" << info->bytes << "/" << info->capacity_bytes << "\n";
+      return kExitOk;
+    }
+    case RequestType::kStats: {
+      auto stats = DecodeStatsResult(response->body);
+      if (!stats.ok()) return Fail(err, stats.status());
+      char hash[24];
+      std::snprintf(hash, sizeof(hash), "%016llx",
+                    static_cast<unsigned long long>(stats->content_hash));
+      out << "n=" << stats->num_nodes << " m=" << stats->num_edges
+          << " avg_degree=" << Table::Num(stats->avg_degree, 2)
+          << " max_degree=" << stats->max_degree
+          << " components=" << stats->components << " hash=" << hash << "\n";
+      return kExitOk;
+    }
+    case RequestType::kEvaluate: {
+      auto result = DecodeEvaluateResult(response->body);
+      if (!result.ok()) return Fail(err, result.status());
+      out << "MNC=" << Table::Num(result->mnc)
+          << " EC=" << Table::Num(result->ec)
+          << " ICS=" << Table::Num(result->ics)
+          << " S3=" << Table::Num(result->s3);
+      if (result->has_accuracy) {
+        out << " accuracy=" << Table::Num(result->accuracy);
+      }
+      out << "\n";
+      return kExitOk;
+    }
+    case RequestType::kAlign:
+      return PrintAlignResponse(*response, request.align, align_n1,
+                                flags.GetString("out"), out, err);
+  }
+  return kExitError;
+}
+
 constexpr char kUsage[] =
-    "usage: graphalign <generate|perturb|align|evaluate|stats> [--flags]\n"
+    "usage: graphalign "
+    "<generate|perturb|align|evaluate|stats|serve|submit> [--flags]\n"
     "  generate --model {er,ba,ws,nw,pl,geometric} --n N [--p P] [--m M]\n"
     "           [--k K] [--radius R] [--seed S] --out FILE\n"
     "  perturb  --in FILE [--noise {one-way,multi-modal,two-way}]\n"
@@ -373,12 +687,19 @@ constexpr char kUsage[] =
     "           [--truth FILE]\n"
     "  align    --g1 FILE --g2 FILE --algo NAME\n"
     "           [--assign {NN,SG,MWM,JV,native}] [--time-limit T] [--out FILE]\n"
-    "           [--isolate] [--mem-limit MB]\n"
+    "           [--isolate] [--mem-limit MB] [--threads N]\n"
     "  evaluate --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "  stats    --in FILE\n"
+    "  serve    --socket PATH | --port N [--workers K] [--cache-mb M]\n"
+    "           [--queue Q] [--io-timeout T] [--threads N]\n"
+    "  submit   --socket PATH | [--host H] --port N [--timeout T]\n"
+    "           with --ping | --shutdown | --cache-info | --stats FILE\n"
+    "           | --g1 FILE --g2 FILE --algo NAME [--assign M]\n"
+    "             [--time-limit T] [--mem-limit MB] [--no-cache] [--out FILE]\n"
+    "           | --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n"
-    "align exit codes: 0 ok, 1 error, 3 DNF, and with --isolate/--mem-limit\n"
-    "  4 = the aligner crashed, 5 = it exceeded the memory limit\n";
+    "exit codes (align/submit): 0 ok, 1 error, 2 usage, 3 DNF, 4 crash,\n"
+    "  5 OOM, 6 server busy\n";
 
 }  // namespace
 
@@ -386,7 +707,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
            std::ostream& err) {
   if (argc < 2) {
     err << kUsage;
-    return 2;
+    return kExitUsage;
   }
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
@@ -398,8 +719,10 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "align") return CmdAlign(flags, out, err);
   if (cmd == "evaluate") return CmdEvaluate(flags, out, err);
   if (cmd == "stats") return CmdStats(flags, out, err);
+  if (cmd == "serve") return CmdServe(flags, out, err);
+  if (cmd == "submit") return CmdSubmit(flags, out, err);
   err << "unknown command: " << cmd << "\n" << kUsage;
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace graphalign

@@ -9,8 +9,17 @@
 //             [--assign {NN,SG,MWM,JV,native}] [--out FILE]
 //   evaluate  --g1 FILE --g2 FILE --mapping FILE [--truth FILE]
 //   stats     --in FILE
+//   serve     --socket PATH | --port N [--workers K] [--cache-mb M]
+//             [--queue Q] [--io-timeout T] [--threads N]
+//   submit    --socket PATH | [--host H] --port N, with --ping, --shutdown,
+//             --cache-info, --stats FILE, align flags (--g1 --g2 --algo
+//             [--assign M] [--time-limit T] [--mem-limit MB] [--no-cache]
+//             [--out FILE]), or evaluate flags (--g1 --g2 --mapping
+//             [--truth FILE])
 //
-// Mapping/truth files are "u v" per line (node of g1, node of g2).
+// `serve` runs the alignment service daemon (src/server, DESIGN.md §11);
+// `submit` drives it. Mapping/truth files are "u v" per line (node of g1,
+// node of g2). Exit codes follow common/exit_codes.h.
 #ifndef GRAPHALIGN_CLI_CLI_H_
 #define GRAPHALIGN_CLI_CLI_H_
 

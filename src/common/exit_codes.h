@@ -1,0 +1,25 @@
+// Process exit codes shared by the CLI, the bench harness, and the server.
+//
+// The outcome taxonomy (OK / usage error / DNF / CRASH / OOM, DESIGN.md §10)
+// crosses three process boundaries — `graphalign align` exits with these,
+// the bench binaries exit with kExitUsage on malformed flags, and the
+// serving daemon maps them onto its wire-level ResponseCode — so the values
+// live here instead of being repeated as magic numbers at each site. The
+// DNF/CRASH/OOM values are also the numeric values of the corresponding
+// server response codes (server/protocol.h); keep them in sync.
+#ifndef GRAPHALIGN_COMMON_EXIT_CODES_H_
+#define GRAPHALIGN_COMMON_EXIT_CODES_H_
+
+namespace graphalign {
+
+inline constexpr int kExitOk = 0;       // Completed.
+inline constexpr int kExitError = 1;    // Generic runtime error.
+inline constexpr int kExitUsage = 2;    // Malformed command line / request.
+inline constexpr int kExitDnf = 3;      // Time budget exceeded (DNF).
+inline constexpr int kExitCrash = 4;    // The workload crashed (signal).
+inline constexpr int kExitOom = 5;      // The workload exceeded its memory cap.
+inline constexpr int kExitBusy = 6;     // The server refused admission (BUSY).
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_EXIT_CODES_H_

@@ -1,0 +1,67 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+namespace graphalign {
+namespace {
+
+// strtol/strtod skip leading whitespace; strict parsing must not.
+bool HasLeadingSpace(const std::string& text) {
+  return !text.empty() && std::isspace(static_cast<unsigned char>(text[0]));
+}
+
+}  // namespace
+
+Result<int> ParseStrictPositiveInt(const std::string& text) {
+  if (HasLeadingSpace(text)) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a positive integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE || v <= 0 ||
+      v > INT_MAX) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a positive integer");
+  }
+  return static_cast<int>(v);
+}
+
+Result<double> ParseStrictPositiveDouble(const std::string& text) {
+  if (HasLeadingSpace(text)) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a positive number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v) || v <= 0.0) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a positive number");
+  }
+  return v;
+}
+
+Result<uint64_t> ParseStrictUint64(const std::string& text) {
+  // strtoull silently accepts "-1" (wrapping it); reject any '-' up front.
+  if (HasLeadingSpace(text) || text.find('-') != std::string::npos) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not an unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not an unsigned integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace graphalign

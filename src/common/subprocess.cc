@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -113,6 +114,22 @@ Result<int> CountProcThreads() {
   return threads;
 }
 
+namespace {
+std::atomic<int> g_fork_tolerant_threads{0};
+}  // namespace
+
+ScopedForkTolerantThread::ScopedForkTolerantThread() {
+  g_fork_tolerant_threads.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedForkTolerantThread::~ScopedForkTolerantThread() {
+  g_fork_tolerant_threads.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int ForkTolerantThreadsRegistered() {
+  return g_fork_tolerant_threads.load(std::memory_order_relaxed);
+}
+
 bool WritePayload(int fd, const std::string& bytes) {
   std::string frame(kPayloadMagic, sizeof(kPayloadMagic));
   const uint64_t len = bytes.size();
@@ -135,14 +152,18 @@ Result<SubprocessResult> RunIsolated(
     const SubprocessOptions& options) {
   // Refuse to fork when threads we do not know about exist: a lock held by
   // one of them at fork time would be held forever in the child. The pool
-  // workers are accounted for because ParallelFor runs inline after fork.
+  // workers are accounted for because ParallelFor runs inline after fork;
+  // explicitly registered fork-tolerant threads (server workers) have made
+  // the same promise via ScopedForkTolerantThread.
   auto threads = CountProcThreads();
-  if (threads.ok() && *threads > 1 + ParallelWorkersStarted()) {
+  const int known =
+      1 + ParallelWorkersStarted() + ForkTolerantThreadsRegistered();
+  if (threads.ok() && *threads > known) {
     return Status::FailedPrecondition(
         "RunIsolated: " + std::to_string(*threads) +
-        " threads running but only the pool's " +
-        std::to_string(ParallelWorkersStarted()) +
-        " workers are known fork-tolerant");
+        " threads running but only " + std::to_string(known) +
+        " (main + pool workers + registered fork-tolerant threads) are "
+        "known fork-tolerant");
   }
 
   int fds[2];

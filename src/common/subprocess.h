@@ -82,6 +82,25 @@ Result<SubprocessResult> RunIsolated(const std::function<int(int payload_fd)>& b
 // child body). Returns false on a short or failed write.
 bool WritePayload(int fd, const std::string& bytes);
 
+// Declares the current thread fork-tolerant for the lifetime of the object:
+// the thread promises that nothing a RunIsolated child executes depends on
+// state (locks, condition variables) this thread may hold at fork time. The
+// server's worker threads register themselves so they can fork isolated
+// alignments while their siblings keep serving; like the parallel pool's
+// workers, they qualify because the forked child never touches the server's
+// queues or cache. Unregistered foreign threads still make RunIsolated
+// refuse with FailedPrecondition.
+class ScopedForkTolerantThread {
+ public:
+  ScopedForkTolerantThread();
+  ~ScopedForkTolerantThread();
+  ScopedForkTolerantThread(const ScopedForkTolerantThread&) = delete;
+  ScopedForkTolerantThread& operator=(const ScopedForkTolerantThread&) = delete;
+};
+
+// Number of currently registered fork-tolerant threads (beyond the pool).
+int ForkTolerantThreadsRegistered();
+
 // Number of threads of the calling process per /proc/self/status, or a
 // Status when /proc is unavailable.
 Result<int> CountProcThreads();

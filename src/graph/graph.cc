@@ -76,6 +76,30 @@ std::vector<Edge> Graph::Edges() const {
   return out;
 }
 
+uint64_t Graph::ContentHash() const {
+  // FNV-1a, mixing fixed-width little-endian words so the hash does not
+  // depend on host struct layout.
+  uint64_t h = 14695981039346656037ull;
+  auto mix64 = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix64(static_cast<uint64_t>(num_nodes_));
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : Neighbors(u)) {
+      // The CSR stores each undirected edge twice; hash the u < v copy only,
+      // which enumerates the canonical edge list in sorted order.
+      if (u < v) {
+        mix64((static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+              static_cast<uint32_t>(v));
+      }
+    }
+  }
+  return h;
+}
+
 CsrMatrix Graph::AdjacencyCsr() const {
   std::vector<Triplet> trip;
   trip.reserve(adj_.size());

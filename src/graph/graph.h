@@ -52,6 +52,14 @@ class Graph {
   // All edges with u < v.
   std::vector<Edge> Edges() const;
 
+  // Stable 64-bit content hash: FNV-1a over the node count and the
+  // canonicalized (sorted, deduplicated, u < v) edge list. Because
+  // construction canonicalizes, the hash is invariant to the insertion
+  // order of edges and to their orientation, and changes when any single
+  // edge is added or removed. Used as the content-addressed cache key of
+  // the alignment server and printed by `graphalign stats`.
+  uint64_t ContentHash() const;
+
   // Binary adjacency as CSR (symmetric, unit weights).
   CsrMatrix AdjacencyCsr() const;
   // Row-stochastic random-walk matrix D^-1 A (isolated nodes get zero rows).

@@ -1,0 +1,91 @@
+#include "server/cache.h"
+
+namespace graphalign {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void MixBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+ResultCache::ResultCache(int64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+uint64_t ResultCache::Key(uint64_t g1_hash, uint64_t g2_hash,
+                          const std::string& algo,
+                          const std::string& assign) {
+  uint64_t h = kFnvOffset;
+  MixBytes(&h, &g1_hash, sizeof(g1_hash));
+  MixBytes(&h, &g2_hash, sizeof(g2_hash));
+  // Length-prefix the strings so ("ab","c") and ("a","bc") differ.
+  const uint64_t algo_len = algo.size();
+  MixBytes(&h, &algo_len, sizeof(algo_len));
+  MixBytes(&h, algo.data(), algo.size());
+  const uint64_t assign_len = assign.size();
+  MixBytes(&h, &assign_len, sizeof(assign_len));
+  MixBytes(&h, assign.data(), assign.size());
+  return h;
+}
+
+bool ResultCache::Get(uint64_t key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *value = it->second->value;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::Put(uint64_t key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int64_t>(value.size()) > capacity_bytes_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= static_cast<int64_t>(it->second->value.size());
+    bytes_ += static_cast<int64_t>(value.size());
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    bytes_ += static_cast<int64_t>(value.size());
+    lru_.push_front(Entry{key, std::move(value)});
+    index_[key] = lru_.begin();
+  }
+  EvictToFitLocked();
+}
+
+void ResultCache::EvictToFitLocked() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= static_cast<int64_t>(victim.value.size());
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = static_cast<uint64_t>(bytes_);
+  stats.capacity_bytes = static_cast<uint64_t>(capacity_bytes_);
+  return stats;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,71 @@
+// Content-addressed LRU result cache for the alignment service.
+//
+// The hot path of a shared alignment service is repeated requests for the
+// same graph pair (the same datasets get re-aligned by many clients), so
+// completed align results are cached under a key derived purely from the
+// request *content*: the two graphs' canonical content hashes
+// (Graph::ContentHash), the algorithm, and the assignment method. Identical
+// content always maps to the same key regardless of how or when it was
+// submitted; a one-edge change produces a different graph hash and therefore
+// a different key. Keys are 64-bit (FNV-1a over the components), so a
+// collision is possible in principle; at service-realistic cache sizes
+// (thousands of entries) the probability is ~2^-40 per pair and an
+// alignment result is advisory, not safety-critical.
+//
+// Eviction is size-based LRU: the cache holds at most `capacity_bytes` of
+// encoded result payloads and evicts least-recently-used entries past that.
+// All operations are thread-safe; workers hit it concurrently.
+#ifndef GRAPHALIGN_SERVER_CACHE_H_
+#define GRAPHALIGN_SERVER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace graphalign {
+
+class ResultCache {
+ public:
+  explicit ResultCache(int64_t capacity_bytes);
+
+  // The content-addressed key of an align request.
+  static uint64_t Key(uint64_t g1_hash, uint64_t g2_hash,
+                      const std::string& algo, const std::string& assign);
+
+  // Copies the cached value into *value and refreshes its recency. Counts a
+  // hit or a miss either way.
+  bool Get(uint64_t key, std::string* value);
+
+  // Inserts (or replaces) an entry, then evicts LRU entries until the cache
+  // fits its capacity. A value larger than the whole capacity is dropped
+  // (never cached) rather than evicting everything for a useless resident.
+  void Put(uint64_t key, std::string value);
+
+  struct Stats {
+    uint64_t hits = 0, misses = 0, evictions = 0;
+    uint64_t entries = 0, bytes = 0, capacity_bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::string value;
+  };
+
+  void EvictToFitLocked();
+
+  const int64_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+  uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_SERVER_CACHE_H_

@@ -1,0 +1,54 @@
+// Client library for the alignment service daemon.
+//
+// Wraps a connected socket and the request/response codec so callers
+// (the `graphalign submit` subcommand, tests, tools, and the bench harness)
+// drive the daemon with typed structs instead of raw frames. A Client holds
+// one connection; Call() performs one request/response round trip and the
+// connection can be reused for a sequence of calls.
+#ifndef GRAPHALIGN_SERVER_CLIENT_H_
+#define GRAPHALIGN_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace graphalign {
+
+struct ClientOptions {
+  // Exactly one transport, mirroring ServerOptions: a Unix socket path, or
+  // a TCP port on `host` (numeric address, default loopback).
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+
+  // Socket send/receive timeout. Calls whose isolated alignment legitimately
+  // runs longer need a larger value; a BUSY or cached response arrives in
+  // microseconds regardless.
+  double timeout_seconds = 60.0;
+};
+
+class Client {
+ public:
+  static Result<Client> Connect(const ClientOptions& options);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // One request/response round trip. A Status means transport or protocol
+  // failure; a server-side outcome (including BUSY/DNF/CRASH/OOM) is a
+  // normal Response with the corresponding code.
+  Result<Response> Call(const Request& request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_SERVER_CLIENT_H_

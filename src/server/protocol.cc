@@ -1,0 +1,518 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace graphalign {
+
+namespace {
+
+// Decoding bounds: a request that declares more than these is rejected
+// before any proportional allocation happens. The frame cap already bounds
+// the true byte count; these bound the *declared* counts so a 16-byte
+// garbage frame cannot request a 4-billion-entry reserve.
+constexpr uint32_t kMaxWireNodes = 8u << 20;    // 8M nodes.
+constexpr uint64_t kMaxWireEdges = 32u << 20;   // 32M edges (256 MB decoded).
+constexpr size_t kMaxNameLen = 64;
+constexpr size_t kMaxMessageLen = 4096;
+
+Status BadPayload(const std::string& what) {
+  return Status::InvalidArgument("protocol: " + what);
+}
+
+bool ReadWireGraph(ByteReader* r, WireGraph* g) {
+  uint32_t n = 0;
+  uint64_t m = 0;
+  if (!r->U32(&n) || !r->U64(&m)) return false;
+  if (n > kMaxWireNodes || m > kMaxWireEdges) return false;
+  g->num_nodes = static_cast<int>(n);
+  g->edges.clear();
+  g->edges.reserve(static_cast<size_t>(m));
+  for (uint64_t i = 0; i < m; ++i) {
+    uint32_t u = 0, v = 0;
+    if (!r->U32(&u) || !r->U32(&v)) return false;
+    // Endpoint range is validated here so Graph::FromEdges sees sane ints;
+    // semantic validation (self-loops, duplicates) stays with the graph.
+    if (u >= n || v >= n) return false;
+    g->edges.push_back({static_cast<int>(u), static_cast<int>(v)});
+  }
+  return true;
+}
+
+void WriteWireGraph(ByteWriter* w, const WireGraph& g) {
+  w->U32(static_cast<uint32_t>(g.num_nodes));
+  w->U64(g.edges.size());
+  for (const Edge& e : g.edges) {
+    w->U32(static_cast<uint32_t>(e.u));
+    w->U32(static_cast<uint32_t>(e.v));
+  }
+}
+
+bool ReadMapping(ByteReader* r, std::vector<int32_t>* mapping) {
+  uint32_t n = 0;
+  if (!r->U32(&n) || n > kMaxWireNodes) return false;
+  mapping->clear();
+  mapping->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t v = 0;
+    if (!r->I32(&v)) return false;
+    mapping->push_back(v);
+  }
+  return true;
+}
+
+void WriteMapping(ByteWriter* w, const std::vector<int32_t>& mapping) {
+  w->U32(static_cast<uint32_t>(mapping.size()));
+  for (int32_t v : mapping) w->I32(v);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+const char* FrameStatusName(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kComplete: return "COMPLETE";
+    case FrameStatus::kIncomplete: return "INCOMPLETE";
+    case FrameStatus::kBadMagic: return "BAD_MAGIC";
+    case FrameStatus::kOversized: return "OVERSIZED";
+    case FrameStatus::kEmpty: return "EMPTY";
+  }
+  return "UNKNOWN";
+}
+
+FrameStatus TryParseFrame(std::string_view buf, std::string* payload,
+                          size_t* consumed) {
+  if (buf.empty()) return FrameStatus::kIncomplete;
+  // Validate the magic on whatever prefix is available, so garbage is
+  // rejected after its first bytes instead of after kFrameHeaderBytes.
+  const size_t magic_avail = std::min(buf.size(), sizeof(kFrameMagic));
+  if (std::memcmp(buf.data(), kFrameMagic, magic_avail) != 0) {
+    return FrameStatus::kBadMagic;
+  }
+  if (buf.size() < kFrameHeaderBytes) return FrameStatus::kIncomplete;
+  uint32_t len = 0;
+  std::memcpy(&len, buf.data() + sizeof(kFrameMagic), sizeof(len));
+  if (len == 0) return FrameStatus::kEmpty;
+  if (len > kMaxFramePayload) return FrameStatus::kOversized;
+  if (buf.size() < kFrameHeaderBytes + len) return FrameStatus::kIncomplete;
+  payload->assign(buf.data() + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameStatus::kComplete;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  GA_CHECK(!payload.empty() && payload.size() <= kMaxFramePayload);
+  std::string frame(kFrameMagic, sizeof(kFrameMagic));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  frame.append(payload);
+  return frame;
+}
+
+Result<bool> ReadFrameFromFd(int fd, std::string* payload) {
+  char header[kFrameHeaderBytes];
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = recv(fd, header + got, sizeof(header) - got, 0);
+    if (n == 0) {
+      if (got == 0) return false;  // Clean close between frames.
+      return BadPayload("connection closed inside a frame header");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket read timed out");
+      }
+      return Status::Internal("recv() failed: " +
+                              std::string(strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  uint32_t len = 0;
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return BadPayload("bad frame magic");
+  }
+  std::memcpy(&len, header + sizeof(kFrameMagic), sizeof(len));
+  if (len == 0) return BadPayload("zero-length frame");
+  if (len > kMaxFramePayload) {
+    return BadPayload("frame of " + std::to_string(len) +
+                      " bytes exceeds the " +
+                      std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  payload->resize(len);
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = recv(fd, payload->data() + off, len - off, 0);
+    if (n == 0) return BadPayload("connection closed inside a frame body");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket read timed out");
+      }
+      return Status::Internal("recv() failed: " +
+                              std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status WriteFrameToFd(int fd, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up must yield EPIPE, not kill the
+    // daemon with SIGPIPE.
+    const ssize_t n =
+        send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("send() failed: " +
+                              std::string(strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader.
+
+void ByteWriter::U32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, sizeof(v));
+  bytes_.append(b, sizeof(b));
+}
+
+void ByteWriter::U64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, sizeof(v));
+  bytes_.append(b, sizeof(b));
+}
+
+void ByteWriter::F64(double v) {
+  char b[8];
+  std::memcpy(b, &v, sizeof(v));
+  bytes_.append(b, sizeof(b));
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+bool ByteReader::Take(size_t n, const char** p) {
+  if (failed_ || bytes_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  *p = bytes_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::U8(uint8_t* v) {
+  const char* p;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool ByteReader::U32(uint32_t* v) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  std::memcpy(v, p, 4);
+  return true;
+}
+
+bool ByteReader::U64(uint64_t* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool ByteReader::I32(int32_t* v) {
+  uint32_t u;
+  if (!U32(&u)) return false;
+  std::memcpy(v, &u, sizeof(u));
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool ByteReader::Str(std::string* s, size_t max_len) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  if (len > max_len) {
+    failed_ = true;
+    return false;
+  }
+  const char* p;
+  if (!Take(len, &p)) return false;
+  s->assign(p, len);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+WireGraph ToWire(const Graph& g) {
+  WireGraph wire;
+  wire.num_nodes = g.num_nodes();
+  wire.edges = g.Edges();
+  return wire;
+}
+
+std::string EncodeRequest(const Request& request) {
+  ByteWriter w;
+  w.U32(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case RequestType::kPing:
+    case RequestType::kCacheInfo:
+    case RequestType::kShutdown:
+      break;
+    case RequestType::kAlign: {
+      const AlignRequest& a = request.align;
+      w.Str(a.algo);
+      w.Str(a.assign);
+      w.U64(a.deadline_ms);
+      w.U64(a.mem_limit_mb);
+      w.U8(a.no_cache ? 1 : 0);
+      WriteWireGraph(&w, a.g1);
+      WriteWireGraph(&w, a.g2);
+      break;
+    }
+    case RequestType::kEvaluate: {
+      const EvaluateRequest& e = request.evaluate;
+      WriteWireGraph(&w, e.g1);
+      WriteWireGraph(&w, e.g2);
+      WriteMapping(&w, e.mapping);
+      WriteMapping(&w, e.truth);
+      break;
+    }
+    case RequestType::kStats:
+      WriteWireGraph(&w, request.stats.g);
+      break;
+  }
+  return w.Take();
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  ByteReader r(payload);
+  uint32_t version = 0;
+  uint8_t type = 0;
+  if (!r.U32(&version) || !r.U8(&type)) {
+    return BadPayload("request too short for version and type");
+  }
+  if (version != kProtocolVersion) {
+    return BadPayload("unsupported protocol version " +
+                      std::to_string(version));
+  }
+  Request request;
+  switch (static_cast<RequestType>(type)) {
+    case RequestType::kPing:
+    case RequestType::kCacheInfo:
+    case RequestType::kShutdown:
+      request.type = static_cast<RequestType>(type);
+      break;
+    case RequestType::kAlign: {
+      request.type = RequestType::kAlign;
+      AlignRequest& a = request.align;
+      uint8_t no_cache = 0;
+      if (!r.Str(&a.algo, kMaxNameLen) || !r.Str(&a.assign, kMaxNameLen) ||
+          !r.U64(&a.deadline_ms) || !r.U64(&a.mem_limit_mb) ||
+          !r.U8(&no_cache) || !ReadWireGraph(&r, &a.g1) ||
+          !ReadWireGraph(&r, &a.g2)) {
+        return BadPayload("malformed align request");
+      }
+      a.no_cache = no_cache != 0;
+      break;
+    }
+    case RequestType::kEvaluate: {
+      request.type = RequestType::kEvaluate;
+      EvaluateRequest& e = request.evaluate;
+      if (!ReadWireGraph(&r, &e.g1) || !ReadWireGraph(&r, &e.g2) ||
+          !ReadMapping(&r, &e.mapping) || !ReadMapping(&r, &e.truth)) {
+        return BadPayload("malformed evaluate request");
+      }
+      break;
+    }
+    case RequestType::kStats:
+      request.type = RequestType::kStats;
+      if (!ReadWireGraph(&r, &request.stats.g)) {
+        return BadPayload("malformed stats request");
+      }
+      break;
+    default:
+      return BadPayload("unknown request type " + std::to_string(type));
+  }
+  if (!r.AtEnd()) return BadPayload("trailing bytes after request");
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+const char* ResponseCodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk: return "OK";
+    case ResponseCode::kError: return "ERROR";
+    case ResponseCode::kBadRequest: return "BAD_REQUEST";
+    case ResponseCode::kDnf: return "DNF";
+    case ResponseCode::kCrash: return "CRASH";
+    case ResponseCode::kOom: return "OOM";
+    case ResponseCode::kBusy: return "BUSY";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeResponse(const Response& response) {
+  ByteWriter w;
+  w.U32(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(response.code));
+  w.U8(response.cache_hit ? 1 : 0);
+  w.U64(response.elapsed_us);
+  w.Str(response.message);
+  w.Str(response.body);
+  return w.Take();
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  ByteReader r(payload);
+  uint32_t version = 0;
+  uint8_t code = 0, cache_hit = 0;
+  Response response;
+  if (!r.U32(&version) || !r.U8(&code) || !r.U8(&cache_hit) ||
+      !r.U64(&response.elapsed_us) ||
+      !r.Str(&response.message, kMaxMessageLen) ||
+      !r.Str(&response.body, kMaxFramePayload) ||
+      !r.AtEnd()) {
+    return BadPayload("malformed response");
+  }
+  if (version != kProtocolVersion) {
+    return BadPayload("unsupported protocol version " +
+                      std::to_string(version));
+  }
+  switch (static_cast<ResponseCode>(code)) {
+    case ResponseCode::kOk:
+    case ResponseCode::kError:
+    case ResponseCode::kBadRequest:
+    case ResponseCode::kDnf:
+    case ResponseCode::kCrash:
+    case ResponseCode::kOom:
+    case ResponseCode::kBusy:
+      response.code = static_cast<ResponseCode>(code);
+      break;
+    default:
+      return BadPayload("unknown response code " + std::to_string(code));
+  }
+  response.cache_hit = cache_hit != 0;
+  return response;
+}
+
+std::string EncodeAlignResult(const AlignResult& result) {
+  ByteWriter w;
+  WriteMapping(&w, result.mapping);
+  w.F64(result.mnc);
+  w.F64(result.ec);
+  w.F64(result.s3);
+  w.F64(result.align_seconds);
+  return w.Take();
+}
+
+Result<AlignResult> DecodeAlignResult(std::string_view body) {
+  ByteReader r(body);
+  AlignResult result;
+  if (!ReadMapping(&r, &result.mapping) || !r.F64(&result.mnc) ||
+      !r.F64(&result.ec) || !r.F64(&result.s3) ||
+      !r.F64(&result.align_seconds) || !r.AtEnd()) {
+    return BadPayload("malformed align result");
+  }
+  return result;
+}
+
+std::string EncodeEvaluateResult(const EvaluateResult& result) {
+  ByteWriter w;
+  w.F64(result.mnc);
+  w.F64(result.ec);
+  w.F64(result.ics);
+  w.F64(result.s3);
+  w.U8(result.has_accuracy ? 1 : 0);
+  w.F64(result.accuracy);
+  return w.Take();
+}
+
+Result<EvaluateResult> DecodeEvaluateResult(std::string_view body) {
+  ByteReader r(body);
+  EvaluateResult result;
+  uint8_t has_accuracy = 0;
+  if (!r.F64(&result.mnc) || !r.F64(&result.ec) || !r.F64(&result.ics) ||
+      !r.F64(&result.s3) || !r.U8(&has_accuracy) ||
+      !r.F64(&result.accuracy) || !r.AtEnd()) {
+    return BadPayload("malformed evaluate result");
+  }
+  result.has_accuracy = has_accuracy != 0;
+  return result;
+}
+
+std::string EncodeStatsResult(const StatsResult& result) {
+  ByteWriter w;
+  w.I32(result.num_nodes);
+  w.U64(static_cast<uint64_t>(result.num_edges));
+  w.F64(result.avg_degree);
+  w.I32(result.max_degree);
+  w.I32(result.components);
+  w.U64(result.content_hash);
+  return w.Take();
+}
+
+Result<StatsResult> DecodeStatsResult(std::string_view body) {
+  ByteReader r(body);
+  StatsResult result;
+  uint64_t edges = 0;
+  if (!r.I32(&result.num_nodes) || !r.U64(&edges) ||
+      !r.F64(&result.avg_degree) || !r.I32(&result.max_degree) ||
+      !r.I32(&result.components) || !r.U64(&result.content_hash) ||
+      !r.AtEnd()) {
+    return BadPayload("malformed stats result");
+  }
+  result.num_edges = static_cast<int64_t>(edges);
+  return result;
+}
+
+std::string EncodeCacheInfoResult(const CacheInfoResult& result) {
+  ByteWriter w;
+  w.U64(result.hits);
+  w.U64(result.misses);
+  w.U64(result.evictions);
+  w.U64(result.entries);
+  w.U64(result.bytes);
+  w.U64(result.capacity_bytes);
+  return w.Take();
+}
+
+Result<CacheInfoResult> DecodeCacheInfoResult(std::string_view body) {
+  ByteReader r(body);
+  CacheInfoResult result;
+  if (!r.U64(&result.hits) || !r.U64(&result.misses) ||
+      !r.U64(&result.evictions) || !r.U64(&result.entries) ||
+      !r.U64(&result.bytes) || !r.U64(&result.capacity_bytes) ||
+      !r.AtEnd()) {
+    return BadPayload("malformed cache info result");
+  }
+  return result;
+}
+
+}  // namespace graphalign

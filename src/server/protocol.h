@@ -1,0 +1,242 @@
+// Wire protocol of the alignment service daemon (DESIGN.md §11).
+//
+// Transport: a stream socket (Unix or TCP) carrying length-prefixed binary
+// frames. Each frame is
+//
+//   "GAF1" (4-byte magic) | u32 payload length (LE) | payload bytes
+//
+// and each payload is one request or one response, encoded with the
+// bounds-checked ByteWriter/ByteReader below. The parser is total: any
+// sequence of bytes — truncated, oversized, zero-length, garbage — yields a
+// typed outcome, never a crash, an allocation blow-up, or a hang (the frame
+// length is validated against kMaxFramePayload before anything is
+// buffered).
+//
+// Requests carry graphs inline as edge lists, so the daemon needs no
+// filesystem access and the content-addressed result cache can key directly
+// on what arrived. All integers are little-endian; the protocol is
+// host-endianness-symmetric in practice (every supported target is LE) and
+// version-gated by kProtocolVersion for everything else.
+#ifndef GRAPHALIGN_SERVER_PROTOCOL_H_
+#define GRAPHALIGN_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/exit_codes.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Frames beyond this payload size are rejected before buffering (a 64 MB
+// frame holds an ~4M-edge graph pair; bigger graphs belong in the offline
+// sweep harness, not a serving request).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+inline constexpr char kFrameMagic[4] = {'G', 'A', 'F', '1'};
+inline constexpr size_t kFrameHeaderBytes = sizeof(kFrameMagic) + sizeof(uint32_t);
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+enum class FrameStatus {
+  kComplete,    // One whole frame parsed; *consumed bytes were used.
+  kIncomplete,  // Prefix of a valid frame; read more bytes and retry.
+  kBadMagic,    // The first bytes are not a frame; the stream is garbage.
+  kOversized,   // Declared length exceeds kMaxFramePayload.
+  kEmpty,       // Zero-length payload (no valid message is empty).
+};
+
+const char* FrameStatusName(FrameStatus status);
+
+// Attempts to parse one frame from the front of `buf`. On kComplete,
+// *payload receives the payload bytes and *consumed the total frame size.
+// Never reads past buf, never allocates more than the declared (validated)
+// payload length.
+FrameStatus TryParseFrame(std::string_view buf, std::string* payload,
+                          size_t* consumed);
+
+// Wraps `payload` in a frame header. Payload must fit kMaxFramePayload.
+std::string EncodeFrame(std::string_view payload);
+
+// Blocking frame IO over a socket fd (SIGPIPE-safe; uses send/recv).
+// ReadFrameFromFd returns true with a frame, false on a clean peer close
+// before any byte, and a Status on truncation, bad magic, oversized or
+// empty frames, timeouts (DeadlineExceeded when the socket has a receive
+// timeout), and IO errors.
+Result<bool> ReadFrameFromFd(int fd, std::string* payload);
+Status WriteFrameToFd(int fd, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Bounds-checked payload (de)serialization.
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v);
+  // u32 length followed by the raw bytes.
+  void Str(std::string_view s);
+
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+// Every getter returns false (and leaves the reader poisoned) on underflow,
+// so decoders can chain reads and check once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I32(int32_t* v);
+  bool F64(double* v);
+  // Reads a u32-length-prefixed string of at most max_len bytes.
+  bool Str(std::string* s, size_t max_len);
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return !failed_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Take(size_t n, const char** p);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+enum class RequestType : uint8_t {
+  kPing = 1,
+  kAlign = 2,
+  kEvaluate = 3,
+  kStats = 4,
+  kCacheInfo = 5,
+  kShutdown = 6,
+};
+
+// A graph shipped inline: node count plus canonical-orientation edges.
+struct WireGraph {
+  int num_nodes = 0;
+  std::vector<Edge> edges;
+};
+
+WireGraph ToWire(const Graph& g);
+
+struct AlignRequest {
+  std::string algo;          // Aligner name, or a _CRASH/_OOM/_HANG fault.
+  std::string assign = "JV"; // NN | SG | MWM | JV | native.
+  uint64_t deadline_ms = 0;  // 0 = no cooperative deadline.
+  uint64_t mem_limit_mb = 0; // 0 = no memory cap on the isolated child.
+  bool no_cache = false;     // Bypass (and do not populate) the cache.
+  WireGraph g1, g2;
+};
+
+struct EvaluateRequest {
+  WireGraph g1, g2;
+  std::vector<int32_t> mapping;  // mapping[u] = node of g2, -1 unmatched.
+  std::vector<int32_t> truth;    // Optional ground truth; empty = none.
+};
+
+struct StatsRequest {
+  WireGraph g;
+};
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  AlignRequest align;        // Valid when type == kAlign.
+  EvaluateRequest evaluate;  // Valid when type == kEvaluate.
+  StatsRequest stats;        // Valid when type == kStats.
+};
+
+std::string EncodeRequest(const Request& request);
+// Total decode: malformed payloads yield InvalidArgument naming what broke.
+Result<Request> DecodeRequest(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+// DNF/CRASH/OOM deliberately share numeric values with the process exit
+// codes (common/exit_codes.h): `graphalign submit` exits with the response
+// code and the meaning is identical to a local `graphalign align --isolate`.
+enum class ResponseCode : uint8_t {
+  kOk = kExitOk,
+  kError = kExitError,             // In-request error (bad algo, IO, ...).
+  kBadRequest = kExitUsage,        // Protocol/decoding violation.
+  kDnf = kExitDnf,                 // Deadline exceeded.
+  kCrash = kExitCrash,             // The isolated alignment crashed.
+  kOom = kExitOom,                 // The isolated alignment exceeded memory.
+  kBusy = kExitBusy,               // Admission control refused the request.
+};
+
+const char* ResponseCodeName(ResponseCode code);
+
+struct Response {
+  ResponseCode code = ResponseCode::kOk;
+  bool cache_hit = false;
+  uint64_t elapsed_us = 0;  // Server-side handling time for this request.
+  std::string message;      // Error detail / human-readable note.
+  std::string body;         // Type-specific encoded result (below).
+};
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+// Body of a successful kAlign response (also the cached value).
+struct AlignResult {
+  std::vector<int32_t> mapping;
+  double mnc = 0.0, ec = 0.0, s3 = 0.0;
+  double align_seconds = 0.0;  // Compute time inside the isolated child.
+};
+
+std::string EncodeAlignResult(const AlignResult& result);
+Result<AlignResult> DecodeAlignResult(std::string_view body);
+
+// Body of a successful kEvaluate response.
+struct EvaluateResult {
+  double mnc = 0.0, ec = 0.0, ics = 0.0, s3 = 0.0;
+  bool has_accuracy = false;
+  double accuracy = 0.0;
+};
+
+std::string EncodeEvaluateResult(const EvaluateResult& result);
+Result<EvaluateResult> DecodeEvaluateResult(std::string_view body);
+
+// Body of a successful kStats response.
+struct StatsResult {
+  int32_t num_nodes = 0;
+  int64_t num_edges = 0;
+  double avg_degree = 0.0;
+  int32_t max_degree = 0;
+  int32_t components = 0;
+  uint64_t content_hash = 0;
+};
+
+std::string EncodeStatsResult(const StatsResult& result);
+Result<StatsResult> DecodeStatsResult(std::string_view body);
+
+// Body of a successful kCacheInfo response.
+struct CacheInfoResult {
+  uint64_t hits = 0, misses = 0, evictions = 0;
+  uint64_t entries = 0, bytes = 0, capacity_bytes = 0;
+};
+
+std::string EncodeCacheInfoResult(const CacheInfoResult& result);
+Result<CacheInfoResult> DecodeCacheInfoResult(std::string_view body);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_SERVER_PROTOCOL_H_

@@ -1,0 +1,614 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "align/aligner.h"
+#include "bench_framework/experiment.h"
+#include "common/deadline.h"
+#include "common/subprocess.h"
+#include "common/timer.h"
+#include "metrics/metrics.h"
+#include "server/protocol.h"
+
+namespace graphalign {
+
+namespace {
+
+// Converts between the wire's fixed-width mapping and the library Alignment.
+Alignment ToAlignment(const std::vector<int32_t>& wire) {
+  return Alignment(wire.begin(), wire.end());
+}
+
+std::vector<int32_t> ToWireMapping(const Alignment& alignment) {
+  return std::vector<int32_t>(alignment.begin(), alignment.end());
+}
+
+void SetSocketTimeouts(int fd, double seconds) {
+  if (seconds <= 0.0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+Result<AssignmentMethod> ParseAssignMethod(const std::string& assign) {
+  if (assign == "NN") return AssignmentMethod::kNearestNeighbor;
+  if (assign == "SG") return AssignmentMethod::kSortGreedy;
+  if (assign == "MWM") return AssignmentMethod::kHungarian;
+  if (assign == "JV") return AssignmentMethod::kJonkerVolgenant;
+  return Status::InvalidArgument("unknown assignment method: " + assign);
+}
+
+// The isolated align child reports back either a result or a typed error
+// through the payload pipe: u8 ok, then AlignResult bytes or (u8 code,
+// string message).
+std::string EncodeChildOutcome(const AlignResult& result) {
+  ByteWriter w;
+  w.U8(1);
+  const std::string body = EncodeAlignResult(result);
+  w.Str(body);
+  return w.Take();
+}
+
+std::string EncodeChildError(ResponseCode code, const std::string& message) {
+  ByteWriter w;
+  w.U8(0);
+  w.U8(static_cast<uint8_t>(code));
+  w.Str(message);
+  return w.Take();
+}
+
+bool DecodeChildOutcome(std::string_view payload, Response* response) {
+  ByteReader r(payload);
+  uint8_t ok = 0;
+  if (!r.U8(&ok)) return false;
+  if (ok != 0) {
+    std::string body;
+    if (!r.Str(&body, kMaxFramePayload) || !r.AtEnd()) return false;
+    response->code = ResponseCode::kOk;
+    response->body = std::move(body);
+    return true;
+  }
+  uint8_t code = 0;
+  std::string message;
+  if (!r.U8(&code) || !r.Str(&message, kMaxFramePayload) || !r.AtEnd()) {
+    return false;
+  }
+  response->code = static_cast<ResponseCode>(code);
+  response->message = std::move(message);
+  return true;
+}
+
+}  // namespace
+
+class Server::Impl {
+ public:
+  explicit Impl(const ServerOptions& options)
+      : options_(options),
+        cache_(static_cast<int64_t>(options.cache_mb * 1024.0 * 1024.0)) {}
+
+  ~Impl() {
+    Shutdown();
+    Wait();
+    if (listen_fd_ >= 0) close(listen_fd_);
+    if (!bound_socket_path_.empty()) unlink(bound_socket_path_.c_str());
+  }
+
+  Status Bind() {
+    if (!options_.socket_path.empty() && options_.port >= 0) {
+      return Status::InvalidArgument(
+          "server: choose one transport (--socket or --port), not both");
+    }
+    if (options_.socket_path.empty() && options_.port < 0) {
+      return Status::InvalidArgument(
+          "server: a Unix socket path or a TCP port is required");
+    }
+    if (options_.workers <= 0) {
+      return Status::InvalidArgument("server: workers must be positive");
+    }
+    if (options_.cache_mb <= 0.0) {
+      return Status::InvalidArgument("server: cache capacity must be positive");
+    }
+    if (!options_.socket_path.empty()) return BindUnix();
+    return BindTcp();
+  }
+
+  Status Start() {
+    if (listen_fd_ < 0) {
+      return Status::FailedPrecondition("server: not bound");
+    }
+    const int queue_capacity = options_.queue_capacity > 0
+                                   ? options_.queue_capacity
+                                   : 2 * options_.workers;
+    queue_capacity_ = queue_capacity;
+    for (int w = 0; w < options_.workers; ++w) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+    threads_.emplace_back([this] { AcceptLoop(); });
+    return Status::Ok();
+  }
+
+  void Shutdown() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) return;
+    // Unblock accept(); the fd itself is closed in the destructor so the
+    // accept thread never races a reused descriptor number.
+    if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Cut off idle-but-open and queued connections so workers notice.
+    for (int fd : active_fds_) shutdown(fd, SHUT_RDWR);
+    for (int fd : queue_) shutdown(fd, SHUT_RDWR);
+    queue_cv_.notify_all();
+  }
+
+  void Wait() {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads.swap(threads_);
+    }
+    for (std::thread& t : threads) t.join();
+    // Close connections that were still queued when the plug was pulled.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : queue_) close(fd);
+    queue_.clear();
+  }
+
+  int port() const { return bound_port_; }
+
+  ResultCache::Stats cache_stats() const { return cache_.GetStats(); }
+
+ private:
+  Status BindUnix() {
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument(
+          "server: socket path longer than sockaddr_un allows (" +
+          std::to_string(sizeof(addr.sun_path) - 1) + " bytes): " +
+          options_.socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal("socket() failed: " +
+                              std::string(strerror(errno)));
+    }
+    // A stale socket file from a dead daemon would make bind fail; remove
+    // it. A *live* daemon still serving on the path loses its file but
+    // keeps its connections — running two daemons on one path is an
+    // operator error this cannot fully protect against.
+    unlink(options_.socket_path.c_str());
+    if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string detail = strerror(errno);
+      close(fd);
+      return Status::Internal("bind(" + options_.socket_path +
+                              ") failed: " + detail);
+    }
+    if (listen(fd, 64) != 0) {
+      const std::string detail = strerror(errno);
+      close(fd);
+      return Status::Internal("listen() failed: " + detail);
+    }
+    listen_fd_ = fd;
+    bound_socket_path_ = options_.socket_path;
+    return Status::Ok();
+  }
+
+  Status BindTcp() {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal("socket() failed: " +
+                              std::string(strerror(errno)));
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const std::string detail = strerror(errno);
+      close(fd);
+      return Status::Internal("bind(127.0.0.1:" +
+                              std::to_string(options_.port) +
+                              ") failed: " + detail);
+    }
+    if (listen(fd, 64) != 0) {
+      const std::string detail = strerror(errno);
+      close(fd);
+      return Status::Internal("listen() failed: " + detail);
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) ==
+        0) {
+      bound_port_ = ntohs(addr.sin_port);
+    }
+    listen_fd_ = fd;
+    return Status::Ok();
+  }
+
+  // -------------------------------------------------------------------------
+  // Accept loop with admission control.
+
+  void AcceptLoop() {
+    // Accepting and turning away overload is queue-and-socket work only;
+    // nothing an isolated child could depend on, so the thread is
+    // fork-tolerant by the same argument as the workers.
+    ScopedForkTolerantThread fork_tolerant;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // Listening socket shut down (or a fatal accept error).
+      }
+      if (stopping_.load(std::memory_order_relaxed)) {
+        close(fd);
+        break;
+      }
+      SetSocketTimeouts(fd, options_.io_timeout_seconds);
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (static_cast<int>(queue_.size()) < queue_capacity_) {
+          queue_.push_back(fd);
+          admitted = true;
+          queue_cv_.notify_one();
+        }
+      }
+      if (!admitted) {
+        // Typed BUSY, then hang up. The frame is a few dozen bytes — it
+        // fits the socket send buffer, so this cannot stall the loop.
+        Response busy;
+        busy.code = ResponseCode::kBusy;
+        busy.message = "admission queue full (" +
+                       std::to_string(queue_capacity_) + " waiting)";
+        (void)WriteFrameToFd(fd, EncodeResponse(busy));
+        close(fd);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Workers.
+
+  void WorkerLoop() {
+    // Workers fork isolated align children while siblings serve; the child
+    // never touches the queue, the cache, or any server lock, which is what
+    // makes this thread safe to fork under (see common/subprocess.h).
+    ScopedForkTolerantThread fork_tolerant;
+    for (;;) {
+      int fd = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        queue_cv_.wait(lock, [this] {
+          return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+        });
+        if (queue_.empty()) return;  // Stopping and drained.
+        fd = queue_.front();
+        queue_.pop_front();
+        active_fds_.insert(fd);
+      }
+      ServeConnection(fd);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        active_fds_.erase(fd);
+      }
+      close(fd);
+      if (stopping_.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  void ServeConnection(int fd) {
+    // One connection may carry a sequence of frames; each gets a response.
+    for (;;) {
+      std::string payload;
+      auto frame = ReadFrameFromFd(fd, &payload);
+      if (!frame.ok()) {
+        // Truncated/garbage/oversized/timed-out input: answer with a typed
+        // protocol error (best effort) and hang up — after garbage there is
+        // no trustworthy frame boundary to resynchronize on.
+        Response bad;
+        bad.code = ResponseCode::kBadRequest;
+        bad.message = frame.status().ToString();
+        (void)WriteFrameToFd(fd, EncodeResponse(bad));
+        return;
+      }
+      if (!*frame) return;  // Clean close.
+
+      WallTimer timer;
+      bool shutdown_after = false;
+      Response response;
+      auto request = DecodeRequest(payload);
+      if (!request.ok()) {
+        response.code = ResponseCode::kBadRequest;
+        response.message = request.status().ToString();
+      } else {
+        response = HandleRequest(*request, &shutdown_after);
+      }
+      response.elapsed_us = static_cast<uint64_t>(timer.Seconds() * 1e6);
+      if (!WriteFrameToFd(fd, EncodeResponse(response)).ok()) return;
+      if (shutdown_after) {
+        Shutdown();
+        return;
+      }
+      if (response.code == ResponseCode::kBadRequest) return;
+      if (stopping_.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  Response HandleRequest(const Request& request, bool* shutdown_after) {
+    switch (request.type) {
+      case RequestType::kPing: {
+        Response response;
+        response.message = "pong";
+        return response;
+      }
+      case RequestType::kShutdown: {
+        *shutdown_after = true;
+        Response response;
+        response.message = "shutting down";
+        return response;
+      }
+      case RequestType::kCacheInfo: {
+        const ResultCache::Stats stats = cache_.GetStats();
+        CacheInfoResult info;
+        info.hits = stats.hits;
+        info.misses = stats.misses;
+        info.evictions = stats.evictions;
+        info.entries = stats.entries;
+        info.bytes = stats.bytes;
+        info.capacity_bytes = stats.capacity_bytes;
+        Response response;
+        response.body = EncodeCacheInfoResult(info);
+        return response;
+      }
+      case RequestType::kAlign:
+        return HandleAlign(request.align);
+      case RequestType::kEvaluate:
+        return HandleEvaluate(request.evaluate);
+      case RequestType::kStats:
+        return HandleStats(request.stats);
+    }
+    Response response;
+    response.code = ResponseCode::kBadRequest;
+    response.message = "unhandled request type";
+    return response;
+  }
+
+  static Response ErrorResponse(ResponseCode code, std::string message) {
+    Response response;
+    response.code = code;
+    response.message = std::move(message);
+    return response;
+  }
+
+  Response HandleAlign(const AlignRequest& req) {
+    auto g1 = Graph::FromEdges(req.g1.num_nodes, req.g1.edges);
+    if (!g1.ok()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "g1: " + g1.status().ToString());
+    }
+    auto g2 = Graph::FromEdges(req.g2.num_nodes, req.g2.edges);
+    if (!g2.ok()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "g2: " + g2.status().ToString());
+    }
+    // Validate the algorithm and assignment up front, in the parent: an
+    // unknown name is a client mistake, not a reason to fork.
+    std::unique_ptr<Aligner> aligner = MakeFaultAligner(req.algo);
+    if (aligner == nullptr) {
+      auto made = MakeAligner(req.algo);
+      if (!made.ok()) {
+        return ErrorResponse(ResponseCode::kError, made.status().ToString());
+      }
+      aligner = std::move(*made);
+    }
+    const bool native = req.assign == "native";
+    AssignmentMethod method = AssignmentMethod::kJonkerVolgenant;
+    if (!native) {
+      auto parsed = ParseAssignMethod(req.assign);
+      if (!parsed.ok()) {
+        return ErrorResponse(ResponseCode::kError, parsed.status().ToString());
+      }
+      method = *parsed;
+    }
+
+    const uint64_t key = ResultCache::Key(g1->ContentHash(), g2->ContentHash(),
+                                          req.algo, req.assign);
+    if (!req.no_cache) {
+      std::string cached;
+      if (cache_.Get(key, &cached)) {
+        Response response;
+        response.cache_hit = true;
+        response.body = std::move(cached);
+        return response;
+      }
+    }
+
+    SubprocessOptions isolation;
+    if (req.mem_limit_mb > 0) {
+      isolation.mem_limit_bytes =
+          static_cast<int64_t>(req.mem_limit_mb) * 1024 * 1024;
+    }
+    isolation.wall_limit_seconds =
+        req.deadline_ms > 0
+            ? 2.0 * static_cast<double>(req.deadline_ms) / 1000.0 +
+                  options_.wall_slack_seconds
+            : options_.default_wall_limit_seconds;
+
+    auto run = RunIsolated(
+        [&](int payload_fd) {
+          const Deadline deadline =
+              req.deadline_ms > 0
+                  ? Deadline::AfterSeconds(
+                        static_cast<double>(req.deadline_ms) / 1000.0)
+                  : Deadline::Infinite();
+          WallTimer align_timer;
+          Result<Alignment> alignment =
+              native ? aligner->AlignNative(*g1, *g2, deadline)
+                     : aligner->Align(*g1, *g2, method, deadline);
+          std::string outcome;
+          if (!alignment.ok()) {
+            const ResponseCode code =
+                alignment.status().code() == StatusCode::kDeadlineExceeded
+                    ? ResponseCode::kDnf
+                    : ResponseCode::kError;
+            outcome = EncodeChildError(code, alignment.status().ToString());
+          } else {
+            AlignResult result;
+            result.align_seconds = align_timer.Seconds();
+            result.mnc =
+                MeanMatchedNeighborhoodConsistency(*g1, *g2, *alignment);
+            result.ec = EdgeCorrectness(*g1, *g2, *alignment);
+            result.s3 = SymmetricSubstructureScore(*g1, *g2, *alignment);
+            result.mapping = ToWireMapping(*alignment);
+            outcome = EncodeChildOutcome(result);
+          }
+          return WritePayload(payload_fd, outcome) ? 0 : 1;
+        },
+        isolation);
+    if (!run.ok()) {
+      return ErrorResponse(ResponseCode::kError, run.status().ToString());
+    }
+    Response response;
+    switch (run->status) {
+      case RunStatus::kOk:
+        if (!run->payload_valid || !DecodeChildOutcome(run->payload,
+                                                       &response)) {
+          return ErrorResponse(
+              ResponseCode::kError,
+              "isolated child exited cleanly but returned no result");
+        }
+        break;
+      case RunStatus::kExit:
+        return ErrorResponse(ResponseCode::kError,
+                             "isolated child " + run->detail);
+      case RunStatus::kCrash:
+        return ErrorResponse(ResponseCode::kCrash, run->detail);
+      case RunStatus::kOom:
+        return ErrorResponse(ResponseCode::kOom, run->detail);
+      case RunStatus::kTimeout:
+        return ErrorResponse(ResponseCode::kDnf,
+                             "hard-killed at the wall-clock backstop after " +
+                                 std::to_string(run->wall_seconds) + "s");
+    }
+    if (response.code == ResponseCode::kOk && !req.no_cache) {
+      cache_.Put(key, response.body);
+    }
+    return response;
+  }
+
+  Response HandleEvaluate(const EvaluateRequest& req) {
+    auto g1 = Graph::FromEdges(req.g1.num_nodes, req.g1.edges);
+    if (!g1.ok()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "g1: " + g1.status().ToString());
+    }
+    auto g2 = Graph::FromEdges(req.g2.num_nodes, req.g2.edges);
+    if (!g2.ok()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "g2: " + g2.status().ToString());
+    }
+    if (static_cast<int>(req.mapping.size()) != g1->num_nodes()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "mapping size does not match g1's node count");
+    }
+    for (int32_t v : req.mapping) {
+      if (v < -1 || v >= g2->num_nodes()) {
+        return ErrorResponse(ResponseCode::kBadRequest,
+                             "mapping target out of range: " +
+                                 std::to_string(v));
+      }
+    }
+    if (!req.truth.empty() &&
+        static_cast<int>(req.truth.size()) != g1->num_nodes()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "truth size does not match g1's node count");
+    }
+    const Alignment mapping = ToAlignment(req.mapping);
+    EvaluateResult result;
+    result.mnc = MeanMatchedNeighborhoodConsistency(*g1, *g2, mapping);
+    result.ec = EdgeCorrectness(*g1, *g2, mapping);
+    result.ics = InducedConservedStructure(*g1, *g2, mapping);
+    result.s3 = SymmetricSubstructureScore(*g1, *g2, mapping);
+    if (!req.truth.empty()) {
+      result.has_accuracy = true;
+      result.accuracy = Accuracy(mapping, ToAlignment(req.truth));
+    }
+    Response response;
+    response.body = EncodeEvaluateResult(result);
+    return response;
+  }
+
+  Response HandleStats(const StatsRequest& req) {
+    auto g = Graph::FromEdges(req.g.num_nodes, req.g.edges);
+    if (!g.ok()) {
+      return ErrorResponse(ResponseCode::kBadRequest, g.status().ToString());
+    }
+    StatsResult result;
+    result.num_nodes = g->num_nodes();
+    result.num_edges = g->num_edges();
+    result.avg_degree = g->AverageDegree();
+    result.max_degree = g->MaxDegree();
+    int components = 0;
+    g->ConnectedComponents(&components);
+    result.components = components;
+    result.content_hash = g->ContentHash();
+    Response response;
+    response.body = EncodeStatsResult(result);
+    return response;
+  }
+
+  const ServerOptions options_;
+  ResultCache cache_;
+
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::string bound_socket_path_;
+  int queue_capacity_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;                 // Admitted, not yet served.
+  std::unordered_set<int> active_fds_;    // Being served by a worker.
+  std::vector<std::thread> threads_;      // Workers + accept thread.
+};
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Server::~Server() = default;
+
+Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
+  auto impl = std::make_unique<Impl>(options);
+  GA_RETURN_IF_ERROR(impl->Bind());
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+Status Server::Start() { return impl_->Start(); }
+void Server::Shutdown() { impl_->Shutdown(); }
+void Server::Wait() { impl_->Wait(); }
+int Server::port() const { return impl_->port(); }
+ResultCache::Stats Server::cache_stats() const { return impl_->cache_stats(); }
+
+}  // namespace graphalign

@@ -1,0 +1,101 @@
+// The graphalign alignment service daemon (DESIGN.md §11).
+//
+// A long-running server that accepts align/evaluate/stats requests over the
+// length-prefixed binary protocol (server/protocol.h) on a Unix or TCP
+// socket and dispatches them to a bounded worker pool:
+//
+//   accept thread ──▶ bounded queue ──▶ K worker threads
+//                        │
+//                        └── full? send a typed BUSY response and close
+//                            (admission control never stalls the accept loop)
+//
+// Request isolation: every align request runs in a forked child via
+// RunIsolated (common/subprocess.h), with the request's deadline_ms mapped
+// to a cooperative Deadline inside the child, a wall-clock SIGKILL backstop
+// behind it, and mem_limit_mb enforced with RLIMIT_AS. A crashing, OOM-ing,
+// or hanging alignment therefore produces a typed CRASH/OOM/DNF response to
+// its own client while the daemon and all other in-flight requests keep
+// going. Evaluate/stats requests are metric-only (no aligner kernels) and
+// run inline in the worker.
+//
+// Caching: completed align results are stored in a content-addressed LRU
+// cache (server/cache.h) keyed on (g1 hash, g2 hash, algo, assignment), so
+// a repeated identical request is answered from memory in microseconds.
+#ifndef GRAPHALIGN_SERVER_SERVER_H_
+#define GRAPHALIGN_SERVER_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "server/cache.h"
+
+namespace graphalign {
+
+struct ServerOptions {
+  // Exactly one transport: a Unix socket path (preferred for local use;
+  // must fit sockaddr_un, ~107 bytes), or a TCP port on 127.0.0.1 when
+  // socket_path is empty (port 0 = kernel-assigned; read it back from
+  // Server::port()).
+  std::string socket_path;
+  int port = -1;
+
+  // Worker pool size and admission-control queue depth (0 = 2 * workers).
+  // Once `queue_capacity` connections are waiting, further arrivals get an
+  // immediate BUSY response.
+  int workers = 4;
+  int queue_capacity = 0;
+
+  // Result-cache capacity in megabytes.
+  double cache_mb = 64.0;
+
+  // Per-connection socket send/receive timeout: a client that stalls
+  // mid-frame is cut off with a typed protocol error instead of pinning a
+  // worker forever.
+  double io_timeout_seconds = 30.0;
+
+  // Wall-clock backstop for isolated align children: 2 * deadline +
+  // `wall_slack_seconds` when the request carries a deadline, else
+  // `default_wall_limit_seconds`. The backstop SIGKILLs non-cooperative
+  // hangs; cooperative overruns are caught by the Deadline well before it.
+  double wall_slack_seconds = 30.0;
+  double default_wall_limit_seconds = 300.0;
+};
+
+class Server {
+ public:
+  // Binds and listens. Fails (with a Status) on bad options or socket
+  // errors; never half-starts.
+  static Result<std::unique_ptr<Server>> Create(const ServerOptions& options);
+
+  ~Server();  // Shutdown() + Wait().
+
+  // Spawns the accept thread and the worker pool. All server threads
+  // register as fork-tolerant (common/subprocess.h) so workers can fork
+  // isolated alignments while their siblings keep serving.
+  Status Start();
+
+  // Signals every thread to stop: closes the listening socket, shuts down
+  // queued and in-flight connections, and wakes idle workers. Safe to call
+  // from any thread (including a worker, via a kShutdown request) and more
+  // than once.
+  void Shutdown();
+
+  // Joins all server threads. Returns after Shutdown() has taken effect and
+  // every worker has finished its current request.
+  void Wait();
+
+  // Resolved TCP port (useful with port = 0); -1 for Unix transport.
+  int port() const;
+
+  ResultCache::Stats cache_stats() const;
+
+ private:
+  class Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_SERVER_SERVER_H_

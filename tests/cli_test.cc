@@ -206,6 +206,67 @@ TEST(CliTest, StatsReportsBasics) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(r.out.find("n=40"), std::string::npos);
   EXPECT_NE(r.out.find("components="), std::string::npos);
+  EXPECT_NE(r.out.find("hash="), std::string::npos);
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, StatsHashIsContentAddressed) {
+  // The same graph written twice hashes identically; one extra edge (--m 3
+  // vs --m 2) changes it.
+  const std::string g1 = TempPath("hash_g1.txt");
+  const std::string g2 = TempPath("hash_g2.txt");
+  const std::string g3 = TempPath("hash_g3.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "30", "--m", "2",
+                     "--seed", "5", "--out", g1})
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "30", "--m", "2",
+                     "--seed", "5", "--out", g2})
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool({"generate", "--model", "ba", "--n", "30", "--m", "3",
+                     "--seed", "5", "--out", g3})
+                .exit_code,
+            0);
+  auto hash_of = [](const CliResult& r) {
+    size_t pos = r.out.find("hash=");
+    EXPECT_NE(pos, std::string::npos);
+    return r.out.substr(pos, 21);  // "hash=" + 16 hex digits.
+  };
+  CliResult r1 = RunTool({"stats", "--in", g1});
+  CliResult r2 = RunTool({"stats", "--in", g2});
+  CliResult r3 = RunTool({"stats", "--in", g3});
+  EXPECT_EQ(hash_of(r1), hash_of(r2));
+  EXPECT_NE(hash_of(r1), hash_of(r3));
+  std::remove(g1.c_str());
+  std::remove(g2.c_str());
+  std::remove(g3.c_str());
+}
+
+TEST(CliTest, ThreadsFlagRejectsJunk) {
+  const std::string g1 = TempPath("thr_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "er", "--n", "20", "--p", "0.2",
+                     "--seed", "1", "--out", g1})
+                .exit_code,
+            0);
+  for (const std::string bad : {"0", "-2", "4x", "x", "", "1.5", "2000"}) {
+    CliResult r = RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NSD",
+                           "--threads", bad});
+    EXPECT_EQ(r.exit_code, 1) << "'" << bad << "'";
+    EXPECT_NE(r.err.find("--threads"), std::string::npos) << "'" << bad << "'";
+  }
+  std::remove(g1.c_str());
+}
+
+TEST(CliTest, ThreadsFlagAcceptsPositiveCount) {
+  const std::string g1 = TempPath("thr_ok_g1.txt");
+  ASSERT_EQ(RunTool({"generate", "--model", "er", "--n", "20", "--p", "0.2",
+                     "--seed", "1", "--out", g1})
+                .exit_code,
+            0);
+  CliResult r = RunTool({"align", "--g1", g1, "--g2", g1, "--algo", "NSD",
+                         "--threads", "2"});
+  EXPECT_EQ(r.exit_code, 0) << r.err;
   std::remove(g1.c_str());
 }
 

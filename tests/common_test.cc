@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exit_codes.h"
 #include "common/memory.h"
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/table.h"
@@ -221,6 +223,51 @@ TEST(TableTest, CsvEscaping) {
   std::ostringstream csv;
   t.PrintCsv(csv);
   EXPECT_EQ(csv.str(), "name\n\"a,b \"\"c\"\"\"\n");
+}
+
+TEST(ParseTest, StrictPositiveIntAcceptsWholeNumbers) {
+  auto v = ParseStrictPositiveInt("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(*ParseStrictPositiveInt("1"), 1);
+}
+
+TEST(ParseTest, StrictPositiveIntRejectsJunk) {
+  for (const char* bad : {"", "0", "-3", "4x", "x4", "4.5", " 4", "4 ",
+                          "99999999999999999999", "+", "--2", "0x10"}) {
+    EXPECT_FALSE(ParseStrictPositiveInt(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ParseTest, StrictPositiveDouble) {
+  auto v = ParseStrictPositiveDouble("2.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 2.5);
+  for (const char* bad : {"", "0", "-1.5", "2.5x", "nan", "inf", "1e400"}) {
+    EXPECT_FALSE(ParseStrictPositiveDouble(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ParseTest, StrictUint64) {
+  auto v = ParseStrictUint64("18446744073709551615");  // 2^64 - 1.
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 18446744073709551615ull);
+  EXPECT_EQ(*ParseStrictUint64("0"), 0ull);  // Zero is a valid uint64.
+  for (const char* bad : {"", "-1", "18446744073709551616", "12a", "1.0"}) {
+    EXPECT_FALSE(ParseStrictUint64(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ExitCodesTest, ValuesArePinned) {
+  // These values are a public contract: scripts, the bench journal, and the
+  // service protocol all interpret them. They can never be renumbered.
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitError, 1);
+  EXPECT_EQ(kExitUsage, 2);
+  EXPECT_EQ(kExitDnf, 3);
+  EXPECT_EQ(kExitCrash, 4);
+  EXPECT_EQ(kExitOom, 5);
+  EXPECT_EQ(kExitBusy, 6);
 }
 
 }  // namespace

@@ -536,5 +536,41 @@ TEST(GraphletsTest, OrbitCountIdentityOnK4) {
   }
 }
 
+TEST(ContentHashTest, InvariantToInsertionOrderAndOrientation) {
+  // The same edge set in any insertion order, with either endpoint
+  // orientation and with duplicates, must hash identically: the hash
+  // addresses graph *content*, not construction history.
+  Graph a = MustGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  Graph b = MustGraph(5, {{4, 0}, {2, 1}, {3, 2}, {0, 1}, {4, 3}});
+  Graph c = MustGraph(5, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                          {0, 4}});
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  EXPECT_EQ(a.ContentHash(), c.ContentHash());
+}
+
+TEST(ContentHashTest, SensitiveToSingleEdgeChange) {
+  Graph base = MustGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  Graph extra = MustGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  Graph moved = MustGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {3, 5}});
+  EXPECT_NE(base.ContentHash(), extra.ContentHash());
+  EXPECT_NE(base.ContentHash(), moved.ContentHash());
+  EXPECT_NE(extra.ContentHash(), moved.ContentHash());
+}
+
+TEST(ContentHashTest, SensitiveToIsolatedNodeCount) {
+  // Same edges, different node count: different graphs, different hashes.
+  Graph small = MustGraph(3, {{0, 1}, {1, 2}});
+  Graph padded = MustGraph(4, {{0, 1}, {1, 2}});
+  EXPECT_NE(small.ContentHash(), padded.ContentHash());
+}
+
+TEST(ContentHashTest, StableAcrossRuns) {
+  // The hash is part of the service cache key and is printed by the CLI, so
+  // it must be a stable function of content — pin one value forever.
+  Graph g = MustGraph(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.ContentHash(), MustGraph(3, {{1, 2}, {0, 1}}).ContentHash());
+  EXPECT_EQ(g.ContentHash(), 0x1987c4c064a6d4d4ull);
+}
+
 }  // namespace
 }  // namespace graphalign
