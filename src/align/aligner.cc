@@ -1,5 +1,10 @@
 #include "align/aligner.h"
 
+#include <cmath>
+#include <limits>
+
+#include "common/failpoint.h"
+
 #include "align/cone.h"
 #include "align/graal.h"
 #include "align/grasp.h"
@@ -25,7 +30,19 @@ Result<DenseMatrix> Aligner::ComputeSimilarity(const Graph& g1,
   // Zero-budget fast fail: an already-expired deadline returns before any
   // algorithm-specific work begins.
   GA_RETURN_IF_EXPIRED(deadline, name());
-  return ComputeSimilarityImpl(g1, g2, deadline);
+  GA_FAILPOINT_STATUS(
+      "align.similarity.error",
+      Status::Numerical(name() + ": similarity computation diverged"));
+  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarityImpl(g1, g2, deadline));
+  if (GA_FAILPOINT_FIRED("align.similarity.nan")) {
+    // Poison a deterministic scatter of entries (plus the corner, so even a
+    // 1x1 matrix is hit) to exercise the NaN-sanitize recovery path.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    double* data = sim.data();
+    const int64_t total = static_cast<int64_t>(sim.rows()) * sim.cols();
+    for (int64_t idx = 0; idx < total; idx += 97) data[idx] = nan;
+  }
+  return sim;
 }
 
 Result<Alignment> Aligner::Align(const Graph& g1, const Graph& g2,
@@ -39,6 +56,97 @@ Result<Alignment> Aligner::AlignNative(const Graph& g1, const Graph& g2,
                                        const Deadline& deadline) {
   GA_RETURN_IF_EXPIRED(deadline, name());
   return AlignNativeImpl(g1, g2, deadline);
+}
+
+namespace {
+
+// Cheap structural surrogate used when an algorithm's similarity fails
+// numerically: nodes with close degrees are plausible matches. Weak, but
+// finite, deterministic, and better than losing the cell outright.
+DenseMatrix DegreeProfileSimilarity(const Graph& g1, const Graph& g2) {
+  const int n1 = g1.num_nodes();
+  const int n2 = g2.num_nodes();
+  DenseMatrix sim(n1, n2);
+  for (int i = 0; i < n1; ++i) {
+    const int di = g1.Degree(i);
+    double* row = sim.Row(i);
+    for (int j = 0; j < n2; ++j) {
+      row[j] = 1.0 / (1.0 + std::abs(di - g2.Degree(j)));
+    }
+  }
+  return sim;
+}
+
+// Zeroes non-finite entries in place; returns how many were zeroed.
+int64_t SanitizeNonFinite(DenseMatrix* m) {
+  double* data = m->data();
+  const int64_t total = static_cast<int64_t>(m->rows()) * m->cols();
+  int64_t poisoned = 0;
+  for (int64_t i = 0; i < total; ++i) {
+    if (!std::isfinite(data[i])) {
+      data[i] = 0.0;
+      ++poisoned;
+    }
+  }
+  return poisoned;
+}
+
+}  // namespace
+
+Result<SimilarityResult> Aligner::ComputeSimilarityRobust(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
+  GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
+  Result<DenseMatrix> sim = ComputeSimilarity(g1, g2, deadline);
+  SimilarityResult out;
+  if (sim.ok()) {
+    out.similarity = std::move(*sim);
+    const int64_t poisoned = SanitizeNonFinite(&out.similarity);
+    if (poisoned > 0) {
+      out.degraded = true;
+      out.degrade_reason = name() + ": zeroed " + std::to_string(poisoned) +
+                           " non-finite similarity entries";
+    }
+    return out;
+  }
+  if (sim.status().code() != StatusCode::kNumerical) return sim.status();
+  out.similarity = DegreeProfileSimilarity(g1, g2);
+  out.degraded = true;
+  out.degrade_reason =
+      "degree-profile fallback (" + sim.status().message() + ")";
+  return out;
+}
+
+Result<RobustAlignment> Aligner::AlignRobust(const Graph& g1, const Graph& g2,
+                                             AssignmentMethod method,
+                                             const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(SimilarityResult sim,
+                      ComputeSimilarityRobust(g1, g2, deadline));
+  RobustAlignment out;
+  out.degraded = sim.degraded;
+  out.degrade_reason = sim.degrade_reason;
+  // A degraded matrix does not deserve an O(n^3) optimal solver; SortGreedy
+  // extracts the same ranking signal at a fraction of the cost.
+  AssignmentMethod effective = sim.degraded ? AssignmentMethod::kSortGreedy
+                                            : method;
+  Result<Alignment> align =
+      ExtractAlignment(sim.similarity, effective, deadline);
+  if (!align.ok() && align.status().code() == StatusCode::kNumerical &&
+      effective != AssignmentMethod::kSortGreedy) {
+    const std::string reason = align.status().message();
+    align = ExtractAlignment(sim.similarity, AssignmentMethod::kSortGreedy,
+                             deadline);
+    if (align.ok()) {
+      out.degraded = true;
+      out.degrade_reason = out.degrade_reason.empty()
+                               ? "greedy-assignment fallback (" + reason + ")"
+                               : out.degrade_reason +
+                                     "; greedy-assignment fallback (" +
+                                     reason + ")";
+    }
+  }
+  GA_RETURN_IF_ERROR(align.status());
+  out.alignment = std::move(*align);
+  return out;
 }
 
 Result<std::unique_ptr<Aligner>> MakeAligner(const std::string& name) {

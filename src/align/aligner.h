@@ -18,6 +18,23 @@
 
 namespace graphalign {
 
+// Output of the fault-tolerant similarity path. `degraded` marks results
+// produced by a fallback (sanitized matrix or degree-profile similarity)
+// after a recoverable numerical failure; `degrade_reason` says which one and
+// why. Degraded values render with a trailing `*` in benchmark tables.
+struct SimilarityResult {
+  DenseMatrix similarity;
+  bool degraded = false;
+  std::string degrade_reason;
+};
+
+// Output of the fault-tolerant end-to-end path.
+struct RobustAlignment {
+  Alignment alignment;
+  bool degraded = false;
+  std::string degrade_reason;
+};
+
 class Aligner {
  public:
   virtual ~Aligner() = default;
@@ -49,6 +66,28 @@ class Aligner {
   // Full pipeline with the author-proposed extraction (Table 1).
   Result<Alignment> AlignNative(const Graph& g1, const Graph& g2,
                                 const Deadline& deadline = Deadline());
+
+  // Fault-tolerant similarity (degradation policy, DESIGN.md §12):
+  //   * success with a finite matrix — passed through unchanged;
+  //   * success with NaN/inf entries — non-finite entries are zeroed and the
+  //     result is marked degraded (a poisoned cell must not decide a match);
+  //   * kNumerical failure (eigensolver non-convergence, SVD sweep
+  //     exhaustion) — replaced by the degree-profile similarity
+  //     1 / (1 + |deg_i - deg_j|), marked degraded;
+  //   * every other failure (invalid input, deadline, crash) propagates.
+  // With no fault, the returned matrix is bit-identical to
+  // ComputeSimilarity's: degradation costs one finiteness scan and nothing
+  // else.
+  Result<SimilarityResult> ComputeSimilarityRobust(
+      const Graph& g1, const Graph& g2, const Deadline& deadline = Deadline());
+
+  // Fault-tolerant end-to-end pipeline. A degraded similarity is extracted
+  // with SortGreedy (Hungarian/JV on a sanitized or surrogate matrix buys
+  // accuracy the matrix no longer has); a kNumerical extraction failure
+  // falls back to SortGreedy once before giving up.
+  Result<RobustAlignment> AlignRobust(const Graph& g1, const Graph& g2,
+                                      AssignmentMethod method,
+                                      const Deadline& deadline = Deadline());
 
  protected:
   // Algorithm-specific similarity computation. Implementations poll the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/failpoint.h"
+
 namespace graphalign {
 
 const char* AssignmentMethodName(AssignmentMethod method) {
@@ -71,6 +73,10 @@ Result<Alignment> SortGreedyAssign(const DenseMatrix& similarity,
 Result<Alignment> ExtractAlignment(const DenseMatrix& similarity,
                                    AssignmentMethod method,
                                    const Deadline& deadline) {
+  GA_FAILPOINT_STATUS(
+      "assignment.extract.error",
+      Status::Numerical("ExtractAlignment: solver failed on degenerate "
+                        "similarity"));
   switch (method) {
     case AssignmentMethod::kNearestNeighbor:
       return NearestNeighborAssign(similarity, deadline);

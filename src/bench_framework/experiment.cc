@@ -2,6 +2,7 @@
 
 #include <signal.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cmath>
@@ -10,9 +11,11 @@
 #include <sstream>
 
 #include "common/exit_codes.h"
+#include "common/failpoint.h"
 #include "common/memory.h"
 #include "common/parse.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/subprocess.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -58,21 +61,24 @@ uint64_t ParseSeed(const std::string& flag, const char* value) {
 // enough; a version tag guards against a stale parent reading a child built
 // from different code (impossible via fork, cheap to check anyway).
 
-constexpr uint32_t kWireVersion = 2;
+constexpr uint32_t kWireVersion = 3;
 
 struct WireOutcome {
   uint32_t version;
   uint8_t completed;
+  uint8_t degraded;
   int32_t completed_runs;
   double accuracy, mnc, ec, ics, s3;
   double similarity_seconds, assignment_seconds, peak_mem_mb;
   uint64_t error_len;
+  uint64_t degrade_reason_len;
 };
 
 std::string EncodeRunOutcome(const RunOutcome& out) {
   WireOutcome wire = {};
   wire.version = kWireVersion;
   wire.completed = out.completed ? 1 : 0;
+  wire.degraded = out.degraded ? 1 : 0;
   wire.completed_runs = out.completed_runs;
   wire.accuracy = out.quality.accuracy;
   wire.mnc = out.quality.mnc;
@@ -83,8 +89,10 @@ std::string EncodeRunOutcome(const RunOutcome& out) {
   wire.assignment_seconds = out.assignment_seconds;
   wire.peak_mem_mb = out.peak_mem_mb;
   wire.error_len = out.error.size();
+  wire.degrade_reason_len = out.degrade_reason.size();
   std::string bytes(reinterpret_cast<const char*>(&wire), sizeof(wire));
   bytes.append(out.error);
+  bytes.append(out.degrade_reason);
   return bytes;
 }
 
@@ -93,8 +101,11 @@ bool DecodeRunOutcome(const std::string& bytes, RunOutcome* out) {
   WireOutcome wire;
   std::memcpy(&wire, bytes.data(), sizeof(wire));
   if (wire.version != kWireVersion) return false;
-  if (bytes.size() != sizeof(wire) + wire.error_len) return false;
+  if (bytes.size() != sizeof(wire) + wire.error_len + wire.degrade_reason_len) {
+    return false;
+  }
   out->completed = wire.completed != 0;
+  out->degraded = wire.degraded != 0;
   out->completed_runs = wire.completed_runs;
   out->quality.accuracy = wire.accuracy;
   out->quality.mnc = wire.mnc;
@@ -104,7 +115,8 @@ bool DecodeRunOutcome(const std::string& bytes, RunOutcome* out) {
   out->similarity_seconds = wire.similarity_seconds;
   out->assignment_seconds = wire.assignment_seconds;
   out->peak_mem_mb = wire.peak_mem_mb;
-  out->error = bytes.substr(sizeof(wire));
+  out->error = bytes.substr(sizeof(wire), wire.error_len);
+  out->degrade_reason = bytes.substr(sizeof(wire) + wire.error_len);
   return true;
 }
 
@@ -276,11 +288,20 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.journal_path = next();
     } else if (arg == "--resume") {
       args.resume = true;
+    } else if (arg == "--retries") {
+      // 0 is meaningful (no retries), so the positive-int parser won't do.
+      const char* value = next();
+      auto v = ParseStrictUint64(value);
+      if (!v.ok() || *v > 100) {
+        BenchArgError(arg, value, "a non-negative integer (at most 100)");
+      }
+      args.retries = static_cast<int>(*v);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --full --reps N --algos A,B "
                    "--csv PATH --seed S --time-limit T --isolate "
-                   "--no-isolate --mem-limit MB --journal PATH --resume)\n",
+                   "--no-isolate --mem-limit MB --journal PATH --resume "
+                   "--retries N)\n",
                    arg.c_str());
       std::exit(kExitUsage);
     }
@@ -316,7 +337,10 @@ RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
   // repetition already spent everything) as immediately expired.
   const Deadline deadline = Deadline::AfterSeconds(time_limit_seconds);
   WallTimer timer;
-  auto sim = aligner->ComputeSimilarity(problem.g1, problem.g2, deadline);
+  // The robust path: with no fault this produces the exact matrix
+  // ComputeSimilarity would (one extra finiteness scan); on a recoverable
+  // numerical failure it degrades instead of losing the cell (DESIGN.md §12).
+  auto sim = aligner->ComputeSimilarityRobust(problem.g1, problem.g2, deadline);
   out.similarity_seconds = timer.Seconds();
   if (!sim.ok()) {
     out.error = sim.status().code() == StatusCode::kDeadlineExceeded
@@ -328,8 +352,23 @@ RunOutcome RunAligner(Aligner* aligner, const AlignmentProblem& problem,
     out.error = "DNF (time limit)";
     return out;
   }
+  out.degraded = sim->degraded;
+  out.degrade_reason = sim->degrade_reason;
   timer.Restart();
-  auto align = ExtractAlignment(*sim, method);
+  // A degraded matrix gets the cheap greedy extraction: optimal assignment
+  // on surrogate similarities buys nothing (see Aligner::AlignRobust).
+  auto align = ExtractAlignment(
+      sim->similarity,
+      sim->degraded ? AssignmentMethod::kSortGreedy : method);
+  if (!align.ok() && align.status().code() == StatusCode::kNumerical &&
+      !sim->degraded && method != AssignmentMethod::kSortGreedy) {
+    const std::string reason = align.status().message();
+    align = ExtractAlignment(sim->similarity, AssignmentMethod::kSortGreedy);
+    if (align.ok()) {
+      out.degraded = true;
+      out.degrade_reason = "greedy-assignment fallback (" + reason + ")";
+    }
+  }
   out.assignment_seconds = timer.Seconds();
   if (!align.ok()) {
     out.error = align.status().ToString();
@@ -372,6 +411,10 @@ RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
     total.similarity_seconds += one.similarity_seconds;
     total.assignment_seconds += one.assignment_seconds;
     total.completed_runs += 1;
+    if (one.degraded && !total.degraded) {
+      total.degraded = true;
+      total.degrade_reason = one.degrade_reason;
+    }
     if (budget.Seconds() > time_limit_seconds) break;
   }
   const double k = total.completed_runs;
@@ -386,10 +429,54 @@ RunOutcome RunAveraged(Aligner* aligner, const Graph& base,
   return total;
 }
 
-RunOutcome RunContained(const BenchArgs& args,
-                        const std::function<RunOutcome()>& body) {
+namespace {
+
+// A cell outcome worth a second attempt: containment-level faults (CRASH,
+// OOM, a failed fork) can be transient — a cosmic-ray segfault, memory
+// pressure from a neighboring process. DNF is not retryable: a repeat run
+// would spend the same budget and reach the same verdict, and ERR is a
+// deterministic typed failure.
+bool IsRetryableOutcome(const RunOutcome& out) {
+  if (out.completed) return false;
+  return out.error.rfind("CRASH", 0) == 0 || out.error.rfind("OOM", 0) == 0 ||
+         out.error.rfind("Unavailable", 0) == 0;
+}
+
+RunOutcome RunOneContained(const BenchArgs& args,
+                           const std::function<RunOutcome()>& body) {
+  // Parent-side flaky-cell site: `once` counters reset across fork, so an
+  // injected transient fault must fire here, not in the child, for
+  // "fails once, retried, succeeds" to be expressible.
+  if (GA_FAILPOINT_FIRED("bench.cell.flaky")) {
+    RunOutcome out;
+    out.error = "CRASH (injected flaky fault)";
+    return out;
+  }
   if (!args.isolate) return body();
   return RunOutcomeInChild(OptionsFromArgs(args), body);
+}
+
+}  // namespace
+
+RunOutcome RunContained(const BenchArgs& args,
+                        const std::function<RunOutcome()>& body) {
+  RunOutcome out = RunOneContained(args, body);
+  RetryPolicy policy;
+  policy.max_attempts = 1 + std::max(0, args.retries);
+  policy.initial_backoff_ms = 50.0;
+  policy.jitter_seed = args.seed;
+  Backoff backoff(policy);
+  for (int retry = 0; retry < std::max(0, args.retries); ++retry) {
+    if (!IsRetryableOutcome(out)) break;
+    const std::string first_error = out.error;
+    SleepForMs(backoff.NextDelayMs());
+    out = RunOneContained(args, body);
+    if (out.completed) {
+      std::fprintf(stderr, "note: cell retried after transient fault: %s\n",
+                   first_error.c_str());
+    }
+  }
+  return out;
 }
 
 RunOutcome MeasurePeakMemory(const BenchArgs& args,
@@ -426,6 +513,9 @@ std::string FormatOutcome(const RunOutcome& outcome, double value) {
     }
     return "ERR";
   }
+  // The '*' marks values produced through a numerical fallback — comparable
+  // in kind but not in faith to the clean cells (README: degraded results).
+  if (outcome.degraded) return Table::Num(value) + "*";
   return Table::Num(value);
 }
 

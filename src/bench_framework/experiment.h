@@ -42,6 +42,8 @@ namespace graphalign {
 //   --mem-limit MB   per-cell memory cap (implies --isolate)
 //   --journal PATH   append every completed cell to a checkpoint journal
 //   --resume         skip cells already present in the journal
+//   --retries N      extra attempts for transiently failed isolated cells
+//                    (CRASH/OOM/fork failure); 0 disables retries
 struct BenchArgs {
   bool full = false;
   int repetitions = 0;  // 0 = bench-specific default.
@@ -54,6 +56,9 @@ struct BenchArgs {
   double mem_limit_mb = 0.0;     // 0 = no memory cap.
   std::string journal_path;      // Empty = no journal.
   bool resume = false;
+  int retries = 1;               // Extra attempts per transiently-failed
+                                 // isolated cell before the journal records
+                                 // the fault.
 };
 
 BenchArgs ParseBenchArgs(int argc, char** argv);
@@ -72,6 +77,9 @@ struct RunOutcome {
   double assignment_seconds = 0.0;  // Averaged.
   int completed_runs = 0;
   double peak_mem_mb = 0.0;   // Child's peak RSS; only set by isolated runs.
+  bool degraded = false;      // Completed via a numerical fallback; tables
+                              // render the value with a trailing '*'.
+  std::string degrade_reason;
 };
 
 // Runs `aligner` once on `problem`, timing similarity and assignment
@@ -120,6 +128,7 @@ RunOutcome MeasurePeakMemory(const BenchArgs& args,
 std::unique_ptr<Aligner> MakeFaultAligner(const std::string& name);
 
 // Formats an outcome's accuracy (or "DNF"/"CRASH"/"OOM"/"ERR") for tables.
+// Degraded outcomes render as "value*" (see RunOutcome::degraded).
 std::string FormatOutcome(const RunOutcome& outcome, double value);
 std::string FormatAccuracy(const RunOutcome& outcome);
 

@@ -4,6 +4,7 @@
 #include <signal.h>
 #include <stdlib.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -14,6 +15,7 @@
 
 #include "align/aligner.h"
 #include "common/exit_codes.h"
+#include "common/failpoint.h"
 #include "common/parse.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -240,7 +242,9 @@ int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
 
   const std::string assign = flags.GetString("assign", "JV");
   WallTimer timer;
-  Result<Alignment> alignment = Status::Internal("unreachable");
+  Result<Alignment> alignment = Alignment{};
+  bool degraded = false;
+  std::string degrade_reason;
   if (assign == "native") {
     alignment = (*aligner)->AlignNative(*g1, *g2, deadline);
   } else {
@@ -257,7 +261,17 @@ int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
       return Fail(err, Status::InvalidArgument(
                            "unknown assignment method: " + assign));
     }
-    alignment = (*aligner)->Align(*g1, *g2, method, deadline);
+    // The robust path degrades gracefully on recoverable numerical failures
+    // (sanitized matrix, degree-profile fallback, greedy assignment) instead
+    // of erroring out; a degraded result is reported as such below.
+    auto robust = (*aligner)->AlignRobust(*g1, *g2, method, deadline);
+    if (robust.ok()) {
+      alignment = std::move(robust->alignment);
+      degraded = robust->degraded;
+      degrade_reason = std::move(robust->degrade_reason);
+    } else {
+      alignment = robust.status();
+    }
   }
   if (!alignment.ok()) {
     if (alignment.status().code() == StatusCode::kDeadlineExceeded) {
@@ -265,13 +279,19 @@ int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
           << Table::Num(timer.Seconds(), 2) << "s\n";
       return kExitDnf;
     }
+    if (alignment.status().code() == StatusCode::kNumerical) {
+      err << "NUMERICAL: " << alignment.status().message() << "\n";
+      return kExitNumerical;
+    }
     return Fail(err, alignment.status());
   }
   const double secs = timer.Seconds();
   int matched = 0;
   for (int v : *alignment) matched += (v >= 0);
   out << algo << "/" << assign << " aligned " << matched << "/"
-      << g1->num_nodes() << " nodes in " << Table::Num(secs, 2) << "s\n";
+      << g1->num_nodes() << " nodes in " << Table::Num(secs, 2) << "s";
+  if (degraded) out << " [degraded: " << degrade_reason << "]";
+  out << "\n";
   const std::string out_path = flags.GetString("out");
   if (!out_path.empty()) {
     Status s = WriteMapping(*alignment, out_path);
@@ -457,9 +477,11 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   options.io_timeout_seconds = *io_timeout;
 
   // Block SIGINT/SIGTERM before spawning server threads (they inherit the
-  // mask), then consume them on a dedicated sigwait thread that triggers a
-  // clean Shutdown. Signal-driven shutdown thus runs in normal thread
-  // context, free of async-signal-safety constraints.
+  // mask), then consume them on a dedicated sigwait thread. Signal-driven
+  // shutdown thus runs in normal thread context, free of
+  // async-signal-safety constraints. SIGTERM drains gracefully (finish
+  // in-flight requests, answer queued clients with SHUTTING_DOWN); SIGINT
+  // or a second signal escalates to a hard Shutdown.
   sigset_t sigs;
   sigemptyset(&sigs);
   sigaddset(&sigs, SIGINT);
@@ -471,13 +493,28 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   Status started = (*server)->Start();
   if (!started.ok()) return Fail(err, started);
 
-  std::thread sigwaiter([&sigs, &server] {
+  std::atomic<bool> server_done{false};
+  std::thread sigwaiter([&sigs, &server, &server_done, &err] {
     // Blocks in sigwait only and holds no locks, so forking alignment
     // workers remain safe while this thread exists.
     ScopedForkTolerantThread fork_tolerant;
-    int sig = 0;
-    sigwait(&sigs, &sig);
-    (*server)->Shutdown();
+    bool drained = false;
+    for (;;) {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      // Wait() already returned in the main thread: this is its nudge to
+      // exit, not an operator signal.
+      if (server_done.load(std::memory_order_acquire)) return;
+      if (sig == SIGTERM && !drained) {
+        drained = true;
+        err << "SIGTERM: draining (send again to force shutdown)\n";
+        err.flush();
+        (*server)->Drain();
+        continue;  // A second signal escalates.
+      }
+      (*server)->Shutdown();
+      return;
+    }
   });
 
   if (!options.socket_path.empty()) {
@@ -490,8 +527,9 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   out.flush();
 
   (*server)->Wait();
-  // Wake the sigwaiter if shutdown came from a kShutdown request instead of
-  // a signal; sigwait consumes the nudge.
+  // Wake the sigwaiter if it is still blocked (shutdown via a kShutdown
+  // request, or a drain that completed); sigwait consumes the nudge.
+  server_done.store(true, std::memory_order_release);
   pthread_kill(sigwaiter.native_handle(), SIGTERM);
   sigwaiter.join();
   const ResultCache::Stats stats = (*server)->cache_stats();
@@ -514,7 +552,9 @@ int PrintAlignResponse(const Response& response, const AlignRequest& request,
   for (int32_t v : result->mapping) matched += (v >= 0);
   out << request.algo << "/" << request.assign << " aligned " << matched
       << "/" << n1 << " nodes in " << Table::Num(result->align_seconds, 2)
-      << "s (server)\n";
+      << "s (server)";
+  if (result->degraded) out << " [degraded: " << result->degrade_reason << "]";
+  out << "\n";
   out << "MNC=" << Table::Num(result->mnc) << " EC=" << Table::Num(result->ec)
       << " S3=" << Table::Num(result->s3) << "\n";
   if (!out_path.empty()) {
@@ -542,6 +582,21 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   auto timeout = StrictDoubleFlag(flags, "timeout", conn.timeout_seconds);
   if (!timeout.ok()) return Fail(err, timeout.status());
   conn.timeout_seconds = *timeout;
+
+  // --retries N: retry transient failures (connect errors, BUSY,
+  // SHUTTING_DOWN) up to N extra attempts with jittered exponential
+  // backoff. 0 (the default) keeps the single-shot behavior.
+  RetryPolicy retry_policy;
+  retry_policy.max_attempts = 1;
+  if (flags.Has("retries")) {
+    auto retries = ParseStrictUint64(flags.GetString("retries"));
+    if (!retries.ok() || *retries > 100) {
+      return Fail(err, Status::InvalidArgument(
+                           "--retries must be an integer in 0..100, got '" +
+                           flags.GetString("retries") + "'"));
+    }
+    retry_policy.max_attempts = 1 + static_cast<int>(*retries);
+  }
 
   // Build the request: --ping / --shutdown / --cache-info / --stats FILE,
   // evaluate when --mapping is present, align when --algo is present.
@@ -618,9 +673,7 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "--mapping)"));
   }
 
-  auto client = Client::Connect(conn);
-  if (!client.ok()) return Fail(err, client.status());
-  auto response = client->Call(request);
+  auto response = CallWithRetry(conn, request, retry_policy);
   if (!response.ok()) return Fail(err, response.status());
 
   // Machine-greppable outcome line first; details follow.
@@ -677,9 +730,23 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   return kExitError;
 }
 
+// Lists every fault-injection site compiled into this binary, one per line
+// (the machine-readable counterpart of DESIGN.md §12). tools/run_chaos.sh
+// iterates this output to arm each site in turn via GRAPHALIGN_FAILPOINTS.
+int CmdFailpoints(const Flags& flags, std::ostream& out, std::ostream& err) {
+  if (flags.Has("armed")) {
+    for (const std::string& spec : ArmedFailpoints()) out << spec << "\n";
+    return kExitOk;
+  }
+  (void)err;
+  for (const std::string& name : KnownFailpoints()) out << name << "\n";
+  return kExitOk;
+}
+
 constexpr char kUsage[] =
     "usage: graphalign "
-    "<generate|perturb|align|evaluate|stats|serve|submit> [--flags]\n"
+    "<generate|perturb|align|evaluate|stats|serve|submit|failpoints> "
+    "[--flags]\n"
     "  generate --model {er,ba,ws,nw,pl,geometric} --n N [--p P] [--m M]\n"
     "           [--k K] [--radius R] [--seed S] --out FILE\n"
     "  perturb  --in FILE [--noise {one-way,multi-modal,two-way}]\n"
@@ -693,13 +760,17 @@ constexpr char kUsage[] =
     "  serve    --socket PATH | --port N [--workers K] [--cache-mb M]\n"
     "           [--queue Q] [--io-timeout T] [--threads N]\n"
     "  submit   --socket PATH | [--host H] --port N [--timeout T]\n"
+    "           [--retries N]\n"
     "           with --ping | --shutdown | --cache-info | --stats FILE\n"
     "           | --g1 FILE --g2 FILE --algo NAME [--assign M]\n"
     "             [--time-limit T] [--mem-limit MB] [--no-cache] [--out FILE]\n"
     "           | --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
+    "  failpoints [--armed]   list fault-injection sites (or the armed set)\n"
     "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n"
     "exit codes (align/submit): 0 ok, 1 error, 2 usage, 3 DNF, 4 crash,\n"
-    "  5 OOM, 6 server busy\n";
+    "  5 OOM, 6 server busy, 7 numerical failure, 8 server shutting down\n"
+    "fault injection: GRAPHALIGN_FAILPOINTS=\"site=mode[:arg],...\" with\n"
+    "  modes error|once|prob:P|nan|delay-ms:N|crash|oom (see DESIGN.md §12)\n";
 
 }  // namespace
 
@@ -721,6 +792,7 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "stats") return CmdStats(flags, out, err);
   if (cmd == "serve") return CmdServe(flags, out, err);
   if (cmd == "submit") return CmdSubmit(flags, out, err);
+  if (cmd == "failpoints") return CmdFailpoints(flags, out, err);
   err << "unknown command: " << cmd << "\n" << kUsage;
   return kExitUsage;
 }

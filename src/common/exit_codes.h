@@ -19,6 +19,11 @@ inline constexpr int kExitDnf = 3;      // Time budget exceeded (DNF).
 inline constexpr int kExitCrash = 4;    // The workload crashed (signal).
 inline constexpr int kExitOom = 5;      // The workload exceeded its memory cap.
 inline constexpr int kExitBusy = 6;     // The server refused admission (BUSY).
+inline constexpr int kExitNumerical = 7;  // Recoverable numerical failure
+                                          // (StatusCode::kNumerical) that was
+                                          // not absorbed by degradation.
+inline constexpr int kExitShuttingDown = 8;  // The server is draining and no
+                                             // longer accepts new requests.
 
 }  // namespace graphalign
 

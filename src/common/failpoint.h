@@ -1,0 +1,158 @@
+// Deterministic fault-injection framework (RocksDB SyncPoint/FailPoint
+// idiom, DESIGN.md §12).
+//
+// A *failpoint* is a named injection site compiled into production code.
+// When the site is inactive — the normal case — hitting it costs a single
+// relaxed atomic load (plus the function-local static guard the first time a
+// thread reaches the site); no lock, no string work, no clock. When armed,
+// the site fires a configured fault: a typed error Status, a NaN poison, a
+// delay, a crash signal, or an unbounded allocation. This is what lets the
+// chaos suite prove that every recovery path the system claims to have —
+// deadline DNFs, crash containment, retry/backoff, numerical degradation —
+// actually engages.
+//
+// Activation:
+//   * environment: GRAPHALIGN_FAILPOINTS="site=mode[:arg][;site2=mode...]"
+//     parsed once, on first registry use (so forked children and exec'd
+//     tools inherit the faults of their parent shell), or
+//   * programmatic: ActivateFailpoint("linalg.eigen.no-converge", "error").
+//
+// Modes (the `arg` grammar is mode-specific):
+//   error        fire the site's natural error Status on every hit
+//   once         like error, but fire exactly once, then disarm
+//   prob:P       like error, with probability P per hit; the per-site RNG is
+//                seeded from the site name and GRAPHALIGN_FAILPOINT_SEED, so
+//                a given seed reproduces the exact same fault sequence
+//   nan          poison the site's value with a quiet NaN (sites that carry
+//                no value treat this as `error`)
+//   delay-ms:N   sleep N milliseconds at the site, then continue normally
+//   crash        raise SIGSEGV at the site (use only under isolation)
+//   oom          allocate-and-touch until the memory limit kills the process
+//                (use only under isolation)
+//
+// Sites fire their *natural* failure: the eigensolver site injects the same
+// "QL iteration did not converge" kNumerical status a real non-convergence
+// produces, so everything downstream exercises the genuine recovery path,
+// not a test-only one. The canonical site list lives in KnownFailpoints()
+// and is documented in DESIGN.md §12.
+#ifndef GRAPHALIGN_COMMON_FAILPOINT_H_
+#define GRAPHALIGN_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+class Failpoint {
+ public:
+  // Returns the failpoint registered under `name`, creating it (inactive)
+  // on first use. The reference stays valid for the process lifetime.
+  static Failpoint& Get(const std::string& name);
+
+  const std::string& name() const { return name_; }
+
+  // Fast-path check: a single relaxed atomic load. False means the site is
+  // not armed and must do nothing.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Slow path, called only when armed(): evaluates the armed mode and
+  // returns the fault to inject. Returns Ok when the mode decides not to
+  // fire this hit (prob miss, `once` already spent) or when the action is a
+  // delay (sleeps, then Ok). For error-class modes returns `natural_error`.
+  // crash/oom do not return.
+  Status Fire(const Status& natural_error);
+
+  // Fire() with the generic transient error used by sites that have no more
+  // specific natural failure.
+  Status Fire() {
+    return Fire(Status::Unavailable("failpoint " + name_ +
+                                    ": injected fault"));
+  }
+
+  // For value-poisoning and branch-forcing sites: true when the armed mode
+  // decides this hit should take the degraded/poisoned branch. Honors
+  // once/prob/delay the same way Fire does; crash/oom still crash.
+  bool FireBool();
+
+  // Number of times the site actually fired (injected a fault). Survives
+  // disarming; reset by Deactivate*.
+  int64_t hits() const;
+
+  ~Failpoint();
+
+ private:
+  friend class FailpointRegistry;
+
+  explicit Failpoint(std::string name);  // Out-of-line: Armed is incomplete.
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  struct Armed;  // Mode + arg + RNG state; lives behind the registry mutex.
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> hits_{0};
+  std::unique_ptr<Armed> state_;  // Guarded by the registry mutex.
+};
+
+// Arms `name` with `spec` ("mode" or "mode:arg"). InvalidArgument on a
+// malformed spec; the site is created if it does not exist yet, so faults
+// can be armed before the code path that registers them first runs.
+Status ActivateFailpoint(const std::string& name, const std::string& spec);
+
+// Parses and arms a semicolon- (or comma-) separated list of
+// "site=mode[:arg]" entries — the GRAPHALIGN_FAILPOINTS grammar.
+Status ActivateFailpointsFromSpec(const std::string& spec);
+
+void DeactivateFailpoint(const std::string& name);
+void DeactivateAllFailpoints();
+
+// All failpoint site names compiled into this binary, in registration-table
+// order (the canonical list, independent of which sites have been hit).
+std::vector<std::string> KnownFailpoints();
+
+// The subset of sites currently armed, with their spec strings
+// ("site=mode[:arg]").
+std::vector<std::string> ArmedFailpoints();
+
+}  // namespace graphalign
+
+// Status-returning injection site: when armed with an error-class mode,
+// returns `natural_error` from the enclosing function (which must return
+// Status or Result<T>). delay sleeps and falls through; crash/oom die here.
+#define GA_FAILPOINT_STATUS(site, natural_error)                      \
+  do {                                                                \
+    static ::graphalign::Failpoint& ga_fp__ =                         \
+        ::graphalign::Failpoint::Get(site);                           \
+    if (ga_fp__.armed()) {                                            \
+      ::graphalign::Status ga_fp_status__ = ga_fp__.Fire(natural_error); \
+      if (!ga_fp_status__.ok()) return ga_fp_status__;                \
+    }                                                                 \
+  } while (false)
+
+// Status-returning site with the generic transient (Unavailable) error.
+#define GA_FAILPOINT(site)                                            \
+  do {                                                                \
+    static ::graphalign::Failpoint& ga_fp__ =                         \
+        ::graphalign::Failpoint::Get(site);                           \
+    if (ga_fp__.armed()) {                                            \
+      ::graphalign::Status ga_fp_status__ = ga_fp__.Fire();           \
+      if (!ga_fp_status__.ok()) return ga_fp_status__;                \
+    }                                                                 \
+  } while (false)
+
+// Branch-forcing site: evaluates to true when the armed mode fires. Usable
+// in an `if`: `if (GA_FAILPOINT_FIRED("server.busy")) { ...reject... }`.
+#define GA_FAILPOINT_FIRED(site)                                      \
+  ([]() -> bool {                                                     \
+    static ::graphalign::Failpoint& ga_fp__ =                         \
+        ::graphalign::Failpoint::Get(site);                           \
+    return ga_fp__.armed() && ga_fp__.FireBool();                     \
+  }())
+
+#endif  // GRAPHALIGN_COMMON_FAILPOINT_H_

@@ -1,0 +1,65 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace graphalign {
+
+namespace {
+
+// SplitMix64: the canonical 64-bit mix, used as a stateless hash so delay k
+// depends only on (seed, k), not on how many Backoff objects exist.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+bool IsTransient(const Status& status) { return IsTransient(status.code()); }
+
+double Backoff::NextDelayMs() {
+  const int k = attempt_++;
+  double base = policy_.initial_backoff_ms;
+  for (int i = 0; i < k; ++i) {
+    base *= policy_.backoff_multiplier;
+    if (base >= policy_.max_backoff_ms) break;  // Saturated; stop multiplying.
+  }
+  base = std::min(base, policy_.max_backoff_ms);
+  const uint64_t bits = Mix64(policy_.jitter_seed ^ static_cast<uint64_t>(k));
+  const double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1).
+  return base * (0.5 + 0.5 * u);
+}
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+Status RetryStatus(
+    const RetryPolicy& policy, const std::function<Status()>& fn,
+    const std::function<void(int, const Status&, double)>& on_retry) {
+  Backoff backoff(policy);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last = Status::Internal("RetryStatus: no attempt ran");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = fn();
+    if (last.ok() || !IsTransient(last)) return last;
+    if (attempt == attempts) break;
+    const double delay = backoff.NextDelayMs();
+    if (on_retry) on_retry(attempt, last, delay);
+    SleepForMs(delay);
+  }
+  return last;
+}
+
+}  // namespace graphalign

@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kNumerical:
+      return "Numerical";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

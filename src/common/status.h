@@ -22,6 +22,14 @@ enum class StatusCode {
   kInternal,
   kNotImplemented,
   kDeadlineExceeded,
+  // A numerical routine failed in a recoverable way (QL iteration did not
+  // converge, Jacobi sweeps exhausted, Sinkhorn scaling underflowed). The
+  // degradation layer treats these as "fall back", not "bug": callers can
+  // sanitize and continue where kInternal means the code itself is broken.
+  kNumerical,
+  // A transient condition (injected fault, service BUSY, connect refused)
+  // that a retry with backoff may clear. Never used for permanent errors.
+  kUnavailable,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -57,6 +65,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Numerical(std::string msg) {
+    return Status(StatusCode::kNumerical, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -15,6 +15,7 @@
 #include <new>
 
 #include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/memory.h"
 #include "common/parallel.h"
 #include "common/timer.h"
@@ -166,6 +167,10 @@ Result<SubprocessResult> RunIsolated(
         "known fork-tolerant");
   }
 
+  GA_FAILPOINT_STATUS(
+      "subprocess.fork.error",
+      Status::Unavailable("fork() failed: Resource temporarily unavailable"));
+
   int fds[2];
   if (pipe(fds) != 0) {
     return Status::Internal("pipe() failed: " + std::string(strerror(errno)));
@@ -189,6 +194,9 @@ Result<SubprocessResult> RunIsolated(
     if (options.mem_limit_bytes > 0) {
       SetAddressSpaceLimit(options.mem_limit_bytes);
     }
+    // Child-side fault site: crash/oom modes die here, inside the sandbox,
+    // exercising the parent's containment and classification.
+    if (GA_FAILPOINT_FIRED("subprocess.child.fault")) _exit(1);
     const int rc = body(fds[1]);
     std::fflush(stdout);
     std::fflush(stderr);

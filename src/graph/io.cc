@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace graphalign {
 
 namespace {
@@ -34,6 +36,8 @@ struct EdgeKeyHash {
 }  // namespace
 
 Result<Graph> ReadEdgeList(const std::string& path, int num_nodes) {
+  GA_FAILPOINT_STATUS("graph.io.read.error",
+                      Status::Internal("read failed for " + path));
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   std::vector<std::pair<long long, long long>> raw_edges;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 
 namespace graphalign {
@@ -109,7 +110,9 @@ Status Tql2(std::vector<double>* d_io, std::vector<double>* e_io,
       }
       if (m != l) {
         if (iter++ == 100) {
-          return Status::Internal("tql2: QL iteration did not converge");
+          // Recoverable numerics, not a bug: callers can degrade (fall back
+          // to a cheaper similarity + greedy assignment) instead of failing.
+          return Status::Numerical("tql2: QL iteration did not converge");
         }
         double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
         double r = std::hypot(g, 1.0);
@@ -181,6 +184,8 @@ Result<SymmetricEigenResult> SymmetricEigen(DenseMatrix a,
   if (n == 0) {
     return SymmetricEigenResult{{}, DenseMatrix(0, 0)};
   }
+  GA_FAILPOINT_STATUS("linalg.eigen.no-converge",
+                      Status::Numerical("tql2: QL iteration did not converge"));
   std::vector<double> d;
   std::vector<double> e;
   GA_RETURN_IF_ERROR(Tred2(&a, deadline, &d, &e));
@@ -198,6 +203,9 @@ Result<SymmetricEigenResult> LanczosEigen(const LinearOperator& op, int n,
   if (k <= 0 || k > n) {
     return Status::InvalidArgument("LanczosEigen: need 0 < k <= n");
   }
+  GA_FAILPOINT_STATUS(
+      "linalg.lanczos.error",
+      Status::Numerical("LanczosEigen: iteration lost orthogonality"));
   int m = steps > 0 ? steps : std::max(2 * k + 20, 40);
   m = std::min(m, n);
   if (m < k) m = k;

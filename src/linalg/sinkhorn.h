@@ -32,12 +32,23 @@ Result<DenseMatrix> SinkhornTransport(const DenseMatrix& cost,
 // Sinkhorn projection of an explicit positive kernel K onto the transport
 // polytope with marginals (mu, nu): T = diag(a) K diag(b). Used by GWL's
 // proximal updates where K = exp(-grad/beta) ⊙ T_prev.
+//
+// Peaked kernels (tiny epsilon, concentrated costs) can underflow: entries
+// round to zero, rows/columns lose all mass, or overflow poisons entries
+// with inf/NaN. Instead of rejecting such kernels, the projection restarts
+// in the log domain (potentials + log-sum-exp), which handles entries down
+// to exp(-745) and below without ever forming the underflowed products.
+// `used_log_fallback`, when non-null, reports whether that path ran.
+// Negative kernel entries are still InvalidArgument — they are a caller bug,
+// not an underflow. Arming the `linalg.sinkhorn.strict` failpoint restores
+// the historical hard rejection of non-finite kernels (for tests).
 Result<DenseMatrix> SinkhornProject(const DenseMatrix& kernel,
                                     const std::vector<double>& mu,
                                     const std::vector<double>& nu,
                                     int max_iters = 200,
                                     double tolerance = 1e-6,
-                                    const Deadline& deadline = Deadline());
+                                    const Deadline& deadline = Deadline(),
+                                    bool* used_log_fallback = nullptr);
 
 // Uniform probability vector of length n.
 std::vector<double> UniformMarginal(int n);

@@ -112,4 +112,34 @@ Result<Response> Client::Call(const Request& request) {
   return DecodeResponse(payload);
 }
 
+Result<Response> CallWithRetry(const ClientOptions& options,
+                               const Request& request,
+                               const RetryPolicy& policy) {
+  Backoff backoff(policy);
+  const int attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  Result<Response> last = Status::Internal("CallWithRetry: no attempt ran");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    auto client = Client::Connect(options);
+    if (!client.ok()) {
+      last = client.status();
+    } else {
+      last = client->Call(request);
+    }
+    bool transient;
+    if (last.ok()) {
+      // BUSY and SHUTTING_DOWN are the daemon's own "try again / try
+      // elsewhere" answers; everything else is a final verdict.
+      transient = last->code == ResponseCode::kBusy ||
+                  last->code == ResponseCode::kShuttingDown;
+    } else {
+      // Any transport-level failure could be the daemon starting up,
+      // restarting, or shedding load by dropping connections.
+      transient = true;
+    }
+    if (!transient || attempt == attempts) return last;
+    SleepForMs(backoff.NextDelayMs());
+  }
+  return last;
+}
+
 }  // namespace graphalign

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "server/protocol.h"
 
@@ -48,6 +49,17 @@ class Client {
 
   int fd_ = -1;
 };
+
+// One logical request with transient-failure handling (common/retry.h):
+// reconnects and retries, with the policy's jittered backoff, on transport
+// errors (connect refused while the daemon is still binding, a connection
+// dropped mid-flight) and on typed BUSY / SHUTTING_DOWN responses. Every
+// other response — including DNF/CRASH/OOM, which re-running would only
+// reproduce at full cost — is returned as-is from the first attempt that
+// produced it. Each attempt uses a fresh connection.
+Result<Response> CallWithRetry(const ClientOptions& options,
+                               const Request& request,
+                               const RetryPolicy& policy = {});
 
 }  // namespace graphalign
 

@@ -374,6 +374,8 @@ const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kCrash: return "CRASH";
     case ResponseCode::kOom: return "OOM";
     case ResponseCode::kBusy: return "BUSY";
+    case ResponseCode::kNumerical: return "NUMERICAL";
+    case ResponseCode::kShuttingDown: return "SHUTTING_DOWN";
   }
   return "UNKNOWN";
 }
@@ -413,6 +415,8 @@ Result<Response> DecodeResponse(std::string_view payload) {
     case ResponseCode::kCrash:
     case ResponseCode::kOom:
     case ResponseCode::kBusy:
+    case ResponseCode::kNumerical:
+    case ResponseCode::kShuttingDown:
       response.code = static_cast<ResponseCode>(code);
       break;
     default:
@@ -429,17 +433,22 @@ std::string EncodeAlignResult(const AlignResult& result) {
   w.F64(result.ec);
   w.F64(result.s3);
   w.F64(result.align_seconds);
+  w.U8(result.degraded ? 1 : 0);
+  w.Str(result.degrade_reason);
   return w.Take();
 }
 
 Result<AlignResult> DecodeAlignResult(std::string_view body) {
   ByteReader r(body);
   AlignResult result;
+  uint8_t degraded = 0;
   if (!ReadMapping(&r, &result.mapping) || !r.F64(&result.mnc) ||
       !r.F64(&result.ec) || !r.F64(&result.s3) ||
-      !r.F64(&result.align_seconds) || !r.AtEnd()) {
+      !r.F64(&result.align_seconds) || !r.U8(&degraded) ||
+      !r.Str(&result.degrade_reason, kMaxMessageLen) || !r.AtEnd()) {
     return BadPayload("malformed align result");
   }
+  result.degraded = degraded != 0;
   return result;
 }
 

@@ -180,6 +180,8 @@ enum class ResponseCode : uint8_t {
   kCrash = kExitCrash,             // The isolated alignment crashed.
   kOom = kExitOom,                 // The isolated alignment exceeded memory.
   kBusy = kExitBusy,               // Admission control refused the request.
+  kNumerical = kExitNumerical,     // Recoverable numerics; no fallback left.
+  kShuttingDown = kExitShuttingDown,  // Draining; retry against a live peer.
 };
 
 const char* ResponseCodeName(ResponseCode code);
@@ -200,6 +202,8 @@ struct AlignResult {
   std::vector<int32_t> mapping;
   double mnc = 0.0, ec = 0.0, s3 = 0.0;
   double align_seconds = 0.0;  // Compute time inside the isolated child.
+  bool degraded = false;       // Produced via a numerical fallback.
+  std::string degrade_reason;  // Empty unless degraded.
 };
 
 std::string EncodeAlignResult(const AlignResult& result);

@@ -10,7 +10,9 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "align/aligner.h"
 #include "bench_framework/experiment.h"
 #include "common/deadline.h"
+#include "common/failpoint.h"
 #include "common/subprocess.h"
 #include "common/timer.h"
 #include "metrics/metrics.h"
@@ -156,6 +159,29 @@ class Server::Impl {
     queue_cv_.notify_all();
   }
 
+  void Drain() {
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true)) return;
+    if (stopping_.load(std::memory_order_relaxed)) return;  // Already harder.
+    // Stop accepting; in-flight requests keep their sockets and finish.
+    if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+    // Everyone still waiting for a worker gets a typed answer, not silence.
+    std::deque<int> waiting;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      waiting.swap(queue_);
+      queue_cv_.notify_all();  // Idle workers see draining + empty queue.
+    }
+    Response shutting_down;
+    shutting_down.code = ResponseCode::kShuttingDown;
+    shutting_down.message = "server draining; resubmit to a live instance";
+    const std::string frame = EncodeResponse(shutting_down);
+    for (int fd : waiting) {
+      (void)WriteFrameToFd(fd, frame);
+      close(fd);
+    }
+  }
+
   void Wait() {
     std::vector<std::thread> threads;
     {
@@ -267,8 +293,19 @@ class Server::Impl {
         break;
       }
       SetSocketTimeouts(fd, options_.io_timeout_seconds);
+      if (draining_.load(std::memory_order_relaxed)) {
+        // Raced a drain: this connection was accepted but must not queue.
+        Response shutting_down;
+        shutting_down.code = ResponseCode::kShuttingDown;
+        shutting_down.message = "server draining; resubmit to a live instance";
+        (void)WriteFrameToFd(fd, EncodeResponse(shutting_down));
+        close(fd);
+        continue;
+      }
       bool admitted = false;
-      {
+      // The failpoint forces the BUSY path without actually filling the
+      // queue (for retry-round-trip tests).
+      if (!GA_FAILPOINT_FIRED("server.busy")) {
         std::lock_guard<std::mutex> lock(mu_);
         if (static_cast<int>(queue_.size()) < queue_capacity_) {
           queue_.push_back(fd);
@@ -302,14 +339,34 @@ class Server::Impl {
       {
         std::unique_lock<std::mutex> lock(mu_);
         queue_cv_.wait(lock, [this] {
-          return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+          return stopping_.load(std::memory_order_relaxed) ||
+                 draining_.load(std::memory_order_relaxed) || !queue_.empty();
         });
-        if (queue_.empty()) return;  // Stopping and drained.
+        if (queue_.empty()) return;  // Stopping/draining and drained.
         fd = queue_.front();
         queue_.pop_front();
         active_fds_.insert(fd);
       }
-      ServeConnection(fd);
+      // A worker failure between dequeue and reply must not leave the
+      // client blocked on a response that will never come: whatever escapes
+      // ServeConnection is converted to a typed error frame (best effort)
+      // before the socket closes.
+      try {
+        if (GA_FAILPOINT_FIRED("server.worker.drop")) {
+          throw std::runtime_error("injected worker fault");
+        }
+        ServeConnection(fd);
+      } catch (const std::exception& e) {
+        Response err;
+        err.code = ResponseCode::kError;
+        err.message = std::string("worker failed mid-request: ") + e.what();
+        (void)WriteFrameToFd(fd, EncodeResponse(err));
+      } catch (...) {
+        Response err;
+        err.code = ResponseCode::kError;
+        err.message = "worker failed mid-request";
+        (void)WriteFrameToFd(fd, EncodeResponse(err));
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         active_fds_.erase(fd);
@@ -354,10 +411,17 @@ class Server::Impl {
       }
       if (response.code == ResponseCode::kBadRequest) return;
       if (stopping_.load(std::memory_order_relaxed)) return;
+      // Draining: the in-flight request above was honored; further frames
+      // on this connection belong to a live instance.
+      if (draining_.load(std::memory_order_relaxed)) return;
     }
   }
 
   Response HandleRequest(const Request& request, bool* shutdown_after) {
+    if (GA_FAILPOINT_FIRED("server.request.error")) {
+      return ErrorResponse(ResponseCode::kError,
+                           "failpoint server.request.error: injected fault");
+    }
     switch (request.type) {
       case RequestType::kPing: {
         Response response;
@@ -465,15 +529,33 @@ class Server::Impl {
                         static_cast<double>(req.deadline_ms) / 1000.0)
                   : Deadline::Infinite();
           WallTimer align_timer;
-          Result<Alignment> alignment =
-              native ? aligner->AlignNative(*g1, *g2, deadline)
-                     : aligner->Align(*g1, *g2, method, deadline);
+          // Non-native requests take the fault-tolerant path: recoverable
+          // numerical failures come back as degraded results, not errors.
+          // Native extraction has no robust variant (the author-proposed
+          // extraction is part of what it measures).
+          Result<Alignment> alignment = Alignment{};
+          bool degraded = false;
+          std::string degrade_reason;
+          if (native) {
+            alignment = aligner->AlignNative(*g1, *g2, deadline);
+          } else {
+            auto robust = aligner->AlignRobust(*g1, *g2, method, deadline);
+            if (robust.ok()) {
+              degraded = robust->degraded;
+              degrade_reason = robust->degrade_reason;
+              alignment = std::move(robust->alignment);
+            } else {
+              alignment = robust.status();
+            }
+          }
           std::string outcome;
           if (!alignment.ok()) {
-            const ResponseCode code =
-                alignment.status().code() == StatusCode::kDeadlineExceeded
-                    ? ResponseCode::kDnf
-                    : ResponseCode::kError;
+            ResponseCode code = ResponseCode::kError;
+            if (alignment.status().code() == StatusCode::kDeadlineExceeded) {
+              code = ResponseCode::kDnf;
+            } else if (alignment.status().code() == StatusCode::kNumerical) {
+              code = ResponseCode::kNumerical;
+            }
             outcome = EncodeChildError(code, alignment.status().ToString());
           } else {
             AlignResult result;
@@ -483,6 +565,8 @@ class Server::Impl {
             result.ec = EdgeCorrectness(*g1, *g2, *alignment);
             result.s3 = SymmetricSubstructureScore(*g1, *g2, *alignment);
             result.mapping = ToWireMapping(*alignment);
+            result.degraded = degraded;
+            result.degrade_reason = degrade_reason;
             outcome = EncodeChildOutcome(result);
           }
           return WritePayload(payload_fd, outcome) ? 0 : 1;
@@ -514,7 +598,12 @@ class Server::Impl {
                                  std::to_string(run->wall_seconds) + "s");
     }
     if (response.code == ResponseCode::kOk && !req.no_cache) {
-      cache_.Put(key, response.body);
+      // Degraded results are not cached: once the numerical hiccup passes, a
+      // fresh request deserves a fresh (clean) attempt, not a stale fallback.
+      auto decoded = DecodeAlignResult(response.body);
+      if (decoded.ok() && !decoded->degraded) {
+        cache_.Put(key, response.body);
+      }
     }
     return response;
   }
@@ -589,6 +678,7 @@ class Server::Impl {
   int queue_capacity_ = 0;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   std::mutex mu_;
   std::condition_variable queue_cv_;
   std::deque<int> queue_;                 // Admitted, not yet served.
@@ -607,6 +697,7 @@ Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
 
 Status Server::Start() { return impl_->Start(); }
 void Server::Shutdown() { impl_->Shutdown(); }
+void Server::Drain() { impl_->Drain(); }
 void Server::Wait() { impl_->Wait(); }
 int Server::port() const { return impl_->port(); }
 ResultCache::Stats Server::cache_stats() const { return impl_->cache_stats(); }

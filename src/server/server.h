@@ -81,6 +81,14 @@ class Server {
   // than once.
   void Shutdown();
 
+  // Graceful drain (SIGTERM semantics): stops accepting new connections,
+  // lets workers finish the requests they are serving, and answers every
+  // connection still waiting in the admission queue with a typed
+  // SHUTTING_DOWN response before closing it — no accepted client is left
+  // blocked on a reply. Follow with Wait(); Shutdown() escalates a drain
+  // to a hard stop. Safe to call from any thread and more than once.
+  void Drain();
+
   // Joins all server threads. Returns after Shutdown() has taken effect and
   // every worker has finished its current request.
   void Wait();

@@ -1,0 +1,494 @@
+// Chaos suite (DESIGN.md §12): arms each failpoint site and asserts the
+// system's claimed recovery path actually engages — graceful numerical
+// degradation in the aligners, retry/backoff in the bench harness, typed
+// containment for crash/OOM faults, and typed responses (never a hang or a
+// dead daemon) from the alignment service. Registered under the `chaos`
+// ctest label alongside tools/run_chaos.sh, which drives the same sites
+// through the CLI via GRAPHALIGN_FAILPOINTS.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "bench_framework/experiment.h"
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "noise/noise.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace graphalign {
+namespace {
+
+// Shared scaffolding: every test disarms all faults on exit so failures in
+// one test cannot cascade into the next.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { DeactivateAllFailpoints(); }
+
+  static Graph SmallGraph(uint64_t seed) {
+    Rng rng(seed);
+    auto g = ErdosRenyi(30, 0.2, &rng);
+    GA_CHECK(g.ok());
+    return *std::move(g);
+  }
+
+  static AlignmentProblem SmallProblem(uint64_t seed) {
+    Graph base = SmallGraph(seed);
+    NoiseOptions noise;
+    noise.level = 0.05;
+    Rng rng(seed + 1);
+    auto problem = MakeAlignmentProblem(base, noise, &rng);
+    GA_CHECK(problem.ok());
+    return *std::move(problem);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Aligner-level degradation: injected numerical faults complete degraded,
+// never crash and never silently pretend full quality.
+
+TEST_F(ChaosTest, SimilarityErrorDegradesEveryAligner) {
+  const Graph g1 = SmallGraph(11);
+  const Graph g2 = SmallGraph(12);
+  ASSERT_TRUE(ActivateFailpoint("align.similarity.error", "error").ok());
+  for (const char* name : {"IsoRank", "NSD", "LREA", "GRASP"}) {
+    auto aligner = MakeAligner(name);
+    ASSERT_TRUE(aligner.ok()) << name;
+    auto robust = (*aligner)->AlignRobust(g1, g2,
+                                          AssignmentMethod::kJonkerVolgenant);
+    ASSERT_TRUE(robust.ok()) << name << ": " << robust.status().ToString();
+    EXPECT_TRUE(robust->degraded) << name;
+    EXPECT_NE(robust->degrade_reason.find("degree-profile fallback"),
+              std::string::npos)
+        << name << ": " << robust->degrade_reason;
+    EXPECT_EQ(robust->alignment.size(), static_cast<size_t>(g1.num_nodes()))
+        << name;
+  }
+}
+
+TEST_F(ChaosTest, NanPoisonIsSanitizedAndMarked) {
+  const Graph g1 = SmallGraph(21);
+  const Graph g2 = SmallGraph(22);
+  ASSERT_TRUE(ActivateFailpoint("align.similarity.nan", "nan").ok());
+  auto aligner = MakeAligner("NSD");
+  ASSERT_TRUE(aligner.ok());
+  auto sim = (*aligner)->ComputeSimilarityRobust(g1, g2);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_TRUE(sim->degraded);
+  EXPECT_NE(sim->degrade_reason.find("non-finite"), std::string::npos)
+      << sim->degrade_reason;
+  // The sanitized matrix must be fully finite.
+  for (int i = 0; i < sim->similarity.rows(); ++i) {
+    for (int j = 0; j < sim->similarity.cols(); ++j) {
+      ASSERT_TRUE(std::isfinite(sim->similarity(i, j)));
+    }
+  }
+}
+
+TEST_F(ChaosTest, EigenNoConvergeDegradesSpectralAligner) {
+  // GRASP sits on the symmetric eigensolver; its injected non-convergence
+  // must surface as a degraded result, not an error.
+  const Graph g1 = SmallGraph(31);
+  const Graph g2 = SmallGraph(32);
+  ASSERT_TRUE(ActivateFailpoint("linalg.eigen.no-converge", "error").ok());
+  auto aligner = MakeAligner("GRASP");
+  ASSERT_TRUE(aligner.ok());
+  auto robust = (*aligner)->AlignRobust(g1, g2,
+                                        AssignmentMethod::kJonkerVolgenant);
+  ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+  EXPECT_TRUE(robust->degraded);
+  EXPECT_NE(robust->degrade_reason.find("did not converge"),
+            std::string::npos)
+      << robust->degrade_reason;
+}
+
+TEST_F(ChaosTest, DelayModeSlowsButDoesNotDegrade) {
+  const Graph g1 = SmallGraph(41);
+  const Graph g2 = SmallGraph(42);
+  ASSERT_TRUE(ActivateFailpoint("align.similarity.error", "delay-ms:20").ok());
+  auto aligner = MakeAligner("NSD");
+  ASSERT_TRUE(aligner.ok());
+  auto robust = (*aligner)->AlignRobust(g1, g2,
+                                        AssignmentMethod::kSortGreedy);
+  ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+  EXPECT_FALSE(robust->degraded);
+}
+
+TEST_F(ChaosTest, ExtractionFaultFallsBackToGreedyOnce) {
+  const Graph g1 = SmallGraph(51);
+  const Graph g2 = SmallGraph(52);
+  auto aligner = MakeAligner("NSD");
+  ASSERT_TRUE(aligner.ok());
+
+  // `once`: the JV attempt fails, the greedy retry finds the site spent.
+  ASSERT_TRUE(ActivateFailpoint("assignment.extract.error", "once").ok());
+  auto robust = (*aligner)->AlignRobust(g1, g2,
+                                        AssignmentMethod::kJonkerVolgenant);
+  ASSERT_TRUE(robust.ok()) << robust.status().ToString();
+  EXPECT_TRUE(robust->degraded);
+  EXPECT_NE(robust->degrade_reason.find("greedy-assignment fallback"),
+            std::string::npos)
+      << robust->degrade_reason;
+
+  // Persistent fault: the greedy retry fails too and the typed kNumerical
+  // error propagates — degradation is best-effort, not error swallowing.
+  ASSERT_TRUE(ActivateFailpoint("assignment.extract.error", "error").ok());
+  robust = (*aligner)->AlignRobust(g1, g2,
+                                   AssignmentMethod::kJonkerVolgenant);
+  ASSERT_FALSE(robust.ok());
+  EXPECT_EQ(robust.status().code(), StatusCode::kNumerical);
+}
+
+TEST_F(ChaosTest, GraphIoFaultIsTypedError) {
+  ASSERT_TRUE(ActivateFailpoint("graph.io.read.error", "error").ok());
+  auto g = ReadEdgeList("/tmp/ga_chaos_does_not_matter.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInternal);
+  EXPECT_NE(g.status().message().find("read failed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bench harness: transient cell faults are retried before the journal ever
+// records them; persistent faults stay typed table entries.
+
+RunOutcome CompletedOutcome() {
+  RunOutcome out;
+  out.completed = true;
+  out.completed_runs = 1;
+  return out;
+}
+
+TEST_F(ChaosTest, FlakyCellIsRetriedToSuccess) {
+  ASSERT_TRUE(ActivateFailpoint("bench.cell.flaky", "once").ok());
+  BenchArgs args;
+  args.retries = 1;
+  int body_runs = 0;
+  RunOutcome out = RunContained(args, [&body_runs] {
+    ++body_runs;
+    return CompletedOutcome();
+  });
+  EXPECT_TRUE(out.completed) << out.error;
+  EXPECT_EQ(body_runs, 1);  // The flaky fault preempts the first attempt.
+}
+
+TEST_F(ChaosTest, FlakyCellWithoutRetriesRecordsTypedFault) {
+  ASSERT_TRUE(ActivateFailpoint("bench.cell.flaky", "once").ok());
+  BenchArgs args;
+  args.retries = 0;
+  RunOutcome out = RunContained(args, [] { return CompletedOutcome(); });
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.error.rfind("CRASH", 0), 0u) << out.error;
+  EXPECT_EQ(FormatOutcome(out, 0.0), "CRASH");
+}
+
+TEST_F(ChaosTest, ForkFailureIsRetriedAsTransient) {
+  ASSERT_TRUE(ActivateFailpoint("subprocess.fork.error", "once").ok());
+  BenchArgs args;
+  args.isolate = true;
+  args.retries = 1;
+  args.time_limit_seconds = 60.0;
+  RunOutcome out = RunContained(args, [] { return CompletedOutcome(); });
+  EXPECT_TRUE(out.completed) << out.error;
+}
+
+TEST_F(ChaosTest, CrashModeIsContainedUnderIsolation) {
+  const AlignmentProblem problem = SmallProblem(61);
+  ASSERT_TRUE(ActivateFailpoint("align.similarity.error", "crash").ok());
+  auto aligner = MakeAligner("NSD");
+  ASSERT_TRUE(aligner.ok());
+  BenchArgs args;
+  args.isolate = true;
+  args.retries = 0;
+  args.time_limit_seconds = 60.0;
+  RunOutcome out = RunAligner(aligner->get(), problem,
+                              AssignmentMethod::kSortGreedy, args);
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.error.rfind("CRASH", 0), 0u) << out.error;
+  EXPECT_EQ(FormatOutcome(out, 0.0), "CRASH");
+}
+
+TEST_F(ChaosTest, OomModeIsContainedUnderIsolation) {
+  const AlignmentProblem problem = SmallProblem(62);
+  ASSERT_TRUE(ActivateFailpoint("align.similarity.error", "oom").ok());
+  auto aligner = MakeAligner("NSD");
+  ASSERT_TRUE(aligner.ok());
+  BenchArgs args;
+  args.isolate = true;
+  args.retries = 0;
+  args.mem_limit_mb = 192.0;
+  args.time_limit_seconds = 60.0;
+  RunOutcome out = RunAligner(aligner->get(), problem,
+                              AssignmentMethod::kSortGreedy, args);
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.error.rfind("OOM", 0), 0u) << out.error;
+  EXPECT_EQ(FormatOutcome(out, 0.0), "OOM");
+}
+
+TEST_F(ChaosTest, DegradedOutcomeRendersTrailingStar) {
+  const AlignmentProblem problem = SmallProblem(63);
+  ASSERT_TRUE(ActivateFailpoint("linalg.eigen.no-converge", "error").ok());
+  auto aligner = MakeAligner("GRASP");
+  ASSERT_TRUE(aligner.ok());
+  RunOutcome out = RunAligner(aligner->get(), problem,
+                              AssignmentMethod::kJonkerVolgenant, 60.0);
+  ASSERT_TRUE(out.completed) << out.error;
+  EXPECT_TRUE(out.degraded);
+  EXPECT_FALSE(out.degrade_reason.empty());
+  const std::string cell = FormatOutcome(out, 0.5);
+  ASSERT_FALSE(cell.empty());
+  EXPECT_EQ(cell.back(), '*') << cell;
+}
+
+// ---------------------------------------------------------------------------
+// Service daemon: every injected server-side fault becomes a typed response
+// on the affected connection while the daemon keeps serving everyone else.
+
+std::string TempSocketPath(const char* tag) {
+  return "/tmp/ga_chaos_" + std::string(tag) + "_" + std::to_string(getpid());
+}
+
+class ChaosServerTest : public ChaosTest {
+ protected:
+  void StartServer(ServerOptions options) {
+    socket_path_ = options.socket_path;
+    auto server = Server::Create(options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = *std::move(server);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Shutdown();
+      server_->Wait();
+    }
+    if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+    ChaosTest::TearDown();
+  }
+
+  ClientOptions ConnOptions(double timeout_seconds = 60.0) const {
+    ClientOptions copts;
+    copts.socket_path = socket_path_;
+    copts.timeout_seconds = timeout_seconds;
+    return copts;
+  }
+
+  Result<Client> Connect(double timeout_seconds = 60.0) {
+    return Client::Connect(ConnOptions(timeout_seconds));
+  }
+
+  static Request PingRequest() {
+    Request req;
+    req.type = RequestType::kPing;
+    return req;
+  }
+
+  static Request AlignRequest(const Graph& g1, const Graph& g2,
+                              const std::string& algo) {
+    Request req;
+    req.type = RequestType::kAlign;
+    req.align.algo = algo;
+    req.align.assign = "JV";
+    req.align.g1 = ToWire(g1);
+    req.align.g2 = ToWire(g2);
+    return req;
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ChaosServerTest, RequestFaultIsTypedAndDaemonSurvives) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("reqerr");
+  opts.workers = 2;
+  StartServer(opts);
+  ASSERT_TRUE(ActivateFailpoint("server.request.error", "once").ok());
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto faulted = client->Call(PingRequest());
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(faulted->code, ResponseCode::kError);
+  EXPECT_NE(faulted->message.find("injected fault"), std::string::npos)
+      << faulted->message;
+
+  // Same connection, next request: the daemon is still healthy.
+  auto healthy = client->Call(PingRequest());
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->code, ResponseCode::kOk);
+}
+
+TEST_F(ChaosServerTest, WorkerDropSendsTypedErrorNotSilence) {
+  // Satellite fix: a worker dying mid-request used to leave the client
+  // blocked on a reply forever. The injected worker fault must now produce
+  // a typed ERROR response before the connection closes.
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("wdrop");
+  opts.workers = 2;
+  StartServer(opts);
+  ASSERT_TRUE(ActivateFailpoint("server.worker.drop", "once").ok());
+
+  auto client = Connect(10.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto resp = client->Call(PingRequest());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kError);
+  EXPECT_NE(resp->message.find("worker failed mid-request"),
+            std::string::npos)
+      << resp->message;
+
+  // A fresh connection is served normally afterwards.
+  auto again = Connect();
+  ASSERT_TRUE(again.ok());
+  auto healthy = again->Call(PingRequest());
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->code, ResponseCode::kOk);
+}
+
+TEST_F(ChaosServerTest, BusyOnceThenClientRetrySucceeds) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("busy1");
+  opts.workers = 1;
+  StartServer(opts);
+  ASSERT_TRUE(ActivateFailpoint("server.busy", "once").ok());
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 10.0;
+  policy.max_backoff_ms = 50.0;
+  auto resp = CallWithRetry(ConnOptions(), PingRequest(), policy);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kOk);
+  // The armed `once` fault really fired (on the first, retried attempt).
+  EXPECT_EQ(Failpoint::Get("server.busy").hits(), 1);
+}
+
+TEST_F(ChaosServerTest, DrainAnswersQueuedClientsWithShuttingDown) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("drain");
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  StartServer(opts);
+
+  // Occupy the single worker: a client that completed a request holds its
+  // worker until it disconnects.
+  auto holder_conn = Connect();
+  ASSERT_TRUE(holder_conn.ok());
+  auto holder = std::make_unique<Client>(*std::move(holder_conn));
+  auto held = holder->Call(PingRequest());
+  ASSERT_TRUE(held.ok());
+  ASSERT_EQ(held->code, ResponseCode::kOk);
+
+  // Park a raw connection in the admission queue.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path_.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  struct timeval tv = {10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Drain: the queued connection gets a typed SHUTTING_DOWN response, not
+  // silence, and the daemon finishes cleanly once the holder disconnects.
+  server_->Drain();
+  std::string payload;
+  auto got = ReadFrameFromFd(fd, &payload);
+  ::close(fd);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  auto resp = DecodeResponse(payload);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kShuttingDown);
+  EXPECT_NE(resp->message.find("draining"), std::string::npos)
+      << resp->message;
+
+  holder.reset();   // Disconnect the worker's client.
+  server_->Wait();  // A drained daemon winds down without Shutdown().
+}
+
+TEST_F(ChaosServerTest, DegradedAlignIsReportedAndNotCached) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("degr");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 10.0;
+  StartServer(opts);
+
+  const Graph g1 = SmallGraph(71);
+  const Graph g2 = SmallGraph(72);
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Forked align children inherit programmatically armed faults.
+  ASSERT_TRUE(ActivateFailpoint("align.similarity.error", "error").ok());
+  auto degraded = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  ASSERT_EQ(degraded->code, ResponseCode::kOk) << degraded->message;
+  auto result = DecodeAlignResult(degraded->body);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->degraded);
+  EXPECT_NE(result->degrade_reason.find("degree-profile fallback"),
+            std::string::npos)
+      << result->degrade_reason;
+
+  // Degraded results are not cached: once the fault clears, the same
+  // request is recomputed at full quality instead of replaying the fallback.
+  DeactivateAllFailpoints();
+  auto healthy = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  ASSERT_EQ(healthy->code, ResponseCode::kOk) << healthy->message;
+  EXPECT_FALSE(healthy->cache_hit);
+  auto healthy_result = DecodeAlignResult(healthy->body);
+  ASSERT_TRUE(healthy_result.ok());
+  EXPECT_FALSE(healthy_result->degraded);
+
+  // Healthy results do get cached.
+  auto warm = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->code, ResponseCode::kOk);
+  EXPECT_TRUE(warm->cache_hit);
+}
+
+TEST_F(ChaosServerTest, PersistentNumericalFaultYieldsNumericalResponse) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("numer");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 10.0;
+  StartServer(opts);
+
+  const Graph g1 = SmallGraph(81);
+  const Graph g2 = SmallGraph(82);
+  // A persistent extraction fault defeats even the greedy fallback, so the
+  // child's typed kNumerical error must map to a NUMERICAL response.
+  ASSERT_TRUE(ActivateFailpoint("assignment.extract.error", "error").ok());
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto resp = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kNumerical) << resp->message;
+}
+
+}  // namespace
+}  // namespace graphalign

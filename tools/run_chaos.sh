@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Chaos walkthrough (DESIGN.md §12): arms every compiled-in failpoint site
+# through GRAPHALIGN_FAILPOINTS and asserts each injected fault produces a
+# *typed* outcome — a documented exit code, a degraded-but-complete result,
+# or a contained CRASH — never an unhandled abort, a hang, or silence:
+#   1. every site x {error, delay-ms} through an isolated align: exit code
+#      must stay in the documented set and the run must finish in time,
+#   2. crash mode on the similarity path under --isolate: typed exit 4,
+#   3. a forced eigensolver non-convergence: degraded result, exit 0,
+#   4. a daemon armed with server.busy=once: submit --retries rides through
+#      BUSY; SIGTERM then drains it cleanly.
+#
+# Usage: tools/run_chaos.sh [path-to-graphalign-binary]
+set -euo pipefail
+
+TOOL="${1:-build/src/cli/graphalign}"
+if [[ ! -x "$TOOL" ]]; then
+  echo "graphalign binary not found: $TOOL (build it first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/ga.sock"
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+    kill -9 "$DAEMON_PID" 2> /dev/null || true
+    wait "$DAEMON_PID" 2> /dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== 0/4 generate a graph pair =="
+"$TOOL" generate --model er --n 60 --p 0.1 --seed 7 --out "$WORK/g1.txt"
+"$TOOL" perturb --in "$WORK/g1.txt" --noise one-way --level 0.05 --seed 8 \
+  --out "$WORK/g2.txt"
+
+# Documented align exit codes: 0 ok, 1 error, 3 DNF, 4 crash, 5 OOM,
+# 7 numerical. 2 (usage), >=124 (timeout(1): the run hung), 139 (uncontained
+# SIGSEGV) and anything undocumented fail the walkthrough.
+check_typed_exit() {
+  local rc=$1 what=$2
+  case "$rc" in
+    0 | 1 | 3 | 4 | 5 | 7) return 0 ;;
+  esac
+  echo "untyped outcome (rc=$rc) for: $what" >&2
+  return 1
+}
+
+echo "== 1/4 every site x {error, delay}: typed outcomes only =="
+SITES="$("$TOOL" failpoints)"
+[[ -n "$SITES" ]] || { echo "failpoints listing is empty" >&2; exit 1; }
+for site in $SITES; do
+  for mode in error delay-ms:10; do
+    rc=0
+    GRAPHALIGN_FAILPOINTS="$site=$mode" timeout 120 \
+      "$TOOL" align --g1 "$WORK/g1.txt" --g2 "$WORK/g2.txt" \
+      --algo GRASP --isolate > "$WORK/cell.out" 2> "$WORK/cell.err" || rc=$?
+    check_typed_exit "$rc" "$site=$mode" || {
+      cat "$WORK/cell.out" "$WORK/cell.err" >&2; exit 1; }
+  done
+done
+echo "all $(echo "$SITES" | wc -l) sites yielded typed outcomes"
+
+echo "== 2/4 crash mode is contained under isolation =="
+rc=0
+GRAPHALIGN_FAILPOINTS="align.similarity.error=crash" timeout 120 \
+  "$TOOL" align --g1 "$WORK/g1.txt" --g2 "$WORK/g2.txt" \
+  --algo NSD --isolate > "$WORK/crash.out" 2> "$WORK/crash.err" || rc=$?
+if [[ "$rc" != 4 ]] || ! grep -q "CRASH" "$WORK/crash.err"; then
+  echo "expected contained CRASH (rc=4), got rc=$rc:" >&2
+  cat "$WORK/crash.out" "$WORK/crash.err" >&2
+  exit 1
+fi
+echo "injected SIGSEGV contained as a typed CRASH"
+
+echo "== 3/4 forced eigensolver failure degrades gracefully =="
+GRAPHALIGN_FAILPOINTS="linalg.eigen.no-converge=error" \
+  "$TOOL" align --g1 "$WORK/g1.txt" --g2 "$WORK/g2.txt" \
+  --algo GRASP > "$WORK/degraded.out"
+grep -q "\[degraded:" "$WORK/degraded.out" || {
+  echo "degraded run did not report its fallback:" >&2
+  cat "$WORK/degraded.out" >&2
+  exit 1
+}
+echo "degraded run completed and reported: $(grep -o '\[degraded:.*' "$WORK/degraded.out")"
+
+echo "== 4/4 daemon: BUSY ridden out by --retries, drained by SIGTERM =="
+GRAPHALIGN_FAILPOINTS="server.busy=once" \
+  "$TOOL" serve --socket "$SOCK" --workers 1 > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+up=0
+for _ in $(seq 1 50); do
+  # The armed once-BUSY may answer this probe; --retries rides through it.
+  if "$TOOL" submit --socket "$SOCK" --ping --retries 3 > /dev/null 2>&1; then
+    up=1
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2> /dev/null || break
+  sleep 0.1
+done
+if [[ "$up" != 1 ]]; then
+  echo "daemon never answered despite retries:" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+fi
+
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$DAEMON_PID" 2> /dev/null || break
+  sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2> /dev/null; then
+  echo "daemon did not drain on SIGTERM" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+fi
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
+grep -q "draining" "$WORK/daemon.log" || {
+  echo "daemon log missing the draining notice:" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+grep -q "daemon stopped" "$WORK/daemon.log" || {
+  echo "daemon log missing clean-stop line:" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+echo "daemon rode out injected BUSY and drained cleanly on SIGTERM"
+
+echo "chaos walkthrough passed"
