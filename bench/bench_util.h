@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "align/aligner.h"
@@ -55,14 +56,24 @@ inline std::unique_ptr<Aligner> MakeBenchAligner(const std::string& name,
   return *std::move(aligner);
 }
 
-// Emits the table and optional CSV.
-inline void Emit(const Table& table, const BenchArgs& args) {
+// Emits the table and optional CSV/JSON. `meta` is embedded in the JSON
+// output so a checked-in result file records how it was produced.
+inline void Emit(const Table& table, const BenchArgs& args,
+                 const std::vector<std::pair<std::string, std::string>>& meta =
+                     {}) {
   table.Print(std::cout);
   if (!args.csv_path.empty()) {
     if (table.WriteCsv(args.csv_path)) {
       std::printf("csv written to %s\n", args.csv_path.c_str());
     } else {
       std::printf("FAILED to write csv %s\n", args.csv_path.c_str());
+    }
+  }
+  if (!args.json_path.empty()) {
+    if (table.WriteJson(args.json_path, meta)) {
+      std::printf("json written to %s\n", args.json_path.c_str());
+    } else {
+      std::printf("FAILED to write json %s\n", args.json_path.c_str());
     }
   }
   std::printf("\n");

@@ -24,6 +24,57 @@ Status Aligner::ValidateInputs(const Graph& g1, const Graph& g2) {
   return Status::Ok();
 }
 
+const char* SparseSimilarityModeName(SparseSimilarityMode mode) {
+  switch (mode) {
+    case SparseSimilarityMode::kNative:
+      return "native";
+    case SparseSimilarityMode::kDenseFallback:
+      return "dense-fallback";
+  }
+  return "unknown";
+}
+
+Status Aligner::ScoreSparseCandidatesImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline,
+    std::vector<SparseCandidate>* candidates) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix sim, ComputeSimilarityImpl(g1, g2, deadline));
+  for (SparseCandidate& c : *candidates) {
+    c.similarity = sim.Row(c.row)[c.col];
+  }
+  return Status::Ok();
+}
+
+Result<SparseSimilarityResult> Aligner::ComputeSparseSimilarity(
+    const Graph& g1, const Graph& g2, const LshOptions& lsh,
+    const Deadline& deadline) {
+  GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
+  GA_RETURN_IF_EXPIRED(deadline, name());
+  GA_FAILPOINT_STATUS(
+      "align.sparse.candidates.error",
+      Status::Unavailable(name() + ": LSH candidate generation failed"));
+  SparseSimilarityResult out;
+  out.mode = sparse_similarity_mode();
+  GA_ASSIGN_OR_RETURN(out.candidates,
+                      GenerateLshCandidates(g1, g2, lsh, deadline, &out.lsh));
+  GA_RETURN_IF_ERROR(
+      ScoreSparseCandidatesImpl(g1, g2, deadline, &out.candidates));
+  return out;
+}
+
+Result<SparseAlignment> Aligner::AlignSparse(const Graph& g1, const Graph& g2,
+                                             const LshOptions& lsh,
+                                             const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(SparseSimilarityResult sim,
+                      ComputeSparseSimilarity(g1, g2, lsh, deadline));
+  SparseAlignment out;
+  out.mode = sim.mode;
+  out.num_candidates = static_cast<int64_t>(sim.candidates.size());
+  GA_ASSIGN_OR_RETURN(out.alignment,
+                      SparseLapAssign(g1.num_nodes(), g2.num_nodes(),
+                                      sim.candidates, deadline));
+  return out;
+}
+
 Result<DenseMatrix> Aligner::ComputeSimilarity(const Graph& g1,
                                                const Graph& g2,
                                                const Deadline& deadline) {

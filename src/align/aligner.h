@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "align/sparse_candidates.h"
 #include "assignment/assignment.h"
+#include "assignment/sparse_lap.h"
 #include "common/deadline.h"
 #include "common/status.h"
 #include "graph/graph.h"
@@ -33,6 +35,34 @@ struct RobustAlignment {
   Alignment alignment;
   bool degraded = false;
   std::string degrade_reason;
+};
+
+// How an aligner fulfills the sparse similarity contract (DESIGN.md §13).
+// Naturally low-rank algorithms (LREA, REGAL, NSD) score only the candidate
+// pairs and never materialize n1 x n2 values; everything else falls back to
+// computing the dense matrix and sampling the candidate entries from it —
+// same result shape, none of the memory savings. The flag is the typed
+// answer to "did --sparse actually buy me anything for this algorithm".
+enum class SparseSimilarityMode {
+  kNative,         // O(candidates) scoring; dense matrix never exists.
+  kDenseFallback,  // Dense similarity computed, then sampled at candidates.
+};
+
+const char* SparseSimilarityModeName(SparseSimilarityMode mode);
+
+// Output of the sparse similarity path: the LSH candidate pairs with their
+// similarity fields scored, ready for SparseLapAssign.
+struct SparseSimilarityResult {
+  std::vector<SparseCandidate> candidates;  // Sorted by (row, col).
+  SparseSimilarityMode mode = SparseSimilarityMode::kDenseFallback;
+  LshStats lsh;
+};
+
+// Output of the end-to-end sparse pipeline.
+struct SparseAlignment {
+  Alignment alignment;
+  SparseSimilarityMode mode = SparseSimilarityMode::kDenseFallback;
+  int64_t num_candidates = 0;
 };
 
 class Aligner {
@@ -89,6 +119,30 @@ class Aligner {
                                       AssignmentMethod method,
                                       const Deadline& deadline = Deadline());
 
+  // Whether ComputeSparseSimilarity scores candidates natively (without an
+  // n1 x n2 matrix) or through the dense fallback.
+  virtual SparseSimilarityMode sparse_similarity_mode() const {
+    return SparseSimilarityMode::kDenseFallback;
+  }
+
+  // Sparse similarity pipeline (DESIGN.md §13): generates LSH candidate
+  // pairs over structural node signatures, then scores exactly those pairs.
+  // For kNative aligners both stages are sub-quadratic in memory; for
+  // kDenseFallback aligners the scoring stage still materializes the dense
+  // matrix (the typed mode in the result says which happened). The deadline
+  // covers generation and scoring.
+  Result<SparseSimilarityResult> ComputeSparseSimilarity(
+      const Graph& g1, const Graph& g2, const LshOptions& lsh = {},
+      const Deadline& deadline = Deadline());
+
+  // End-to-end sparse pipeline: LSH candidates -> candidate scoring ->
+  // optimal sparse-candidate LAP. Rows the LSH stage found no candidate for
+  // come back unmatched (-1) — the speed/quality tradeoff the fig17 bench
+  // records.
+  Result<SparseAlignment> AlignSparse(const Graph& g1, const Graph& g2,
+                                      const LshOptions& lsh = {},
+                                      const Deadline& deadline = Deadline());
+
  protected:
   // Algorithm-specific similarity computation. Implementations poll the
   // deadline at their outer-iteration boundaries and forward it to the
@@ -103,6 +157,13 @@ class Aligner {
                                             const Deadline& deadline) {
     return Align(g1, g2, default_assignment(), deadline);
   }
+
+  // Scores candidates->similarity in place. The base implementation is the
+  // dense fallback (ComputeSimilarityImpl + gather); kNative aligners
+  // override it together with sparse_similarity_mode().
+  virtual Status ScoreSparseCandidatesImpl(
+      const Graph& g1, const Graph& g2, const Deadline& deadline,
+      std::vector<SparseCandidate>* candidates);
 
   // Shared input validation: non-empty graphs.
   static Status ValidateInputs(const Graph& g1, const Graph& g2);

@@ -145,6 +145,21 @@ Result<DenseMatrix> LreaAligner::ComputeSimilarityImpl(
   return MultiplyABt(f.u, f.v);
 }
 
+Status LreaAligner::ScoreSparseCandidatesImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline,
+    std::vector<SparseCandidate>* candidates) {
+  GA_ASSIGN_OR_RETURN(Factors f, ComputeFactors(g1, g2, deadline));
+  const int r = f.u.cols();
+  for (SparseCandidate& c : *candidates) {
+    const double* ui = f.u.Row(c.row);
+    const double* vj = f.v.Row(c.col);
+    double sim = 0.0;
+    for (int k = 0; k < r; ++k) sim += ui[k] * vj[k];
+    c.similarity = sim;
+  }
+  return Status::Ok();
+}
+
 Result<Alignment> LreaAligner::AlignNativeImpl(const Graph& g1,
                                                const Graph& g2,
                                                const Deadline& deadline) {

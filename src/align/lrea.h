@@ -43,6 +43,12 @@ class LreaAligner : public Aligner {
   Result<Factors> ComputeFactors(const Graph& g1, const Graph& g2,
                                  const Deadline& deadline = Deadline());
 
+  // Candidate (i, j) scores as dot(U row i, V row j): O(candidates * rank)
+  // time, no dense matrix.
+  SparseSimilarityMode sparse_similarity_mode() const override {
+    return SparseSimilarityMode::kNative;
+  }
+
  protected:
   Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
                                             const Deadline& deadline) override;
@@ -51,6 +57,10 @@ class LreaAligner : public Aligner {
   // solved as an optimal sparse LAP (the authors' scalable path).
   Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
                                     const Deadline& deadline) override;
+
+  Status ScoreSparseCandidatesImpl(
+      const Graph& g1, const Graph& g2, const Deadline& deadline,
+      std::vector<SparseCandidate>* candidates) override;
 
  private:
   LreaOptions options_;

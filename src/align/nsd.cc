@@ -31,8 +31,8 @@ std::vector<double> UnitSum(std::vector<double> v) {
 
 }  // namespace
 
-Result<DenseMatrix> NsdAligner::ComputeSimilarityImpl(
-    const Graph& g1, const Graph& g2, const Deadline& deadline) {
+Result<std::vector<NsdAligner::Term>> NsdAligner::ComputeTerms(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) const {
   GA_RETURN_IF_ERROR(ValidateInputs(g1, g2));
   if (options_.alpha < 0.0 || options_.alpha > 1.0) {
     return Status::InvalidArgument("NSD: alpha outside [0,1]");
@@ -59,23 +59,51 @@ Result<DenseMatrix> NsdAligner::ComputeSimilarityImpl(
 
   const double alpha = options_.alpha;
   const int depth = options_.iterations;
-  DenseMatrix x(n1, n2);
+  std::vector<Term> terms;
+  terms.reserve(z0.size() * (depth + 1));
   for (size_t comp = 0; comp < z0.size(); ++comp) {
     std::vector<double> z = z0[comp];
     std::vector<double> w = w0[comp];
     double coeff = 1.0 - alpha;  // (1-a) * a^k for k = 0.
     for (int k = 0; k < depth; ++k) {
       GA_RETURN_IF_EXPIRED(deadline, "NSD");
-      AddOuterProduct(coeff, z, w, &x);
+      terms.push_back({coeff, z, w});
       // Advance the power iteration: z <- A~ z, w <- B~ w (Eq. 3-4).
       z = rw1.Multiply(z);
       w = rw2.Multiply(w);
       coeff *= alpha;
     }
     // Tail term a^n z^(n) w^(n)^T.
-    AddOuterProduct(std::pow(alpha, depth), z, w, &x);
+    terms.push_back({std::pow(alpha, depth), std::move(z), std::move(w)});
+  }
+  return terms;
+}
+
+Result<DenseMatrix> NsdAligner::ComputeSimilarityImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline) {
+  GA_ASSIGN_OR_RETURN(std::vector<Term> terms,
+                      ComputeTerms(g1, g2, deadline));
+  DenseMatrix x(g1.num_nodes(), g2.num_nodes());
+  for (const Term& t : terms) {
+    GA_RETURN_IF_EXPIRED(deadline, "NSD");
+    AddOuterProduct(t.coeff, t.z, t.w, &x);
   }
   return x;
+}
+
+Status NsdAligner::ScoreSparseCandidatesImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline,
+    std::vector<SparseCandidate>* candidates) {
+  GA_ASSIGN_OR_RETURN(std::vector<Term> terms,
+                      ComputeTerms(g1, g2, deadline));
+  for (SparseCandidate& c : *candidates) {
+    double sim = 0.0;
+    for (const Term& t : terms) {
+      sim += t.coeff * t.z[c.row] * t.w[c.col];
+    }
+    c.similarity = sim;
+  }
+  return Status::Ok();
 }
 
 }  // namespace graphalign

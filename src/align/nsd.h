@@ -9,6 +9,7 @@
 #define GRAPHALIGN_ALIGN_NSD_H_
 
 #include <string>
+#include <vector>
 
 #include "align/aligner.h"
 
@@ -28,11 +29,33 @@ class NsdAligner : public Aligner {
     return AssignmentMethod::kSortGreedy;  // As proposed (Table 1).
   }
 
+  // X is a sum of coeff * z w^T terms by construction, so a candidate (i, j)
+  // scores as sum_t coeff_t z_t[i] w_t[j] without ever forming X:
+  // O(candidates * terms) time, O((n1 + n2) * terms) memory.
+  SparseSimilarityMode sparse_similarity_mode() const override {
+    return SparseSimilarityMode::kNative;
+  }
+
  protected:
   Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
                                             const Deadline& deadline) override;
 
+  Status ScoreSparseCandidatesImpl(
+      const Graph& g1, const Graph& g2, const Deadline& deadline,
+      std::vector<SparseCandidate>* candidates) override;
+
  private:
+  // One rank-1 term of the decomposition: coeff * z w^T.
+  struct Term {
+    double coeff;
+    std::vector<double> z;  // length n1
+    std::vector<double> w;  // length n2
+  };
+  // All terms of the series — 2 components x (iterations + 1 tail) — shared
+  // by the dense and sparse paths.
+  Result<std::vector<Term>> ComputeTerms(const Graph& g1, const Graph& g2,
+                                         const Deadline& deadline) const;
+
   NsdOptions options_;
 };
 

@@ -158,6 +158,26 @@ Result<DenseMatrix> RegalAligner::ComputeSimilarityImpl(
   return sim;
 }
 
+Status RegalAligner::ScoreSparseCandidatesImpl(
+    const Graph& g1, const Graph& g2, const Deadline& deadline,
+    std::vector<SparseCandidate>* candidates) {
+  GA_ASSIGN_OR_RETURN(DenseMatrix y, ComputeEmbeddings(g1, g2, deadline));
+  GA_RETURN_IF_EXPIRED(deadline, "REGAL sparse similarity");
+  const int n1 = g1.num_nodes();
+  const int d = y.cols();
+  for (SparseCandidate& c : *candidates) {
+    const double* yu = y.Row(c.row);
+    const double* yv = y.Row(n1 + c.col);
+    double d2 = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double diff = yu[j] - yv[j];
+      d2 += diff * diff;
+    }
+    c.similarity = std::exp(-d2);  // Eq. 10, sampled at the candidate.
+  }
+  return Status::Ok();
+}
+
 Result<Alignment> RegalAligner::AlignNativeImpl(const Graph& g1,
                                                 const Graph& g2,
                                                 const Deadline& deadline) {

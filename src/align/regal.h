@@ -35,6 +35,12 @@ class RegalAligner : public Aligner {
   Result<DenseMatrix> ComputeEmbeddings(const Graph& g1, const Graph& g2,
                                         const Deadline& deadline = Deadline());
 
+  // Candidate (u, v) scores as exp(-||y_u - y_{n1+v}||^2) straight from the
+  // embedding rows (Eq. 10): O(candidates * p), no dense matrix.
+  SparseSimilarityMode sparse_similarity_mode() const override {
+    return SparseSimilarityMode::kNative;
+  }
+
  protected:
   Result<DenseMatrix> ComputeSimilarityImpl(const Graph& g1, const Graph& g2,
                                             const Deadline& deadline) override;
@@ -42,6 +48,10 @@ class RegalAligner : public Aligner {
   // Native extraction: k-d tree nearest neighbor over target embeddings.
   Result<Alignment> AlignNativeImpl(const Graph& g1, const Graph& g2,
                                     const Deadline& deadline) override;
+
+  Status ScoreSparseCandidatesImpl(
+      const Graph& g1, const Graph& g2, const Deadline& deadline,
+      std::vector<SparseCandidate>* candidates) override;
 
  private:
   RegalOptions options_;

@@ -1,0 +1,222 @@
+#include "align/sparse_candidates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "common/parallel.h"
+#include "graph/graphlets.h"
+#include "linalg/minhash.h"
+
+namespace graphalign {
+
+namespace {
+
+// Token layout: kind in the top byte, two 28-bit payload fields. Distinct
+// kinds can never collide as integers, so one flat set carries them all.
+constexpr uint64_t Token(uint64_t kind, uint64_t a, uint64_t b) {
+  constexpr uint64_t kMask = (1ULL << 28) - 1;
+  return (kind << 56) | ((a & kMask) << 28) | (b & kMask);
+}
+
+// log2-style bucket: 0 for 0, floor(log2(v)) + 1 otherwise. Values that
+// differ by less than 2x share a bucket, which is what makes the tokens
+// robust to the paper's 1-25% edge noise.
+int LogBucket(int64_t v) {
+  if (v <= 0) return 0;
+  int b = 1;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+// Multiset counts enter the token *set* as capped unary runs: a bucket with
+// count c contributes tokens (bucket, 0..min(c,kCountCap)-1), so Jaccard
+// still sees "how many", not just "whether".
+constexpr int kCountCap = 16;
+
+}  // namespace
+
+std::vector<uint64_t> NodeTokens(const Graph& g, int u,
+                                 const double* orbit_row) {
+  std::vector<uint64_t> tokens;
+  const auto neighbors = g.Neighbors(u);
+  tokens.reserve(8 + 2 * neighbors.size());
+
+  // Kind 0/1: own degree, coarse and exact. The exact token sharpens
+  // discrimination on heavy-tailed graphs; the bucket token keeps a noisy
+  // copy of the same node similar.
+  const int deg = g.Degree(u);
+  tokens.push_back(Token(0, LogBucket(deg), 0));
+  tokens.push_back(Token(1, static_cast<uint64_t>(deg), 0));
+
+  // Kind 2: neighborhood degree histogram in log buckets, counts as capped
+  // unary runs. Permutation-invariant by construction.
+  int64_t volume = 0;
+  int hist[64] = {0};
+  for (const int v : neighbors) {
+    const int dv = g.Degree(v);
+    volume += dv;
+    ++hist[LogBucket(dv) & 63];
+  }
+  for (int b = 0; b < 64; ++b) {
+    const int c = std::min(hist[b], kCountCap);
+    for (int i = 0; i < c; ++i) {
+      tokens.push_back(Token(2, b, static_cast<uint64_t>(i)));
+    }
+  }
+
+  // Kind 3: 2-hop volume bucket (sum of neighbor degrees) — a cheap proxy
+  // for the size of the 2-hop neighborhood.
+  tokens.push_back(Token(3, LogBucket(volume), 0));
+
+  // Kind 4: graphlet orbit counts (log-bucketed), when the caller paid for
+  // them.
+  if (orbit_row != nullptr) {
+    for (int o = 0; o < kNumOrbits; ++o) {
+      tokens.push_back(
+          Token(4, o, LogBucket(static_cast<int64_t>(orbit_row[o]))));
+    }
+  }
+
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+namespace {
+
+// Signatures for all nodes of one graph: n rows of num_hashes values,
+// disjoint rows per ParallelFor block (deterministic at any thread count).
+std::vector<uint64_t> BuildSignatures(const Graph& g, const MinHasher& hasher,
+                                      const DenseMatrix* orbits) {
+  const int n = g.num_nodes();
+  const int width = hasher.num_hashes();
+  std::vector<uint64_t> sig(static_cast<size_t>(n) * width);
+  ParallelFor(n, [&](int64_t lo, int64_t hi) {
+    for (int u = static_cast<int>(lo); u < hi; ++u) {
+      const double* orbit_row = orbits ? orbits->Row(u) : nullptr;
+      const std::vector<uint64_t> tokens = NodeTokens(g, u, orbit_row);
+      hasher.Signature(tokens, sig.data() + static_cast<size_t>(u) * width);
+    }
+  }, /*min_work=*/64);
+  return sig;
+}
+
+}  // namespace
+
+Result<std::vector<SparseCandidate>> GenerateLshCandidates(
+    const Graph& g1, const Graph& g2, const LshOptions& options,
+    const Deadline& deadline, LshStats* stats) {
+  if (options.bands < 1 || options.rows_per_band < 1 ||
+      options.max_bucket < 1) {
+    return Status::InvalidArgument(
+        "LSH: bands, rows_per_band and max_bucket must be positive");
+  }
+  if (options.bands * options.rows_per_band > 4096) {
+    return Status::InvalidArgument(
+        "LSH: bands * rows_per_band must be <= 4096");
+  }
+  LshStats local;
+  const int n1 = g1.num_nodes();
+  const int n2 = g2.num_nodes();
+
+  DenseMatrix orbits1, orbits2;
+  if (options.use_graphlets) {
+    GA_ASSIGN_OR_RETURN(orbits1, CountGraphletOrbits(
+                                     g1, /*max_subgraphs=*/200'000'000,
+                                     deadline));
+    GA_ASSIGN_OR_RETURN(orbits2, CountGraphletOrbits(
+                                     g2, /*max_subgraphs=*/200'000'000,
+                                     deadline));
+  }
+
+  const int width = options.bands * options.rows_per_band;
+  const MinHasher hasher(width, options.seed);
+  GA_RETURN_IF_EXPIRED(deadline, "LSH signatures");
+  const std::vector<uint64_t> sig1 =
+      BuildSignatures(g1, hasher, options.use_graphlets ? &orbits1 : nullptr);
+  GA_RETURN_IF_EXPIRED(deadline, "LSH signatures");
+  const std::vector<uint64_t> sig2 =
+      BuildSignatures(g2, hasher, options.use_graphlets ? &orbits2 : nullptr);
+
+  // Banded join: bucket both node sets by the band key and emit all cross
+  // pairs of small-enough buckets. Keys are sorted (key, node), so bucket
+  // order and pair order are canonical regardless of thread count.
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<std::pair<uint64_t, int>> keys1(n1), keys2(n2);
+  for (int b = 0; b < options.bands; ++b) {
+    GA_RETURN_IF_EXPIRED(deadline, "LSH banding");
+    const uint64_t band_seed = Mix64(options.seed ^ (0xBAD5EEDULL + b));
+    const int offset = b * options.rows_per_band;
+    ParallelFor(n1, [&](int64_t lo, int64_t hi) {
+      for (int u = static_cast<int>(lo); u < hi; ++u) {
+        keys1[u] = {BandKey(sig1.data() + static_cast<size_t>(u) * width +
+                                offset,
+                            options.rows_per_band, band_seed),
+                    u};
+      }
+    }, /*min_work=*/1024);
+    ParallelFor(n2, [&](int64_t lo, int64_t hi) {
+      for (int v = static_cast<int>(lo); v < hi; ++v) {
+        keys2[v] = {BandKey(sig2.data() + static_cast<size_t>(v) * width +
+                                offset,
+                            options.rows_per_band, band_seed),
+                    v};
+      }
+    }, /*min_work=*/1024);
+    std::sort(keys1.begin(), keys1.end());
+    std::sort(keys2.begin(), keys2.end());
+
+    size_t i = 0, j = 0;
+    while (i < keys1.size() && j < keys2.size()) {
+      const uint64_t k1 = keys1[i].first, k2 = keys2[j].first;
+      if (k1 < k2) {
+        ++i;
+        continue;
+      }
+      if (k2 < k1) {
+        ++j;
+        continue;
+      }
+      size_t i_end = i, j_end = j;
+      while (i_end < keys1.size() && keys1[i_end].first == k1) ++i_end;
+      while (j_end < keys2.size() && keys2[j_end].first == k1) ++j_end;
+      if (i_end - i > static_cast<size_t>(options.max_bucket) ||
+          j_end - j > static_cast<size_t>(options.max_bucket)) {
+        ++local.skipped_buckets;
+      } else {
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t c = j; c < j_end; ++c) {
+            pairs.emplace_back(keys1[a].second, keys2[c].second);
+          }
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+
+  GA_RETURN_IF_EXPIRED(deadline, "LSH dedup");
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  std::vector<SparseCandidate> candidates;
+  candidates.reserve(pairs.size());
+  std::vector<char> covered(n1, 0);
+  for (const auto& [row, col] : pairs) {
+    candidates.push_back({row, col, 0.0});
+    covered[row] = 1;
+  }
+  local.candidates = static_cast<int64_t>(candidates.size());
+  for (int u = 0; u < n1; ++u) {
+    if (!covered[u]) ++local.rows_without_candidates;
+  }
+  if (stats != nullptr) *stats = local;
+  return candidates;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,71 @@
+// LSH candidate generation: the front half of the sparse similarity pipeline
+// (DESIGN.md §13).
+//
+// Every dense aligner materializes an n1 x n2 similarity matrix, which caps
+// alignment at ~10^4 nodes. This module finds *likely* node pairs without
+// comparing all pairs: each node is summarized as a set of structural tokens
+// (degree buckets, neighborhood degree histogram, optional graphlet orbits),
+// MinHash compresses the token set into a signature, and banded LSH (the
+// shasta LowHash/OverlapFinder idiom) emits a candidate pair whenever two
+// nodes from opposite graphs share a bucket in at least one band. Candidates
+// are then scored by the aligner (Aligner::ComputeSparseSimilarity) and
+// matched by the sparse-candidate LAP (assignment/sparse_lap.h).
+//
+// Generation is deterministic: signatures are pure functions of the graph
+// and the seed, parallel loops write disjoint rows, and the emitted
+// candidate list is canonically sorted — byte-identical output at any
+// GRAPHALIGN_THREADS.
+#ifndef GRAPHALIGN_ALIGN_SPARSE_CANDIDATES_H_
+#define GRAPHALIGN_ALIGN_SPARSE_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "assignment/sparse_lap.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace graphalign {
+
+struct LshOptions {
+  // Banded MinHash shape: bands * rows_per_band hash functions. Two nodes
+  // collide when all `rows_per_band` minima agree in at least one band, so
+  // more rows = stricter buckets, more bands = more chances to collide
+  // (P[candidate] = 1 - (1 - s^rows)^bands at token-Jaccard s).
+  int bands = 16;
+  int rows_per_band = 4;
+  // Buckets with more than this many nodes on either side are skipped: they
+  // carry no signal (indistinguishable signatures) and would blow the
+  // candidate set up quadratically — shasta's too-popular-bucket rule.
+  int max_bucket = 128;
+  // Add 4-node graphlet orbit tokens (src/graph/graphlets) to the node
+  // signatures. Sharper on structure-rich graphs, but costs an ESU
+  // enumeration per graph.
+  bool use_graphlets = false;
+  uint64_t seed = 0x5EEDBA5EULL;
+};
+
+struct LshStats {
+  int64_t candidates = 0;        // Deduplicated pairs emitted.
+  int64_t skipped_buckets = 0;   // Buckets over max_bucket on either side.
+  int rows_without_candidates = 0;  // g1 nodes no band paired with anyone.
+};
+
+// The structural token set of node `u` (sorted, deduplicated). Exposed for
+// determinism tests; orbit_row is the node's graphlet-orbit row when
+// use_graphlets is on (nullptr otherwise).
+std::vector<uint64_t> NodeTokens(const Graph& g, int u,
+                                 const double* orbit_row);
+
+// Emits candidate pairs (row in g1, col in g2, similarity = 0) sorted by
+// (row, col). Options are validated (positive shape, bands * rows <= 4096).
+// The deadline is polled between per-node signature blocks and per-band
+// bucket joins; on expiry returns kDeadlineExceeded.
+Result<std::vector<SparseCandidate>> GenerateLshCandidates(
+    const Graph& g1, const Graph& g2, const LshOptions& options = {},
+    const Deadline& deadline = Deadline(), LshStats* stats = nullptr);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_ALIGN_SPARSE_CANDIDATES_H_

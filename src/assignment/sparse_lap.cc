@@ -6,6 +6,8 @@
 #include <queue>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace graphalign {
 
 Result<Alignment> SparseLapAssign(
@@ -15,7 +17,11 @@ Result<Alignment> SparseLapAssign(
   if (num_rows < 0 || num_cols < 0) {
     return Status::InvalidArgument("SparseLapAssign: negative dimensions");
   }
-  DeadlineChecker checker(deadline, /*stride=*/8);
+  // Pops dominate the runtime, so the deadline is polled per pop with a wide
+  // stride rather than per row: a single pathological augmentation can touch
+  // the whole graph, and polling only between rows would let it overrun the
+  // budget unboundedly.
+  DeadlineChecker checker(deadline, /*stride=*/4096);
   double max_sim = 0.0;
   for (const SparseCandidate& c : candidates) {
     if (c.row < 0 || c.row >= num_rows || c.col < 0 || c.col >= num_cols) {
@@ -42,28 +48,42 @@ Result<Alignment> SparseLapAssign(
   for (const SparseCandidate& c : candidates) {
     arcs[c.row].push_back({c.col, max_sim - c.similarity});
   }
+  // Duplicate (row, col) candidates would become parallel arcs; keep only
+  // the cheapest (highest-similarity) one per column.
   for (int r = 0; r < num_rows; ++r) {
-    arcs[r].push_back({num_cols + r, kSkipCost});
+    std::vector<Arc>& row = arcs[r];
+    std::sort(row.begin(), row.end(), [](const Arc& a, const Arc& b) {
+      return a.col != b.col ? a.col < b.col : a.cost < b.cost;
+    });
+    row.erase(std::unique(row.begin(), row.end(),
+                          [](const Arc& a, const Arc& b) {
+                            return a.col == b.col;
+                          }),
+              row.end());
+    row.push_back({num_cols + r, kSkipCost});
   }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<int> row_match(num_rows, -1);
   std::vector<int> col_match(total_cols, -1);
   std::vector<double> u(num_rows, 0.0), v(total_cols, 0.0);
-  std::vector<double> dist(total_cols);
-  std::vector<int> pred_row(total_cols);
-  std::vector<bool> done(total_cols);
+  std::vector<double> dist(total_cols, kInf);
+  std::vector<int> pred_row(total_cols, -1);
+  std::vector<bool> done(total_cols, false);
+  // Columns whose dist/pred/done were written this augmentation; resetting
+  // just these (instead of std::fill over total_cols per row) keeps each
+  // augmentation proportional to the region it explored, which is what makes
+  // 10^5-node candidate sets feasible.
+  std::vector<int> touched;
+  touched.reserve(256);
 
   using QItem = std::pair<double, int>;  // (distance, column)
   for (int s = 0; s < num_rows; ++s) {
-    GA_RETURN_IF_EXPIRED(checker, "SparseLapAssign");
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(pred_row.begin(), pred_row.end(), -1);
-    std::fill(done.begin(), done.end(), false);
     std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
     for (const Arc& a : arcs[s]) {
       const double rc = a.cost - u[s] - v[a.col];
       if (rc < dist[a.col]) {
+        if (dist[a.col] == kInf) touched.push_back(a.col);
         dist[a.col] = rc;
         pred_row[a.col] = s;
         pq.push({rc, a.col});
@@ -72,6 +92,12 @@ Result<Alignment> SparseLapAssign(
     int found = -1;
     double total = 0.0;
     while (!pq.empty()) {
+      GA_FAILPOINT_STATUS(
+          "assignment.sparse_lap.pop",
+          Status::Unavailable("SparseLapAssign: injected solver fault"));
+      if (checker.Expired()) {
+        return Status::DeadlineExceeded("SparseLapAssign: deadline exceeded");
+      }
       auto [d, j] = pq.top();
       pq.pop();
       if (done[j] || d > dist[j]) continue;
@@ -86,6 +112,7 @@ Result<Alignment> SparseLapAssign(
         if (done[a.col]) continue;
         const double nd = d + a.cost - u[i] - v[a.col];
         if (nd < dist[a.col]) {
+          if (dist[a.col] == kInf) touched.push_back(a.col);
           dist[a.col] = nd;
           pred_row[a.col] = i;
           pq.push({nd, a.col});
@@ -96,8 +123,9 @@ Result<Alignment> SparseLapAssign(
     GA_CHECK(found >= 0);
 
     // Dual update keeps reduced costs non-negative and matched edges tight.
+    // Only touched columns can be `done`, so the scan stays local too.
     u[s] += total;
-    for (int j = 0; j < total_cols; ++j) {
+    for (const int j : touched) {
       if (!done[j] || j == found) continue;
       const double delta = total - dist[j];
       v[j] -= delta;
@@ -114,6 +142,13 @@ Result<Alignment> SparseLapAssign(
       if (i == s) break;
       j = prev_j;
     }
+
+    for (const int t : touched) {
+      dist[t] = kInf;
+      pred_row[t] = -1;
+      done[t] = false;
+    }
+    touched.clear();
   }
   // Rows matched to their skip column are reported unmatched.
   for (int r = 0; r < num_rows; ++r) {

@@ -22,8 +22,11 @@ struct SparseCandidate {
 
 // Maximum-cardinality matching over the candidate edges that maximizes total
 // similarity among such matchings. Rows that cannot be matched get -1.
-// O(A * E log E) with A augmentations and E candidates. The deadline is
-// polled between row augmentations; on expiry returns kDeadlineExceeded.
+// Duplicate (row, col) candidates are allowed; the highest-similarity one
+// wins. O(A * E log E) with A augmentations and E candidates. The deadline
+// is polled inside the Dijkstra pop loop (every ~4096 pops), so even a
+// single oversized augmentation respects the budget; on expiry returns
+// kDeadlineExceeded.
 Result<Alignment> SparseLapAssign(int num_rows, int num_cols,
                                   const std::vector<SparseCandidate>& candidates,
                                   const Deadline& deadline = Deadline());

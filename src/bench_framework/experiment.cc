@@ -61,7 +61,7 @@ uint64_t ParseSeed(const std::string& flag, const char* value) {
 // enough; a version tag guards against a stale parent reading a child built
 // from different code (impossible via fork, cheap to check anyway).
 
-constexpr uint32_t kWireVersion = 3;
+constexpr uint32_t kWireVersion = 4;
 
 struct WireOutcome {
   uint32_t version;
@@ -70,6 +70,7 @@ struct WireOutcome {
   int32_t completed_runs;
   double accuracy, mnc, ec, ics, s3;
   double similarity_seconds, assignment_seconds, peak_mem_mb;
+  int64_t aux_count;
   uint64_t error_len;
   uint64_t degrade_reason_len;
 };
@@ -88,6 +89,7 @@ std::string EncodeRunOutcome(const RunOutcome& out) {
   wire.similarity_seconds = out.similarity_seconds;
   wire.assignment_seconds = out.assignment_seconds;
   wire.peak_mem_mb = out.peak_mem_mb;
+  wire.aux_count = out.aux_count;
   wire.error_len = out.error.size();
   wire.degrade_reason_len = out.degrade_reason.size();
   std::string bytes(reinterpret_cast<const char*>(&wire), sizeof(wire));
@@ -115,6 +117,7 @@ bool DecodeRunOutcome(const std::string& bytes, RunOutcome* out) {
   out->similarity_seconds = wire.similarity_seconds;
   out->assignment_seconds = wire.assignment_seconds;
   out->peak_mem_mb = wire.peak_mem_mb;
+  out->aux_count = wire.aux_count;
   out->error = bytes.substr(sizeof(wire), wire.error_len);
   out->degrade_reason = bytes.substr(sizeof(wire) + wire.error_len);
   return true;
@@ -272,6 +275,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       }
     } else if (arg == "--csv") {
       args.csv_path = next();
+    } else if (arg == "--json") {
+      args.json_path = next();
     } else if (arg == "--seed") {
       args.seed = ParseSeed(arg, next());
     } else if (arg == "--time-limit") {
@@ -299,7 +304,7 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --full --reps N --algos A,B "
-                   "--csv PATH --seed S --time-limit T --isolate "
+                   "--csv PATH --json PATH --seed S --time-limit T --isolate "
                    "--no-isolate --mem-limit MB --journal PATH --resume "
                    "--retries N)\n",
                    arg.c_str());

@@ -35,6 +35,7 @@ namespace graphalign {
 //   --reps N         repetitions per configuration
 //   --algos A,B,C    restrict to a subset of algorithms
 //   --csv PATH       also write the result table as CSV
+//   --json PATH      also write the result table as JSON (rows as objects)
 //   --seed S         master seed
 //   --time-limit T   per-run budget in seconds (DNF beyond it)
 //   --isolate        run every cell in a forked child (crash/OOM containment)
@@ -49,6 +50,7 @@ struct BenchArgs {
   int repetitions = 0;  // 0 = bench-specific default.
   std::vector<std::string> algorithms;  // Empty = all.
   std::string csv_path;
+  std::string json_path;
   uint64_t seed = 2023;
   double time_limit_seconds = 600.0;
   bool isolate = false;          // Resolved: --isolate, --mem-limit, or
@@ -77,6 +79,9 @@ struct RunOutcome {
   double assignment_seconds = 0.0;  // Averaged.
   int completed_runs = 0;
   double peak_mem_mb = 0.0;   // Child's peak RSS; only set by isolated runs.
+  int64_t aux_count = 0;      // Bench-defined auxiliary counter, carried
+                              // across the isolation pipe (e.g. the sparse
+                              // pipeline's candidate count).
   bool degraded = false;      // Completed via a numerical fallback; tables
                               // render the value with a trailing '*'.
   std::string degrade_reason;

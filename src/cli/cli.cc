@@ -212,6 +212,32 @@ int CmdPerturb(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Strict flag parsing shared by align/serve/submit: positive whole-string
+// values, same rules as the bench harness (ParseBenchArgs).
+Result<int> StrictIntFlag(const Flags& flags, const std::string& key,
+                          int fallback) {
+  if (!flags.Has(key)) return fallback;
+  auto v = ParseStrictPositiveInt(flags.GetString(key));
+  if (!v.ok()) {
+    return Status::InvalidArgument("--" + key +
+                                   " must be a positive integer, got '" +
+                                   flags.GetString(key) + "'");
+  }
+  return *v;
+}
+
+Result<double> StrictDoubleFlag(const Flags& flags, const std::string& key,
+                                double fallback) {
+  if (!flags.Has(key)) return fallback;
+  auto v = ParseStrictPositiveDouble(flags.GetString(key));
+  if (!v.ok()) {
+    return Status::InvalidArgument("--" + key +
+                                   " must be a positive number, got '" +
+                                   flags.GetString(key) + "'");
+  }
+  return *v;
+}
+
 int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
   const std::string g1_path = flags.GetString("g1");
   const std::string g2_path = flags.GetString("g2");
@@ -238,6 +264,53 @@ int CmdAlignInner(const Flags& flags, std::ostream& out, std::ostream& err) {
                            "seconds"));
     }
     deadline = Deadline::AfterSeconds(limit);
+  }
+
+  // --sparse: LSH candidate generation + candidate-only scoring + sparse
+  // LAP. Never builds the n1 x n2 matrix for native-capable algorithms
+  // (LREA, REGAL, NSD); the output says which path actually ran.
+  if (flags.Has("sparse")) {
+    LshOptions lsh;
+    auto bands = StrictIntFlag(flags, "lsh-bands", lsh.bands);
+    if (!bands.ok()) return Fail(err, bands.status());
+    lsh.bands = *bands;
+    auto rows = StrictIntFlag(flags, "lsh-rows", lsh.rows_per_band);
+    if (!rows.ok()) return Fail(err, rows.status());
+    lsh.rows_per_band = *rows;
+    WallTimer sparse_timer;
+    auto sparse = (*aligner)->AlignSparse(*g1, *g2, lsh, deadline);
+    if (!sparse.ok()) {
+      if (sparse.status().code() == StatusCode::kDeadlineExceeded) {
+        err << "DNF: " << algo << " exceeded the time limit after "
+            << Table::Num(sparse_timer.Seconds(), 2) << "s\n";
+        return kExitDnf;
+      }
+      if (sparse.status().code() == StatusCode::kNumerical) {
+        err << "NUMERICAL: " << sparse.status().message() << "\n";
+        return kExitNumerical;
+      }
+      return Fail(err, sparse.status());
+    }
+    const double secs = sparse_timer.Seconds();
+    int matched = 0;
+    for (int v : sparse->alignment) matched += (v >= 0);
+    out << algo << "/sparse aligned " << matched << "/" << g1->num_nodes()
+        << " nodes in " << Table::Num(secs, 2) << "s (candidates="
+        << sparse->num_candidates << ", "
+        << SparseSimilarityModeName(sparse->mode) << ")\n";
+    const std::string out_path = flags.GetString("out");
+    if (!out_path.empty()) {
+      Status s = WriteMapping(sparse->alignment, out_path);
+      if (!s.ok()) return Fail(err, s);
+      out << "mapping written to " << out_path << "\n";
+    }
+    out << "MNC=" << Table::Num(MeanMatchedNeighborhoodConsistency(
+                       *g1, *g2, sparse->alignment))
+        << " EC=" << Table::Num(EdgeCorrectness(*g1, *g2, sparse->alignment))
+        << " S3=" << Table::Num(SymmetricSubstructureScore(
+                       *g1, *g2, sparse->alignment))
+        << "\n";
+    return 0;
   }
 
   const std::string assign = flags.GetString("assign", "JV");
@@ -400,7 +473,8 @@ int CmdStats(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (in.empty()) {
     return Fail(err, Status::InvalidArgument("stats requires --in"));
   }
-  auto g = ReadEdgeList(in);
+  LoadStats load_stats;
+  auto g = ReadEdgeList(in, /*num_nodes=*/0, &load_stats);
   if (!g.ok()) return Fail(err, g.status());
   int components = 0;
   g->ConnectedComponents(&components);
@@ -413,38 +487,14 @@ int CmdStats(const Flags& flags, std::ostream& out, std::ostream& err) {
       << " avg_degree=" << Table::Num(g->AverageDegree(), 2)
       << " max_degree=" << g->MaxDegree() << " components=" << components
       << " outside_lcc=" << g->NodesOutsideLargestComponent()
-      << " triangles=" << triangles / 3 << " hash=" << hash << "\n";
+      << " triangles=" << triangles / 3
+      << " self_loops_dropped=" << load_stats.self_loops_dropped
+      << " hash=" << hash << "\n";
   return 0;
 }
 
 // ---------------------------------------------------------------------------
 // serve / submit: the alignment service daemon and its client.
-
-// Strict flag parsing shared by serve/submit: positive whole-string values,
-// same rules as the bench harness (ParseBenchArgs).
-Result<int> StrictIntFlag(const Flags& flags, const std::string& key,
-                          int fallback) {
-  if (!flags.Has(key)) return fallback;
-  auto v = ParseStrictPositiveInt(flags.GetString(key));
-  if (!v.ok()) {
-    return Status::InvalidArgument("--" + key +
-                                   " must be a positive integer, got '" +
-                                   flags.GetString(key) + "'");
-  }
-  return *v;
-}
-
-Result<double> StrictDoubleFlag(const Flags& flags, const std::string& key,
-                                double fallback) {
-  if (!flags.Has(key)) return fallback;
-  auto v = ParseStrictPositiveDouble(flags.GetString(key));
-  if (!v.ok()) {
-    return Status::InvalidArgument("--" + key +
-                                   " must be a positive number, got '" +
-                                   flags.GetString(key) + "'");
-  }
-  return *v;
-}
 
 int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   Status threads = ApplyThreadsFlag(flags);
@@ -755,6 +805,7 @@ constexpr char kUsage[] =
     "  align    --g1 FILE --g2 FILE --algo NAME\n"
     "           [--assign {NN,SG,MWM,JV,native}] [--time-limit T] [--out FILE]\n"
     "           [--isolate] [--mem-limit MB] [--threads N]\n"
+    "           [--sparse [--lsh-bands N] [--lsh-rows R]]\n"
     "  evaluate --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "  stats    --in FILE\n"
     "  serve    --socket PATH | --port N [--workers K] [--cache-mb M]\n"

@@ -28,7 +28,9 @@ const char* const kKnownSites[] = {
     "linalg.sinkhorn.strict",      // Re-enable the strict kernel rejection.
     "align.similarity.error",      // Aligner::ComputeSimilarity (transient).
     "align.similarity.nan",        // Poison the similarity matrix with NaN.
+    "align.sparse.candidates.error",  // ComputeSparseSimilarity (transient).
     "assignment.extract.error",    // ExtractAlignment entry (transient).
+    "assignment.sparse_lap.pop",   // SparseLapAssign Dijkstra pop loop.
     "graph.io.read.error",         // ReadEdgeList entry (transient).
     "subprocess.fork.error",       // RunIsolated before fork (transient).
     "subprocess.child.fault",      // Inside the isolated child, before body.

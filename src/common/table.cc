@@ -1,7 +1,10 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -72,6 +75,80 @@ bool Table::WriteCsv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
   PrintCsv(f);
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+// Emits a cell as a bare JSON number when the whole string parses as one
+// (finite; JSON has no inf/nan), else as a quoted string. Keeps checked-in
+// bench JSON directly loadable into dataframes without per-column casts.
+void EmitJsonValue(std::ostream& os, const std::string& s) {
+  if (!s.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() + s.size() && errno == 0 && std::isfinite(v)) {
+      os << s;
+      return;
+    }
+  }
+  os << '"' << JsonEscape(s) << '"';
+}
+
+}  // namespace
+
+void Table::PrintJson(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& meta) const {
+  os << "{\n  \"meta\": {";
+  for (size_t i = 0; i < meta.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << JsonEscape(meta[i].first) << "\": ";
+    EmitJsonValue(os, meta[i].second);
+  }
+  os << "},\n  \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << (r > 0 ? ",\n    {" : "\n    {");
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) os << ", ";
+      os << '"' << JsonEscape(header_[c]) << "\": ";
+      EmitJsonValue(os, rows_[r][c]);
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool Table::WriteJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& meta) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  PrintJson(f, meta);
   return static_cast<bool>(f);
 }
 

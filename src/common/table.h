@@ -8,6 +8,7 @@
 
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace graphalign {
@@ -30,6 +31,16 @@ class Table {
   void PrintCsv(std::ostream& os) const;
   // Writes CSV to `path`; returns false on IO failure.
   bool WriteCsv(const std::string& path) const;
+  // JSON: {"meta": {...}, "rows": [{header: cell, ...}, ...]}. Cells that
+  // parse as finite numbers are emitted as numbers, everything else as
+  // strings; `meta` carries free-form key/value context (bench name, seed).
+  void PrintJson(std::ostream& os,
+                 const std::vector<std::pair<std::string, std::string>>& meta =
+                     {}) const;
+  // Writes JSON to `path`; returns false on IO failure.
+  bool WriteJson(const std::string& path,
+                 const std::vector<std::pair<std::string, std::string>>& meta =
+                     {}) const;
 
  private:
   std::vector<std::string> header_;

@@ -35,9 +35,11 @@ struct EdgeKeyHash {
 
 }  // namespace
 
-Result<Graph> ReadEdgeList(const std::string& path, int num_nodes) {
+Result<Graph> ReadEdgeList(const std::string& path, int num_nodes,
+                           LoadStats* stats) {
   GA_FAILPOINT_STATUS("graph.io.read.error",
                       Status::Internal("read failed for " + path));
+  LoadStats local;
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   std::vector<std::pair<long long, long long>> raw_edges;
@@ -83,7 +85,11 @@ Result<Graph> ReadEdgeList(const std::string& path, int num_nodes) {
     if (u < 0 || v < 0) {
       return ParseError(path, line_no, "negative node id: '" + line + "'");
     }
-    if (u == v) continue;  // Drop self-loops silently, as the paper's loaders do.
+    if (u == v) {
+      // Dropped, as the paper's loaders do — but counted, not silent.
+      ++local.self_loops_dropped;
+      continue;
+    }
     const std::pair<long long, long long> key =
         u < v ? std::make_pair(u, v) : std::make_pair(v, u);
     auto [it, inserted] = first_seen.emplace(key, line_no);
@@ -121,6 +127,7 @@ Result<Graph> ReadEdgeList(const std::string& path, int num_nodes) {
     }
     total_nodes = next_id;
   }
+  if (stats != nullptr) *stats = local;
   return Graph::FromEdges(std::max(num_nodes, total_nodes), edges);
 }
 

@@ -10,15 +10,25 @@
 
 namespace graphalign {
 
+// What ReadEdgeList silently altered while loading. Dropped self-loops do
+// not fail the load (the paper's loaders drop them too) but they are real
+// data: the count lets `graphalign stats` and tests surface the difference
+// between the file and the graph.
+struct LoadStats {
+  int64_t self_loops_dropped = 0;
+};
+
 // Reads an edge list. Node ids may be arbitrary non-negative ints and are
 // compacted to 0..n-1 preserving order of first appearance; `num_nodes`
-// (if positive) forces at least that many nodes.
+// (if positive) forces at least that many nodes. When `stats` is non-null it
+// receives what the loader silently altered (currently: dropped self-loops).
 //
 // Malformed input never aborts: a line that is not exactly two integer ids,
 // an id that overflows long long, a negative id, or a duplicate edge
 // (either orientation) yields InvalidArgument naming "path:line". Self-loops
-// are dropped silently, matching the paper's loaders.
-Result<Graph> ReadEdgeList(const std::string& path, int num_nodes = 0);
+// are dropped (and counted in `stats`), matching the paper's loaders.
+Result<Graph> ReadEdgeList(const std::string& path, int num_nodes = 0,
+                           LoadStats* stats = nullptr);
 
 // Writes "u v" per line for every edge with u < v.
 Status WriteEdgeList(const Graph& g, const std::string& path);

@@ -1,0 +1,45 @@
+#include "linalg/minhash.h"
+
+#include <limits>
+
+namespace graphalign {
+
+MinHasher::MinHasher(int num_hashes, uint64_t seed) {
+  seeds_.reserve(num_hashes > 0 ? num_hashes : 0);
+  uint64_t state = seed;
+  for (int k = 0; k < num_hashes; ++k) {
+    // SplitMix64 stream: consecutive, well-decorrelated per-function seeds.
+    state = Mix64(state + 0x9E3779B97F4A7C15ULL);
+    seeds_.push_back(state);
+  }
+}
+
+void MinHasher::Signature(std::span<const uint64_t> tokens,
+                          uint64_t* out) const {
+  for (size_t k = 0; k < seeds_.size(); ++k) {
+    const uint64_t seed = seeds_[k];
+    // The sentinel stands in only for a genuinely empty set; letting it join
+    // the min for non-empty sets would make disjoint sets collide whenever
+    // all their hashes land above it, inflating every Jaccard estimate.
+    uint64_t best = tokens.empty() ? Mix64(seed)
+                                   : std::numeric_limits<uint64_t>::max();
+    for (const uint64_t t : tokens) {
+      const uint64_t h = Mix64(t ^ seed);
+      if (h < best) best = h;
+    }
+    out[k] = best;
+  }
+}
+
+uint64_t BandKey(const uint64_t* sig, int rows, uint64_t band_seed) {
+  // FNV-1a-style fold over the band's rows, then a final mix; the position
+  // dependence keeps permuted bands distinct.
+  uint64_t h = band_seed ^ 0xCBF29CE484222325ULL;
+  for (int r = 0; r < rows; ++r) {
+    h ^= sig[r];
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace graphalign

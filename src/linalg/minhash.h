@@ -1,0 +1,58 @@
+// MinHash signatures and banded LSH keys for the sparse similarity pipeline
+// (DESIGN.md §13).
+//
+// A node is summarized as a small set of integer tokens (degree buckets,
+// neighborhood histogram buckets, optional graphlet orbits — built in
+// align/sparse_candidates). MinHash compresses a token set into a fixed-width
+// signature whose per-position collision probability equals the Jaccard
+// similarity of the sets; banding the signature (the shasta LowHash idiom)
+// turns "high Jaccard" into "same bucket in at least one band" without
+// comparing all pairs.
+//
+// Everything here is a pure function of (tokens, seed): signatures are
+// byte-identical across thread counts, platforms, and runs.
+#ifndef GRAPHALIGN_LINALG_MINHASH_H_
+#define GRAPHALIGN_LINALG_MINHASH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace graphalign {
+
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. Used as the
+// hash family underlying MinHash (one seed per hash function) and for band
+// keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// A family of `num_hashes` independent hash functions, seeded
+// deterministically from `seed`.
+class MinHasher {
+ public:
+  MinHasher(int num_hashes, uint64_t seed);
+
+  int num_hashes() const { return static_cast<int>(seeds_.size()); }
+
+  // Writes the MinHash signature of `tokens` to out[0..num_hashes):
+  // out[k] = min over tokens t of Mix64(t ^ seed_k). An empty token set
+  // yields a per-function sentinel (Mix64 of the seed itself) so empty sets
+  // collide only with other empty sets.
+  void Signature(std::span<const uint64_t> tokens, uint64_t* out) const;
+
+ private:
+  std::vector<uint64_t> seeds_;
+};
+
+// Order-sensitive key of one signature band (rows values starting at `sig`),
+// mixed with a per-band seed so the same row values in different bands land
+// in independent bucket spaces.
+uint64_t BandKey(const uint64_t* sig, int rows, uint64_t band_seed);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_LINALG_MINHASH_H_

@@ -256,6 +256,34 @@ TEST(SparseLapTest, ValidatesInput) {
   for (int x : *empty) EXPECT_EQ(x, -1);
 }
 
+TEST(SparseLapTest, DuplicatePairsKeepTheHighestSimilarity) {
+  // LSH bands can emit the same (row, col) more than once; the solver must
+  // dedup keeping the best score. The duplicate (0,0) is decisive here:
+  // deduped to 0.9, the diagonal scores 0.9 + 0.2 = 1.1 and beats the
+  // anti-diagonal's 0.3 + 0.3 = 0.6; if the 0.1 copy were kept instead, the
+  // anti-diagonal would win.
+  const std::vector<SparseCandidate> cands = {
+      {0, 0, 0.1}, {0, 0, 0.9}, {0, 0, 0.5},
+      {0, 1, 0.3}, {1, 0, 0.3}, {1, 1, 0.2}};
+  auto a = SparseLapAssign(2, 2, cands);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)[0], 0);
+  EXPECT_EQ((*a)[1], 1);
+}
+
+TEST(SparseLapTest, AllNegativeSimilaritiesStillMatch) {
+  // max_sim must clamp at 0.0 so costs (max_sim - sim) stay strictly
+  // positive; a negative max_sim would make some costs negative and break
+  // Dijkstra's non-negativity requirement.
+  std::vector<SparseCandidate> cands = {
+      {0, 0, -0.5}, {0, 1, -2.0}, {1, 0, -3.0}, {1, 1, -0.1}};
+  auto a = SparseLapAssign(2, 2, cands);
+  ASSERT_TRUE(a.ok());
+  // Full cardinality, and the best total (-0.5 + -0.1) wins.
+  EXPECT_EQ((*a)[0], 0);
+  EXPECT_EQ((*a)[1], 1);
+}
+
 TEST(SparseLapTest, LargeRandomAgreesWithDense) {
   Rng rng(8);
   const int n = 60;

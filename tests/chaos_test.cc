@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "align/aligner.h"
+#include "assignment/sparse_lap.h"
 #include "bench_framework/experiment.h"
 #include "common/failpoint.h"
 #include "common/random.h"
@@ -163,6 +164,70 @@ TEST_F(ChaosTest, GraphIoFaultIsTypedError) {
   ASSERT_FALSE(g.ok());
   EXPECT_EQ(g.status().code(), StatusCode::kInternal);
   EXPECT_NE(g.status().message().find("read failed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse pipeline sites (DESIGN.md §13): candidate generation faults are
+// typed errors, and injected per-pop delays inside the sparse LAP solver are
+// cut off by the in-loop deadline poll instead of stretching the run
+// unboundedly.
+
+TEST_F(ChaosTest, SparseCandidateFaultIsTypedError) {
+  const AlignmentProblem problem = SmallProblem(91);
+  ASSERT_TRUE(
+      ActivateFailpoint("align.sparse.candidates.error", "error").ok());
+  auto aligner = MakeAligner("NSD");
+  ASSERT_TRUE(aligner.ok());
+  auto sparse =
+      (*aligner)->ComputeSparseSimilarity(problem.g1, problem.g2);
+  ASSERT_FALSE(sparse.ok());
+  EXPECT_EQ(sparse.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(sparse.status().message().find("LSH candidate generation failed"),
+            std::string::npos)
+      << sparse.status().ToString();
+  // AlignSparse propagates the same typed error end to end.
+  auto aligned = (*aligner)->AlignSparse(problem.g1, problem.g2);
+  ASSERT_FALSE(aligned.ok());
+  EXPECT_EQ(aligned.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ChaosTest, SparseLapPopFaultIsTypedError) {
+  ASSERT_TRUE(ActivateFailpoint("assignment.sparse_lap.pop", "error").ok());
+  auto a = SparseLapAssign(3, 3, {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(a.status().message().find("injected solver fault"),
+            std::string::npos)
+      << a.status().ToString();
+}
+
+TEST_F(ChaosTest, SparseLapDelayIsBoundedByInLoopDeadlinePoll) {
+  // Per-pop injected delays model a pathologically slow solver. The deadline
+  // is polled every ~4096 pops, so a 1 ms/pop crawl on a problem needing
+  // tens of thousands of pops must DNF within one polling stride (a few
+  // seconds) instead of sleeping through the whole Dijkstra run.
+  // Triangular instance: row i reaches cols 0..i, and its only free column
+  // (col i) carries the worst similarity, so every augmentation explores the
+  // whole occupied prefix before finding it — O(n^2) pops in total.
+  const int n = 250;
+  std::vector<SparseCandidate> cands;
+  cands.reserve(static_cast<size_t>(n) * (n + 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) cands.push_back({i, j, 1.0});
+    cands.push_back({i, i, 0.0});
+  }
+  ASSERT_TRUE(
+      ActivateFailpoint("assignment.sparse_lap.pop", "delay-ms:1").ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto a = SparseLapAssign(n, n, cands, Deadline::AfterSeconds(0.25));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kDeadlineExceeded);
+  // One stride past the 0.25 s budget at ~1 ms/pop is ~4 s; far under the
+  // ~20+ s a full undeadlined run of this instance would sleep through.
+  EXPECT_LT(elapsed, 15.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -183,6 +183,31 @@ TEST(IoTest, ParsesCommentsAndPreservesNumericIds) {
   std::remove(path.c_str());
 }
 
+TEST(IoTest, CountsDroppedSelfLoopsInLoadStats) {
+  // Self-loops are silently dropped on load; LoadStats pins the count so the
+  // `stats` subcommand (and any caller) can report the discrepancy between
+  // file lines and graph edges instead of hiding it.
+  std::string path = testing::TempDir() + "/io_self_loops.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1\n1 1\n1 2\n2 2\n0 0\n2 3\n", f);
+  fclose(f);
+  LoadStats stats;
+  auto g = ReadEdgeList(path, /*num_nodes=*/0, &stats);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 3);
+  EXPECT_EQ(stats.self_loops_dropped, 3);
+  // A clean file reports zero (the struct is overwritten, not accumulated).
+  std::string clean = testing::TempDir() + "/io_no_self_loops.txt";
+  f = fopen(clean.c_str(), "w");
+  fputs("0 1\n1 2\n", f);
+  fclose(f);
+  auto g2 = ReadEdgeList(clean, 0, &stats);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(stats.self_loops_dropped, 0);
+  std::remove(path.c_str());
+  std::remove(clean.c_str());
+}
+
 TEST(IoTest, RoundTripPreservesNodeIdentity) {
   // Writing and re-reading must not relabel nodes — ground-truth mapping
   // files depend on stable ids.

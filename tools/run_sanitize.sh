@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the sparse-pipeline test binary under -DGRAPHALIGN_SANITIZE=address
+# and runs it: the MinHash/LSH candidate generator and the sparse LAP solver
+# are the newest pointer-heavy code in the tree, so they get an ASan pass in
+# the test matrix (DESIGN.md §13), not just the release build.
+#
+# Usage: tools/run_sanitize.sh [source-dir]
+# Exits 77 (the ctest SKIP_RETURN_CODE) when the toolchain cannot produce an
+# ASan binary, so environments without libasan skip instead of failing.
+set -euo pipefail
+
+SRC="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD="$SRC/build-asan"
+
+# Probe: can this toolchain link -fsanitize=address at all?
+PROBE="$(mktemp -d)"
+trap 'rm -rf "$PROBE"' EXIT
+echo 'int main() { return 0; }' > "$PROBE/probe.cc"
+if ! c++ -fsanitize=address "$PROBE/probe.cc" -o "$PROBE/probe" 2>/dev/null; then
+  echo "toolchain cannot link -fsanitize=address; skipping" >&2
+  exit 77
+fi
+
+cmake -S "$SRC" -B "$BUILD" -DGRAPHALIGN_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+# Only the sparse suite and its dependency closure — not the whole tree.
+cmake --build "$BUILD" --target sparse_test -j > /dev/null
+
+# halt_on_error keeps the failure visible to ctest; detect_leaks stays on so
+# candidate buffers and solver scratch are leak-checked too.
+ASAN_OPTIONS=halt_on_error=1 "$BUILD/tests/sparse_test"
+echo "sparse pipeline is clean under AddressSanitizer"

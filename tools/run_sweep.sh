@@ -3,29 +3,36 @@
 #   1. a journaled baseline sweep,
 #   2. an interrupted sweep resumed with --resume, whose CSV must be
 #      byte-identical to the baseline,
-#   3. a sweep with crashing/OOMing cells contained by --isolate.
+#   3. a sweep with crashing/OOMing cells contained by --isolate,
+#   4. the sparse-pipeline bench (DESIGN.md §13): dense and sparse rows per
+#      cell, deterministic across a re-run, valid --json output.
 #
-# Usage: tools/run_sweep.sh [path-to-bench-binary]
-# The binary must speak the common BenchArgs flags; bench_fig02_er is the
-# default and what the ctest registration passes.
+# Usage: tools/run_sweep.sh [path-to-bench-binary] [path-to-sparse-bench]
+# The binaries must speak the common BenchArgs flags; bench_fig02_er and
+# bench_fig17_sparse_scal are the defaults and what ctest passes.
 set -euo pipefail
 
 BENCH="${1:-build/bench/bench_fig02_er}"
+SPARSE_BENCH="${2:-build/bench/bench_fig17_sparse_scal}"
 if [[ ! -x "$BENCH" ]]; then
   echo "bench binary not found: $BENCH (build it first)" >&2
+  exit 1
+fi
+if [[ ! -x "$SPARSE_BENCH" ]]; then
+  echo "sparse bench binary not found: $SPARSE_BENCH (build it first)" >&2
   exit 1
 fi
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
-echo "== 1/3 baseline journaled sweep =="
+echo "== 1/4 baseline journaled sweep =="
 "$BENCH" --algos NSD,LREA --reps 1 --seed 7 \
   --journal "$WORK/full.tsv" --csv "$WORK/full.csv" > /dev/null
 [[ -s "$WORK/full.csv" ]] || { echo "baseline csv missing" >&2; exit 1; }
 [[ -s "$WORK/full.tsv" ]] || { echo "baseline journal missing" >&2; exit 1; }
 
-echo "== 2/3 interrupted sweep, then --resume =="
+echo "== 2/4 interrupted sweep, then --resume =="
 # Simulate an interruption: only the NSD cells complete before the "crash".
 "$BENCH" --algos NSD --reps 1 --seed 7 \
   --journal "$WORK/part.tsv" --csv "$WORK/part.csv" > /dev/null
@@ -39,7 +46,7 @@ if ! cmp -s "$WORK/full.csv" "$WORK/resumed.csv"; then
 fi
 echo "resume reproduced the baseline CSV byte-identically"
 
-echo "== 3/3 crash/OOM containment =="
+echo "== 3/4 crash/OOM containment =="
 "$BENCH" --algos NSD,_CRASH,_OOM --reps 1 --seed 7 \
   --isolate --mem-limit 512 --time-limit 60 \
   --csv "$WORK/contained.csv" > /dev/null
@@ -54,5 +61,38 @@ fi
 grep -cq "^NSD," "$WORK/contained.csv" || {
   echo "NSD cells missing from the contained sweep" >&2; exit 1; }
 echo "faulting cells contained; healthy cells unaffected"
+
+echo "== 4/4 sparse pipeline sweep =="
+"$SPARSE_BENCH" --algos NSD --seed 7 \
+  --csv "$WORK/sparse.csv" --json "$WORK/sparse.json" > /dev/null
+# Every sweep point must carry a dense row and a sparse row with a non-empty
+# candidate count.
+grep -q ",dense," "$WORK/sparse.csv" || {
+  echo "expected dense rows in the sparse sweep" >&2; exit 1; }
+grep -q ",sparse," "$WORK/sparse.csv" || {
+  echo "expected sparse rows in the sparse sweep" >&2; exit 1; }
+if grep ",sparse," "$WORK/sparse.csv" | grep -q ',-$'; then
+  echo "sparse rows are missing candidate counts" >&2; exit 1
+fi
+# The JSON emitter must produce well-formed output with the bench metadata.
+python3 - "$WORK/sparse.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["meta"]["bench"] == "fig17_sparse_scal", doc["meta"]
+assert len(doc["rows"]) > 0
+modes = {r["mode"] for r in doc["rows"]}
+assert modes == {"dense", "sparse"}, modes
+EOF
+# Determinism: the same seed reproduces every column except the wall-clock
+# `seconds` (column 6) byte-identically — candidates and accuracy included.
+"$SPARSE_BENCH" --algos NSD --seed 7 --csv "$WORK/sparse2.csv" > /dev/null
+cut -d, -f1-5,7- "$WORK/sparse.csv" > "$WORK/sparse.stable"
+cut -d, -f1-5,7- "$WORK/sparse2.csv" > "$WORK/sparse2.stable"
+if ! cmp -s "$WORK/sparse.stable" "$WORK/sparse2.stable"; then
+  echo "sparse sweep is not deterministic across re-runs:" >&2
+  diff "$WORK/sparse.stable" "$WORK/sparse2.stable" >&2 || true
+  exit 1
+fi
+echo "sparse sweep rows, JSON, and determinism verified"
 
 echo "all sweep robustness checks passed"
