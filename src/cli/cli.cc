@@ -525,6 +525,29 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
       StrictDoubleFlag(flags, "io-timeout", options.io_timeout_seconds);
   if (!io_timeout.ok()) return Fail(err, io_timeout.status());
   options.io_timeout_seconds = *io_timeout;
+  options.cache_dir = flags.GetString("cache-dir");
+  auto quota = StrictDoubleFlag(flags, "quota", options.quota_rps);
+  if (!quota.ok()) return Fail(err, quota.status());
+  options.quota_rps = *quota;
+  options.shed = flags.Has("shed");
+  // "--quarantine 0" / "--grace 0" disable those guards, so zero is legal
+  // here even though the strict parsers demand positive values.
+  if (flags.GetString("quarantine") == "0") {
+    options.quarantine_threshold = 0;
+  } else {
+    auto quarantine =
+        StrictIntFlag(flags, "quarantine", options.quarantine_threshold);
+    if (!quarantine.ok()) return Fail(err, quarantine.status());
+    options.quarantine_threshold = *quarantine;
+  }
+  if (flags.GetString("grace") == "0") {
+    options.watchdog_grace_seconds = 0.0;
+  } else {
+    auto grace =
+        StrictDoubleFlag(flags, "grace", options.watchdog_grace_seconds);
+    if (!grace.ok()) return Fail(err, grace.status());
+    options.watchdog_grace_seconds = *grace;
+  }
 
   // Block SIGINT/SIGTERM before spawning server threads (they inherit the
   // mask), then consume them on a dedicated sigwait thread. Signal-driven
@@ -633,9 +656,10 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!timeout.ok()) return Fail(err, timeout.status());
   conn.timeout_seconds = *timeout;
 
-  // --retries N: retry transient failures (connect errors, BUSY,
+  // --retries N: retry transient failures (connect errors, BUSY, SHED,
   // SHUTTING_DOWN) up to N extra attempts with jittered exponential
-  // backoff. 0 (the default) keeps the single-shot behavior.
+  // backoff. 0 (the default) keeps the single-shot behavior. QUARANTINED
+  // is permanent and is never retried.
   RetryPolicy retry_policy;
   retry_policy.max_attempts = 1;
   if (flags.Has("retries")) {
@@ -648,9 +672,16 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
     retry_policy.max_attempts = 1 + static_cast<int>(*retries);
   }
 
-  // Build the request: --ping / --shutdown / --cache-info / --stats FILE,
-  // evaluate when --mapping is present, align when --algo is present.
+  // Build the request: --ping / --shutdown / --cache-info / --stats
+  // [FILE], evaluate when --mapping is present, align when --algo is
+  // present. --client NAME tags the request for per-client quotas.
   Request request;
+  request.client = flags.GetString("client");
+  if (request.client.size() > kMaxNameLen) {
+    return Fail(err, Status::InvalidArgument(
+                         "--client must be at most " +
+                         std::to_string(kMaxNameLen) + " bytes"));
+  }
   int align_n1 = 0;
   if (flags.Has("ping")) {
     request.type = RequestType::kPing;
@@ -659,10 +690,16 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   } else if (flags.Has("cache-info")) {
     request.type = RequestType::kCacheInfo;
   } else if (flags.Has("stats")) {
-    request.type = RequestType::kStats;
-    auto g = LoadWireGraph(flags.GetString("stats"));
-    if (!g.ok()) return Fail(err, g.status());
-    request.stats.g = std::move(*g);
+    if (flags.GetString("stats") == "true") {
+      // Bare --stats: the daemon's own serving counters (admission,
+      // quarantine, watchdog, durable cache), not graph stats.
+      request.type = RequestType::kServerStats;
+    } else {
+      request.type = RequestType::kStats;
+      auto g = LoadWireGraph(flags.GetString("stats"));
+      if (!g.ok()) return Fail(err, g.status());
+      request.stats.g = std::move(*g);
+    }
   } else if (flags.Has("mapping")) {
     request.type = RequestType::kEvaluate;
     const std::string g1_path = flags.GetString("g1");
@@ -748,6 +785,30 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
           << " bytes=" << info->bytes << "/" << info->capacity_bytes << "\n";
       return kExitOk;
     }
+    case RequestType::kServerStats: {
+      auto stats = DecodeServerStatsResult(response->body);
+      if (!stats.ok()) return Fail(err, stats.status());
+      out << "server: workers=" << stats->workers
+          << " uptime_s=" << Table::Num(stats->uptime_seconds, 1)
+          << " accepted=" << stats->accepted << " served=" << stats->served
+          << " queue_depth=" << stats->queue_depth
+          << " in_flight=" << stats->in_flight << "\n";
+      out << "admission: busy=" << stats->busy_rejected
+          << " quota=" << stats->quota_rejected << " shed=" << stats->shed
+          << "\n";
+      out << "quarantine: responses=" << stats->quarantined
+          << " signatures=" << stats->quarantined_signatures
+          << " watchdog_kills=" << stats->watchdog_kills << "\n";
+      out << "cache_log: replayed=" << stats->cache_replayed
+          << " crc_skipped=" << stats->cache_crc_skipped
+          << " truncated_bytes=" << stats->cache_truncated_bytes
+          << " append_errors=" << stats->cache_append_errors
+          << " open_errors=" << stats->cache_open_errors << "\n";
+      out << "worker_restarts:";
+      for (uint64_t r : stats->worker_restarts) out << " " << r;
+      out << "\n";
+      return kExitOk;
+    }
     case RequestType::kStats: {
       auto stats = DecodeStatsResult(response->body);
       if (!stats.ok()) return Fail(err, stats.status());
@@ -810,16 +871,21 @@ constexpr char kUsage[] =
     "  stats    --in FILE\n"
     "  serve    --socket PATH | --port N [--workers K] [--cache-mb M]\n"
     "           [--queue Q] [--io-timeout T] [--threads N]\n"
+    "           [--cache-dir DIR] [--quota RPS] [--shed]\n"
+    "           [--quarantine N] [--grace T]\n"
     "  submit   --socket PATH | [--host H] --port N [--timeout T]\n"
-    "           [--retries N]\n"
-    "           with --ping | --shutdown | --cache-info | --stats FILE\n"
+    "           [--retries N] [--client NAME]\n"
+    "           with --ping | --shutdown | --cache-info | --stats [FILE]\n"
+    "           (bare --stats prints the daemon's serving counters)\n"
     "           | --g1 FILE --g2 FILE --algo NAME [--assign M]\n"
     "             [--time-limit T] [--mem-limit MB] [--no-cache] [--out FILE]\n"
     "           | --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "  failpoints [--armed]   list fault-injection sites (or the armed set)\n"
     "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n"
     "exit codes (align/submit): 0 ok, 1 error, 2 usage, 3 DNF, 4 crash,\n"
-    "  5 OOM, 6 server busy, 7 numerical failure, 8 server shutting down\n"
+    "  5 OOM, 6 server busy, 7 numerical failure, 8 server shutting down,\n"
+    "  9 shed (queue wait ate the deadline; transient, retried by\n"
+    "  --retries), 10 quarantined (signature kept crashing; permanent)\n"
     "fault injection: GRAPHALIGN_FAILPOINTS=\"site=mode[:arg],...\" with\n"
     "  modes error|once|prob:P|nan|delay-ms:N|crash|oom (see DESIGN.md §12)\n";
 

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+namespace graphalign {
+
+namespace {
+
+// 256-entry lookup table for the reflected Castagnoli polynomial
+// 0x82F63B78, generated once on first use (cheap, and keeps the table out
+// of the binary image).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cUpdate(uint32_t crc, const void* data, size_t len) {
+  const Crc32cTable& table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ p[i]) & 0xFFu];
+  }
+  return crc;
+}
+
+uint32_t Crc32c(std::string_view bytes) {
+  return Crc32cFinish(Crc32cUpdate(Crc32cInit(), bytes.data(), bytes.size()));
+}
+
+}  // namespace graphalign

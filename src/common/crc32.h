@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli) checksums for the durable cache log (DESIGN.md §14).
+//
+// The cache store appends records to a log file that a crash can truncate
+// mid-write; each record therefore carries a CRC over its payload so replay
+// can tell a torn or bit-rotted record from a good one. CRC32C is the
+// conventional choice for storage framing (iSCSI, ext4, LevelDB-family
+// logs): short, cheap, and with well-known test vectors. This is the plain
+// table-driven byte-at-a-time form — the log is written once per cached
+// alignment result, so hardware-accelerated variants would be noise here.
+#ifndef GRAPHALIGN_COMMON_CRC32_H_
+#define GRAPHALIGN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace graphalign {
+
+// CRC32C of `bytes`, with the standard init/final XOR (0xFFFFFFFF). The
+// canonical check vector: Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(std::string_view bytes);
+
+// Incremental form: feed `crc` the running value from a previous call
+// (starting from Crc32cInit()) and finish with Crc32cFinish().
+inline constexpr uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
+uint32_t Crc32cUpdate(uint32_t crc, const void* data, size_t len);
+inline constexpr uint32_t Crc32cFinish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_CRC32_H_

@@ -24,6 +24,12 @@ inline constexpr int kExitNumerical = 7;  // Recoverable numerical failure
                                           // not absorbed by degradation.
 inline constexpr int kExitShuttingDown = 8;  // The server is draining and no
                                              // longer accepts new requests.
+inline constexpr int kExitShed = 9;     // The request's queue wait consumed
+                                        // its deadline; it was shed before
+                                        // any compute (transient: retry).
+inline constexpr int kExitQuarantined = 10;  // The (g1, g2, algo) signature
+                                             // repeatedly crashed/OOMed and
+                                             // is quarantined (permanent).
 
 }  // namespace graphalign
 

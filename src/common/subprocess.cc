@@ -214,6 +214,7 @@ Result<SubprocessResult> RunIsolated(
   WallTimer timer;
   std::string raw;
   bool killed_on_timeout = false;
+  bool killed_on_cancel = false;
   int wstatus = 0;
   for (;;) {
     struct pollfd pfd;
@@ -231,6 +232,11 @@ Result<SubprocessResult> RunIsolated(
     if (!killed_on_timeout && hard_cap.Expired()) {
       kill(pid, SIGKILL);
       killed_on_timeout = true;
+    }
+    if (!killed_on_timeout && options.cancel && options.cancel()) {
+      kill(pid, SIGKILL);
+      killed_on_timeout = true;
+      killed_on_cancel = true;
     }
   }
   DrainPipe(fds[0], &raw);  // Bytes written before the child exited.
@@ -257,7 +263,10 @@ Result<SubprocessResult> RunIsolated(
     result.term_signal = sig;
     if (sig == SIGKILL && killed_on_timeout) {
       result.status = RunStatus::kTimeout;
-      result.detail = "killed after exceeding the wall-clock cap";
+      result.killed_on_cancel = killed_on_cancel;
+      result.detail = killed_on_cancel
+                          ? "killed by the caller's cancellation hook"
+                          : "killed after exceeding the wall-clock cap";
     } else if (sig == SIGKILL) {
       // Nobody else SIGKILLs the child; the kernel OOM-killer does.
       result.status = RunStatus::kOom;

@@ -51,6 +51,13 @@ struct SubprocessOptions {
   // headroom, so thread stacks and mapped binaries of the parent do not
   // count against the workload). Non-positive = unlimited.
   int64_t mem_limit_bytes = 0;
+
+  // Optional cancellation hook, polled by the parent's wait loop (~50 ms
+  // cadence). Returning true SIGKILLs the child immediately; the result is
+  // classified kTimeout with killed_on_cancel set, so callers (the server's
+  // worker watchdog) can distinguish it from the wall-clock backstop. Must
+  // be cheap and thread-safe: it runs on the waiting parent thread.
+  std::function<bool()> cancel;
 };
 
 struct SubprocessResult {
@@ -58,6 +65,9 @@ struct SubprocessResult {
   int exit_code = 0;     // Valid for kOk / kExit.
   int term_signal = 0;   // Valid for kCrash (and SIGKILL-classified kOom).
   double wall_seconds = 0.0;
+  // True when the kill came from SubprocessOptions::cancel rather than the
+  // wall-clock cap (both classify as kTimeout).
+  bool killed_on_cancel = false;
   // Bytes the child sent with WritePayload; payload_valid is true only when
   // a complete frame arrived (a crash mid-write leaves it false).
   bool payload_valid = false;

@@ -1,0 +1,91 @@
+// Durable backing log for the result cache (DESIGN.md §14).
+//
+// The in-memory ResultCache evaporates on every daemon restart, which turns
+// a routine deploy into a cold-start stampede of recomputed alignments. The
+// CacheStore persists completed entries to an append-only log so a restart
+// replays them and comes up warm.
+//
+// Record layout (all integers little-endian):
+//
+//   "GAR1" (4-byte magic) | u32 payload_len | u32 crc32c(payload) | payload
+//
+// where payload = u64 cache key | encoded AlignResult bytes. The log is
+// append-only — no compaction, no in-place rewrites — so the only failure
+// modes a crash can leave behind are a torn record at the tail (partial
+// header or body) or, with bit rot, a record whose CRC no longer matches.
+//
+// Replay rules, in order, at every record boundary:
+//   * clean EOF                       -> done
+//   * partial header / partial body /
+//     bad magic / absurd length       -> torn or corrupt tail: truncate the
+//                                        file back to the last good record
+//                                        and stop (a crash mid-append wrote
+//                                        it; nothing after it is sound)
+//   * CRC mismatch on a record whose
+//     framing is intact               -> skip just that record and continue
+//                                        (bit rot is local; later records
+//                                        framed correctly are independent)
+//
+// Replay therefore never fails the daemon: the worst corrupt log yields a
+// cold (empty) cache, not a crash. Append failures are counted and the
+// in-memory cache keeps serving; durability degrades, service does not.
+//
+// Failpoints in the write path (tools/run_chaos.sh arms them):
+//   server.cache.append.error  - the append is dropped as if write() failed
+//   server.cache.append.torn   - a deliberately truncated record is written,
+//                                simulating a crash mid-append
+//   server.cache.replay.error  - Open() fails, simulating an unreadable log
+#ifndef GRAPHALIGN_SERVER_CACHE_STORE_H_
+#define GRAPHALIGN_SERVER_CACHE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+class CacheStore {
+ public:
+  struct ReplayStats {
+    uint64_t replayed = 0;         // Records delivered to the callback.
+    uint64_t crc_skipped = 0;      // Intact-framing records with a bad CRC.
+    uint64_t truncated_bytes = 0;  // Torn/corrupt tail bytes dropped.
+  };
+
+  // Opens (creating if needed) `dir`/cache.log, replays every good record
+  // through `on_record`, truncates any torn tail, and returns a store ready
+  // for appends. `stats` (optional) receives the replay accounting. Fails
+  // only when the directory/file cannot be created or read at all — never
+  // because of log content.
+  static Result<std::unique_ptr<CacheStore>> Open(
+      const std::string& dir,
+      const std::function<void(uint64_t key, std::string value)>& on_record,
+      ReplayStats* stats = nullptr);
+
+  ~CacheStore();
+  CacheStore(const CacheStore&) = delete;
+  CacheStore& operator=(const CacheStore&) = delete;
+
+  // Appends one record. Thread-safe. Failures are absorbed: the error is
+  // counted (append_errors) and the caller's in-memory cache is unaffected.
+  void Append(uint64_t key, const std::string& value);
+
+  uint64_t append_errors() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  CacheStore(int fd, std::string path);
+
+  const std::string path_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t append_errors_ = 0;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_SERVER_CACHE_STORE_H_

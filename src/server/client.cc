@@ -127,10 +127,12 @@ Result<Response> CallWithRetry(const ClientOptions& options,
     }
     bool transient;
     if (last.ok()) {
-      // BUSY and SHUTTING_DOWN are the daemon's own "try again / try
-      // elsewhere" answers; everything else is a final verdict.
+      // BUSY, SHUTTING_DOWN, and SHED are the daemon's own "try again /
+      // try elsewhere" answers; everything else — QUARANTINED included,
+      // since quarantine outlives any backoff — is a final verdict.
       transient = last->code == ResponseCode::kBusy ||
-                  last->code == ResponseCode::kShuttingDown;
+                  last->code == ResponseCode::kShuttingDown ||
+                  last->code == ResponseCode::kShed;
     } else {
       // Any transport-level failure could be the daemon starting up,
       // restarting, or shedding load by dropping connections.

@@ -16,7 +16,6 @@ namespace {
 // garbage frame cannot request a 4-billion-entry reserve.
 constexpr uint32_t kMaxWireNodes = 8u << 20;    // 8M nodes.
 constexpr uint64_t kMaxWireEdges = 32u << 20;   // 32M edges (256 MB decoded).
-constexpr size_t kMaxNameLen = 64;
 constexpr size_t kMaxMessageLen = 4096;
 
 Status BadPayload(const std::string& what) {
@@ -278,10 +277,12 @@ std::string EncodeRequest(const Request& request) {
   ByteWriter w;
   w.U32(kProtocolVersion);
   w.U8(static_cast<uint8_t>(request.type));
+  w.Str(request.client);
   switch (request.type) {
     case RequestType::kPing:
     case RequestType::kCacheInfo:
     case RequestType::kShutdown:
+    case RequestType::kServerStats:
       break;
     case RequestType::kAlign: {
       const AlignRequest& a = request.align;
@@ -321,10 +322,14 @@ Result<Request> DecodeRequest(std::string_view payload) {
                       std::to_string(version));
   }
   Request request;
+  if (!r.Str(&request.client, kMaxNameLen)) {
+    return BadPayload("malformed client identity");
+  }
   switch (static_cast<RequestType>(type)) {
     case RequestType::kPing:
     case RequestType::kCacheInfo:
     case RequestType::kShutdown:
+    case RequestType::kServerStats:
       request.type = static_cast<RequestType>(type);
       break;
     case RequestType::kAlign: {
@@ -376,6 +381,8 @@ const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kBusy: return "BUSY";
     case ResponseCode::kNumerical: return "NUMERICAL";
     case ResponseCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ResponseCode::kShed: return "SHED";
+    case ResponseCode::kQuarantined: return "QUARANTINED";
   }
   return "UNKNOWN";
 }
@@ -417,6 +424,8 @@ Result<Response> DecodeResponse(std::string_view payload) {
     case ResponseCode::kBusy:
     case ResponseCode::kNumerical:
     case ResponseCode::kShuttingDown:
+    case ResponseCode::kShed:
+    case ResponseCode::kQuarantined:
       response.code = static_cast<ResponseCode>(code);
       break;
     default:
@@ -498,6 +507,60 @@ Result<StatsResult> DecodeStatsResult(std::string_view body) {
     return BadPayload("malformed stats result");
   }
   result.num_edges = static_cast<int64_t>(edges);
+  return result;
+}
+
+std::string EncodeServerStatsResult(const ServerStatsResult& result) {
+  ByteWriter w;
+  w.U64(result.workers);
+  w.F64(result.uptime_seconds);
+  w.U64(result.accepted);
+  w.U64(result.served);
+  w.U64(result.busy_rejected);
+  w.U64(result.quota_rejected);
+  w.U64(result.shed);
+  w.U64(result.quarantined);
+  w.U64(result.quarantined_signatures);
+  w.U64(result.watchdog_kills);
+  w.U64(result.queue_depth);
+  w.U64(result.in_flight);
+  w.U64(result.cache_replayed);
+  w.U64(result.cache_crc_skipped);
+  w.U64(result.cache_truncated_bytes);
+  w.U64(result.cache_append_errors);
+  w.U64(result.cache_open_errors);
+  w.U32(static_cast<uint32_t>(result.worker_restarts.size()));
+  for (uint64_t r : result.worker_restarts) w.U64(r);
+  return w.Take();
+}
+
+Result<ServerStatsResult> DecodeServerStatsResult(std::string_view body) {
+  ByteReader r(body);
+  ServerStatsResult result;
+  uint32_t workers = 0;
+  if (!r.U64(&result.workers) || !r.F64(&result.uptime_seconds) ||
+      !r.U64(&result.accepted) || !r.U64(&result.served) ||
+      !r.U64(&result.busy_rejected) || !r.U64(&result.quota_rejected) ||
+      !r.U64(&result.shed) || !r.U64(&result.quarantined) ||
+      !r.U64(&result.quarantined_signatures) ||
+      !r.U64(&result.watchdog_kills) || !r.U64(&result.queue_depth) ||
+      !r.U64(&result.in_flight) || !r.U64(&result.cache_replayed) ||
+      !r.U64(&result.cache_crc_skipped) ||
+      !r.U64(&result.cache_truncated_bytes) ||
+      !r.U64(&result.cache_append_errors) ||
+      !r.U64(&result.cache_open_errors) || !r.U32(&workers)) {
+    return BadPayload("malformed server stats result");
+  }
+  // Worker count is operator-bounded (<= 1024 threads); the same bound
+  // protects the decode against a hostile length.
+  if (workers > 1024) return BadPayload("malformed server stats result");
+  result.worker_restarts.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    uint64_t restarts = 0;
+    if (!r.U64(&restarts)) return BadPayload("malformed server stats result");
+    result.worker_restarts.push_back(restarts);
+  }
+  if (!r.AtEnd()) return BadPayload("malformed server stats result");
   return result;
 }
 

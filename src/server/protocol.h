@@ -31,7 +31,11 @@
 
 namespace graphalign {
 
-inline constexpr uint32_t kProtocolVersion = 1;
+// Version 2 added the top-level `client` identity field on every request
+// (admission quotas key on it) and the SHED/QUARANTINED response codes plus
+// the kServerStats request. Peers speaking a different version are rejected
+// with a typed BAD_REQUEST naming the version.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 // Frames beyond this payload size are rejected before buffering (a 64 MB
 // frame holds an ~4M-edge graph pair; bigger graphs belong in the offline
@@ -40,6 +44,11 @@ inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 
 inline constexpr char kFrameMagic[4] = {'G', 'A', 'F', '1'};
 inline constexpr size_t kFrameHeaderBytes = sizeof(kFrameMagic) + sizeof(uint32_t);
+
+// Cap on short identifier strings in requests (algorithm names, assignment
+// methods, client identities). Shared with the CLI so it can reject an
+// over-long --client before the daemon does.
+inline constexpr size_t kMaxNameLen = 64;
 
 // ---------------------------------------------------------------------------
 // Framing.
@@ -126,6 +135,7 @@ enum class RequestType : uint8_t {
   kStats = 4,
   kCacheInfo = 5,
   kShutdown = 6,
+  kServerStats = 7,
 };
 
 // A graph shipped inline: node count plus canonical-orientation edges.
@@ -157,6 +167,10 @@ struct StatsRequest {
 
 struct Request {
   RequestType type = RequestType::kPing;
+  // Client identity for per-client admission quotas (--quota). Free-form,
+  // at most 64 bytes; empty means the shared "anon" bucket. Carried on
+  // every request type so quota accounting never depends on the payload.
+  std::string client;
   AlignRequest align;        // Valid when type == kAlign.
   EvaluateRequest evaluate;  // Valid when type == kEvaluate.
   StatsRequest stats;        // Valid when type == kStats.
@@ -182,6 +196,10 @@ enum class ResponseCode : uint8_t {
   kBusy = kExitBusy,               // Admission control refused the request.
   kNumerical = kExitNumerical,     // Recoverable numerics; no fallback left.
   kShuttingDown = kExitShuttingDown,  // Draining; retry against a live peer.
+  kShed = kExitShed,               // Queue wait consumed the deadline; the
+                                   // request was shed unserved (transient).
+  kQuarantined = kExitQuarantined,  // The request signature is quarantined
+                                    // after repeated CRASH/OOM (permanent).
 };
 
 const char* ResponseCodeName(ResponseCode code);
@@ -240,6 +258,32 @@ struct CacheInfoResult {
 
 std::string EncodeCacheInfoResult(const CacheInfoResult& result);
 Result<CacheInfoResult> DecodeCacheInfoResult(std::string_view body);
+
+// Body of a successful kServerStats response: the daemon's admission,
+// quarantine, watchdog, and durable-cache counters since startup.
+struct ServerStatsResult {
+  uint64_t workers = 0;
+  double uptime_seconds = 0.0;
+  uint64_t accepted = 0;         // Connections admitted to the queue.
+  uint64_t served = 0;           // Requests answered (any code).
+  uint64_t busy_rejected = 0;    // Typed BUSY: admission queue full.
+  uint64_t quota_rejected = 0;   // Typed BUSY: per-client quota exceeded.
+  uint64_t shed = 0;             // Typed SHED: queue wait ate the deadline.
+  uint64_t quarantined = 0;      // Typed QUARANTINED responses.
+  uint64_t quarantined_signatures = 0;  // Signatures currently quarantined.
+  uint64_t watchdog_kills = 0;   // Hung children SIGKILLed past grace.
+  uint64_t queue_depth = 0;      // Connections waiting right now.
+  uint64_t in_flight = 0;        // Requests being served right now.
+  uint64_t cache_replayed = 0;        // Records restored from the cache log.
+  uint64_t cache_crc_skipped = 0;     // Records skipped on CRC mismatch.
+  uint64_t cache_truncated_bytes = 0; // Torn tail bytes dropped at replay.
+  uint64_t cache_append_errors = 0;   // Failed log appends (cache stays hot).
+  uint64_t cache_open_errors = 0;     // Log open/replay failures (cold start).
+  std::vector<uint64_t> worker_restarts;  // Watchdog kills per worker slot.
+};
+
+std::string EncodeServerStatsResult(const ServerStatsResult& result);
+Result<ServerStatsResult> DecodeServerStatsResult(std::string_view body);
 
 }  // namespace graphalign
 

@@ -6,14 +6,19 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <iterator>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -24,6 +29,7 @@
 #include "common/subprocess.h"
 #include "common/timer.h"
 #include "metrics/metrics.h"
+#include "server/cache_store.h"
 #include "server/protocol.h"
 
 namespace graphalign {
@@ -76,6 +82,12 @@ std::string EncodeChildError(ResponseCode code, const std::string& message) {
   return w.Take();
 }
 
+double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
 bool DecodeChildOutcome(std::string_view payload, Response* response) {
   ByteReader r(payload);
   uint8_t ok = 0;
@@ -100,6 +112,35 @@ bool DecodeChildOutcome(std::string_view payload, Response* response) {
 }  // namespace
 
 class Server::Impl {
+ private:
+  struct QueueEntry {
+    int fd;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // One slot per worker thread. The worker arms it (deadline/start, then a
+  // release store of active) around each isolated fork; the watchdog reads
+  // active with acquire and flips cancel, which the fork's poll loop turns
+  // into a SIGKILL. A deque, not a vector: atomics are immovable and the
+  // slots must never relocate while the watchdog walks them.
+  struct WorkerSlot {
+    std::atomic<bool> active{false};
+    std::atomic<bool> cancel{false};
+    std::chrono::steady_clock::time_point start;
+    uint64_t deadline_ms = 0;
+    std::atomic<uint64_t> restarts{0};
+  };
+
+  struct QuotaBucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  struct FaultRecord {
+    int consecutive = 0;
+    bool quarantined = false;
+  };
+
  public:
   explicit Impl(const ServerOptions& options)
       : options_(options),
@@ -139,8 +180,32 @@ class Server::Impl {
                                    ? options_.queue_capacity
                                    : 2 * options_.workers;
     queue_capacity_ = queue_capacity;
+    start_time_ = std::chrono::steady_clock::now();
+    if (!options_.cache_dir.empty()) {
+      // Warm restart: replay the durable log into the in-memory cache. A
+      // broken log costs warmth, never startup.
+      auto store = CacheStore::Open(
+          options_.cache_dir,
+          [this](uint64_t key, std::string value) {
+            cache_.Put(key, std::move(value));
+          },
+          &replay_stats_);
+      if (store.ok()) {
+        store_ = *std::move(store);
+      } else {
+        cache_open_errors_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "cache store disabled (cold cache): %s\n",
+                     store.status().ToString().c_str());
+      }
+    }
     for (int w = 0; w < options_.workers; ++w) {
-      threads_.emplace_back([this] { WorkerLoop(); });
+      slots_.emplace_back();
+    }
+    for (int w = 0; w < options_.workers; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(&slots_[w]); });
+    }
+    if (options_.watchdog_grace_seconds > 0.0) {
+      threads_.emplace_back([this] { WatchdogLoop(); });
     }
     threads_.emplace_back([this] { AcceptLoop(); });
     return Status::Ok();
@@ -155,8 +220,9 @@ class Server::Impl {
     std::lock_guard<std::mutex> lock(mu_);
     // Cut off idle-but-open and queued connections so workers notice.
     for (int fd : active_fds_) shutdown(fd, SHUT_RDWR);
-    for (int fd : queue_) shutdown(fd, SHUT_RDWR);
+    for (const QueueEntry& e : queue_) shutdown(e.fd, SHUT_RDWR);
     queue_cv_.notify_all();
+    watchdog_cv_.notify_all();
   }
 
   void Drain() {
@@ -166,19 +232,20 @@ class Server::Impl {
     // Stop accepting; in-flight requests keep their sockets and finish.
     if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
     // Everyone still waiting for a worker gets a typed answer, not silence.
-    std::deque<int> waiting;
+    std::deque<QueueEntry> waiting;
     {
       std::lock_guard<std::mutex> lock(mu_);
       waiting.swap(queue_);
       queue_cv_.notify_all();  // Idle workers see draining + empty queue.
+      watchdog_cv_.notify_all();
     }
     Response shutting_down;
     shutting_down.code = ResponseCode::kShuttingDown;
     shutting_down.message = "server draining; resubmit to a live instance";
     const std::string frame = EncodeResponse(shutting_down);
-    for (int fd : waiting) {
-      (void)WriteFrameToFd(fd, frame);
-      close(fd);
+    for (const QueueEntry& e : waiting) {
+      (void)WriteFrameToFd(e.fd, frame);
+      close(e.fd);
     }
   }
 
@@ -191,13 +258,43 @@ class Server::Impl {
     for (std::thread& t : threads) t.join();
     // Close connections that were still queued when the plug was pulled.
     std::lock_guard<std::mutex> lock(mu_);
-    for (int fd : queue_) close(fd);
+    for (const QueueEntry& e : queue_) close(e.fd);
     queue_.clear();
   }
 
   int port() const { return bound_port_; }
 
   ResultCache::Stats cache_stats() const { return cache_.GetStats(); }
+
+  ServerStatsResult ServerStats() const {
+    ServerStatsResult s;
+    s.workers = static_cast<uint64_t>(options_.workers);
+    s.uptime_seconds = ElapsedSeconds(start_time_);
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.served = served_.load(std::memory_order_relaxed);
+    s.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
+    s.quota_rejected = quota_rejected_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.quarantined = quarantined_responses_.load(std::memory_order_relaxed);
+    s.quarantined_signatures =
+        quarantined_signatures_.load(std::memory_order_relaxed);
+    s.watchdog_kills = watchdog_kills_.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s.queue_depth = queue_.size();
+      s.in_flight = active_fds_.size();
+    }
+    s.cache_replayed = replay_stats_.replayed;
+    s.cache_crc_skipped = replay_stats_.crc_skipped;
+    s.cache_truncated_bytes = replay_stats_.truncated_bytes;
+    s.cache_append_errors = store_ != nullptr ? store_->append_errors() : 0;
+    s.cache_open_errors = cache_open_errors_.load(std::memory_order_relaxed);
+    for (const WorkerSlot& slot : slots_) {
+      s.worker_restarts.push_back(
+          slot.restarts.load(std::memory_order_relaxed));
+    }
+    return s;
+  }
 
  private:
   Status BindUnix() {
@@ -302,13 +399,14 @@ class Server::Impl {
         close(fd);
         continue;
       }
+      accepted_.fetch_add(1, std::memory_order_relaxed);
       bool admitted = false;
       // The failpoint forces the BUSY path without actually filling the
       // queue (for retry-round-trip tests).
       if (!GA_FAILPOINT_FIRED("server.busy")) {
         std::lock_guard<std::mutex> lock(mu_);
         if (static_cast<int>(queue_.size()) < queue_capacity_) {
-          queue_.push_back(fd);
+          queue_.push_back(QueueEntry{fd, std::chrono::steady_clock::now()});
           admitted = true;
           queue_cv_.notify_one();
         }
@@ -316,6 +414,7 @@ class Server::Impl {
       if (!admitted) {
         // Typed BUSY, then hang up. The frame is a few dozen bytes — it
         // fits the socket send buffer, so this cannot stall the loop.
+        busy_rejected_.fetch_add(1, std::memory_order_relaxed);
         Response busy;
         busy.code = ResponseCode::kBusy;
         busy.message = "admission queue full (" +
@@ -329,13 +428,14 @@ class Server::Impl {
   // -------------------------------------------------------------------------
   // Workers.
 
-  void WorkerLoop() {
+  void WorkerLoop(WorkerSlot* slot) {
     // Workers fork isolated align children while siblings serve; the child
     // never touches the queue, the cache, or any server lock, which is what
     // makes this thread safe to fork under (see common/subprocess.h).
     ScopedForkTolerantThread fork_tolerant;
     for (;;) {
       int fd = -1;
+      double queue_wait_ms = 0.0;
       {
         std::unique_lock<std::mutex> lock(mu_);
         queue_cv_.wait(lock, [this] {
@@ -343,8 +443,10 @@ class Server::Impl {
                  draining_.load(std::memory_order_relaxed) || !queue_.empty();
         });
         if (queue_.empty()) return;  // Stopping/draining and drained.
-        fd = queue_.front();
+        const QueueEntry entry = queue_.front();
         queue_.pop_front();
+        fd = entry.fd;
+        queue_wait_ms = ElapsedSeconds(entry.enqueued) * 1000.0;
         active_fds_.insert(fd);
       }
       // A worker failure between dequeue and reply must not leave the
@@ -355,7 +457,7 @@ class Server::Impl {
         if (GA_FAILPOINT_FIRED("server.worker.drop")) {
           throw std::runtime_error("injected worker fault");
         }
-        ServeConnection(fd);
+        ServeConnection(fd, slot, queue_wait_ms);
       } catch (const std::exception& e) {
         Response err;
         err.code = ResponseCode::kError;
@@ -376,7 +478,45 @@ class Server::Impl {
     }
   }
 
-  void ServeConnection(int fd) {
+  // A watchdog scan wakes every 200ms (or immediately on shutdown), looks
+  // for armed worker slots whose isolated child has outlived its request
+  // deadline by more than watchdog_grace_seconds, and flips the slot's
+  // cancel flag; the fork's poll loop turns that into a SIGKILL within
+  // ~50ms. The kill shows up to the worker as a cancel-tagged timeout, to
+  // the client as a typed ERROR, and in the stats as a watchdog kill plus a
+  // restart on that worker's counter.
+  void WatchdogLoop() {
+    ScopedForkTolerantThread fork_tolerant;
+    // Own condition variable: the watchdog must never absorb a
+    // queue_cv_.notify_one() meant to hand a connection to a worker.
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_.load(std::memory_order_relaxed) &&
+           !draining_.load(std::memory_order_relaxed)) {
+      watchdog_cv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               draining_.load(std::memory_order_relaxed);
+      });
+      if (stopping_.load(std::memory_order_relaxed) ||
+          draining_.load(std::memory_order_relaxed)) {
+        return;  // Drain-phase stragglers still hit the wall backstop.
+      }
+      lock.unlock();
+      for (WorkerSlot& slot : slots_) {
+        if (!slot.active.load(std::memory_order_acquire)) continue;
+        if (slot.deadline_ms == 0) continue;  // Backstop-only request.
+        const double limit = static_cast<double>(slot.deadline_ms) / 1000.0 +
+                             options_.watchdog_grace_seconds;
+        if (ElapsedSeconds(slot.start) > limit &&
+            !slot.cancel.exchange(true, std::memory_order_relaxed)) {
+          watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
+          slot.restarts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  void ServeConnection(int fd, WorkerSlot* slot, double queue_wait_ms) {
     // One connection may carry a sequence of frames; each gets a response.
     for (;;) {
       std::string payload;
@@ -401,10 +541,14 @@ class Server::Impl {
         response.code = ResponseCode::kBadRequest;
         response.message = request.status().ToString();
       } else {
-        response = HandleRequest(*request, &shutdown_after);
+        response = HandleRequest(*request, &shutdown_after, slot, queue_wait_ms);
       }
+      // Only the first frame on a connection waited in the admission queue;
+      // later frames arrive on an already-claimed worker.
+      queue_wait_ms = 0.0;
       response.elapsed_us = static_cast<uint64_t>(timer.Seconds() * 1e6);
       if (!WriteFrameToFd(fd, EncodeResponse(response)).ok()) return;
+      served_.fetch_add(1, std::memory_order_relaxed);
       if (shutdown_after) {
         Shutdown();
         return;
@@ -417,7 +561,8 @@ class Server::Impl {
     }
   }
 
-  Response HandleRequest(const Request& request, bool* shutdown_after) {
+  Response HandleRequest(const Request& request, bool* shutdown_after,
+                         WorkerSlot* slot, double queue_wait_ms) {
     if (GA_FAILPOINT_FIRED("server.request.error")) {
       return ErrorResponse(ResponseCode::kError,
                            "failpoint server.request.error: injected fault");
@@ -447,8 +592,25 @@ class Server::Impl {
         response.body = EncodeCacheInfoResult(info);
         return response;
       }
-      case RequestType::kAlign:
-        return HandleAlign(request.align);
+      case RequestType::kServerStats: {
+        Response response;
+        response.body = EncodeServerStatsResult(ServerStats());
+        return response;
+      }
+      case RequestType::kAlign: {
+        if (options_.quota_rps > 0.0 && !TakeQuotaToken(request.client)) {
+          quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+          return ErrorResponse(
+              ResponseCode::kBusy,
+              "client \"" +
+                  (request.client.empty() ? std::string("anon")
+                                          : request.client) +
+                  "\" exceeded its quota of " +
+                  std::to_string(options_.quota_rps) +
+                  " align requests/s; back off and retry");
+        }
+        return HandleAlign(request.align, slot, queue_wait_ms);
+      }
       case RequestType::kEvaluate:
         return HandleEvaluate(request.evaluate);
       case RequestType::kStats:
@@ -467,7 +629,83 @@ class Server::Impl {
     return response;
   }
 
-  Response HandleAlign(const AlignRequest& req) {
+  // Per-client token bucket: refill at quota_rps, burst of 2 seconds' worth
+  // (at least one token so a slow client is never starved outright). The
+  // empty client name shares one "anon" bucket — unidentified traffic
+  // competes with itself, not with named clients.
+  bool TakeQuotaToken(const std::string& client_in) {
+    const std::string client = client_in.empty() ? "anon" : client_in;
+    const auto now = std::chrono::steady_clock::now();
+    const double burst = std::max(1.0, 2.0 * options_.quota_rps);
+    std::lock_guard<std::mutex> lock(quota_mu_);
+    if (quota_.size() >= kMaxTrackedClients &&
+        quota_.find(client) == quota_.end()) {
+      // Bound memory under a churn of one-shot client names. Dropping the
+      // table refills everyone once; fairness recovers within a burst.
+      quota_.clear();
+    }
+    auto [it, inserted] = quota_.try_emplace(client, QuotaBucket{burst, now});
+    QuotaBucket& bucket = it->second;
+    if (!inserted) {
+      bucket.tokens =
+          std::min(burst, bucket.tokens + ElapsedSeconds(bucket.last_refill) *
+                                              options_.quota_rps);
+      bucket.last_refill = now;
+    }
+    if (bucket.tokens < 1.0) return false;
+    bucket.tokens -= 1.0;
+    return true;
+  }
+
+  bool IsQuarantined(uint64_t fault_key) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    auto it = faults_.find(fault_key);
+    return it != faults_.end() && it->second.quarantined;
+  }
+
+  void RecordFault(uint64_t fault_key) {
+    if (options_.quarantine_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (faults_.size() >= kMaxTrackedFaults &&
+        faults_.find(fault_key) == faults_.end()) {
+      // Bound memory under a sweep of distinct crashing signatures: keep
+      // the confirmed-poison entries, forget the in-progress counts.
+      for (auto it = faults_.begin(); it != faults_.end();) {
+        it = it->second.quarantined ? std::next(it) : faults_.erase(it);
+      }
+    }
+    FaultRecord& rec = faults_[fault_key];
+    if (rec.quarantined) return;
+    if (++rec.consecutive >= options_.quarantine_threshold) {
+      rec.quarantined = true;
+      quarantined_signatures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void ClearFault(uint64_t fault_key) {
+    if (options_.quarantine_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    auto it = faults_.find(fault_key);
+    // A success after quarantine does not lift it: flaky poison is still
+    // poison, and un-quarantining on luck would re-admit the crash loop.
+    if (it != faults_.end() && !it->second.quarantined) faults_.erase(it);
+  }
+
+  Response HandleAlign(const AlignRequest& req, WorkerSlot* slot,
+                       double queue_wait_ms) {
+    // Shed before any parsing: if the admission-queue wait already consumed
+    // the client's deadline, every further cycle spent on this request is
+    // guaranteed-late work stolen from requests that can still make it.
+    if (options_.shed && req.deadline_ms > 0 &&
+        queue_wait_ms >= static_cast<double>(req.deadline_ms)) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(
+          ResponseCode::kShed,
+          "shed: " + std::to_string(static_cast<int64_t>(queue_wait_ms)) +
+              "ms of queue wait consumed the " +
+              std::to_string(req.deadline_ms) +
+              "ms deadline; retry against a less loaded instance");
+    }
     auto g1 = Graph::FromEdges(req.g1.num_nodes, req.g1.edges);
     if (!g1.ok()) {
       return ErrorResponse(ResponseCode::kBadRequest,
@@ -498,6 +736,22 @@ class Server::Impl {
       method = *parsed;
     }
 
+    // The quarantine signature deliberately ignores the assignment method:
+    // a kernel that segfaults on this graph pair crashes before extraction
+    // ever runs, so re-forking it under a different extractor is the same
+    // crash with extra steps.
+    const uint64_t fault_key = ResultCache::Key(
+        g1->ContentHash(), g2->ContentHash(), req.algo, "!quarantine");
+    if (options_.quarantine_threshold > 0 && IsQuarantined(fault_key)) {
+      quarantined_responses_.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(
+          ResponseCode::kQuarantined,
+          "request signature quarantined: " +
+              std::to_string(options_.quarantine_threshold) +
+              " consecutive crash/OOM outcomes for this (g1, g2, algo); "
+              "refusing to re-fork until restart");
+    }
+
     const uint64_t key = ResultCache::Key(g1->ContentHash(), g2->ContentHash(),
                                           req.algo, req.assign);
     if (!req.no_cache) {
@@ -520,6 +774,18 @@ class Server::Impl {
             ? 2.0 * static_cast<double>(req.deadline_ms) / 1000.0 +
                   options_.wall_slack_seconds
             : options_.default_wall_limit_seconds;
+    if (slot != nullptr) {
+      // Arm the watchdog slot before forking: fields first, then the
+      // release store the watchdog acquires them through.
+      slot->deadline_ms =
+          req.deadline_ms > 0 ? static_cast<uint64_t>(req.deadline_ms) : 0;
+      slot->cancel.store(false, std::memory_order_relaxed);
+      slot->start = std::chrono::steady_clock::now();
+      slot->active.store(true, std::memory_order_release);
+      isolation.cancel = [slot] {
+        return slot->cancel.load(std::memory_order_relaxed);
+      };
+    }
 
     auto run = RunIsolated(
         [&](int payload_fd) {
@@ -572,12 +838,14 @@ class Server::Impl {
           return WritePayload(payload_fd, outcome) ? 0 : 1;
         },
         isolation);
+    if (slot != nullptr) slot->active.store(false, std::memory_order_release);
     if (!run.ok()) {
       return ErrorResponse(ResponseCode::kError, run.status().ToString());
     }
     Response response;
     switch (run->status) {
       case RunStatus::kOk:
+        ClearFault(fault_key);  // The kernel survived; not poison.
         if (!run->payload_valid || !DecodeChildOutcome(run->payload,
                                                        &response)) {
           return ErrorResponse(
@@ -589,10 +857,20 @@ class Server::Impl {
         return ErrorResponse(ResponseCode::kError,
                              "isolated child " + run->detail);
       case RunStatus::kCrash:
+        RecordFault(fault_key);
         return ErrorResponse(ResponseCode::kCrash, run->detail);
       case RunStatus::kOom:
+        RecordFault(fault_key);
         return ErrorResponse(ResponseCode::kOom, run->detail);
       case RunStatus::kTimeout:
+        if (run->killed_on_cancel) {
+          return ErrorResponse(
+              ResponseCode::kError,
+              "watchdog killed the isolated child: still running " +
+                  std::to_string(options_.watchdog_grace_seconds) +
+                  "s past its " + std::to_string(req.deadline_ms) +
+                  "ms deadline");
+        }
         return ErrorResponse(ResponseCode::kDnf,
                              "hard-killed at the wall-clock backstop after " +
                                  std::to_string(run->wall_seconds) + "s");
@@ -603,6 +881,7 @@ class Server::Impl {
       auto decoded = DecodeAlignResult(response.body);
       if (decoded.ok() && !decoded->degraded) {
         cache_.Put(key, response.body);
+        if (store_ != nullptr) store_->Append(key, response.body);
       }
     }
     return response;
@@ -669,8 +948,14 @@ class Server::Impl {
     return response;
   }
 
+  static constexpr size_t kMaxTrackedClients = 8192;
+  static constexpr size_t kMaxTrackedFaults = 8192;
+
   const ServerOptions options_;
   ResultCache cache_;
+  std::unique_ptr<CacheStore> store_;     // Null without cache_dir.
+  CacheStore::ReplayStats replay_stats_;  // Fixed after Start().
+  std::chrono::steady_clock::time_point start_time_;
 
   int listen_fd_ = -1;
   int bound_port_ = -1;
@@ -679,11 +964,28 @@ class Server::Impl {
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> queue_;                 // Admitted, not yet served.
+  std::condition_variable watchdog_cv_;
+  std::deque<QueueEntry> queue_;          // Admitted, not yet served.
   std::unordered_set<int> active_fds_;    // Being served by a worker.
-  std::vector<std::thread> threads_;      // Workers + accept thread.
+  std::vector<std::thread> threads_;      // Workers + watchdog + accept.
+  std::deque<WorkerSlot> slots_;          // Fixed after Start().
+
+  std::mutex quota_mu_;
+  std::unordered_map<std::string, QuotaBucket> quota_;
+  std::mutex fault_mu_;
+  std::unordered_map<uint64_t, FaultRecord> faults_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> busy_rejected_{0};
+  std::atomic<uint64_t> quota_rejected_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> quarantined_responses_{0};
+  std::atomic<uint64_t> quarantined_signatures_{0};
+  std::atomic<uint64_t> watchdog_kills_{0};
+  std::atomic<uint64_t> cache_open_errors_{0};
 };
 
 Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -701,5 +1003,6 @@ void Server::Drain() { impl_->Drain(); }
 void Server::Wait() { impl_->Wait(); }
 int Server::port() const { return impl_->port(); }
 ResultCache::Stats Server::cache_stats() const { return impl_->cache_stats(); }
+ServerStatsResult Server::stats() const { return impl_->ServerStats(); }
 
 }  // namespace graphalign

@@ -21,6 +21,15 @@
 // Caching: completed align results are stored in a content-addressed LRU
 // cache (server/cache.h) keyed on (g1 hash, g2 hash, algo, assignment), so
 // a repeated identical request is answered from memory in microseconds.
+// With cache_dir set, completed entries also spill to an append-only
+// CRC-checksummed log (server/cache_store.h) replayed at startup, so a
+// restart comes up warm.
+//
+// Overload robustness (DESIGN.md §14): per-client token-bucket quotas
+// (quota_rps), queue-deadline shedding (shed), a poison-request quarantine
+// that stops re-forking signatures which repeatedly CRASH/OOM
+// (quarantine_threshold), and a watchdog that SIGKILLs isolated children
+// hung past deadline + watchdog_grace_seconds.
 #ifndef GRAPHALIGN_SERVER_SERVER_H_
 #define GRAPHALIGN_SERVER_SERVER_H_
 
@@ -29,6 +38,7 @@
 
 #include "common/status.h"
 #include "server/cache.h"
+#include "server/protocol.h"
 
 namespace graphalign {
 
@@ -60,6 +70,34 @@ struct ServerOptions {
   // hangs; cooperative overruns are caught by the Deadline well before it.
   double wall_slack_seconds = 30.0;
   double default_wall_limit_seconds = 300.0;
+
+  // Durable cache log directory (server/cache_store.h). Replayed at
+  // startup (warm restart); every clean cached result is appended. Empty =
+  // in-memory cache only. Open/replay failure degrades to a cold cache and
+  // is counted in the stats; it never prevents startup.
+  std::string cache_dir;
+
+  // Per-client admission quota for align requests, in requests/second
+  // (token bucket per Request::client, burst = max(1, 2 * quota_rps)).
+  // A client over its quota gets a typed BUSY naming the quota. 0 = off.
+  double quota_rps = 0.0;
+
+  // Queue-deadline shedding: when true, an align request whose admission
+  // queue wait already consumed its deadline_ms is answered with a typed
+  // SHED immediately instead of being forked into guaranteed-late work.
+  bool shed = false;
+
+  // Poison-request quarantine: after this many consecutive CRASH/OOM
+  // outcomes for one (g1 hash, g2 hash, algo) signature, further requests
+  // for it get a typed QUARANTINED without forking. Success clears the
+  // count; quarantine lasts until restart. 0 disables.
+  int quarantine_threshold = 3;
+
+  // Worker watchdog: an isolated align child still running this many
+  // seconds past its cooperative deadline is SIGKILLed and its client gets
+  // a typed ERROR (only for requests that carry a deadline_ms; the
+  // wall-clock backstop still guards the rest). <= 0 disables.
+  double watchdog_grace_seconds = 10.0;
 };
 
 class Server {
@@ -97,6 +135,10 @@ class Server {
   int port() const;
 
   ResultCache::Stats cache_stats() const;
+
+  // Admission/quarantine/watchdog/durable-cache counters since Start()
+  // (the same payload a kServerStats request returns over the wire).
+  ServerStatsResult stats() const;
 
  private:
   class Impl;

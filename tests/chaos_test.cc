@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,6 +32,7 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "noise/noise.h"
+#include "server/cache_store.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -553,6 +555,315 @@ TEST_F(ChaosServerTest, PersistentNumericalFaultYieldsNumericalResponse) {
   auto resp = client->Call(AlignRequest(g1, g2, "NSD"));
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_EQ(resp->code, ResponseCode::kNumerical) << resp->message;
+}
+
+// ---------------------------------------------------------------------------
+// Durable cache log (DESIGN.md §14): crash-shaped damage — torn tails, bit
+// rot, an unreadable log — yields a warm-or-cold cache, never a dead daemon.
+
+class CacheStoreChaosTest : public ChaosTest {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ga_chaos_cacheXXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    ::unlink((dir_ + "/cache.log").c_str());
+    ::rmdir(dir_.c_str());
+    ChaosTest::TearDown();
+  }
+
+  // Opens the log and collects everything replay delivers.
+  Result<std::unique_ptr<CacheStore>> OpenCollecting(
+      std::vector<std::pair<uint64_t, std::string>>* out,
+      CacheStore::ReplayStats* stats) {
+    return CacheStore::Open(
+        dir_,
+        [out](uint64_t key, std::string value) {
+          out->push_back({key, std::move(value)});
+        },
+        stats);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CacheStoreChaosTest, GoldenRoundTripAcrossReopen) {
+  {
+    std::vector<std::pair<uint64_t, std::string>> replayed;
+    auto store = OpenCollecting(&replayed, nullptr);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_TRUE(replayed.empty());
+    (*store)->Append(1, "first");
+    (*store)->Append(2, std::string(1000, 'x'));
+    (*store)->Append(3, "");  // Zero-length values are legal records.
+    EXPECT_EQ((*store)->append_errors(), 0u);
+  }
+  std::vector<std::pair<uint64_t, std::string>> replayed;
+  CacheStore::ReplayStats stats;
+  auto store = OpenCollecting(&replayed, &stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed[0].first, 1u);
+  EXPECT_EQ(replayed[0].second, "first");
+  EXPECT_EQ(replayed[1].second, std::string(1000, 'x'));
+  EXPECT_EQ(replayed[2].second, "");
+  EXPECT_EQ(stats.replayed, 3u);
+  EXPECT_EQ(stats.crc_skipped, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST_F(CacheStoreChaosTest, TornTailIsTruncatedBackToLastGoodRecord) {
+  {
+    std::vector<std::pair<uint64_t, std::string>> replayed;
+    auto store = OpenCollecting(&replayed, nullptr);
+    ASSERT_TRUE(store.ok());
+    (*store)->Append(10, "survives");
+    // The armed torn append writes a record cut off mid-payload, exactly
+    // what a crash between write() and close() leaves behind.
+    ASSERT_TRUE(ActivateFailpoint("server.cache.append.torn", "once").ok());
+    (*store)->Append(11, "torn-away-by-the-crash");
+  }
+  std::vector<std::pair<uint64_t, std::string>> replayed;
+  CacheStore::ReplayStats stats;
+  auto store = OpenCollecting(&replayed, &stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].first, 10u);
+  EXPECT_EQ(replayed[0].second, "survives");
+  EXPECT_EQ(stats.replayed, 1u);
+  EXPECT_GT(stats.truncated_bytes, 0u);
+
+  // The truncation healed the file: appends after the reopen land on a
+  // clean boundary and a third open replays both records undamaged.
+  (*store)->Append(12, "after-heal");
+  store->reset();
+  replayed.clear();
+  auto again = OpenCollecting(&replayed, &stats);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[1].first, 12u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST_F(CacheStoreChaosTest, CrcMismatchSkipsOnlyTheRottedRecord) {
+  const std::string value_a(16, 'a');
+  const std::string value_b(16, 'b');
+  const std::string value_c(16, 'c');
+  {
+    std::vector<std::pair<uint64_t, std::string>> replayed;
+    auto store = OpenCollecting(&replayed, nullptr);
+    ASSERT_TRUE(store.ok());
+    (*store)->Append(20, value_a);
+    (*store)->Append(21, value_b);
+    (*store)->Append(22, value_c);
+  }
+  // Flip one byte inside record B's value. Records are
+  // 12-byte header + 8-byte key + value, so B's value starts at
+  // (12+8+16) + 12 + 8.
+  const std::streamoff record_bytes = 12 + 8 + 16;
+  const std::streamoff target = record_bytes + 12 + 8 + 4;
+  {
+    std::fstream f(dir_ + "/cache.log",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(target);
+    char byte = 0;
+    f.get(byte);
+    f.seekp(target);
+    f.put(static_cast<char>(byte ^ 0x40));
+    ASSERT_TRUE(f.good());
+  }
+  std::vector<std::pair<uint64_t, std::string>> replayed;
+  CacheStore::ReplayStats stats;
+  auto store = OpenCollecting(&replayed, &stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  // Bit rot is local: A and C survive, only B is dropped.
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].first, 20u);
+  EXPECT_EQ(replayed[1].first, 22u);
+  EXPECT_EQ(stats.replayed, 2u);
+  EXPECT_EQ(stats.crc_skipped, 1u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST_F(CacheStoreChaosTest, AppendErrorFailpointIsCountedNotFatal) {
+  std::vector<std::pair<uint64_t, std::string>> replayed;
+  auto store = OpenCollecting(&replayed, nullptr);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(ActivateFailpoint("server.cache.append.error", "once").ok());
+  (*store)->Append(30, "dropped");
+  (*store)->Append(31, "kept");
+  EXPECT_EQ((*store)->append_errors(), 1u);
+  store->reset();
+
+  CacheStore::ReplayStats stats;
+  replayed.clear();
+  auto again = OpenCollecting(&replayed, &stats);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].first, 31u);
+}
+
+TEST_F(CacheStoreChaosTest, ReplayErrorFailpointFailsOpenOnly) {
+  ASSERT_TRUE(ActivateFailpoint("server.cache.replay.error", "error").ok());
+  std::vector<std::pair<uint64_t, std::string>> replayed;
+  auto store = OpenCollecting(&replayed, nullptr);
+  ASSERT_FALSE(store.ok());
+  DeactivateAllFailpoints();
+  // The failure mode is "cold cache", not "poisoned directory": the next
+  // open succeeds.
+  auto again = OpenCollecting(&replayed, nullptr);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+// Daemon-level durable cache: restart comes up warm; an unreadable log cold
+// starts the cache but never the daemon.
+
+class DurableServerTest : public ChaosServerTest {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ga_chaos_srvcacheXXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    cache_dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    ChaosServerTest::TearDown();
+    ::unlink((cache_dir_ + "/cache.log").c_str());
+    ::rmdir(cache_dir_.c_str());
+  }
+
+  void StopServer() {
+    server_->Shutdown();
+    server_->Wait();
+    server_.reset();
+    ::unlink(socket_path_.c_str());
+  }
+
+  std::string cache_dir_;
+};
+
+TEST_F(DurableServerTest, RestartReplaysTheCacheLogWarm) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("warm1");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 10.0;
+  opts.cache_dir = cache_dir_;
+  StartServer(opts);
+
+  const Graph g1 = SmallGraph(101);
+  const Graph g2 = SmallGraph(102);
+  {
+    auto client = Connect();
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto cold = client->Call(AlignRequest(g1, g2, "NSD"));
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ASSERT_EQ(cold->code, ResponseCode::kOk) << cold->message;
+    EXPECT_FALSE(cold->cache_hit);
+  }
+  StopServer();
+
+  // Second daemon instance, same --cache-dir: the identical request must be
+  // a replay-warmed cache hit, answered without forking an aligner.
+  opts.socket_path = TempSocketPath("warm2");
+  StartServer(opts);
+  ServerStatsResult stats = server_->stats();
+  EXPECT_GE(stats.cache_replayed, 1u);
+  EXPECT_EQ(stats.cache_crc_skipped, 0u);
+  EXPECT_EQ(stats.cache_truncated_bytes, 0u);
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto warm = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->code, ResponseCode::kOk) << warm->message;
+  EXPECT_TRUE(warm->cache_hit);
+}
+
+TEST_F(DurableServerTest, UnreadableLogColdStartsTheCacheNotTheDaemon) {
+  ASSERT_TRUE(ActivateFailpoint("server.cache.replay.error", "error").ok());
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("coldlog");
+  opts.workers = 1;
+  opts.cache_dir = cache_dir_;
+  StartServer(opts);
+  DeactivateAllFailpoints();
+
+  ServerStatsResult stats = server_->stats();
+  EXPECT_EQ(stats.cache_open_errors, 1u);
+  EXPECT_EQ(stats.cache_replayed, 0u);
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto resp = client->Call(PingRequest());
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kOk);
+}
+
+TEST_F(DurableServerTest, AppendFaultDegradesDurabilityNotService) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("apperr");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 10.0;
+  opts.cache_dir = cache_dir_;
+  StartServer(opts);
+  ASSERT_TRUE(ActivateFailpoint("server.cache.append.error", "error").ok());
+
+  const Graph g1 = SmallGraph(111);
+  const Graph g2 = SmallGraph(112);
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto resp = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->code, ResponseCode::kOk) << resp->message;
+
+  // The append was dropped and counted, but the in-memory cache is hot.
+  EXPECT_GE(server_->stats().cache_append_errors, 1u);
+  auto warm = client->Call(AlignRequest(g1, g2, "NSD"));
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->code, ResponseCode::kOk);
+  EXPECT_TRUE(warm->cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: a non-cooperative hang is SIGKILLed past deadline + grace and
+// surfaces as a typed ERROR naming the watchdog, not a wall-limit DNF
+// half a minute later.
+
+TEST_F(ChaosServerTest, WatchdogKillsNonCooperativeHangAndCountsIt) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("wdog");
+  opts.workers = 1;
+  opts.watchdog_grace_seconds = 0.5;
+  StartServer(opts);
+
+  const Graph g1 = SmallGraph(121);
+  const Graph g2 = SmallGraph(122);
+  Request req = AlignRequest(g1, g2, "_HANG");
+  req.align.deadline_ms = 300;  // _HANG ignores the cooperative deadline.
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto start = std::chrono::steady_clock::now();
+  auto resp = client->Call(req);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kError) << resp->message;
+  EXPECT_NE(resp->message.find("watchdog"), std::string::npos)
+      << resp->message;
+  // Deadline (0.3 s) + grace (0.5 s) + watchdog poll stride — far below the
+  // ~30 s wall-clock backstop that would otherwise catch this hang.
+  EXPECT_LT(elapsed, 10.0);
+
+  ServerStatsResult stats = server_->stats();
+  EXPECT_EQ(stats.watchdog_kills, 1u);
+  ASSERT_EQ(stats.worker_restarts.size(), 1u);
+  EXPECT_EQ(stats.worker_restarts[0], 1u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/exit_codes.h"
 #include "common/memory.h"
 #include "common/parse.h"
@@ -268,6 +269,44 @@ TEST(ExitCodesTest, ValuesArePinned) {
   EXPECT_EQ(kExitCrash, 4);
   EXPECT_EQ(kExitOom, 5);
   EXPECT_EQ(kExitBusy, 6);
+  EXPECT_EQ(kExitNumerical, 7);
+  EXPECT_EQ(kExitShuttingDown, 8);
+  EXPECT_EQ(kExitShed, 9);
+  EXPECT_EQ(kExitQuarantined, 10);
+}
+
+TEST(Crc32cTest, MatchesKnownVectors) {
+  // The canonical CRC32C check value plus the RFC 3720 (iSCSI) vectors: a
+  // wrong polynomial, init, reflection, or final XOR fails at least one.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the durable cache log payload";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cInit();
+    crc = Crc32cUpdate(crc, data.data(), split);
+    crc = Crc32cUpdate(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32cFinish(crc), Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  const std::string data = "GAR1-framed cache record";
+  const uint32_t good = Crc32c(data);
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), good) << "pos " << pos << " bit " << bit;
+    }
+  }
 }
 
 }  // namespace

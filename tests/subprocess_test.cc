@@ -4,6 +4,7 @@
 // failures.
 #include "common/subprocess.h"
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
@@ -129,6 +130,58 @@ TEST(RunIsolatedTest, NonCooperativeHangIsKilledAtWallCap) {
   EXPECT_EQ(result->status, RunStatus::kTimeout);
   EXPECT_GE(result->wall_seconds, 0.5);
   EXPECT_LT(result->wall_seconds, 30.0);
+}
+
+TEST(RunIsolatedTest, CancelHookKillsTheChildAndMarksIt) {
+  // The server's watchdog cancels hung children through this hook: once it
+  // returns true, the parent's wait loop SIGKILLs the child and the outcome
+  // is a kTimeout flagged killed_on_cancel — distinguishable from a
+  // wall-cap kill, which the next assertion covers.
+  SubprocessOptions options;
+  options.wall_limit_seconds = 60.0;  // Far beyond the cancel.
+  const auto armed_at = std::chrono::steady_clock::now();
+  options.cancel = [armed_at] {
+    return std::chrono::steady_clock::now() - armed_at >
+           std::chrono::milliseconds(200);
+  };
+  auto result = RunIsolated(
+      [](int) {
+        for (volatile uint64_t spin = 0;; spin = spin + 1) {
+        }
+        return 0;
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kTimeout);
+  EXPECT_TRUE(result->killed_on_cancel);
+  EXPECT_LT(result->wall_seconds, 30.0);  // The 60 s cap never fired.
+}
+
+TEST(RunIsolatedTest, WallCapKillIsNotMarkedAsCancel) {
+  SubprocessOptions options;
+  options.wall_limit_seconds = 0.3;
+  options.cancel = [] { return false; };  // Armed but never firing.
+  auto result = RunIsolated(
+      [](int) {
+        for (volatile uint64_t spin = 0;; spin = spin + 1) {
+        }
+        return 0;
+      },
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kTimeout);
+  EXPECT_FALSE(result->killed_on_cancel);
+}
+
+TEST(RunIsolatedTest, CancelThatNeverFiresLeavesCleanRunsUntouched) {
+  SubprocessOptions options;
+  options.cancel = [] { return false; };
+  auto result = RunIsolated([](int payload_fd) {
+    return WritePayload(payload_fd, "done") ? 0 : 1;
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, RunStatus::kOk);
+  EXPECT_FALSE(result->killed_on_cancel);
 }
 
 TEST(CountProcThreadsTest, SeesAtLeastTheMainThread) {

@@ -1,0 +1,408 @@
+// Closed-loop load generator for the alignment service daemon.
+//
+// Spawns --clients threads, each issuing --requests requests back-to-back
+// against a running daemon (fresh connection per request, like real
+// short-lived clients). Each request is drawn from a weighted --mix of
+// traffic kinds:
+//
+//   hit      one fixed graph pair, NSD: after the first fork, pure cache
+//            hits — the fast path under load.
+//   miss     a unique ER pair per request: always a cold isolated fork.
+//   degraded a fixed pair on GRASP: degrades only when the daemon has
+//            numerical failpoints armed, otherwise an ordinary fork.
+//   poison   _CRASH on a small pool of pairs: repeated signatures, so a
+//            daemon with quarantine enabled trips it mid-run and the tail
+//            of the mix is answered with typed QUARANTINED, not forks.
+//
+// Reports per-kind counts, a typed-response histogram (SHED, QUARANTINED,
+// BUSY, ... plus TRANSPORT for connect/IO failures), latency percentiles
+// (p50/p90/p99/p999), and closed-loop throughput. --json writes the same
+// table with run metadata for checked-in baselines (BENCH_loadgen.json).
+//
+// Exit code: 0 when every response was *typed* (any code — overload
+// answers are correct behavior under chaos), 1 when transport errors or
+// bad arguments show the daemon actually failed its clients.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "graph/generators.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace graphalign {
+namespace {
+
+struct MixEntry {
+  std::string kind;
+  int weight = 0;
+};
+
+struct LoadgenOptions {
+  std::string socket_path;
+  int port = -1;
+  int clients = 4;
+  int requests = 50;  // Per client.
+  std::vector<MixEntry> mix = {{"hit", 6}, {"miss", 3}, {"poison", 1}};
+  uint64_t seed = 42;
+  uint64_t deadline_ms = 5000;
+  int nodes = 48;
+  std::string json_path;
+  std::string client_prefix = "loadgen";
+  double timeout_seconds = 60.0;
+};
+
+// Per-kind accumulator, merged across worker threads at the end.
+struct KindStats {
+  uint64_t sent = 0;
+  uint64_t transport_errors = 0;
+  uint64_t cache_hits = 0;
+  std::map<std::string, uint64_t> by_code;  // Typed responses by name.
+  std::vector<double> latencies_ms;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH | --port N [--clients C] [--requests N]\n"
+      "  [--mix hit:W,miss:W,degraded:W,poison:W] [--seed S]\n"
+      "  [--deadline-ms D] [--nodes N] [--timeout T] [--json PATH]\n",
+      argv0);
+  return 1;
+}
+
+bool ParseMix(const std::string& spec, std::vector<MixEntry>* out) {
+  std::vector<MixEntry> mix;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string part =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    MixEntry e;
+    e.kind = part.substr(0, colon);
+    if (e.kind != "hit" && e.kind != "miss" && e.kind != "degraded" &&
+        e.kind != "poison") {
+      return false;
+    }
+    try {
+      e.weight = std::stoi(part.substr(colon + 1));
+    } catch (...) {
+      return false;
+    }
+    if (e.weight < 0) return false;
+    if (e.weight > 0) mix.push_back(e);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (mix.empty()) return false;
+  *out = std::move(mix);
+  return true;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(idx, sorted->size() - 1)];
+}
+
+Result<WireGraph> MakeWirePair(int nodes, uint64_t seed, WireGraph* second) {
+  Rng rng(seed);
+  GA_ASSIGN_OR_RETURN(Graph g1, ErdosRenyi(nodes, 0.12, &rng));
+  GA_ASSIGN_OR_RETURN(Graph g2, ErdosRenyi(nodes, 0.12, &rng));
+  *second = ToWire(g2);
+  return ToWire(g1);
+}
+
+class Loadgen {
+ public:
+  explicit Loadgen(const LoadgenOptions& options) : options_(options) {}
+
+  int Run() {
+    // Fixed pairs are generated once and shared read-only by all threads.
+    WireGraph hit_g2, degraded_g2;
+    auto hit_g1 = MakeWirePair(options_.nodes, options_.seed * 7919 + 1,
+                               &hit_g2);
+    auto degraded_g1 =
+        MakeWirePair(options_.nodes, options_.seed * 7919 + 2, &degraded_g2);
+    if (!hit_g1.ok() || !degraded_g1.ok()) {
+      std::fprintf(stderr, "loadgen: graph generation failed\n");
+      return 1;
+    }
+    hit_.g1 = *std::move(hit_g1);
+    hit_.g2 = std::move(hit_g2);
+    degraded_.g1 = *std::move(degraded_g1);
+    degraded_.g2 = std::move(degraded_g2);
+    for (int i = 0; i < kPoisonPool; ++i) {
+      WireGraph g2;
+      auto g1 = MakeWirePair(options_.nodes, options_.seed * 7919 + 100 + i,
+                             &g2);
+      if (!g1.ok()) {
+        std::fprintf(stderr, "loadgen: graph generation failed\n");
+        return 1;
+      }
+      poison_[i].g1 = *std::move(g1);
+      poison_[i].g2 = std::move(g2);
+    }
+    for (const MixEntry& e : options_.mix) total_weight_ += e.weight;
+
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(options_.clients));
+    for (int c = 0; c < options_.clients; ++c) {
+      threads.emplace_back([this, c] { ClientLoop(c); });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_seconds = wall.Seconds();
+    return Report(wall_seconds);
+  }
+
+ private:
+  struct Pair {
+    WireGraph g1, g2;
+  };
+  static constexpr int kPoisonPool = 2;
+
+  const std::string& PickKind(Rng* rng) {
+    int roll = static_cast<int>(rng->UniformInt(
+        static_cast<uint64_t>(total_weight_)));
+    for (const MixEntry& e : options_.mix) {
+      roll -= e.weight;
+      if (roll < 0) return e.kind;
+    }
+    return options_.mix.back().kind;
+  }
+
+  Request BuildRequest(const std::string& kind, int client_index, Rng* rng) {
+    Request req;
+    req.type = RequestType::kAlign;
+    req.client =
+        options_.client_prefix + "-" + std::to_string(client_index);
+    AlignRequest& a = req.align;
+    a.assign = "JV";
+    a.deadline_ms = options_.deadline_ms;
+    if (kind == "hit") {
+      a.algo = "NSD";
+      a.g1 = hit_.g1;
+      a.g2 = hit_.g2;
+    } else if (kind == "miss") {
+      a.algo = "NSD";
+      WireGraph g2;
+      // A unique pair per request: the daemon has never seen it, so this
+      // is always a cold fork. Generation failure is practically
+      // impossible for ER at these sizes, but fall back to the hit pair
+      // rather than crashing the harness mid-run.
+      auto g1 = MakeWirePair(options_.nodes, rng->Next(), &g2);
+      if (g1.ok()) {
+        a.g1 = *std::move(g1);
+        a.g2 = std::move(g2);
+      } else {
+        a.g1 = hit_.g1;
+        a.g2 = hit_.g2;
+      }
+    } else if (kind == "degraded") {
+      a.algo = "GRASP";
+      a.g1 = degraded_.g1;
+      a.g2 = degraded_.g2;
+    } else {  // poison
+      a.algo = "_CRASH";
+      const Pair& p = poison_[rng->UniformInt(
+          static_cast<uint64_t>(kPoisonPool))];
+      a.g1 = p.g1;
+      a.g2 = p.g2;
+    }
+    return req;
+  }
+
+  void ClientLoop(int client_index) {
+    // Deterministic per-thread stream: same seed + same mix => same
+    // request sequence, independent of scheduling.
+    Rng rng(options_.seed + 0x9e3779b97f4a7c15ull *
+                                static_cast<uint64_t>(client_index + 1));
+    ClientOptions conn;
+    conn.socket_path = options_.socket_path;
+    conn.port = options_.port;
+    conn.timeout_seconds = options_.timeout_seconds;
+    std::map<std::string, KindStats> local;
+    for (int i = 0; i < options_.requests; ++i) {
+      const std::string kind = PickKind(&rng);
+      const Request req = BuildRequest(kind, client_index, &rng);
+      KindStats& ks = local[kind];
+      ++ks.sent;
+      WallTimer timer;
+      auto client = Client::Connect(conn);
+      Result<Response> resp =
+          client.ok() ? client->Call(req) : Result<Response>(client.status());
+      ks.latencies_ms.push_back(timer.Seconds() * 1e3);
+      if (!resp.ok()) {
+        ++ks.transport_errors;
+        continue;
+      }
+      ++ks.by_code[ResponseCodeName(resp->code)];
+      if (resp->cache_hit) ++ks.cache_hits;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [kind, ks] : local) {
+      KindStats& merged = stats_[kind];
+      merged.sent += ks.sent;
+      merged.transport_errors += ks.transport_errors;
+      merged.cache_hits += ks.cache_hits;
+      for (const auto& [code, n] : ks.by_code) merged.by_code[code] += n;
+      merged.latencies_ms.insert(merged.latencies_ms.end(),
+                                 ks.latencies_ms.begin(),
+                                 ks.latencies_ms.end());
+    }
+  }
+
+  int Report(double wall_seconds) {
+    Table table({"kind", "sent", "ok", "cache_hits", "typed_errors",
+                 "transport", "p50_ms", "p90_ms", "p99_ms", "p999_ms"});
+    uint64_t total_sent = 0, total_transport = 0;
+    std::map<std::string, uint64_t> histogram;
+    std::vector<double> all_latencies;
+    for (auto& [kind, ks] : stats_) {
+      std::sort(ks.latencies_ms.begin(), ks.latencies_ms.end());
+      all_latencies.insert(all_latencies.end(), ks.latencies_ms.begin(),
+                           ks.latencies_ms.end());
+      uint64_t ok = 0, typed_errors = 0;
+      for (const auto& [code, n] : ks.by_code) {
+        histogram[code] += n;
+        if (code == "OK") {
+          ok += n;
+        } else {
+          typed_errors += n;
+        }
+      }
+      total_sent += ks.sent;
+      total_transport += ks.transport_errors;
+      table.AddRow({kind, std::to_string(ks.sent), std::to_string(ok),
+                    std::to_string(ks.cache_hits),
+                    std::to_string(typed_errors),
+                    std::to_string(ks.transport_errors),
+                    Table::Num(Percentile(&ks.latencies_ms, 0.50), 2),
+                    Table::Num(Percentile(&ks.latencies_ms, 0.90), 2),
+                    Table::Num(Percentile(&ks.latencies_ms, 0.99), 2),
+                    Table::Num(Percentile(&ks.latencies_ms, 0.999), 2)});
+    }
+    std::sort(all_latencies.begin(), all_latencies.end());
+    const double throughput =
+        wall_seconds > 0.0 ? static_cast<double>(total_sent) / wall_seconds
+                           : 0.0;
+    table.Print(std::cout);
+    std::printf("\ntyped responses:");
+    for (const auto& [code, n] : histogram) {
+      std::printf(" %s=%llu", code.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+    std::printf(" TRANSPORT=%llu\n",
+                static_cast<unsigned long long>(total_transport));
+    std::printf(
+        "%llu requests, %d clients, %.2fs wall, %.1f req/s, "
+        "p50=%.2fms p99=%.2fms p999=%.2fms\n",
+        static_cast<unsigned long long>(total_sent), options_.clients,
+        wall_seconds, throughput, Percentile(&all_latencies, 0.50),
+        Percentile(&all_latencies, 0.99), Percentile(&all_latencies, 0.999));
+
+    if (!options_.json_path.empty()) {
+      std::vector<std::pair<std::string, std::string>> meta = {
+          {"bench", "loadgen"},
+          {"clients", std::to_string(options_.clients)},
+          {"requests_per_client", std::to_string(options_.requests)},
+          {"seed", std::to_string(options_.seed)},
+          {"nodes", std::to_string(options_.nodes)},
+          {"deadline_ms", std::to_string(options_.deadline_ms)},
+          {"wall_seconds", Table::Num(wall_seconds, 3)},
+          {"throughput_rps", Table::Num(throughput, 1)},
+          {"transport_errors", std::to_string(total_transport)},
+      };
+      for (const auto& [code, n] : histogram) {
+        meta.emplace_back("responses_" + code, std::to_string(n));
+      }
+      if (!table.WriteJson(options_.json_path, meta)) {
+        std::fprintf(stderr, "loadgen: cannot write %s\n",
+                     options_.json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", options_.json_path.c_str());
+    }
+    // Typed overload answers are the daemon doing its job; only transport
+    // failures mean clients were actually dropped.
+    return total_transport == 0 ? 0 : 1;
+  }
+
+  const LoadgenOptions options_;
+  Pair hit_, degraded_;
+  Pair poison_[kPoisonPool];
+  int total_weight_ = 0;
+  std::mutex mu_;
+  std::map<std::string, KindStats> stats_;
+};
+
+int Main(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--socket" && (v = next())) {
+      options.socket_path = v;
+    } else if (arg == "--port" && (v = next())) {
+      options.port = std::atoi(v);
+    } else if (arg == "--clients" && (v = next())) {
+      options.clients = std::atoi(v);
+    } else if (arg == "--requests" && (v = next())) {
+      options.requests = std::atoi(v);
+    } else if (arg == "--mix" && (v = next())) {
+      if (!ParseMix(v, &options.mix)) {
+        std::fprintf(stderr, "loadgen: bad --mix '%s'\n", v);
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--seed" && (v = next())) {
+      options.seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--deadline-ms" && (v = next())) {
+      options.deadline_ms =
+          static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--nodes" && (v = next())) {
+      options.nodes = std::atoi(v);
+    } else if (arg == "--timeout" && (v = next())) {
+      options.timeout_seconds = std::atof(v);
+    } else if (arg == "--json" && (v = next())) {
+      options.json_path = v;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown or incomplete flag '%s'\n",
+                   arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty() && options.port < 0) {
+    std::fprintf(stderr, "loadgen: --socket or --port is required\n");
+    return Usage(argv[0]);
+  }
+  if (options.clients <= 0 || options.requests <= 0 || options.nodes < 8) {
+    std::fprintf(stderr,
+                 "loadgen: --clients/--requests must be positive, "
+                 "--nodes at least 8\n");
+    return Usage(argv[0]);
+  }
+  Loadgen loadgen(options);
+  return loadgen.Run();
+}
+
+}  // namespace
+}  // namespace graphalign
+
+int main(int argc, char** argv) { return graphalign::Main(argc, argv); }

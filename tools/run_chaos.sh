@@ -90,18 +90,19 @@ echo "== 4/4 daemon: BUSY ridden out by --retries, drained by SIGTERM =="
 GRAPHALIGN_FAILPOINTS="server.busy=once" \
   "$TOOL" serve --socket "$SOCK" --workers 1 > "$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
+# Readiness via the client's own --retries backoff (it also rides through
+# the armed once-BUSY); between rounds, fail fast with the daemon log if
+# the process died instead of burning the whole retry budget.
 up=0
-for _ in $(seq 1 50); do
-  # The armed once-BUSY may answer this probe; --retries rides through it.
-  if "$TOOL" submit --socket "$SOCK" --ping --retries 3 > /dev/null 2>&1; then
+for _ in 1 2 3; do
+  if "$TOOL" submit --socket "$SOCK" --ping --retries 4 > /dev/null 2>&1; then
     up=1
     break
   fi
   kill -0 "$DAEMON_PID" 2> /dev/null || break
-  sleep 0.1
 done
 if [[ "$up" != 1 ]]; then
-  echo "daemon never answered despite retries:" >&2
+  echo "daemon never answered despite retries (or died):" >&2
   cat "$WORK/daemon.log" >&2
   exit 1
 fi

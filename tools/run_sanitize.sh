@@ -2,7 +2,10 @@
 # Builds the sparse-pipeline test binary under -DGRAPHALIGN_SANITIZE=address
 # and runs it: the MinHash/LSH candidate generator and the sparse LAP solver
 # are the newest pointer-heavy code in the tree, so they get an ASan pass in
-# the test matrix (DESIGN.md §13), not just the release build.
+# the test matrix (DESIGN.md §13), not just the release build. The protocol
+# fuzz suite rides along: randomized/truncated/bit-flipped frames into the
+# wire decoders are exactly the inputs where ASan turns a silent overread
+# into a hard failure.
 #
 # Usage: tools/run_sanitize.sh [source-dir]
 # Exits 77 (the ctest SKIP_RETURN_CODE) when the toolchain cannot produce an
@@ -23,10 +26,13 @@ fi
 
 cmake -S "$SRC" -B "$BUILD" -DGRAPHALIGN_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-# Only the sparse suite and its dependency closure — not the whole tree.
-cmake --build "$BUILD" --target sparse_test -j > /dev/null
+# Only the sparse suite, the protocol fuzz suite, and their dependency
+# closure — not the whole tree.
+cmake --build "$BUILD" --target sparse_test protocol_fuzz_test -j > /dev/null
 
 # halt_on_error keeps the failure visible to ctest; detect_leaks stays on so
 # candidate buffers and solver scratch are leak-checked too.
 ASAN_OPTIONS=halt_on_error=1 "$BUILD/tests/sparse_test"
 echo "sparse pipeline is clean under AddressSanitizer"
+ASAN_OPTIONS=halt_on_error=1 "$BUILD/tests/protocol_fuzz_test"
+echo "protocol decoders are clean under AddressSanitizer"

@@ -40,18 +40,20 @@ echo "== 1/4 start the daemon =="
   > "$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
 
-# Wait until it answers a ping (the socket appears before accept runs).
+# Readiness: the client's own --retries loop (jittered exponential backoff
+# on connect failures) replaces shell sleep-polling; between rounds, check
+# the daemon is still alive so a crashed startup fails fast with its log
+# instead of spinning out the full retry budget.
 up=0
-for _ in $(seq 1 50); do
-  if "$TOOL" submit --socket "$SOCK" --ping > /dev/null 2>&1; then
+for _ in 1 2 3; do
+  if "$TOOL" submit --socket "$SOCK" --ping --retries 4 > /dev/null 2>&1; then
     up=1
     break
   fi
   kill -0 "$DAEMON_PID" 2> /dev/null || break
-  sleep 0.1
 done
 if [[ "$up" != 1 ]]; then
-  echo "daemon never came up:" >&2
+  echo "daemon never came up (or died during startup):" >&2
   cat "$WORK/daemon.log" >&2
   exit 1
 fi

@@ -26,12 +26,21 @@ fi
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
+# Per-step wall-time banners: each "== k/4 ==" step reports how long it
+# took, so a slow CI run shows where the time went without re-running.
+STEP_T0=$SECONDS
+step_done() {
+  echo "-- step took $((SECONDS - STEP_T0))s"
+  STEP_T0=$SECONDS
+}
+
 echo "== 1/4 baseline journaled sweep =="
 "$BENCH" --algos NSD,LREA --reps 1 --seed 7 \
   --journal "$WORK/full.tsv" --csv "$WORK/full.csv" > /dev/null
 [[ -s "$WORK/full.csv" ]] || { echo "baseline csv missing" >&2; exit 1; }
 [[ -s "$WORK/full.tsv" ]] || { echo "baseline journal missing" >&2; exit 1; }
 
+step_done
 echo "== 2/4 interrupted sweep, then --resume =="
 # Simulate an interruption: only the NSD cells complete before the "crash".
 "$BENCH" --algos NSD --reps 1 --seed 7 \
@@ -46,6 +55,7 @@ if ! cmp -s "$WORK/full.csv" "$WORK/resumed.csv"; then
 fi
 echo "resume reproduced the baseline CSV byte-identically"
 
+step_done
 echo "== 3/4 crash/OOM containment =="
 "$BENCH" --algos NSD,_CRASH,_OOM --reps 1 --seed 7 \
   --isolate --mem-limit 512 --time-limit 60 \
@@ -62,6 +72,7 @@ grep -cq "^NSD," "$WORK/contained.csv" || {
   echo "NSD cells missing from the contained sweep" >&2; exit 1; }
 echo "faulting cells contained; healthy cells unaffected"
 
+step_done
 echo "== 4/4 sparse pipeline sweep =="
 "$SPARSE_BENCH" --algos NSD --seed 7 \
   --csv "$WORK/sparse.csv" --json "$WORK/sparse.json" > /dev/null
@@ -95,4 +106,5 @@ if ! cmp -s "$WORK/sparse.stable" "$WORK/sparse2.stable"; then
 fi
 echo "sparse sweep rows, JSON, and determinism verified"
 
+step_done
 echo "all sweep robustness checks passed"
