@@ -15,6 +15,7 @@
 
 #include "align/aligner.h"
 #include "common/exit_codes.h"
+#include "datasets/datasets.h"
 #include "common/failpoint.h"
 #include "common/parse.h"
 #include "common/random.h"
@@ -29,6 +30,8 @@
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "store/graph_store.h"
+#include "store/gst.h"
 
 namespace graphalign {
 
@@ -526,6 +529,11 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!io_timeout.ok()) return Fail(err, io_timeout.status());
   options.io_timeout_seconds = *io_timeout;
   options.cache_dir = flags.GetString("cache-dir");
+  options.store_dir = flags.GetString("store-dir");
+  auto compact_mb =
+      StrictDoubleFlag(flags, "cache-compact-mb", options.cache_compact_mb);
+  if (!compact_mb.ok()) return Fail(err, compact_mb.status());
+  options.cache_compact_mb = *compact_mb;
   auto quota = StrictDoubleFlag(flags, "quota", options.quota_rps);
   if (!quota.ok()) return Fail(err, quota.status());
   options.quota_rps = *quota;
@@ -623,6 +631,8 @@ int PrintAlignResponse(const Response& response, const AlignRequest& request,
   if (!result.ok()) return Fail(err, result.status());
   int matched = 0;
   for (int32_t v : result->mapping) matched += (v >= 0);
+  // By-hash submissions never load g1 locally; the mapping length is n1.
+  if (n1 == 0) n1 = static_cast<int>(result->mapping.size());
   out << request.algo << "/" << request.assign << " aligned " << matched
       << "/" << n1 << " nodes in " << Table::Num(result->align_seconds, 2)
       << "s (server)";
@@ -723,6 +733,16 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
       if (!truth.ok()) return Fail(err, truth.status());
       request.evaluate.truth.assign(truth->begin(), truth->end());
     }
+  } else if (flags.Has("put-graph")) {
+    request.type = RequestType::kPutGraph;
+    auto g = LoadWireGraph(flags.GetString("put-graph"));
+    if (!g.ok()) return Fail(err, g.status());
+    request.put_graph.g = std::move(*g);
+  } else if (flags.Has("has-graph")) {
+    request.type = RequestType::kHasGraph;
+    auto hash = GraphStore::ParseHashName(flags.GetString("has-graph"));
+    if (!hash.ok()) return Fail(err, hash.status());
+    request.has_graph.hash = *hash;
   } else if (flags.Has("algo")) {
     request.type = RequestType::kAlign;
     AlignRequest& a = request.align;
@@ -731,17 +751,35 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
     a.no_cache = flags.Has("no-cache");
     const std::string g1_path = flags.GetString("g1");
     const std::string g2_path = flags.GetString("g2");
-    if (g1_path.empty() || g2_path.empty()) {
-      return Fail(err, Status::InvalidArgument(
-                           "submit align requires --g1, --g2 and --algo"));
+    if (flags.Has("g1-hash") || flags.Has("g2-hash")) {
+      // Submit-by-hash: name both graphs by content hash; the daemon maps
+      // them from its store. Mixing a hash with an inline file is rejected
+      // (the wire format forbids the ambiguity too).
+      if (!g1_path.empty() || !g2_path.empty()) {
+        return Fail(err, Status::InvalidArgument(
+                             "submit align takes either --g1/--g2 files or "
+                             "--g1-hash/--g2-hash, not a mix"));
+      }
+      auto h1 = GraphStore::ParseHashName(flags.GetString("g1-hash"));
+      if (!h1.ok()) return Fail(err, h1.status());
+      auto h2 = GraphStore::ParseHashName(flags.GetString("g2-hash"));
+      if (!h2.ok()) return Fail(err, h2.status());
+      a.by_hash = true;
+      a.g1_hash = *h1;
+      a.g2_hash = *h2;
+    } else {
+      if (g1_path.empty() || g2_path.empty()) {
+        return Fail(err, Status::InvalidArgument(
+                             "submit align requires --g1, --g2 and --algo"));
+      }
+      auto g1 = LoadWireGraph(g1_path);
+      if (!g1.ok()) return Fail(err, g1.status());
+      auto g2 = LoadWireGraph(g2_path);
+      if (!g2.ok()) return Fail(err, g2.status());
+      align_n1 = g1->num_nodes;
+      a.g1 = std::move(*g1);
+      a.g2 = std::move(*g2);
     }
-    auto g1 = LoadWireGraph(g1_path);
-    if (!g1.ok()) return Fail(err, g1.status());
-    auto g2 = LoadWireGraph(g2_path);
-    if (!g2.ok()) return Fail(err, g2.status());
-    align_n1 = g1->num_nodes;
-    a.g1 = std::move(*g1);
-    a.g2 = std::move(*g2);
     if (flags.Has("time-limit")) {
       auto limit = StrictDoubleFlag(flags, "time-limit", 0.0);
       if (!limit.ok()) return Fail(err, limit.status());
@@ -755,9 +793,10 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   } else {
     return Fail(err, Status::InvalidArgument(
                          "submit requires an action: --ping, --shutdown, "
-                         "--cache-info, --stats FILE, align flags (--g1 "
-                         "--g2 --algo), or evaluate flags (--g1 --g2 "
-                         "--mapping)"));
+                         "--cache-info, --stats FILE, --put-graph FILE, "
+                         "--has-graph HASH, align flags (--g1 --g2 or "
+                         "--g1-hash --g2-hash, with --algo), or evaluate "
+                         "flags (--g1 --g2 --mapping)"));
   }
 
   auto response = CallWithRetry(conn, request, retry_policy);
@@ -804,6 +843,11 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
           << " truncated_bytes=" << stats->cache_truncated_bytes
           << " append_errors=" << stats->cache_append_errors
           << " open_errors=" << stats->cache_open_errors << "\n";
+      out << "graph_store: puts=" << stats->store_puts
+          << " gets=" << stats->store_gets
+          << " corrupt=" << stats->store_corrupt
+          << " missing=" << stats->store_missing
+          << " unavailable=" << stats->store_unavailable << "\n";
       out << "worker_restarts:";
       for (uint64_t r : stats->worker_restarts) out << " " << r;
       out << "\n";
@@ -834,6 +878,20 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
       out << "\n";
       return kExitOk;
     }
+    case RequestType::kPutGraph: {
+      auto result = DecodePutGraphResult(response->body);
+      if (!result.ok()) return Fail(err, result.status());
+      out << "stored hash=" << GraphStore::HashName(result->content_hash)
+          << (result->already_present ? " (already present)" : "") << "\n";
+      return kExitOk;
+    }
+    case RequestType::kHasGraph: {
+      auto result = DecodeHasGraphResult(response->body);
+      if (!result.ok()) return Fail(err, result.status());
+      out << "present=" << (result->present ? 1 : 0) << "\n";
+      // Absent is exit 11 so scripts can branch on it without parsing.
+      return result->present ? kExitOk : kExitNoGraph;
+    }
     case RequestType::kAlign:
       return PrintAlignResponse(*response, request.align, align_n1,
                                 flags.GetString("out"), out, err);
@@ -854,9 +912,164 @@ int CmdFailpoints(const Flags& flags, std::ostream& out, std::ostream& err) {
   return kExitOk;
 }
 
+// ---------------------------------------------------------------------------
+// store: offline management of the content-addressed graph repository.
+
+int CmdStoreImport(GraphStore& store, const Flags& flags, std::ostream& out,
+                   std::ostream& err) {
+  Result<Graph> g = Status::InvalidArgument(
+      "store import requires --in FILE or --dataset NAME");
+  if (flags.Has("in")) {
+    g = ReadEdgeList(flags.GetString("in"));
+  } else if (flags.Has("dataset")) {
+    g = MakeStandIn(flags.GetString("dataset"), flags.GetSeed(),
+                    flags.GetDouble("scale", 1.0));
+  }
+  if (!g.ok()) return Fail(err, g.status());
+  bool already = false;
+  auto hash = store.Put(*g, &already);
+  if (!hash.ok()) return Fail(err, hash.status());
+  out << "imported n=" << g->num_nodes() << " m=" << g->num_edges()
+      << " hash=" << GraphStore::HashName(*hash)
+      << (already ? " (already present)" : "") << "\n";
+  return kExitOk;
+}
+
+int CmdStoreLs(GraphStore& store, std::ostream& out, std::ostream& err) {
+  auto entries = store.List();
+  if (!entries.ok()) return Fail(err, entries.status());
+  for (const GraphStore::Entry& e : *entries) {
+    out << GraphStore::HashName(e.hash) << " " << e.file_bytes << " bytes"
+        << (e.corrupt ? " CORRUPT" : "") << "\n";
+  }
+  out << entries->size() << " entries\n";
+  return kExitOk;
+}
+
+int CmdStoreVerify(GraphStore& store, std::ostream& out, std::ostream& err) {
+  auto report = store.Fsck();
+  if (!report.ok()) return Fail(err, report.status());
+  out << "checked=" << report->checked << " ok=" << report->ok
+      << " corrupt=" << report->corrupt << "\n";
+  for (const std::string& path : report->quarantined) {
+    out << "quarantined: " << path << "\n";
+  }
+  return report->corrupt == 0 ? kExitOk : kExitError;
+}
+
+int CmdStoreGc(GraphStore& store, std::ostream& out, std::ostream& err) {
+  auto report = store.Gc();
+  if (!report.ok()) return Fail(err, report.status());
+  out << "removed=" << report->removed
+      << " bytes_freed=" << report->bytes_freed << "\n";
+  return kExitOk;
+}
+
+// `store bench --in a.el[,b.el...]`: imports each edge list, then times
+// text parse-load against GST1 mmap-open (full CRC + structural
+// verification included — the honest cost of the store path). Best-of-reps
+// per graph; --json writes the BENCH-convention report.
+int CmdStoreBench(GraphStore& store, const Flags& flags, std::ostream& out,
+                  std::ostream& err) {
+  const std::string in = flags.GetString("in");
+  if (in.empty()) {
+    return Fail(err,
+                Status::InvalidArgument("store bench requires --in FILE[,..]"));
+  }
+  auto reps = StrictIntFlag(flags, "reps", 5);
+  if (!reps.ok()) return Fail(err, reps.status());
+  std::vector<std::string> paths;
+  for (size_t pos = 0; pos < in.size();) {
+    const size_t comma = in.find(',', pos);
+    const size_t end = comma == std::string::npos ? in.size() : comma;
+    if (end > pos) paths.push_back(in.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  std::ostringstream rows;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    auto g = ReadEdgeList(paths[i]);
+    if (!g.ok()) return Fail(err, g.status());
+    auto hash = store.Put(*g);
+    if (!hash.ok()) return Fail(err, hash.status());
+    const std::string gst_path =
+        store.dir() + "/" + GraphStore::HashName(*hash) + ".gst";
+    double parse_s = 0.0, mmap_s = 0.0;
+    for (int r = 0; r < *reps; ++r) {
+      WallTimer t;
+      auto reread = ReadEdgeList(paths[i]);
+      if (!reread.ok()) return Fail(err, reread.status());
+      const double s = t.Seconds();
+      if (r == 0 || s < parse_s) parse_s = s;
+    }
+    for (int r = 0; r < *reps; ++r) {
+      WallTimer t;
+      auto mapped = OpenGstFile(gst_path);
+      if (!mapped.ok()) return Fail(err, mapped.status());
+      const double s = t.Seconds();
+      if (r == 0 || s < mmap_s) mmap_s = s;
+    }
+    const double speedup = mmap_s > 0.0 ? parse_s / mmap_s : 0.0;
+    out << paths[i] << ": n=" << g->num_nodes() << " m=" << g->num_edges()
+        << " parse_ms=" << Table::Num(parse_s * 1000.0, 3)
+        << " mmap_ms=" << Table::Num(mmap_s * 1000.0, 3)
+        << " speedup=" << Table::Num(speedup, 1) << "x\n";
+    if (i > 0) rows << ",\n";
+    rows << "    {\"graph\": \"" << paths[i] << "\", \"n\": " << g->num_nodes()
+         << ", \"m\": " << g->num_edges()
+         << ", \"parse_ms\": " << Table::Num(parse_s * 1000.0, 3)
+         << ", \"mmap_ms\": " << Table::Num(mmap_s * 1000.0, 3)
+         << ", \"speedup\": " << Table::Num(speedup, 1) << "}";
+  }
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      return Fail(err, Status::Internal("cannot write " + json_path));
+    }
+    f << "{\n  \"meta\": {\"bench\": \"store\", \"reps\": " << *reps
+      << "},\n  \"rows\": [\n" << rows.str() << "\n  ]\n}\n";
+    if (!f.flush()) {
+      return Fail(err, Status::Internal("write failed: " + json_path));
+    }
+    out << "wrote " << json_path << "\n";
+  }
+  return kExitOk;
+}
+
+int CmdStore(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err) {
+  if (argc < 3) {
+    err << "usage: graphalign store <import|ls|verify|gc|bench> --dir DIR "
+           "[--flags]\n";
+    return kExitUsage;
+  }
+  const std::string action = argv[2];
+  Flags flags(argc, argv, 3);
+  if (!flags.error().empty()) {
+    return Fail(err, Status::InvalidArgument(flags.error()));
+  }
+  const std::string dir = flags.GetString("dir");
+  if (dir.empty()) {
+    return Fail(err, Status::InvalidArgument("store " + action +
+                                             " requires --dir DIR"));
+  }
+  auto store = GraphStore::Open(dir);
+  if (!store.ok()) return Fail(err, store.status());
+  if (action == "import") return CmdStoreImport(**store, flags, out, err);
+  if (action == "ls") return CmdStoreLs(**store, out, err);
+  if (action == "verify" || action == "fsck") {
+    return CmdStoreVerify(**store, out, err);
+  }
+  if (action == "gc") return CmdStoreGc(**store, out, err);
+  if (action == "bench") return CmdStoreBench(**store, flags, out, err);
+  err << "unknown store action: " << action
+      << " (want import|ls|verify|gc|bench)\n";
+  return kExitUsage;
+}
+
 constexpr char kUsage[] =
     "usage: graphalign "
-    "<generate|perturb|align|evaluate|stats|serve|submit|failpoints> "
+    "<generate|perturb|align|evaluate|stats|serve|submit|store|failpoints> "
     "[--flags]\n"
     "  generate --model {er,ba,ws,nw,pl,geometric} --n N [--p P] [--m M]\n"
     "           [--k K] [--radius R] [--seed S] --out FILE\n"
@@ -871,21 +1084,28 @@ constexpr char kUsage[] =
     "  stats    --in FILE\n"
     "  serve    --socket PATH | --port N [--workers K] [--cache-mb M]\n"
     "           [--queue Q] [--io-timeout T] [--threads N]\n"
-    "           [--cache-dir DIR] [--quota RPS] [--shed]\n"
-    "           [--quarantine N] [--grace T]\n"
+    "           [--cache-dir DIR] [--cache-compact-mb M] [--quota RPS]\n"
+    "           [--shed] [--quarantine N] [--grace T] [--store-dir DIR]\n"
     "  submit   --socket PATH | [--host H] --port N [--timeout T]\n"
     "           [--retries N] [--client NAME]\n"
     "           with --ping | --shutdown | --cache-info | --stats [FILE]\n"
     "           (bare --stats prints the daemon's serving counters)\n"
+    "           | --put-graph FILE | --has-graph HASH\n"
     "           | --g1 FILE --g2 FILE --algo NAME [--assign M]\n"
     "             [--time-limit T] [--mem-limit MB] [--no-cache] [--out FILE]\n"
+    "           | --g1-hash HASH --g2-hash HASH --algo NAME [...]\n"
     "           | --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
+    "  store    <import|ls|verify|gc|bench> --dir DIR\n"
+    "           import: --in FILE | --dataset NAME [--scale S] [--seed S]\n"
+    "           bench:  --in FILE[,FILE...] [--reps N] [--json FILE]\n"
     "  failpoints [--armed]   list fault-injection sites (or the armed set)\n"
     "algorithms: IsoRank GRAAL NSD LREA REGAL GWL S-GWL CONE GRASP\n"
     "exit codes (align/submit): 0 ok, 1 error, 2 usage, 3 DNF, 4 crash,\n"
     "  5 OOM, 6 server busy, 7 numerical failure, 8 server shutting down,\n"
     "  9 shed (queue wait ate the deadline; transient, retried by\n"
-    "  --retries), 10 quarantined (signature kept crashing; permanent)\n"
+    "  --retries), 10 quarantined (signature kept crashing; permanent),\n"
+    "  11 no graph (submit-by-hash named a hash the store does not hold;\n"
+    "  re-upload with --put-graph)\n"
     "fault injection: GRAPHALIGN_FAILPOINTS=\"site=mode[:arg],...\" with\n"
     "  modes error|once|prob:P|nan|delay-ms:N|crash|oom (see DESIGN.md §12)\n";
 
@@ -898,6 +1118,8 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
     return kExitUsage;
   }
   const std::string cmd = argv[1];
+  // `store` has a positional action word; it parses its own flags.
+  if (cmd == "store") return CmdStore(argc, argv, out, err);
   Flags flags(argc, argv, 2);
   if (!flags.error().empty()) {
     return Fail(err, Status::InvalidArgument(flags.error()));

@@ -30,6 +30,10 @@ inline constexpr int kExitShed = 9;     // The request's queue wait consumed
 inline constexpr int kExitQuarantined = 10;  // The (g1, g2, algo) signature
                                              // repeatedly crashed/OOMed and
                                              // is quarantined (permanent).
+inline constexpr int kExitNoGraph = 11;  // A submit-by-hash request named a
+                                         // graph the store does not hold (or
+                                         // held only a corrupt, now-
+                                         // quarantined copy): re-upload it.
 
 }  // namespace graphalign
 

@@ -41,6 +41,11 @@ const char* const kKnownSites[] = {
     "server.cache.append.error",   // Cache-log append fails (IO error).
     "server.cache.append.torn",    // Crash mid-append: torn record on disk.
     "server.cache.replay.error",   // Cache-log open/replay fails (cold start).
+    "store.write.error",           // GST1 temp-file write fails (IO error).
+    "store.fsync.error",           // fsync of the temp file fails.
+    "store.rename.error",          // Crash window: temp written, not renamed.
+    "store.mmap.error",            // mmap of a .gst file fails (transient).
+    "store.verify.corrupt",        // Force CRC verification failure on open.
 };
 
 uint64_t Fnv1a(const std::string& s) {

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Numerical";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorrupt:
+      return "Corrupt";
   }
   return "Unknown";
 }

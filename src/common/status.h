@@ -30,6 +30,11 @@ enum class StatusCode {
   // A transient condition (injected fault, service BUSY, connect refused)
   // that a retry with backoff may clear. Never used for permanent errors.
   kUnavailable,
+  // On-disk data failed integrity verification (bad magic, CRC mismatch,
+  // inconsistent CSR structure). Distinct from kInternal: the code is fine,
+  // the bytes are not — callers quarantine the file and degrade rather than
+  // retrying in place.
+  kCorrupt,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -71,6 +76,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -32,25 +32,44 @@ Result<Graph> Graph::FromEdges(int num_nodes, const std::vector<Edge>& edges) {
   std::sort(canon.begin(), canon.end());
   canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
 
-  Graph g;
-  g.num_nodes_ = num_nodes;
-  g.num_edges_ = static_cast<int64_t>(canon.size());
+  auto owned = std::make_shared<Owned>();
+  std::vector<int64_t>& offsets = owned->offsets;
+  std::vector<int>& adj = owned->adj;
   std::vector<int> degree(num_nodes, 0);
   for (const auto& [u, v] : canon) {
     degree[u]++;
     degree[v]++;
   }
-  g.offsets_.assign(num_nodes + 1, 0);
-  for (int i = 0; i < num_nodes; ++i) g.offsets_[i + 1] = g.offsets_[i] + degree[i];
-  g.adj_.resize(static_cast<size_t>(g.offsets_[num_nodes]));
-  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  offsets.assign(num_nodes + 1, 0);
+  for (int i = 0; i < num_nodes; ++i) offsets[i + 1] = offsets[i] + degree[i];
+  adj.resize(static_cast<size_t>(offsets[num_nodes]));
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const auto& [u, v] : canon) {
-    g.adj_[cursor[u]++] = v;
-    g.adj_[cursor[v]++] = u;
+    adj[cursor[u]++] = v;
+    adj[cursor[v]++] = u;
   }
   for (int i = 0; i < num_nodes; ++i) {
-    std::sort(g.adj_.begin() + g.offsets_[i], g.adj_.begin() + g.offsets_[i + 1]);
+    std::sort(adj.begin() + offsets[i], adj.begin() + offsets[i + 1]);
   }
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = static_cast<int64_t>(canon.size());
+  g.offsets_ = offsets.data();
+  g.adj_ = adj.data();
+  g.backing_ = std::move(owned);
+  return g;
+}
+
+Graph Graph::FromCsrUnchecked(int num_nodes, int64_t num_edges,
+                              const int64_t* offsets, const int* adj,
+                              std::shared_ptr<const void> backing) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.num_edges_ = num_edges;
+  g.offsets_ = offsets;
+  g.adj_ = adj;
+  g.backing_ = std::move(backing);
   return g;
 }
 
@@ -102,7 +121,7 @@ uint64_t Graph::ContentHash() const {
 
 CsrMatrix Graph::AdjacencyCsr() const {
   std::vector<Triplet> trip;
-  trip.reserve(adj_.size());
+  trip.reserve(static_cast<size_t>(2 * num_edges_));
   for (int u = 0; u < num_nodes_; ++u) {
     for (int v : Neighbors(u)) trip.push_back({u, v, 1.0});
   }
@@ -111,7 +130,7 @@ CsrMatrix Graph::AdjacencyCsr() const {
 
 CsrMatrix Graph::RandomWalkCsr() const {
   std::vector<Triplet> trip;
-  trip.reserve(adj_.size());
+  trip.reserve(static_cast<size_t>(2 * num_edges_));
   for (int u = 0; u < num_nodes_; ++u) {
     const double inv = Degree(u) > 0 ? 1.0 / Degree(u) : 0.0;
     for (int v : Neighbors(u)) trip.push_back({u, v, inv});
@@ -125,7 +144,7 @@ CsrMatrix Graph::SymNormalizedAdjacencyCsr() const {
     if (Degree(u) > 0) inv_sqrt[u] = 1.0 / std::sqrt(Degree(u));
   }
   std::vector<Triplet> trip;
-  trip.reserve(adj_.size());
+  trip.reserve(static_cast<size_t>(2 * num_edges_));
   for (int u = 0; u < num_nodes_; ++u) {
     for (int v : Neighbors(u)) {
       trip.push_back({u, v, inv_sqrt[u] * inv_sqrt[v]});

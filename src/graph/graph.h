@@ -7,6 +7,7 @@
 #define GRAPHALIGN_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -31,12 +32,34 @@ class Graph {
   // (in either orientation) are deduplicated; self-loops are rejected.
   static Result<Graph> FromEdges(int num_nodes, const std::vector<Edge>& edges);
 
+  // Adopts an already-canonical CSR without copying: `offsets` (num_nodes+1
+  // entries, offsets[num_nodes] == 2*num_edges) and `adj` stay owned by
+  // `backing`, which the Graph keeps alive for its whole lifetime. This is
+  // the zero-copy entry point of the mmap'ed store (src/store): the arrays
+  // live in a read-only file mapping and are shared, unmodified, across
+  // forked workers. The caller vouches for canonical form (sorted rows, no
+  // self-loops, symmetric) — the store verifies structure before calling.
+  static Graph FromCsrUnchecked(int num_nodes, int64_t num_edges,
+                                const int64_t* offsets, const int* adj,
+                                std::shared_ptr<const void> backing);
+
   int num_nodes() const { return num_nodes_; }
   int64_t num_edges() const { return num_edges_; }
 
+  // Raw CSR arrays, e.g. for serialization by the store writer. Empty for a
+  // default-constructed Graph.
+  std::span<const int64_t> RawOffsets() const {
+    if (offsets_ == nullptr) return {};
+    return {offsets_, static_cast<size_t>(num_nodes_) + 1};
+  }
+  std::span<const int> RawAdjacency() const {
+    if (adj_ == nullptr) return {};
+    return {adj_, static_cast<size_t>(2 * num_edges_)};
+  }
+
   // Sorted neighbor list of u.
   std::span<const int> Neighbors(int u) const {
-    return {adj_.data() + offsets_[u],
+    return {adj_ + offsets_[u],
             static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
   }
   int Degree(int u) const {
@@ -82,10 +105,19 @@ class Graph {
   std::vector<int64_t> TriangleCounts() const;
 
  private:
+  // Heap backing for FromEdges-built graphs; mmap'ed graphs use a
+  // MappedFile backing instead (src/store). Copying a Graph copies two
+  // pointers and bumps a refcount — O(1), never the arrays.
+  struct Owned {
+    std::vector<int64_t> offsets;
+    std::vector<int> adj;
+  };
+
   int num_nodes_ = 0;
   int64_t num_edges_ = 0;
-  std::vector<int64_t> offsets_;  // size num_nodes_ + 1.
-  std::vector<int> adj_;          // concatenated sorted neighbor lists.
+  const int64_t* offsets_ = nullptr;  // num_nodes_ + 1 entries.
+  const int* adj_ = nullptr;          // concatenated sorted neighbor lists.
+  std::shared_ptr<const void> backing_;  // keeps the arrays alive.
 };
 
 }  // namespace graphalign

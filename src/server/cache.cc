@@ -76,6 +76,16 @@ void ResultCache::EvictToFitLocked() {
   }
 }
 
+std::vector<std::pair<uint64_t, std::string>> ResultCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  out.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    out.emplace_back(it->key, it->value);
+  }
+  return out;
+}
+
 ResultCache::Stats ResultCache::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;

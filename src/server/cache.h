@@ -24,6 +24,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace graphalign {
 
@@ -49,6 +50,11 @@ class ResultCache {
     uint64_t entries = 0, bytes = 0, capacity_bytes = 0;
   };
   Stats GetStats() const;
+
+  // Every resident entry, least-recently-used first, so replaying the
+  // snapshot in order (e.g. from a compacted log) restores both the content
+  // and the recency order. Used by startup log compaction.
+  std::vector<std::pair<uint64_t, std::string>> Snapshot() const;
 
  private:
   struct Entry {

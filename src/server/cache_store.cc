@@ -156,6 +156,59 @@ Result<std::unique_ptr<CacheStore>> CacheStore::Open(
   return std::unique_ptr<CacheStore>(new CacheStore(fd, path));
 }
 
+Status CacheStore::Compact(
+    const std::vector<std::pair<uint64_t, std::string>>& live) {
+  std::string fresh;
+  for (const auto& [key, value] : live) {
+    fresh += BuildRecord(key, value);
+  }
+  const std::string tmp = path_ + ".tmp";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("cache store: not open");
+  }
+  const int tfd = open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) {
+    return Status::Unavailable("cache compact: cannot create " + tmp + ": " +
+                               std::string(strerror(errno)));
+  }
+  if (!WriteAll(tfd, fresh.data(), fresh.size()) || fsync(tfd) != 0) {
+    const int err = errno;
+    close(tfd);
+    unlink(tmp.c_str());
+    return Status::Unavailable("cache compact: write/fsync of " + tmp +
+                               " failed: " + std::string(strerror(err)));
+  }
+  if (rename(tmp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    close(tfd);
+    unlink(tmp.c_str());
+    return Status::Unavailable("cache compact: rename over " + path_ +
+                               " failed: " + std::string(strerror(err)));
+  }
+  // Make the rename durable; the temp fd IS the new log, so appends keep
+  // going to the published file.
+  std::string dir = path_;
+  const size_t slash = dir.rfind('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  const int dfd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    (void)fsync(dfd);
+    close(dfd);
+  }
+  close(fd_);
+  fd_ = tfd;
+  return Status::Ok();
+}
+
+uint64_t CacheStore::log_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return 0;
+  struct stat st;
+  if (fstat(fd_, &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
 void CacheStore::Append(uint64_t key, const std::string& value) {
   const std::string record = BuildRecord(key, value);
   std::lock_guard<std::mutex> lock(mu_);

@@ -10,9 +10,12 @@
 //   "GAR1" (4-byte magic) | u32 payload_len | u32 crc32c(payload) | payload
 //
 // where payload = u64 cache key | encoded AlignResult bytes. The log is
-// append-only — no compaction, no in-place rewrites — so the only failure
-// modes a crash can leave behind are a torn record at the tail (partial
-// header or body) or, with bit rot, a record whose CRC no longer matches.
+// append-only while serving — records are never rewritten in place — so the
+// only failure modes a crash can leave behind are a torn record at the tail
+// (partial header or body) or, with bit rot, a record whose CRC no longer
+// matches. Growth is bounded by startup compaction (Compact, behind
+// `serve --cache-compact-mb`): live records are rewritten to a fresh log
+// and published atomically, so a crash mid-compaction costs nothing.
 //
 // Replay rules, in order, at every record boundary:
 //   * clean EOF                       -> done
@@ -43,6 +46,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -73,6 +78,18 @@ class CacheStore {
   // Appends one record. Thread-safe. Failures are absorbed: the error is
   // counted (append_errors) and the caller's in-memory cache is unaffected.
   void Append(uint64_t key, const std::string& value);
+
+  // Rewrites the log to hold exactly `live` records, in order, dropping
+  // everything else (superseded values, CRC-skipped residue). The new log
+  // is published atomically — records are written to `cache.log.tmp`,
+  // fsynced, renamed over `cache.log`, and the directory fsynced — so a
+  // crash mid-compaction leaves the old log fully intact. On success the
+  // append fd switches to the new file; on failure the old log and fd keep
+  // working unchanged. Thread-safe against Append.
+  Status Compact(const std::vector<std::pair<uint64_t, std::string>>& live);
+
+  // Current byte size of the log on disk (0 if the store is unusable).
+  uint64_t log_bytes() const;
 
   uint64_t append_errors() const;
   const std::string& path() const { return path_; }

@@ -291,6 +291,9 @@ std::string EncodeRequest(const Request& request) {
       w.U64(a.deadline_ms);
       w.U64(a.mem_limit_mb);
       w.U8(a.no_cache ? 1 : 0);
+      w.U8(a.by_hash ? 1 : 0);
+      w.U64(a.g1_hash);
+      w.U64(a.g2_hash);
       WriteWireGraph(&w, a.g1);
       WriteWireGraph(&w, a.g2);
       break;
@@ -305,6 +308,12 @@ std::string EncodeRequest(const Request& request) {
     }
     case RequestType::kStats:
       WriteWireGraph(&w, request.stats.g);
+      break;
+    case RequestType::kPutGraph:
+      WriteWireGraph(&w, request.put_graph.g);
+      break;
+    case RequestType::kHasGraph:
+      w.U64(request.has_graph.hash);
       break;
   }
   return w.Take();
@@ -336,13 +345,22 @@ Result<Request> DecodeRequest(std::string_view payload) {
       request.type = RequestType::kAlign;
       AlignRequest& a = request.align;
       uint8_t no_cache = 0;
+      uint8_t by_hash = 0;
       if (!r.Str(&a.algo, kMaxNameLen) || !r.Str(&a.assign, kMaxNameLen) ||
           !r.U64(&a.deadline_ms) || !r.U64(&a.mem_limit_mb) ||
-          !r.U8(&no_cache) || !ReadWireGraph(&r, &a.g1) ||
+          !r.U8(&no_cache) || !r.U8(&by_hash) || !r.U64(&a.g1_hash) ||
+          !r.U64(&a.g2_hash) || !ReadWireGraph(&r, &a.g1) ||
           !ReadWireGraph(&r, &a.g2)) {
         return BadPayload("malformed align request");
       }
       a.no_cache = no_cache != 0;
+      a.by_hash = by_hash != 0;
+      // A by-hash align must not also carry inline graphs: the two sources
+      // could disagree and the cache key would be ambiguous.
+      if (a.by_hash && (a.g1.num_nodes != 0 || !a.g1.edges.empty() ||
+                        a.g2.num_nodes != 0 || !a.g2.edges.empty())) {
+        return BadPayload("align request has both hashes and inline graphs");
+      }
       break;
     }
     case RequestType::kEvaluate: {
@@ -358,6 +376,18 @@ Result<Request> DecodeRequest(std::string_view payload) {
       request.type = RequestType::kStats;
       if (!ReadWireGraph(&r, &request.stats.g)) {
         return BadPayload("malformed stats request");
+      }
+      break;
+    case RequestType::kPutGraph:
+      request.type = RequestType::kPutGraph;
+      if (!ReadWireGraph(&r, &request.put_graph.g)) {
+        return BadPayload("malformed put-graph request");
+      }
+      break;
+    case RequestType::kHasGraph:
+      request.type = RequestType::kHasGraph;
+      if (!r.U64(&request.has_graph.hash)) {
+        return BadPayload("malformed has-graph request");
       }
       break;
     default:
@@ -383,6 +413,7 @@ const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kShuttingDown: return "SHUTTING_DOWN";
     case ResponseCode::kShed: return "SHED";
     case ResponseCode::kQuarantined: return "QUARANTINED";
+    case ResponseCode::kNoGraph: return "NO_GRAPH";
   }
   return "UNKNOWN";
 }
@@ -426,6 +457,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
     case ResponseCode::kShuttingDown:
     case ResponseCode::kShed:
     case ResponseCode::kQuarantined:
+    case ResponseCode::kNoGraph:
       response.code = static_cast<ResponseCode>(code);
       break;
     default:
@@ -529,6 +561,11 @@ std::string EncodeServerStatsResult(const ServerStatsResult& result) {
   w.U64(result.cache_truncated_bytes);
   w.U64(result.cache_append_errors);
   w.U64(result.cache_open_errors);
+  w.U64(result.store_puts);
+  w.U64(result.store_gets);
+  w.U64(result.store_corrupt);
+  w.U64(result.store_missing);
+  w.U64(result.store_unavailable);
   w.U32(static_cast<uint32_t>(result.worker_restarts.size()));
   for (uint64_t r : result.worker_restarts) w.U64(r);
   return w.Take();
@@ -548,7 +585,10 @@ Result<ServerStatsResult> DecodeServerStatsResult(std::string_view body) {
       !r.U64(&result.cache_crc_skipped) ||
       !r.U64(&result.cache_truncated_bytes) ||
       !r.U64(&result.cache_append_errors) ||
-      !r.U64(&result.cache_open_errors) || !r.U32(&workers)) {
+      !r.U64(&result.cache_open_errors) || !r.U64(&result.store_puts) ||
+      !r.U64(&result.store_gets) || !r.U64(&result.store_corrupt) ||
+      !r.U64(&result.store_missing) || !r.U64(&result.store_unavailable) ||
+      !r.U32(&workers)) {
     return BadPayload("malformed server stats result");
   }
   // Worker count is operator-bounded (<= 1024 threads); the same bound
@@ -584,6 +624,41 @@ Result<CacheInfoResult> DecodeCacheInfoResult(std::string_view body) {
       !r.AtEnd()) {
     return BadPayload("malformed cache info result");
   }
+  return result;
+}
+
+std::string EncodePutGraphResult(const PutGraphResult& result) {
+  ByteWriter w;
+  w.U64(result.content_hash);
+  w.U8(result.already_present ? 1 : 0);
+  return w.Take();
+}
+
+Result<PutGraphResult> DecodePutGraphResult(std::string_view body) {
+  ByteReader r(body);
+  PutGraphResult result;
+  uint8_t already = 0;
+  if (!r.U64(&result.content_hash) || !r.U8(&already) || !r.AtEnd()) {
+    return BadPayload("malformed put-graph result");
+  }
+  result.already_present = already != 0;
+  return result;
+}
+
+std::string EncodeHasGraphResult(const HasGraphResult& result) {
+  ByteWriter w;
+  w.U8(result.present ? 1 : 0);
+  return w.Take();
+}
+
+Result<HasGraphResult> DecodeHasGraphResult(std::string_view body) {
+  ByteReader r(body);
+  HasGraphResult result;
+  uint8_t present = 0;
+  if (!r.U8(&present) || !r.AtEnd()) {
+    return BadPayload("malformed has-graph result");
+  }
+  result.present = present != 0;
   return result;
 }
 

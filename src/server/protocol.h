@@ -33,9 +33,12 @@ namespace graphalign {
 
 // Version 2 added the top-level `client` identity field on every request
 // (admission quotas key on it) and the SHED/QUARANTINED response codes plus
-// the kServerStats request. Peers speaking a different version are rejected
-// with a typed BAD_REQUEST naming the version.
-inline constexpr uint32_t kProtocolVersion = 2;
+// the kServerStats request. Version 3 added the graph store surface:
+// kPutGraph/kHasGraph, align-by-hash (AlignRequest.by_hash + g1_hash/
+// g2_hash), the NO_GRAPH response code, and the store_* counters in
+// kServerStats. Peers speaking a different version are rejected with a
+// typed BAD_REQUEST naming the version.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 // Frames beyond this payload size are rejected before buffering (a 64 MB
 // frame holds an ~4M-edge graph pair; bigger graphs belong in the offline
@@ -136,6 +139,8 @@ enum class RequestType : uint8_t {
   kCacheInfo = 5,
   kShutdown = 6,
   kServerStats = 7,
+  kPutGraph = 8,   // Upload a graph into the daemon's mapped store.
+  kHasGraph = 9,   // Probe whether the store holds a content hash.
 };
 
 // A graph shipped inline: node count plus canonical-orientation edges.
@@ -152,7 +157,20 @@ struct AlignRequest {
   uint64_t deadline_ms = 0;  // 0 = no cooperative deadline.
   uint64_t mem_limit_mb = 0; // 0 = no memory cap on the isolated child.
   bool no_cache = false;     // Bypass (and do not populate) the cache.
+  // Submit-by-hash: when set, g1/g2 are empty on the wire and the daemon
+  // resolves g1_hash/g2_hash against its mapped store (uploaded earlier via
+  // kPutGraph). An unknown or quarantined hash answers NO_GRAPH.
+  bool by_hash = false;
+  uint64_t g1_hash = 0, g2_hash = 0;
   WireGraph g1, g2;
+};
+
+struct PutGraphRequest {
+  WireGraph g;
+};
+
+struct HasGraphRequest {
+  uint64_t hash = 0;
 };
 
 struct EvaluateRequest {
@@ -174,6 +192,8 @@ struct Request {
   AlignRequest align;        // Valid when type == kAlign.
   EvaluateRequest evaluate;  // Valid when type == kEvaluate.
   StatsRequest stats;        // Valid when type == kStats.
+  PutGraphRequest put_graph; // Valid when type == kPutGraph.
+  HasGraphRequest has_graph; // Valid when type == kHasGraph.
 };
 
 std::string EncodeRequest(const Request& request);
@@ -200,6 +220,10 @@ enum class ResponseCode : uint8_t {
                                    // request was shed unserved (transient).
   kQuarantined = kExitQuarantined,  // The request signature is quarantined
                                     // after repeated CRASH/OOM (permanent).
+  kNoGraph = kExitNoGraph,  // A submit-by-hash named a graph the store does
+                            // not hold (never held, or its copy failed
+                            // verification and was quarantined). Permanent
+                            // until the client re-uploads: not retried.
 };
 
 const char* ResponseCodeName(ResponseCode code);
@@ -250,6 +274,23 @@ struct StatsResult {
 std::string EncodeStatsResult(const StatsResult& result);
 Result<StatsResult> DecodeStatsResult(std::string_view body);
 
+// Body of a successful kPutGraph response.
+struct PutGraphResult {
+  uint64_t content_hash = 0;
+  bool already_present = false;  // Deduplicated: the store had this graph.
+};
+
+std::string EncodePutGraphResult(const PutGraphResult& result);
+Result<PutGraphResult> DecodePutGraphResult(std::string_view body);
+
+// Body of a successful kHasGraph response.
+struct HasGraphResult {
+  bool present = false;
+};
+
+std::string EncodeHasGraphResult(const HasGraphResult& result);
+Result<HasGraphResult> DecodeHasGraphResult(std::string_view body);
+
 // Body of a successful kCacheInfo response.
 struct CacheInfoResult {
   uint64_t hits = 0, misses = 0, evictions = 0;
@@ -279,6 +320,12 @@ struct ServerStatsResult {
   uint64_t cache_truncated_bytes = 0; // Torn tail bytes dropped at replay.
   uint64_t cache_append_errors = 0;   // Failed log appends (cache stays hot).
   uint64_t cache_open_errors = 0;     // Log open/replay failures (cold start).
+  uint64_t store_puts = 0;        // kPutGraph uploads accepted.
+  uint64_t store_gets = 0;        // Store lookups by align-by-hash.
+  uint64_t store_corrupt = 0;     // Entries quarantined after failing verify.
+  uint64_t store_missing = 0;     // By-hash lookups that found no entry.
+  uint64_t store_unavailable = 0; // 1 when --store-dir was given but could
+                                  // not be opened (wire-graph path only).
   std::vector<uint64_t> worker_restarts;  // Watchdog kills per worker slot.
 };
 

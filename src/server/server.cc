@@ -31,6 +31,7 @@
 #include "metrics/metrics.h"
 #include "server/cache_store.h"
 #include "server/protocol.h"
+#include "store/graph_store.h"
 
 namespace graphalign {
 
@@ -197,6 +198,40 @@ class Server::Impl {
         std::fprintf(stderr, "cache store disabled (cold cache): %s\n",
                      store.status().ToString().c_str());
       }
+      if (store_ != nullptr && options_.cache_compact_mb > 0.0) {
+        // Startup compaction: the replayed log may be mostly superseded
+        // values and skipped residue; past the threshold, rewrite just the
+        // live entries. Atomic publish — failure keeps the old log whole.
+        const uint64_t threshold = static_cast<uint64_t>(
+            options_.cache_compact_mb * 1024.0 * 1024.0);
+        const uint64_t before = store_->log_bytes();
+        if (before > threshold) {
+          Status compacted = store_->Compact(cache_.Snapshot());
+          if (compacted.ok()) {
+            std::fprintf(stderr,
+                         "cache log compacted: %llu -> %llu bytes\n",
+                         static_cast<unsigned long long>(before),
+                         static_cast<unsigned long long>(store_->log_bytes()));
+          } else {
+            std::fprintf(stderr, "cache log compaction failed (kept): %s\n",
+                         compacted.ToString().c_str());
+          }
+        }
+      }
+    }
+    if (!options_.store_dir.empty()) {
+      // The graph store is an accelerator, never a startup dependency: if
+      // the directory is unusable the daemon degrades to the wire-graph
+      // path and says so — by-hash requests answer NO_GRAPH.
+      auto graph_store = GraphStore::Open(options_.store_dir);
+      if (graph_store.ok()) {
+        graph_store_ = *std::move(graph_store);
+      } else {
+        store_unavailable_.store(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "graph store disabled (wire-graph path only): %s\n",
+                     graph_store.status().ToString().c_str());
+      }
     }
     for (int w = 0; w < options_.workers; ++w) {
       slots_.emplace_back();
@@ -289,6 +324,14 @@ class Server::Impl {
     s.cache_truncated_bytes = replay_stats_.truncated_bytes;
     s.cache_append_errors = store_ != nullptr ? store_->append_errors() : 0;
     s.cache_open_errors = cache_open_errors_.load(std::memory_order_relaxed);
+    if (graph_store_ != nullptr) {
+      const GraphStore::Counters c = graph_store_->counters();
+      s.store_puts = c.puts;
+      s.store_gets = c.gets;
+      s.store_corrupt = c.corrupt;
+      s.store_missing = c.missing;
+    }
+    s.store_unavailable = store_unavailable_.load(std::memory_order_relaxed);
     for (const WorkerSlot& slot : slots_) {
       s.worker_restarts.push_back(
           slot.restarts.load(std::memory_order_relaxed));
@@ -615,6 +658,10 @@ class Server::Impl {
         return HandleEvaluate(request.evaluate);
       case RequestType::kStats:
         return HandleStats(request.stats);
+      case RequestType::kPutGraph:
+        return HandlePutGraph(request.put_graph);
+      case RequestType::kHasGraph:
+        return HandleHasGraph(request.has_graph);
     }
     Response response;
     response.code = ResponseCode::kBadRequest;
@@ -691,6 +738,56 @@ class Server::Impl {
     if (it != faults_.end() && !it->second.quarantined) faults_.erase(it);
   }
 
+  Response HandlePutGraph(const PutGraphRequest& req) {
+    if (graph_store_ == nullptr) {
+      return ErrorResponse(ResponseCode::kError,
+                           "graph store disabled on this daemon (start with "
+                           "--store-dir); submit inline graphs instead");
+    }
+    auto g = Graph::FromEdges(req.g.num_nodes, req.g.edges);
+    if (!g.ok()) {
+      return ErrorResponse(ResponseCode::kBadRequest,
+                           "graph: " + g.status().ToString());
+    }
+    bool already = false;
+    auto hash = graph_store_->Put(*g, &already);
+    if (!hash.ok()) {
+      return ErrorResponse(ResponseCode::kError, hash.status().ToString());
+    }
+    PutGraphResult result;
+    result.content_hash = *hash;
+    result.already_present = already;
+    Response response;
+    response.body = EncodePutGraphResult(result);
+    return response;
+  }
+
+  Response HandleHasGraph(const HasGraphRequest& req) {
+    HasGraphResult result;
+    result.present = graph_store_ != nullptr && graph_store_->Has(req.hash);
+    Response response;
+    response.body = EncodeHasGraphResult(result);
+    return response;
+  }
+
+  // Maps a failed store lookup for a by-hash align to a wire response.
+  // Absent and corrupt(-now-quarantined) entries both mean the store does
+  // not hold a usable copy: typed NO_GRAPH, the client re-uploads. Only
+  // transient store trouble (kUnavailable) is a server-side error.
+  static Response NoGraphResponse(const char* which, uint64_t hash,
+                                  const Status& st) {
+    if (st.code() == StatusCode::kNotFound ||
+        st.code() == StatusCode::kCorrupt) {
+      return ErrorResponse(
+          ResponseCode::kNoGraph,
+          std::string(which) + ": graph " + GraphStore::HashName(hash) +
+              " is not in the store (" + st.ToString() +
+              "); re-upload it with --put-graph and retry");
+    }
+    return ErrorResponse(ResponseCode::kError,
+                         std::string(which) + ": " + st.ToString());
+  }
+
   Response HandleAlign(const AlignRequest& req, WorkerSlot* slot,
                        double queue_wait_ms) {
     // Shed before any parsing: if the admission-queue wait already consumed
@@ -706,15 +803,33 @@ class Server::Impl {
               std::to_string(req.deadline_ms) +
               "ms deadline; retry against a less loaded instance");
     }
-    auto g1 = Graph::FromEdges(req.g1.num_nodes, req.g1.edges);
-    if (!g1.ok()) {
-      return ErrorResponse(ResponseCode::kBadRequest,
-                           "g1: " + g1.status().ToString());
-    }
-    auto g2 = Graph::FromEdges(req.g2.num_nodes, req.g2.edges);
-    if (!g2.ok()) {
-      return ErrorResponse(ResponseCode::kBadRequest,
-                           "g2: " + g2.status().ToString());
+    Result<Graph> g1 = Graph();
+    Result<Graph> g2 = Graph();
+    if (req.by_hash) {
+      // Submit-by-hash: resolve both graphs from the content-addressed
+      // store. The Graph aims straight into the read-only mapping; the
+      // forked worker below inherits and shares the physical pages.
+      if (graph_store_ == nullptr) {
+        return ErrorResponse(
+            ResponseCode::kNoGraph,
+            "align-by-hash needs a graph store, and this daemon has none "
+            "(start it with --store-dir); submit inline graphs instead");
+      }
+      g1 = graph_store_->Get(req.g1_hash);
+      if (!g1.ok()) return NoGraphResponse("g1", req.g1_hash, g1.status());
+      g2 = graph_store_->Get(req.g2_hash);
+      if (!g2.ok()) return NoGraphResponse("g2", req.g2_hash, g2.status());
+    } else {
+      g1 = Graph::FromEdges(req.g1.num_nodes, req.g1.edges);
+      if (!g1.ok()) {
+        return ErrorResponse(ResponseCode::kBadRequest,
+                             "g1: " + g1.status().ToString());
+      }
+      g2 = Graph::FromEdges(req.g2.num_nodes, req.g2.edges);
+      if (!g2.ok()) {
+        return ErrorResponse(ResponseCode::kBadRequest,
+                             "g2: " + g2.status().ToString());
+      }
     }
     // Validate the algorithm and assignment up front, in the parent: an
     // unknown name is a client mistake, not a reason to fork.
@@ -955,6 +1070,8 @@ class Server::Impl {
   ResultCache cache_;
   std::unique_ptr<CacheStore> store_;     // Null without cache_dir.
   CacheStore::ReplayStats replay_stats_;  // Fixed after Start().
+  std::unique_ptr<GraphStore> graph_store_;  // Null without store_dir.
+  std::atomic<uint64_t> store_unavailable_{0};  // store_dir set but unusable.
   std::chrono::steady_clock::time_point start_time_;
 
   int listen_fd_ = -1;

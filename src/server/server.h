@@ -98,6 +98,19 @@ struct ServerOptions {
   // a typed ERROR (only for requests that carry a deadline_ms; the
   // wall-clock backstop still guards the rest). <= 0 disables.
   double watchdog_grace_seconds = 10.0;
+
+  // Memory-mapped graph repository (store/graph_store.h): kPutGraph uploads
+  // land here and align-by-hash requests resolve against it. Empty = store
+  // surface disabled (by-hash requests answer NO_GRAPH). An unopenable
+  // directory degrades the daemon to the wire-graph path — startup never
+  // fails because of the store.
+  std::string store_dir;
+
+  // Startup compaction threshold for the durable cache log, in megabytes:
+  // when the log on disk exceeds this after replay, live records are
+  // rewritten to a fresh log via the same atomic temp+fsync+rename publish
+  // the store uses. 0 = never compact.
+  double cache_compact_mb = 0.0;
 };
 
 class Server {

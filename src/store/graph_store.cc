@@ -1,0 +1,240 @@
+#include "store/graph_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace graphalign {
+
+namespace {
+
+constexpr char kGstSuffix[] = ".gst";
+constexpr char kCorruptSuffix[] = ".gst.corrupt";
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+}
+
+}  // namespace
+
+std::string GraphStore::HashName(uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+Result<uint64_t> GraphStore::ParseHashName(const std::string& name) {
+  if (name.size() != 16) {
+    return Status::InvalidArgument("store: hash must be 16 hex digits: " +
+                                   name);
+  }
+  uint64_t hash = 0;
+  for (char c : name) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("store: bad hex digit in hash: " + name);
+    }
+    hash = (hash << 4) | static_cast<uint64_t>(digit);
+  }
+  return hash;
+}
+
+Result<std::unique_ptr<GraphStore>> GraphStore::Open(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("store: directory path is empty");
+  }
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable("store: cannot create " + dir + ": " +
+                               std::string(strerror(errno)));
+  }
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::Unavailable("store: cannot open " + dir + ": " +
+                               std::string(strerror(errno)));
+  }
+  closedir(d);
+  return std::unique_ptr<GraphStore>(new GraphStore(dir));
+}
+
+std::string GraphStore::PathFor(uint64_t hash) const {
+  return dir_ + "/" + HashName(hash) + kGstSuffix;
+}
+
+void GraphStore::Quarantine(uint64_t hash, const std::string& path) {
+  // Rename, never delete: the corpse stays inspectable until `store gc`,
+  // and the original name frees up for a clean re-upload.
+  (void)rename(path.c_str(), (path + ".corrupt").c_str());
+  mapped_.erase(hash);
+  ++counters_.corrupt;
+}
+
+Result<uint64_t> GraphStore::Put(const Graph& g, bool* already_present) {
+  const uint64_t hash = g.ContentHash();
+  const std::string path = PathFor(hash);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.puts;
+  }
+  struct stat st;
+  if (stat(path.c_str(), &st) == 0) {
+    // Content addressing makes this a true dedupe hit — same hash, same
+    // bytes. (If the existing copy is secretly corrupt, the next Get will
+    // quarantine it; overwriting here would hide the evidence.)
+    if (already_present != nullptr) *already_present = true;
+    return hash;
+  }
+  if (already_present != nullptr) *already_present = false;
+  GA_RETURN_IF_ERROR(WriteGstFile(g, path));
+  return hash;
+}
+
+bool GraphStore::Has(uint64_t hash) const {
+  struct stat st;
+  return stat(PathFor(hash).c_str(), &st) == 0;
+}
+
+Result<Graph> GraphStore::Get(uint64_t hash) {
+  const std::string path = PathFor(hash);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.gets;
+  auto it = mapped_.find(hash);
+  if (it != mapped_.end()) {
+    return it->second;
+  }
+  GstInfo info;
+  Result<Graph> opened = OpenGstFile(path, &info);
+  if (!opened.ok()) {
+    if (opened.status().code() == StatusCode::kNotFound) {
+      ++counters_.missing;
+      return Status::NotFound("store: no graph " + HashName(hash));
+    }
+    if (opened.status().code() == StatusCode::kCorrupt) {
+      Quarantine(hash, path);
+      return Status::Corrupt("store: " + HashName(hash) +
+                             " failed verification and was quarantined: " +
+                             opened.status().message());
+    }
+    return opened.status();  // Transient (kUnavailable): no quarantine.
+  }
+  // The filename is a promise about the content; a mismatch means the
+  // bytes verify as *some* graph, just not the one they claim to be.
+  if (info.content_hash != hash) {
+    Quarantine(hash, path);
+    return Status::Corrupt("store: " + HashName(hash) +
+                           " header declares different content hash " +
+                           HashName(info.content_hash) + "; quarantined");
+  }
+  mapped_.emplace(hash, *opened);
+  return std::move(opened).value();
+}
+
+Result<std::vector<GraphStore::Entry>> GraphStore::List() const {
+  DIR* d = opendir(dir_.c_str());
+  if (d == nullptr) {
+    return Status::Unavailable("store: cannot open " + dir_ + ": " +
+                               std::string(strerror(errno)));
+  }
+  std::vector<Entry> entries;
+  for (struct dirent* de = readdir(d); de != nullptr; de = readdir(d)) {
+    const std::string name = de->d_name;
+    Entry entry;
+    std::string stem;
+    if (EndsWith(name, kCorruptSuffix)) {
+      entry.corrupt = true;
+      stem = name.substr(0, name.size() - strlen(kCorruptSuffix));
+    } else if (EndsWith(name, kGstSuffix)) {
+      stem = name.substr(0, name.size() - strlen(kGstSuffix));
+    } else {
+      continue;
+    }
+    Result<uint64_t> hash = ParseHashName(stem);
+    if (!hash.ok()) continue;  // Foreign file; not ours to report.
+    entry.hash = *hash;
+    entry.file_bytes = FileBytes(dir_ + "/" + name);
+    entries.push_back(entry);
+  }
+  closedir(d);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.hash < b.hash; });
+  return entries;
+}
+
+Result<GraphStore::FsckReport> GraphStore::Fsck() {
+  GA_ASSIGN_OR_RETURN(std::vector<Entry> entries, List());
+  FsckReport report;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : entries) {
+    if (entry.corrupt) continue;  // Already quarantined.
+    ++report.checked;
+    const std::string path = PathFor(entry.hash);
+    GstInfo info;
+    Result<Graph> opened = OpenGstFile(path, &info);
+    bool good = opened.ok() && info.content_hash == entry.hash &&
+                // Deep check: the name must match the *recomputed* hash,
+                // not just the header's claim about itself.
+                opened->ContentHash() == entry.hash;
+    if (good) {
+      ++report.ok;
+      continue;
+    }
+    if (opened.ok() || opened.status().code() == StatusCode::kCorrupt) {
+      Quarantine(entry.hash, path);
+      ++report.corrupt;
+      report.quarantined.push_back(path + ".corrupt");
+    }
+    // kUnavailable/kNotFound: transient or raced away — neither corrupt
+    // nor ok; it simply is not counted against the repository.
+  }
+  return report;
+}
+
+Result<GraphStore::GcReport> GraphStore::Gc() {
+  DIR* d = opendir(dir_.c_str());
+  if (d == nullptr) {
+    return Status::Unavailable("store: cannot open " + dir_ + ": " +
+                               std::string(strerror(errno)));
+  }
+  std::vector<std::string> doomed;
+  for (struct dirent* de = readdir(d); de != nullptr; de = readdir(d)) {
+    const std::string name = de->d_name;
+    if (EndsWith(name, kCorruptSuffix) ||
+        name.find(".tmp-") != std::string::npos) {
+      doomed.push_back(dir_ + "/" + name);
+    }
+  }
+  closedir(d);
+  GcReport report;
+  for (const std::string& path : doomed) {
+    const uint64_t bytes = FileBytes(path);
+    if (unlink(path.c_str()) == 0) {
+      ++report.removed;
+      report.bytes_freed += bytes;
+    }
+  }
+  return report;
+}
+
+GraphStore::Counters GraphStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace graphalign

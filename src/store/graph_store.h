@@ -1,0 +1,121 @@
+// Content-addressed, crash-safe graph repository (DESIGN.md §15).
+//
+// Layout: one GST1 file per graph at `<dir>/<contenthash>.gst`, where
+// <contenthash> is the 16-hex-digit Graph::ContentHash — identical graphs
+// dedupe to one file, and a file's name is a commitment to its content that
+// fsck can re-verify. Writes go through the atomic temp+fsync+rename
+// publish of WriteGstFile, so a crash mid-Put never leaves a visible
+// partial entry (at worst an invisible `*.tmp-*` leftover that Gc sweeps).
+//
+// Quarantine semantics: when Get/Fsck finds an entry whose bytes fail
+// verification (typed kCorrupt), the file is renamed aside to
+// `<name>.gst.corrupt` — it stops being served immediately, Has() turns
+// false, and a later Put of the same graph can re-publish a good copy
+// under the original name. Corruption is never retried in a loop and never
+// deletes data (the corpse stays for post-mortem until `store gc`).
+// Transient failures (kUnavailable mmap/IO trouble) do NOT quarantine:
+// destroying a good file because of a flaky syscall would turn a blip into
+// data loss.
+//
+// Opened graphs are cached in-process: the Graph aims straight into the
+// read-only mapping (no parse), repeat Gets hand out the same mapping, and
+// forked workers inherit and share the physical pages.
+#ifndef GRAPHALIGN_STORE_GRAPH_STORE_H_
+#define GRAPHALIGN_STORE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "store/gst.h"
+
+namespace graphalign {
+
+class GraphStore {
+ public:
+  // Opens (creating if needed) the repository directory. Fails with
+  // kUnavailable when the directory cannot be created or listed — callers
+  // degrade to their non-store path.
+  static Result<std::unique_ptr<GraphStore>> Open(const std::string& dir);
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+  // Publishes `g`, returning its content hash. Deduplicates: if a verified
+  // copy is already present, nothing is written and *already_present is set.
+  Result<uint64_t> Put(const Graph& g, bool* already_present = nullptr);
+
+  // True when a (non-quarantined) entry exists. Cheap: no verification.
+  bool Has(uint64_t hash) const;
+
+  // Maps and fully verifies the entry. kNotFound when absent (including
+  // just-quarantined); kCorrupt when verification fails — the file is then
+  // quarantined so the next Get is a clean kNotFound; kUnavailable on
+  // transient mmap/IO errors (no quarantine).
+  Result<Graph> Get(uint64_t hash);
+
+  struct Entry {
+    uint64_t hash = 0;
+    uint64_t file_bytes = 0;
+    bool corrupt = false;  // A quarantined `.gst.corrupt` corpse.
+  };
+  // Directory listing (entries and corpses), sorted by hash. No
+  // verification beyond the filename.
+  Result<std::vector<Entry>> List() const;
+
+  struct FsckReport {
+    int checked = 0;
+    int ok = 0;
+    int corrupt = 0;  // Failed verification this pass; now quarantined.
+    std::vector<std::string> quarantined;  // Their new `.corrupt` paths.
+  };
+  // Re-verifies every entry end-to-end: CRCs, CSR structure, and that the
+  // recomputed ContentHash matches the filename. Corrupt entries are
+  // quarantined. The report is data, not an error: Fsck itself only fails
+  // on directory-level IO trouble.
+  Result<FsckReport> Fsck();
+
+  struct GcReport {
+    int removed = 0;  // tmp leftovers + corpses deleted.
+    uint64_t bytes_freed = 0;
+  };
+  // Sweeps `*.tmp-*` publish leftovers and `*.gst.corrupt` corpses.
+  Result<GcReport> Gc();
+
+  // Counters for daemon introspection (monotonic over this process).
+  struct Counters {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t corrupt = 0;  // Entries quarantined by Get/Fsck.
+    uint64_t missing = 0;  // Gets that found no entry.
+  };
+  Counters counters() const;
+
+  static std::string HashName(uint64_t hash);  // 16 lowercase hex digits.
+  static Result<uint64_t> ParseHashName(const std::string& name);
+
+ private:
+  explicit GraphStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string PathFor(uint64_t hash) const;
+  // Renames `path` aside to `path + ".corrupt"` and drops any cached
+  // mapping. Best-effort: a failed rename still stops the entry being
+  // served this call.
+  void Quarantine(uint64_t hash, const std::string& path);
+
+  const std::string dir_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Graph> mapped_;  // Open read-only mappings.
+  Counters counters_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_STORE_GRAPH_STORE_H_

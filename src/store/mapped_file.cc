@@ -1,0 +1,55 @@
+#include "store/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace graphalign {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  GA_FAILPOINT_STATUS("store.mmap.error",
+                      Status::Unavailable("mmap failed (injected)"));
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::Unavailable("cannot open " + path + ": " +
+                               std::string(strerror(errno)));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::Unavailable("cannot stat " + path + ": " +
+                               std::string(strerror(err)));
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    // mmap of length 0 is an error; an empty file is not a valid mapping
+    // target, and for GST1 it is the torn-write signature — let the format
+    // layer classify it, here it is simply unmappable content.
+    close(fd);
+    return Status::Corrupt("empty file: " + path);
+  }
+  void* addr = mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  close(fd);  // The mapping keeps its own reference to the inode.
+  if (addr == MAP_FAILED) {
+    return Status::Unavailable("mmap of " + path + " failed: " +
+                               std::string(strerror(err)));
+  }
+  return std::shared_ptr<MappedFile>(new MappedFile(addr, len, path));
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) munmap(addr_, len_);
+}
+
+}  // namespace graphalign

@@ -1,0 +1,47 @@
+// Read-only file mapping with shared ownership (DESIGN.md §15).
+//
+// A MappedFile is the backing object of an mmap-loaded Graph: the Graph's
+// CSR pointers aim straight into the mapping and a shared_ptr<MappedFile>
+// rides along as the Graph's backing, so the pages stay mapped exactly as
+// long as any Graph copy is alive. The mapping is MAP_PRIVATE of read-only
+// pages that are never written, so forked workers share the physical pages
+// with the daemon — loading a graph in N workers costs one copy of RAM.
+#ifndef GRAPHALIGN_STORE_MAPPED_FILE_H_
+#define GRAPHALIGN_STORE_MAPPED_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+class MappedFile {
+ public:
+  // Maps `path` read-only. Fails with kNotFound when the file does not
+  // exist and kUnavailable on mmap/IO errors (transient: the caller must
+  // not treat these as corruption).
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view bytes() const {
+    return {static_cast<const char*>(addr_), len_};
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(void* addr, size_t len, std::string path)
+      : addr_(addr), len_(len), path_(std::move(path)) {}
+
+  void* addr_ = nullptr;
+  size_t len_ = 0;
+  const std::string path_;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_STORE_MAPPED_FILE_H_

@@ -689,6 +689,52 @@ TEST_F(CacheStoreChaosTest, CrcMismatchSkipsOnlyTheRottedRecord) {
   EXPECT_EQ(stats.truncated_bytes, 0u);
 }
 
+TEST_F(CacheStoreChaosTest, CompactionReplaysByteIdenticallyAndDropsDead) {
+  // Build a log with a superseded value, a torn tail, and live records —
+  // exactly the residue startup compaction exists to shed.
+  {
+    std::vector<std::pair<uint64_t, std::string>> replayed;
+    auto store = OpenCollecting(&replayed, nullptr);
+    ASSERT_TRUE(store.ok());
+    (*store)->Append(40, "stale-value");
+    (*store)->Append(41, std::string(500, 'q'));
+    (*store)->Append(40, "fresh-value");  // Supersedes the first record.
+    ASSERT_TRUE(ActivateFailpoint("server.cache.append.torn", "once").ok());
+    (*store)->Append(42, "torn-away");
+  }
+  // Replay as the daemon would, collapse to live entries, compact.
+  std::vector<std::pair<uint64_t, std::string>> replayed;
+  auto store = OpenCollecting(&replayed, nullptr);
+  ASSERT_TRUE(store.ok());
+  ASSERT_EQ(replayed.size(), 3u);
+  const std::vector<std::pair<uint64_t, std::string>> live = {
+      {41, std::string(500, 'q')}, {40, "fresh-value"}};
+  const uint64_t before = (*store)->log_bytes();
+  ASSERT_TRUE((*store)->Compact(live).ok());
+  EXPECT_LT((*store)->log_bytes(), before);
+  // The append fd switched to the published log: post-compaction appends
+  // land in the new file.
+  (*store)->Append(43, "after-compact");
+  store->reset();
+
+  // Byte-identical replay: same keys, same values, same order, plus the
+  // post-compaction append; no skips, no truncation.
+  std::vector<std::pair<uint64_t, std::string>> after;
+  CacheStore::ReplayStats stats;
+  auto reopened = OpenCollecting(&after, &stats);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ(after.size(), 3u);
+  EXPECT_EQ(after[0], live[0]);
+  EXPECT_EQ(after[1], live[1]);
+  EXPECT_EQ(after[2],
+            (std::pair<uint64_t, std::string>{43, "after-compact"}));
+  EXPECT_EQ(stats.crc_skipped, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  // No .tmp residue after the atomic publish.
+  std::string cmd = "ls -1 '" + dir_ + "' | grep -q tmp";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
 TEST_F(CacheStoreChaosTest, AppendErrorFailpointIsCountedNotFatal) {
   std::vector<std::pair<uint64_t, std::string>> replayed;
   auto store = OpenCollecting(&replayed, nullptr);

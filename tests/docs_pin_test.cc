@@ -1,0 +1,88 @@
+// Pins user-facing documentation to the code it documents.
+//
+// The README's exit-code table is the operator's contract — scripts branch
+// on these numbers — and it lives in prose, where the compiler cannot see
+// it. This test re-parses both sides: every `kExit*` constant declared in
+// src/common/exit_codes.h must appear as a row in the README table (and
+// nothing more), so adding an exit code without documenting it, or
+// documenting a code that no longer exists, fails CI instead of shipping
+// stale docs. Paths come from GA_SOURCE_DIR (set in tests/CMakeLists.txt).
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace graphalign {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Exit codes declared in the header: `inline constexpr int kExitFoo = N;`.
+std::set<int> HeaderExitCodes() {
+  const std::string header =
+      ReadFileOrDie(std::string(GA_SOURCE_DIR) + "/src/common/exit_codes.h");
+  std::set<int> codes;
+  const std::regex decl(R"(inline constexpr int kExit\w+ = (\d+);)");
+  for (auto it = std::sregex_iterator(header.begin(), header.end(), decl);
+       it != std::sregex_iterator(); ++it) {
+    const int value = std::stoi((*it)[1]);
+    EXPECT_TRUE(codes.insert(value).second)
+        << "duplicate exit code value " << value << " in exit_codes.h";
+  }
+  return codes;
+}
+
+// Exit codes documented in the README: table rows of the form `| N | ... |`.
+std::set<int> ReadmeExitCodes() {
+  const std::string readme =
+      ReadFileOrDie(std::string(GA_SOURCE_DIR) + "/README.md");
+  std::set<int> codes;
+  const std::regex row(R"(\n\| (\d+) \| )");
+  for (auto it = std::sregex_iterator(readme.begin(), readme.end(), row);
+       it != std::sregex_iterator(); ++it) {
+    const int value = std::stoi((*it)[1]);
+    EXPECT_TRUE(codes.insert(value).second)
+        << "exit code " << value << " documented twice in README.md";
+  }
+  return codes;
+}
+
+TEST(DocsPin, ReadmeExitCodeTableMatchesHeader) {
+  const std::set<int> header = HeaderExitCodes();
+  const std::set<int> readme = ReadmeExitCodes();
+  ASSERT_FALSE(header.empty()) << "no kExit* declarations parsed";
+  ASSERT_FALSE(readme.empty()) << "no exit-code table rows parsed";
+  EXPECT_EQ(header.size(), readme.size())
+      << "README exit-code table and exit_codes.h disagree on how many exit "
+         "codes exist; update the table (and its meanings) in README.md";
+  for (int code : header) {
+    EXPECT_TRUE(readme.count(code))
+        << "exit code " << code
+        << " is declared in exit_codes.h but missing from the README table";
+  }
+  for (int code : readme) {
+    EXPECT_TRUE(header.count(code))
+        << "exit code " << code
+        << " is documented in README.md but not declared in exit_codes.h";
+  }
+}
+
+TEST(DocsPin, ExitCodesAreDense) {
+  // The codes double as server ResponseCode values; keep them 0..N-1 with
+  // no gaps so a new code cannot silently collide or leave a hole.
+  const std::set<int> header = HeaderExitCodes();
+  int expected = 0;
+  for (int code : header) EXPECT_EQ(code, expected++);
+}
+
+}  // namespace
+}  // namespace graphalign

@@ -8,13 +8,17 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/status.h"
+#include "graph/graph.h"
 #include "server/protocol.h"
+#include "store/gst.h"
 
 namespace graphalign {
 namespace {
@@ -58,6 +62,37 @@ void DrainDecoders(std::string_view payload) {
   { Result<StatsResult> r = DecodeStatsResult(payload); (void)r; }
   { Result<CacheInfoResult> r = DecodeCacheInfoResult(payload); (void)r; }
   { Result<ServerStatsResult> r = DecodeServerStatsResult(payload); (void)r; }
+  { Result<PutGraphResult> r = DecodePutGraphResult(payload); (void)r; }
+  { Result<HasGraphResult> r = DecodeHasGraphResult(payload); (void)r; }
+}
+
+// The GST1 opener sees whatever bytes survived the disk; like the wire
+// decoders it must be a total function. Callers hand it 8-aligned mmapped
+// buffers, so fuzz inputs are copied into an aligned allocation first.
+Result<Graph> OpenGstAlignedCopy(std::string_view bytes) {
+  const size_t words = bytes.size() / 8 + 1;
+  auto aligned = std::make_shared<std::vector<uint64_t>>(words);
+  std::memcpy(aligned->data(), bytes.data(), bytes.size());
+  const std::string_view view(
+      reinterpret_cast<const char*>(aligned->data()), bytes.size());
+  GstInfo info;
+  return OpenGstBytes(view, aligned, &info);
+}
+
+void DrainGstOpener(std::string_view bytes) {
+  Result<Graph> r = OpenGstAlignedCopy(bytes);
+  if (r.ok()) {
+    // Anything that opens must be internally coherent enough to walk.
+    EXPECT_GE(r->num_nodes(), 0);
+    EXPECT_GE(r->num_edges(), 0);
+  } else {
+    // Only the typed verification/availability codes may come back — an
+    // unknown code would mean some error path bypassed classification.
+    const StatusCode code = r.status().code();
+    EXPECT_TRUE(code == StatusCode::kCorrupt ||
+                code == StatusCode::kUnavailable)
+        << r.status().message();
+  }
 }
 
 WireGraph SmallWireGraph(SplitMix64* rng, int num_nodes, int num_edges) {
@@ -70,6 +105,14 @@ WireGraph SmallWireGraph(SplitMix64* rng, int num_nodes, int num_edges) {
     g.edges.push_back(Edge{u < v ? u : v, u < v ? v : u});
   }
   return g;
+}
+
+// A small deterministic graph whose GST1 encoding seeds the mutation tests.
+std::string SeedGstBytes(SplitMix64* rng, int num_nodes, int num_edges) {
+  WireGraph wg = SmallWireGraph(rng, num_nodes, num_edges);
+  Result<Graph> g = Graph::FromEdges(wg.num_nodes, wg.edges);
+  EXPECT_TRUE(g.ok()) << g.status().message();
+  return EncodeGst(*g);
 }
 
 // A corpus of well-formed encoded payloads: one request per RequestType and
@@ -116,6 +159,30 @@ std::vector<std::string> SeedCorpus(SplitMix64* rng) {
     corpus.push_back(EncodeRequest(r));
   }
 
+  Request put;
+  put.type = RequestType::kPutGraph;
+  put.client = "fuzz-put";
+  put.put_graph.g = SmallWireGraph(rng, 9, 14);
+  corpus.push_back(EncodeRequest(put));
+
+  Request has;
+  has.type = RequestType::kHasGraph;
+  has.client = "fuzz-has";
+  has.has_graph.hash = 0x0123456789abcdefull;
+  corpus.push_back(EncodeRequest(has));
+
+  // Submit-by-hash: an align frame that names graphs instead of carrying
+  // them. Mutations of this seed cover the hash fields and the by-hash flag.
+  Request by_hash;
+  by_hash.type = RequestType::kAlign;
+  by_hash.client = "fuzz-by-hash";
+  by_hash.align.algo = "GRASP";
+  by_hash.align.assign = "JV";
+  by_hash.align.by_hash = true;
+  by_hash.align.g1_hash = 0x1111222233334444ull;
+  by_hash.align.g2_hash = 0x5555666677778888ull;
+  corpus.push_back(EncodeRequest(by_hash));
+
   Response ok;
   ok.code = ResponseCode::kOk;
   ok.cache_hit = true;
@@ -161,6 +228,15 @@ std::vector<std::string> SeedCorpus(SplitMix64* rng) {
   server_body.quarantined_signatures = 2;
   server_body.worker_restarts = {0, 1, 0, 3};
   corpus.push_back(EncodeServerStatsResult(server_body));
+
+  PutGraphResult put_body;
+  put_body.content_hash = 0x27f1f48ddd44eec1ull;
+  put_body.already_present = true;
+  corpus.push_back(EncodePutGraphResult(put_body));
+
+  HasGraphResult has_body;
+  has_body.present = true;
+  corpus.push_back(EncodeHasGraphResult(has_body));
 
   return corpus;
 }
@@ -272,7 +348,7 @@ TEST(ProtocolFuzzTest, ValidCorpusStillRoundTrips) {
     if (DecodeRequest(msg).ok()) ++request_ok;
     if (DecodeResponse(msg).ok()) ++response_ok;
   }
-  EXPECT_GE(request_ok, 7);   // One per RequestType.
+  EXPECT_GE(request_ok, 10);  // One per RequestType, plus the by-hash align.
   EXPECT_GE(response_ok, 2);  // The kOk and kQuarantined seeds.
 
   Request align;
@@ -287,6 +363,115 @@ TEST(ProtocolFuzzTest, ValidCorpusStillRoundTrips) {
   EXPECT_EQ(decoded->client, "roundtrip");
   EXPECT_EQ(decoded->align.algo, "GRASP");
   EXPECT_EQ(decoded->align.g1.edges.size(), align.align.g1.edges.size());
+}
+
+// --- GST1 store format -----------------------------------------------------
+// The same discipline as the wire decoders, applied to the on-disk graph
+// format: the opener must map every byte sequence to a typed outcome
+// (DESIGN.md §15). These run under ASan via tools/run_sanitize.sh, where a
+// lying section offset that is dereferenced before validation becomes a
+// hard failure instead of a silent overread.
+
+TEST(GstFuzzTest, RandomBlobsNeverCrashTheOpener) {
+  SplitMix64 rng(0x6773745f66757a31ull);  // "gst_fuz1"
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string blob = rng.Bytes(rng.Below(512));
+    // Half the blobs get the real magic so version/size/table validation is
+    // reached, not just the magic check.
+    if (blob.size() >= 4 && rng.Below(2) == 0) {
+      std::memcpy(blob.data(), kGstMagic, sizeof(kGstMagic));
+    }
+    DrainGstOpener(blob);
+  }
+  DrainGstOpener("");
+  for (int b = 0; b < 256; ++b) {
+    char c = static_cast<char>(b);
+    DrainGstOpener(std::string_view(&c, 1));
+  }
+}
+
+TEST(GstFuzzTest, EveryTruncationOfAValidFileIsCorrupt) {
+  SplitMix64 rng(0x6773745f66757a32ull);
+  std::string gst = SeedGstBytes(&rng, 24, 40);
+  for (size_t len = 0; len < gst.size(); ++len) {
+    Result<Graph> r = OpenGstAlignedCopy(std::string_view(gst.data(), len));
+    ASSERT_FALSE(r.ok()) << "truncation to " << len << " bytes opened";
+    EXPECT_EQ(r.status().code(), StatusCode::kCorrupt) << "len=" << len;
+  }
+}
+
+TEST(GstFuzzTest, EverySingleBitFlipIsCorrupt) {
+  // The header comment claims every byte is covered by exactly one CRC;
+  // prove it for every bit of every byte of a seed file.
+  SplitMix64 rng(0x6773745f66757a33ull);
+  std::string gst = SeedGstBytes(&rng, 12, 18);
+  for (size_t pos = 0; pos < gst.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = gst;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ (1u << bit));
+      Result<Graph> r = OpenGstAlignedCopy(mutated);
+      ASSERT_FALSE(r.ok()) << "flip at byte " << pos << " bit " << bit;
+      EXPECT_EQ(r.status().code(), StatusCode::kCorrupt);
+    }
+  }
+}
+
+TEST(GstFuzzTest, ByteStompsOnValidFilesAreTyped) {
+  SplitMix64 rng(0x6773745f66757a34ull);
+  std::string gst = SeedGstBytes(&rng, 20, 30);
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string mutated = gst;
+    size_t pos = rng.Below(mutated.size());
+    size_t n = 1 + rng.Below(16);
+    for (size_t i = 0; i < n && pos + i < mutated.size(); ++i) {
+      mutated[pos + i] = static_cast<char>(rng.Next() & 0xff);
+    }
+    DrainGstOpener(mutated);
+  }
+}
+
+TEST(GstFuzzTest, HostileSectionTablesWithFixedCrcsAreStillTyped) {
+  // Stomp the section-table offset/length fields with hostile values, then
+  // re-stamp the header CRC so the checksum passes and the opener's bounds
+  // checks are what must reject the file. Under ASan this proves no lying
+  // offset is ever dereferenced before validation.
+  SplitMix64 rng(0x6773745f66757a35ull);
+  std::string gst = SeedGstBytes(&rng, 16, 24);
+  // u64 offset and length fields of both section-table entries.
+  const size_t kFields[] = {40 + 8, 40 + 16, 40 + 32 + 8, 40 + 32 + 16};
+  for (size_t field : kFields) {
+    for (int iter = 0; iter < 64; ++iter) {
+      std::string mutated = gst;
+      uint64_t hostile = 0;
+      switch (iter % 4) {
+        case 0:  // Pure noise.
+          hostile = rng.Next();
+          break;
+        case 1:  // offset + length wraparound bait.
+          hostile = 0xffffffffffffff00ull + rng.Below(256);
+          break;
+        case 2:  // Just past end of file.
+          hostile = mutated.size() + rng.Below(64);
+          break;
+        case 3:  // In-bounds but pointing at the wrong bytes.
+          hostile = rng.Below(mutated.size());
+          break;
+      }
+      if (std::memcmp(mutated.data() + field, &hostile, sizeof(hostile)) ==
+          0) {
+        continue;  // Landed on the original value: still a valid file.
+      }
+      std::memcpy(mutated.data() + field, &hostile, sizeof(hostile));
+      std::string preamble(mutated.data(), kGstPreambleBytes);
+      std::memset(preamble.data() + 32, 0, 4);  // header_crc field zeroed.
+      const uint32_t crc = Crc32c(preamble);
+      std::memcpy(mutated.data() + 32, &crc, sizeof(crc));
+      Result<Graph> r = OpenGstAlignedCopy(mutated);
+      ASSERT_FALSE(r.ok()) << "field@" << field << " iter " << iter;
+      EXPECT_EQ(r.status().code(), StatusCode::kCorrupt)
+          << r.status().message();
+    }
+  }
 }
 
 }  // namespace

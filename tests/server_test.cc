@@ -300,6 +300,11 @@ TEST(CodecTest, ServerStatsResultRoundTrips) {
   r.cache_truncated_bytes = 37;
   r.cache_append_errors = 2;
   r.cache_open_errors = 0;
+  r.store_puts = 9;
+  r.store_gets = 15;
+  r.store_corrupt = 1;
+  r.store_missing = 2;
+  r.store_unavailable = 1;
   r.worker_restarts = {0, 2, 0, 1};
   auto decoded = DecodeServerStatsResult(EncodeServerStatsResult(r));
   ASSERT_TRUE(decoded.ok()) << decoded.status().message();
@@ -317,6 +322,11 @@ TEST(CodecTest, ServerStatsResultRoundTrips) {
   EXPECT_EQ(decoded->cache_crc_skipped, 1u);
   EXPECT_EQ(decoded->cache_truncated_bytes, 37u);
   EXPECT_EQ(decoded->cache_append_errors, 2u);
+  EXPECT_EQ(decoded->store_puts, 9u);
+  EXPECT_EQ(decoded->store_gets, 15u);
+  EXPECT_EQ(decoded->store_corrupt, 1u);
+  EXPECT_EQ(decoded->store_missing, 2u);
+  EXPECT_EQ(decoded->store_unavailable, 1u);
   EXPECT_EQ(decoded->worker_restarts, (std::vector<uint64_t>{0, 2, 0, 1}));
 }
 
@@ -378,6 +388,23 @@ TEST(CacheTest, ValueLargerThanCapacityNeverCached) {
   std::string value;
   EXPECT_FALSE(cache.Get(2, &value));
   EXPECT_TRUE(cache.Get(1, &value));  // The resident survived.
+}
+
+TEST(CacheTest, SnapshotIsLeastRecentlyUsedFirst) {
+  ResultCache cache(1 << 20);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  cache.Put(3, "c");
+  std::string v;
+  ASSERT_TRUE(cache.Get(1, &v));  // 1 becomes most recent.
+  const auto snapshot = cache.Snapshot();
+  // LRU-first, so replaying the snapshot in order (as startup compaction
+  // does) restores both the contents and the recency ranking.
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, 2u);
+  EXPECT_EQ(snapshot[1].first, 3u);
+  EXPECT_EQ(snapshot[2].first, 1u);
+  EXPECT_EQ(snapshot[2].second, "a");
 }
 
 TEST(CacheTest, ConcurrentAccessIsSafe) {

@@ -1,0 +1,395 @@
+// Graph store unit suite (DESIGN.md §15): the GST1 on-disk format and the
+// content-addressed GraphStore repository. Adversarial bytes — truncation,
+// bit flips, self-consistent-but-lying section tables — must come back as
+// typed kCorrupt, never as a crash or a silently wrong Graph; the chaos
+// suite (store_chaos_test.cc) covers the injected-fault and daemon paths.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "store/graph_store.h"
+#include "store/gst.h"
+
+namespace graphalign {
+namespace {
+
+Graph TestGraph(uint64_t seed, int n = 40) {
+  Rng rng(seed);
+  auto g = ErdosRenyi(n, 0.15, &rng);
+  GA_CHECK(g.ok());
+  return *std::move(g);
+}
+
+// Opens encoded bytes without file IO; the backing keeps `bytes` alive.
+Result<Graph> OpenBytes(const std::string& bytes, GstInfo* info = nullptr) {
+  auto owned = std::make_shared<std::string>(bytes);
+  return OpenGstBytes(*owned, owned, info);
+}
+
+class StoreDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/ga_store_testXXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    // Best-effort sweep of everything a test may have left behind.
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// GST1 encode/open round trips.
+
+TEST(GstTest, EncodeOpenRoundTripPreservesEverything) {
+  const Graph g = TestGraph(7);
+  auto mapped = OpenBytes(EncodeGst(g));
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->num_nodes(), g.num_nodes());
+  EXPECT_EQ(mapped->num_edges(), g.num_edges());
+  EXPECT_EQ(mapped->ContentHash(), g.ContentHash());
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    auto a = g.Neighbors(u);
+    auto b = mapped->Neighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GstTest, EmptyAndEdgelessGraphsRoundTrip) {
+  for (const Graph& g :
+       {Graph(), *Graph::FromEdges(5, std::vector<Edge>{})}) {
+    GstInfo info;
+    auto mapped = OpenBytes(EncodeGst(g), &info);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_EQ(mapped->num_nodes(), g.num_nodes());
+    EXPECT_EQ(mapped->num_edges(), 0);
+    EXPECT_EQ(info.content_hash, g.ContentHash());
+  }
+}
+
+TEST(GstTest, InfoReportsHeaderFields) {
+  const Graph g = TestGraph(8);
+  const std::string bytes = EncodeGst(g);
+  GstInfo info;
+  ASSERT_TRUE(OpenBytes(bytes, &info).ok());
+  EXPECT_EQ(info.num_nodes, g.num_nodes());
+  EXPECT_EQ(info.num_edges, g.num_edges());
+  EXPECT_EQ(info.content_hash, g.ContentHash());
+  EXPECT_EQ(info.file_bytes, bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Integrity: every single-bit flip anywhere in the file must be caught.
+
+TEST(GstTest, AnySingleBitFlipIsTypedCorrupt) {
+  const Graph g = TestGraph(9, 20);
+  const std::string good = EncodeGst(g);
+  ASSERT_TRUE(OpenBytes(good).ok());
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x10);
+    auto mapped = OpenBytes(bad);
+    ASSERT_FALSE(mapped.ok()) << "flip at byte " << pos << " went unnoticed";
+    EXPECT_EQ(mapped.status().code(), StatusCode::kCorrupt)
+        << "flip at byte " << pos << ": " << mapped.status().ToString();
+  }
+}
+
+TEST(GstTest, EveryTruncationIsTypedCorrupt) {
+  const Graph g = TestGraph(10, 20);
+  const std::string good = EncodeGst(g);
+  // Truncate at 8-byte steps (the opener requires 8-alignment; unaligned
+  // lengths cannot occur via mmap of our own files).
+  for (size_t len = 0; len < good.size(); len += 8) {
+    auto mapped = OpenBytes(good.substr(0, len));
+    ASSERT_FALSE(mapped.ok()) << "truncation to " << len << " bytes opened";
+    EXPECT_EQ(mapped.status().code(), StatusCode::kCorrupt) << len;
+  }
+}
+
+TEST(GstTest, TrailingGarbageIsTypedCorrupt) {
+  const std::string padded = EncodeGst(TestGraph(11)) + std::string(8, '\0');
+  auto mapped = OpenBytes(padded);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorrupt);
+}
+
+TEST(GstTest, ForeignMagicIsTypedCorrupt) {
+  std::string bytes = EncodeGst(TestGraph(12));
+  std::memcpy(bytes.data(), "GAR1", 4);  // A cache-log record, say.
+  auto mapped = OpenBytes(bytes);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorrupt);
+}
+
+// A file whose CRCs are all self-consistent but whose CSR payload lies
+// (out-of-range neighbor) must still be rejected: CRCs authenticate bytes,
+// structural validation authenticates meaning. An attacker (or a confused
+// writer) can always stamp matching CRCs over bad structure.
+TEST(GstTest, ConsistentCrcsWithLyingPayloadStillCorrupt) {
+  auto g = Graph::FromEdges(3, std::vector<Edge>{{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  std::string bytes = EncodeGst(*g);
+  // Point the last adjacency entry at node 9 (out of range for n=3), then
+  // re-stamp the adjacency section CRC (entry 2 of the table, crc field at
+  // offset 40 + 32 + 4) and the header CRC (offset 32, computed over the
+  // first 104 bytes with its own field zeroed) so every checksum matches.
+  const size_t adj_pos = bytes.size() - sizeof(int);
+  const int liar = 9;
+  std::memcpy(bytes.data() + adj_pos, &liar, sizeof(liar));
+  uint64_t adj_off = 0, adj_len = 0;
+  std::memcpy(&adj_off, bytes.data() + 40 + 32 + 8, sizeof(adj_off));
+  std::memcpy(&adj_len, bytes.data() + 40 + 32 + 16, sizeof(adj_len));
+  const uint32_t adj_crc =
+      Crc32c(std::string_view(bytes.data() + adj_off, adj_len));
+  std::memcpy(bytes.data() + 40 + 32 + 4, &adj_crc, sizeof(adj_crc));
+  std::string preamble(bytes.data(), kGstPreambleBytes);
+  std::memset(preamble.data() + 32, 0, sizeof(uint32_t));
+  const uint32_t header_crc = Crc32c(preamble);
+  std::memcpy(bytes.data() + 32, &header_crc, sizeof(header_crc));
+
+  auto mapped = OpenBytes(bytes);
+  ASSERT_FALSE(mapped.ok()) << "out-of-range neighbor decoded";
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorrupt)
+      << mapped.status().ToString();
+  EXPECT_NE(mapped.status().message().find("neighbor"), std::string::npos)
+      << mapped.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// File round trip and atomic publish hygiene.
+
+TEST_F(StoreDirTest, WriteAndOpenFileRoundTrip) {
+  const Graph g = TestGraph(13);
+  const std::string path = dir_ + "/g.gst";
+  ASSERT_TRUE(WriteGstFile(g, path).ok());
+  GstInfo info;
+  auto mapped = OpenGstFile(path, &info);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->ContentHash(), g.ContentHash());
+  EXPECT_EQ(info.content_hash, g.ContentHash());
+  // No temp leftovers after a clean publish.
+  std::string cmd = "ls '" + dir_ + "' | grep -q tmp-";
+  EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+TEST_F(StoreDirTest, OpenMissingFileIsNotFound) {
+  auto mapped = OpenGstFile(dir_ + "/absent.gst");
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreDirTest, OpenEmptyFileIsCorrupt) {
+  const std::string path = dir_ + "/empty.gst";
+  { std::ofstream f(path); }
+  auto mapped = OpenGstFile(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorrupt);
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore repository semantics.
+
+TEST_F(StoreDirTest, PutGetHasAndDedupe) {
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const Graph g = TestGraph(14);
+
+  bool already = true;
+  auto hash = (*store)->Put(g, &already);
+  ASSERT_TRUE(hash.ok()) << hash.status().ToString();
+  EXPECT_EQ(*hash, g.ContentHash());
+  EXPECT_FALSE(already);
+  EXPECT_TRUE((*store)->Has(*hash));
+
+  // Second Put of identical content dedupes.
+  auto again = (*store)->Put(g, &already);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *hash);
+  EXPECT_TRUE(already);
+
+  auto got = (*store)->Get(*hash);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->ContentHash(), g.ContentHash());
+  EXPECT_EQ(got->num_edges(), g.num_edges());
+
+  const GraphStore::Counters c = (*store)->counters();
+  EXPECT_EQ(c.puts, 2u);
+  EXPECT_EQ(c.gets, 1u);
+  EXPECT_EQ(c.corrupt, 0u);
+  EXPECT_EQ(c.missing, 0u);
+}
+
+TEST_F(StoreDirTest, GetMissingIsNotFoundAndCounted) {
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto got = (*store)->Get(0xdeadbeefu);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*store)->counters().missing, 1u);
+}
+
+TEST_F(StoreDirTest, ListIsSortedAndSkipsStrangers) {
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto h1 = (*store)->Put(TestGraph(15));
+  auto h2 = (*store)->Put(TestGraph(16));
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  // A foreign file in the directory is not an entry.
+  { std::ofstream f(dir_ + "/README.txt"); f << "not a graph"; }
+  auto entries = (*store)->List();
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_LT((*entries)[0].hash, (*entries)[1].hash);
+  EXPECT_FALSE((*entries)[0].corrupt);
+  EXPECT_GT((*entries)[0].file_bytes, 0u);
+}
+
+TEST_F(StoreDirTest, BitFlipQuarantinesOnGetThenReuploadHeals) {
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const Graph g = TestGraph(17);
+  auto hash = (*store)->Put(g);
+  ASSERT_TRUE(hash.ok());
+  const std::string path = dir_ + "/" + GraphStore::HashName(*hash) + ".gst";
+
+  // Rot one byte in the middle of the file.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(200);
+    f.put('\x7f');
+  }
+  auto got = (*store)->Get(*hash);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorrupt)
+      << got.status().ToString();
+  EXPECT_NE(got.status().message().find("quarantined"), std::string::npos);
+
+  // Quarantined: original gone, corpse kept, entry no longer served.
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(::stat((path + ".corrupt").c_str(), &st), 0);
+  EXPECT_FALSE((*store)->Has(*hash));
+  auto after = (*store)->Get(*hash);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*store)->counters().corrupt, 1u);
+
+  // Re-upload publishes a fresh good copy under the original name.
+  auto reput = (*store)->Put(g);
+  ASSERT_TRUE(reput.ok());
+  auto healed = (*store)->Get(*hash);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed->ContentHash(), g.ContentHash());
+}
+
+TEST_F(StoreDirTest, FsckCatchesRenamedEntryWhoseNameLies) {
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto hash = (*store)->Put(TestGraph(18));
+  ASSERT_TRUE(hash.ok());
+  // The file's bytes are perfectly valid — but the *name* commits to a
+  // different content hash. A cheap Get catches this via the header; fsck
+  // additionally recomputes the hash from the adjacency itself.
+  const std::string real = dir_ + "/" + GraphStore::HashName(*hash) + ".gst";
+  const std::string liar = dir_ + "/0123456789abcdef.gst";
+  ASSERT_EQ(::rename(real.c_str(), liar.c_str()), 0);
+
+  auto report = (*store)->Fsck();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->checked, 1);
+  EXPECT_EQ(report->ok, 0);
+  EXPECT_EQ(report->corrupt, 1);
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_EQ(report->quarantined[0], liar + ".corrupt");
+}
+
+TEST_F(StoreDirTest, FsckPassesCleanStoreAndGcSweepsCorpses) {
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto hash = (*store)->Put(TestGraph(19));
+  ASSERT_TRUE(hash.ok());
+  auto clean = (*store)->Fsck();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->checked, 1);
+  EXPECT_EQ(clean->ok, 1);
+  EXPECT_EQ(clean->corrupt, 0);
+
+  // Manufacture a corpse and a publish leftover; gc removes exactly those.
+  { std::ofstream f(dir_ + "/ffffffffffffffff.gst.corrupt"); f << "corpse"; }
+  { std::ofstream f(dir_ + "/abc.gst.tmp-99-1"); f << "leftover"; }
+  auto gc = (*store)->Gc();
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  EXPECT_EQ(gc->removed, 2);
+  EXPECT_GT(gc->bytes_freed, 0u);
+  EXPECT_TRUE((*store)->Has(*hash));  // Live entries untouched.
+}
+
+TEST(GraphStoreTest, HashNameRoundTripsAndParseIsStrict) {
+  const uint64_t hash = 0x0123456789abcdefull;
+  const std::string name = GraphStore::HashName(hash);
+  EXPECT_EQ(name, "0123456789abcdef");
+  auto parsed = GraphStore::ParseHashName(name);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, hash);
+  for (const char* bad : {"", "0123", "0123456789abcdeg", "0123456789abcdef0",
+                          "0x123456789abcde", " 123456789abcdef"}) {
+    EXPECT_FALSE(GraphStore::ParseHashName(bad).ok()) << bad;
+  }
+}
+
+TEST(GraphStoreTest, OpenRejectsUnusableDirectory) {
+  // A path whose parent is a *file* can never become a directory.
+  char tmpl[] = "/tmp/ga_store_fileXXXXXX";
+  const int fd = ::mkstemp(tmpl);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  auto store = GraphStore::Open(std::string(tmpl) + "/sub");
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kUnavailable);
+  ::unlink(tmpl);
+}
+
+// Mapped graphs stay valid after the store (and its cache) is destroyed —
+// the Graph's backing keeps the mapping alive.
+TEST_F(StoreDirTest, MappedGraphOutlivesStore) {
+  const Graph g = TestGraph(23);
+  Graph mapped;
+  {
+    auto store = GraphStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    auto hash = (*store)->Put(g);
+    ASSERT_TRUE(hash.ok());
+    auto got = (*store)->Get(*hash);
+    ASSERT_TRUE(got.ok());
+    mapped = *got;
+  }
+  EXPECT_EQ(mapped.ContentHash(), g.ContentHash());
+  int64_t degree_sum = 0;
+  for (int u = 0; u < mapped.num_nodes(); ++u) {
+    degree_sum += static_cast<int64_t>(mapped.Neighbors(u).size());
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace graphalign

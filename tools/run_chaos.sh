@@ -8,7 +8,11 @@
 #   2. crash mode on the similarity path under --isolate: typed exit 4,
 #   3. a forced eigensolver non-convergence: degraded result, exit 0,
 #   4. a daemon armed with server.busy=once: submit --retries rides through
-#      BUSY; SIGTERM then drains it cleanly.
+#      BUSY; SIGTERM then drains it cleanly,
+#   5. the graph store (DESIGN.md §15): a torn write publishes nothing and
+#      gc sweeps the leftover; bit rot is caught by verify, quarantined,
+#      and healed by re-import; a daemon whose --store-dir is unusable
+#      degrades to the wire-graph path instead of dying.
 #
 # Usage: tools/run_chaos.sh [path-to-graphalign-binary]
 set -euo pipefail
@@ -31,7 +35,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "== 0/4 generate a graph pair =="
+echo "== 0/5 generate a graph pair =="
 "$TOOL" generate --model er --n 60 --p 0.1 --seed 7 --out "$WORK/g1.txt"
 "$TOOL" perturb --in "$WORK/g1.txt" --noise one-way --level 0.05 --seed 8 \
   --out "$WORK/g2.txt"
@@ -48,7 +52,7 @@ check_typed_exit() {
   return 1
 }
 
-echo "== 1/4 every site x {error, delay}: typed outcomes only =="
+echo "== 1/5 every site x {error, delay}: typed outcomes only =="
 SITES="$("$TOOL" failpoints)"
 [[ -n "$SITES" ]] || { echo "failpoints listing is empty" >&2; exit 1; }
 for site in $SITES; do
@@ -63,7 +67,7 @@ for site in $SITES; do
 done
 echo "all $(echo "$SITES" | wc -l) sites yielded typed outcomes"
 
-echo "== 2/4 crash mode is contained under isolation =="
+echo "== 2/5 crash mode is contained under isolation =="
 rc=0
 GRAPHALIGN_FAILPOINTS="align.similarity.error=crash" timeout 120 \
   "$TOOL" align --g1 "$WORK/g1.txt" --g2 "$WORK/g2.txt" \
@@ -75,7 +79,7 @@ if [[ "$rc" != 4 ]] || ! grep -q "CRASH" "$WORK/crash.err"; then
 fi
 echo "injected SIGSEGV contained as a typed CRASH"
 
-echo "== 3/4 forced eigensolver failure degrades gracefully =="
+echo "== 3/5 forced eigensolver failure degrades gracefully =="
 GRAPHALIGN_FAILPOINTS="linalg.eigen.no-converge=error" \
   "$TOOL" align --g1 "$WORK/g1.txt" --g2 "$WORK/g2.txt" \
   --algo GRASP > "$WORK/degraded.out"
@@ -86,7 +90,7 @@ grep -q "\[degraded:" "$WORK/degraded.out" || {
 }
 echo "degraded run completed and reported: $(grep -o '\[degraded:.*' "$WORK/degraded.out")"
 
-echo "== 4/4 daemon: BUSY ridden out by --retries, drained by SIGTERM =="
+echo "== 4/5 daemon: BUSY ridden out by --retries, drained by SIGTERM =="
 GRAPHALIGN_FAILPOINTS="server.busy=once" \
   "$TOOL" serve --socket "$SOCK" --workers 1 > "$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
@@ -130,5 +134,103 @@ grep -q "daemon stopped" "$WORK/daemon.log" || {
   exit 1
 }
 echo "daemon rode out injected BUSY and drained cleanly on SIGTERM"
+
+echo "== 5/5 graph store: torn write, bit rot, unusable store dir =="
+STORE="$WORK/store"
+
+# (a) Torn write: the rename failpoint dies in the crash window between the
+# fsynced temp file and the publish. Nothing may become visible, and gc must
+# sweep the leftover temp.
+rc=0
+GRAPHALIGN_FAILPOINTS="store.rename.error=once" \
+  "$TOOL" store import --dir "$STORE" --in "$WORK/g1.txt" \
+  > "$WORK/torn.out" 2>&1 || rc=$?
+if [[ "$rc" == 0 ]]; then
+  echo "torn write reported success:" >&2
+  cat "$WORK/torn.out" >&2
+  exit 1
+fi
+if compgen -G "$STORE/*.gst" > /dev/null; then
+  echo "torn write published a visible entry:" >&2
+  ls "$STORE" >&2
+  exit 1
+fi
+"$TOOL" store gc --dir "$STORE" > "$WORK/gc.out"
+grep -q "removed=1" "$WORK/gc.out" || {
+  echo "gc did not sweep the torn temp file:" >&2
+  cat "$WORK/gc.out" >&2; ls "$STORE" >&2
+  exit 1
+}
+echo "torn write published nothing; gc swept the leftover temp"
+
+# (b) Bit rot: flip one byte of the published entry. verify must report it
+# corrupt (exit 1) and quarantine the corpse aside; re-import heals.
+"$TOOL" store import --dir "$STORE" --in "$WORK/g1.txt" > /dev/null
+GST="$(compgen -G "$STORE/*.gst")"
+printf '\xff' | dd of="$GST" bs=1 seek=150 count=1 conv=notrunc 2> /dev/null
+rc=0
+"$TOOL" store verify --dir "$STORE" > "$WORK/verify.out" 2>&1 || rc=$?
+if [[ "$rc" != 1 ]] || ! grep -q "quarantined:" "$WORK/verify.out"; then
+  echo "bit rot was not caught and quarantined (rc=$rc):" >&2
+  cat "$WORK/verify.out" >&2
+  exit 1
+fi
+if [[ -e "$GST" ]] || ! compgen -G "$STORE/*.gst.corrupt" > /dev/null; then
+  echo "quarantine did not move the rotten entry aside:" >&2
+  ls "$STORE" >&2
+  exit 1
+fi
+"$TOOL" store import --dir "$STORE" --in "$WORK/g1.txt" > /dev/null
+"$TOOL" store verify --dir "$STORE" > "$WORK/verify2.out"
+grep -q "corrupt=0" "$WORK/verify2.out" || {
+  echo "re-import did not heal the store:" >&2
+  cat "$WORK/verify2.out" >&2
+  exit 1
+}
+echo "bit rot quarantined by verify (exit 1); re-import healed the entry"
+
+# (c) Unusable --store-dir: the daemon must degrade to the wire-graph path,
+# not die. Inline aligns keep working; by-hash submissions get the typed
+# NO_GRAPH answer (exit 11).
+SOCK2="$WORK/ga-store.sock"
+"$TOOL" serve --socket "$SOCK2" --workers 1 \
+  --store-dir "$WORK/g1.txt/not-a-dir" > "$WORK/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+up=0
+for _ in 1 2 3; do
+  if "$TOOL" submit --socket "$SOCK2" --ping --retries 4 > /dev/null 2>&1; then
+    up=1
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2> /dev/null || break
+done
+if [[ "$up" != 1 ]]; then
+  echo "daemon with unusable --store-dir never came up:" >&2
+  cat "$WORK/daemon2.log" >&2
+  exit 1
+fi
+grep -q "graph store disabled" "$WORK/daemon2.log" || {
+  echo "daemon log missing the store-disabled notice:" >&2
+  cat "$WORK/daemon2.log" >&2
+  exit 1
+}
+"$TOOL" submit --socket "$SOCK2" --g1 "$WORK/g1.txt" --g2 "$WORK/g2.txt" \
+  --algo GRASP > /dev/null || {
+  echo "wire-graph align failed on the degraded daemon" >&2
+  cat "$WORK/daemon2.log" >&2
+  exit 1
+}
+rc=0
+"$TOOL" submit --socket "$SOCK2" --g1-hash 1111111111111111 \
+  --g2-hash 2222222222222222 --algo GRASP > "$WORK/byhash.out" 2>&1 || rc=$?
+if [[ "$rc" != 11 ]] || ! grep -q "NO_GRAPH" "$WORK/byhash.out"; then
+  echo "by-hash against the degraded daemon was not a typed NO_GRAPH (rc=$rc):" >&2
+  cat "$WORK/byhash.out" >&2
+  exit 1
+fi
+kill -TERM "$DAEMON_PID" 2> /dev/null || true
+wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
+echo "unusable store dir degraded to the wire path; by-hash answered NO_GRAPH"
 
 echo "chaos walkthrough passed"
