@@ -23,6 +23,8 @@
 #include "common/subprocess.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "gateway/gateway.h"
+#include "gateway/json.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "metrics/metrics.h"
@@ -556,6 +558,20 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
     if (!grace.ok()) return Fail(err, grace.status());
     options.watchdog_grace_seconds = *grace;
   }
+  // --http-port N: also serve the HTTP/JSON gateway (DESIGN.md §16) on
+  // 127.0.0.1:N (0 = kernel-assigned). The gateway forwards every HTTP
+  // request as a GAF1 call against this daemon, so quotas/shed/quarantine
+  // apply to HTTP traffic unchanged.
+  int http_port = -1;
+  if (flags.Has("http-port")) {
+    auto p = ParseStrictUint64(flags.GetString("http-port"));
+    if (!p.ok() || *p > 65535) {
+      return Fail(err, Status::InvalidArgument(
+                           "--http-port must be an integer in 0..65535, "
+                           "got '" + flags.GetString("http-port") + "'"));
+    }
+    http_port = static_cast<int>(*p);
+  }
 
   // Block SIGINT/SIGTERM before spawning server threads (they inherit the
   // mask), then consume them on a dedicated sigwait thread. Signal-driven
@@ -573,6 +589,28 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!server.ok()) return Fail(err, server.status());
   Status started = (*server)->Start();
   if (!started.ok()) return Fail(err, started);
+
+  // The gateway threads inherit the blocked signal mask: operator signals
+  // keep flowing to the sigwaiter below, which shuts both layers down.
+  std::unique_ptr<Gateway> gateway;
+  if (http_port >= 0) {
+    GatewayOptions gw;
+    gw.http_port = http_port;
+    if (!options.socket_path.empty()) {
+      gw.backend.socket_path = options.socket_path;
+    } else {
+      gw.backend.port = (*server)->port();
+    }
+    auto created = Gateway::Create(gw);
+    Status gw_started =
+        created.ok() ? (*created)->Start() : created.status();
+    if (!gw_started.ok()) {
+      (*server)->Shutdown();
+      (*server)->Wait();
+      return Fail(err, gw_started);
+    }
+    gateway = std::move(*created);
+  }
 
   std::atomic<bool> server_done{false};
   std::thread sigwaiter([&sigs, &server, &server_done, &err] {
@@ -605,9 +643,17 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   }
   out << " (workers=" << options.workers << ", cache="
       << Table::Num(options.cache_mb, 0) << "MB)\n";
+  if (gateway != nullptr) {
+    out << "graphalign gateway serving on 127.0.0.1:" << gateway->port()
+        << "\n";
+  }
   out.flush();
 
   (*server)->Wait();
+  if (gateway != nullptr) {
+    gateway->Shutdown();
+    gateway->Wait();
+  }
   // Wake the sigwaiter if it is still blocked (shutdown via a kShutdown
   // request, or a drain that completed); sigwait consumes the nudge.
   server_done.store(true, std::memory_order_release);
@@ -743,6 +789,52 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
     auto hash = GraphStore::ParseHashName(flags.GetString("has-graph"));
     if (!hash.ok()) return Fail(err, hash.status());
     request.has_graph.hash = *hash;
+  } else if (flags.Has("batch")) {
+    // submit --batch jobs.json: one kAlignBatch frame carrying K jobs over
+    // a shared graph table. The JSON schema is the HTTP gateway's
+    // (README), plus a CLI-only {"file": PATH} graph form expanded to an
+    // inline graph here, client-side.
+    std::ifstream batch_in(flags.GetString("batch"));
+    if (!batch_in) {
+      return Fail(err, Status::NotFound("cannot open batch file: " +
+                                        flags.GetString("batch")));
+    }
+    std::ostringstream batch_text;
+    batch_text << batch_in.rdbuf();
+    auto parsed = ParseJson(batch_text.str());
+    if (!parsed.ok()) return Fail(err, parsed.status());
+    JsonValue doc = *parsed;
+    if (doc.is_object() && doc.Get("graphs").is_array()) {
+      JsonValue graphs = JsonValue::Array();
+      for (const JsonValue& g : doc.Get("graphs").AsArray()) {
+        if (!g.is_object() || !g.Has("file")) {
+          graphs.Push(g);
+          continue;
+        }
+        if (!g.Get("file").is_string()) {
+          return Fail(err, Status::InvalidArgument(
+                               "batch graph \"file\" must be a path string"));
+        }
+        auto wire = LoadWireGraph(g.Get("file").AsString());
+        if (!wire.ok()) return Fail(err, wire.status());
+        JsonValue inline_g = JsonValue::Object();
+        inline_g.Set("n", JsonValue::Number(wire->num_nodes));
+        JsonValue edges = JsonValue::Array();
+        for (const Edge& e : wire->edges) {
+          JsonValue pair = JsonValue::Array();
+          pair.Push(JsonValue::Number(e.u));
+          pair.Push(JsonValue::Number(e.v));
+          edges.Push(std::move(pair));
+        }
+        inline_g.Set("edges", std::move(edges));
+        graphs.Push(std::move(inline_g));
+      }
+      doc.Set("graphs", std::move(graphs));
+    }
+    const std::string client_flag = request.client;
+    Status built = BatchRequestFromJson(doc, &request);
+    if (!built.ok()) return Fail(err, built);
+    if (!client_flag.empty()) request.client = client_flag;  // --client wins.
   } else if (flags.Has("algo")) {
     request.type = RequestType::kAlign;
     AlignRequest& a = request.align;
@@ -806,6 +898,48 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   out << "status=" << ResponseCodeName(response->code)
       << " cache=" << (response->cache_hit ? "hit" : "miss")
       << " elapsed_us=" << response->elapsed_us << "\n";
+  if (request.type == RequestType::kAlignBatch) {
+    // Batches carry per-job detail even on PARTIAL or a uniform failure
+    // code; only an admission-level rejection (BUSY/SHUTTING_DOWN before
+    // execution) arrives without a decodable body.
+    auto batch = DecodeAlignBatchResult(response->body);
+    if (!batch.ok()) {
+      if (response->code != ResponseCode::kOk) {
+        err << ResponseCodeName(response->code) << ": " << response->message
+            << "\n";
+        return static_cast<int>(response->code);
+      }
+      return Fail(err, batch.status());
+    }
+    size_t ok_jobs = 0;
+    for (const BatchJobOutcome& j : batch->jobs) {
+      ok_jobs += (j.code == ResponseCode::kOk);
+    }
+    out << "batch: jobs=" << batch->jobs.size() << " ok=" << ok_jobs
+        << " failed=" << (batch->jobs.size() - ok_jobs)
+        << " graph_loads=" << batch->graph_loads << "\n";
+    for (size_t i = 0; i < batch->jobs.size(); ++i) {
+      const BatchJobOutcome& j = batch->jobs[i];
+      out << "job " << i << ": status=" << ResponseCodeName(j.code)
+          << " cache=" << (j.cache_hit ? "hit" : "miss");
+      if (j.code == ResponseCode::kOk) {
+        auto r = DecodeAlignResult(j.body);
+        if (r.ok()) {
+          out << " MNC=" << Table::Num(r->mnc) << " EC=" << Table::Num(r->ec)
+              << " S3=" << Table::Num(r->s3)
+              << " align_s=" << Table::Num(r->align_seconds, 2);
+        }
+      } else if (!j.message.empty()) {
+        out << " error=" << j.message;
+      }
+      out << "\n";
+    }
+    if (response->code != ResponseCode::kOk) {
+      err << ResponseCodeName(response->code) << ": " << response->message
+          << "\n";
+    }
+    return static_cast<int>(response->code);
+  }
   if (response->code != ResponseCode::kOk) {
     err << ResponseCodeName(response->code) << ": " << response->message
         << "\n";
@@ -895,6 +1029,8 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
     case RequestType::kAlign:
       return PrintAlignResponse(*response, request.align, align_n1,
                                 flags.GetString("out"), out, err);
+    case RequestType::kAlignBatch:
+      return kExitError;  // Unreachable: batches return above.
   }
   return kExitError;
 }
@@ -1086,6 +1222,8 @@ constexpr char kUsage[] =
     "           [--queue Q] [--io-timeout T] [--threads N]\n"
     "           [--cache-dir DIR] [--cache-compact-mb M] [--quota RPS]\n"
     "           [--shed] [--quarantine N] [--grace T] [--store-dir DIR]\n"
+    "           [--http-port N]  (also serve the HTTP/JSON gateway; see\n"
+    "           README \"HTTP API\". 0 = kernel-assigned)\n"
     "  submit   --socket PATH | [--host H] --port N [--timeout T]\n"
     "           [--retries N] [--client NAME]\n"
     "           with --ping | --shutdown | --cache-info | --stats [FILE]\n"
@@ -1095,6 +1233,9 @@ constexpr char kUsage[] =
     "             [--time-limit T] [--mem-limit MB] [--no-cache] [--out FILE]\n"
     "           | --g1-hash HASH --g2-hash HASH --algo NAME [...]\n"
     "           | --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
+    "           | --batch JOBS.json  (K align jobs over a shared graph\n"
+    "             table, one frame; graphs: {\"hash\"}|{\"file\"}|\n"
+    "             {\"n\",\"edges\"}; exit 12 = mixed per-job outcomes)\n"
     "  store    <import|ls|verify|gc|bench> --dir DIR\n"
     "           import: --in FILE | --dataset NAME [--scale S] [--seed S]\n"
     "           bench:  --in FILE[,FILE...] [--reps N] [--json FILE]\n"
@@ -1105,7 +1246,8 @@ constexpr char kUsage[] =
     "  9 shed (queue wait ate the deadline; transient, retried by\n"
     "  --retries), 10 quarantined (signature kept crashing; permanent),\n"
     "  11 no graph (submit-by-hash named a hash the store does not hold;\n"
-    "  re-upload with --put-graph)\n"
+    "  re-upload with --put-graph), 12 partial (a batch finished with\n"
+    "  mixed per-job outcomes; inspect the per-job codes)\n"
     "fault injection: GRAPHALIGN_FAILPOINTS=\"site=mode[:arg],...\" with\n"
     "  modes error|once|prob:P|nan|delay-ms:N|crash|oom (see DESIGN.md §12)\n";
 

@@ -34,6 +34,9 @@ inline constexpr int kExitNoGraph = 11;  // A submit-by-hash request named a
                                          // graph the store does not hold (or
                                          // held only a corrupt, now-
                                          // quarantined copy): re-upload it.
+inline constexpr int kExitPartial = 12;  // A batch completed with mixed
+                                         // per-job outcomes (some OK, some
+                                         // not); inspect the per-job codes.
 
 }  // namespace graphalign
 

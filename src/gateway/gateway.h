@@ -1,0 +1,116 @@
+// Embedded HTTP/JSON gateway in front of the alignment daemon
+// (DESIGN.md §16).
+//
+// The gateway is an HTTP/1.1 server (gateway/http.h) that translates JSON
+// requests into GAF1 calls against a running daemon and maps the typed
+// ResponseCode taxonomy onto HTTP statuses. It deliberately runs as a
+// *client* of the daemon — even when both live in one process (`serve
+// --http-port`) — so admission control, per-client quotas, shedding,
+// quarantine, the result cache, and the stats counters apply to HTTP
+// traffic unchanged, with zero parallel enforcement paths.
+//
+// Routes:
+//   GET  /healthz              daemon ping → 200 "ok" | 503
+//   GET  /stats                daemon kServerStats + gateway counters, JSON
+//   POST /v1/graphs            {"n","edges"} → kPutGraph → {"hash",...}
+//   GET  /v1/graphs/<16hex>    kHasGraph → 200 | 404
+//   POST /v1/align             JSON align job (inline or *_hash) → kAlign
+//   POST /v1/align:batch       {"graphs":[...],"jobs":[...]} → kAlignBatch
+//
+// Status mapping (mirrors the exit-code table; the JSON body always
+// carries the exact code name in "status"):
+//   OK→200  PARTIAL→207  BAD_REQUEST→400  NO_GRAPH→404  BUSY→429
+//   SHED/SHUTTING_DOWN→503  DNF→504  QUARANTINED→409
+//   ERROR/CRASH/OOM/NUMERICAL→500
+// plus gateway-local 400 (bad HTTP/JSON), 404 (unknown route), 405, 408
+// (idle/slowloris timeout), 413 (body cap), 431 (head cap), 501
+// (unsupported framing), 503 (connection limit).
+#ifndef GRAPHALIGN_GATEWAY_GATEWAY_H_
+#define GRAPHALIGN_GATEWAY_GATEWAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "gateway/http.h"
+#include "gateway/json.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace graphalign {
+
+struct GatewayOptions {
+  // TCP port to serve HTTP on (loopback only). 0 = kernel-assigned; read
+  // the bound port back with port().
+  int http_port = 0;
+
+  // How to reach the daemon (server/client.h). Every HTTP request becomes
+  // one GAF1 call over a fresh backend connection.
+  ClientOptions backend;
+
+  int workers = 4;
+
+  // Admission bound shared by the queue and the workers: connections
+  // beyond this many queued-or-in-flight are answered 503 at accept time,
+  // the HTTP analogue of the daemon's typed BUSY.
+  int max_connections = 64;
+
+  // Per-connection socket timeout; also the budget for reading one full
+  // request head, so a slowloris drip cannot hold a worker (408).
+  double io_timeout_seconds = 10.0;
+
+  // Parser caps (413/431). max_body_bytes must admit the largest inline
+  // batch a client may legitimately send.
+  HttpLimits limits;
+};
+
+// HTTP-side counters, surfaced under "gateway" in GET /stats. These count
+// what the daemon cannot see: connections turned away before any GAF1
+// call existed.
+struct GatewayStats {
+  uint64_t connections = 0;        // Accepted sockets.
+  uint64_t requests = 0;           // HTTP requests answered (any status).
+  uint64_t rejected_overload = 0;  // 503 at accept (connection limit).
+  uint64_t bad_requests = 0;       // 400/431/501 from the HTTP parser.
+  uint64_t oversized = 0;          // 413 (body cap).
+  uint64_t timeouts = 0;           // 408 (idle / slow request).
+  uint64_t backend_errors = 0;     // GAF1 call failed (daemon unreachable).
+};
+
+class Gateway {
+ public:
+  static Result<std::unique_ptr<Gateway>> Create(const GatewayOptions& options);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  Status Start();
+  void Shutdown();  // Stop accepting, cut live connections.
+  void Wait();      // Join all threads.
+
+  int port() const;  // Bound HTTP port.
+  GatewayStats stats() const;
+
+ private:
+  class Impl;
+  explicit Gateway(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+// The HTTP status for a daemon response code (the table above). Exposed
+// for tests and the CLI so the mapping is pinned in exactly one place.
+int HttpStatusForResponseCode(ResponseCode code);
+
+// Builds a kAlignBatch request from the batch JSON schema (README):
+//   {"graphs":[{"hash":"16hex"}|{"n":N,"edges":[[u,v],...]}, ...],
+//    "jobs":[{"g1":i,"g2":j,"algo":"...",("assign","deadline_ms",
+//             "mem_limit_mb","no_cache")}, ...], ("client")}
+// Shared by POST /v1/align:batch and `graphalign submit --batch` so the
+// two entry points cannot drift. InvalidArgument names the violation.
+Status BatchRequestFromJson(const JsonValue& body, Request* request);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GATEWAY_GATEWAY_H_

@@ -1,0 +1,242 @@
+#include "gateway/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace graphalign {
+
+namespace {
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool IsTokenChar(unsigned char c) {
+  // RFC 7230 token characters; enough to reject header-name smuggling.
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Strict decimal parse for Content-Length: digits only, no sign, no
+// whitespace beyond the already-trimmed OWS, overflow-checked.
+bool ParseContentLength(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string conn = ToLower(Header("connection"));
+  if (conn.find("close") != std::string::npos) return false;
+  if (version == "HTTP/1.1") return true;
+  return conn.find("keep-alive") != std::string::npos;
+}
+
+const char* HttpParseStatusName(HttpParseStatus status) {
+  switch (status) {
+    case HttpParseStatus::kComplete: return "COMPLETE";
+    case HttpParseStatus::kIncomplete: return "INCOMPLETE";
+    case HttpParseStatus::kBad: return "BAD";
+    case HttpParseStatus::kTooLarge: return "TOO_LARGE";
+    case HttpParseStatus::kBodyTooLarge: return "BODY_TOO_LARGE";
+    case HttpParseStatus::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN";
+}
+
+HttpParseStatus ParseHttpRequest(std::string_view buf,
+                                 const HttpLimits& limits,
+                                 HttpRequest* request, size_t* consumed,
+                                 std::string* error) {
+  auto fail = [&](HttpParseStatus status, const char* what) {
+    if (error != nullptr) *error = what;
+    return status;
+  };
+  // Locate the end of the head. The cap applies to the *search*, so a
+  // drip-fed or endless header section is rejected as soon as the cap is
+  // crossed, not buffered forever.
+  const size_t head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buf.size() > limits.max_head_bytes) {
+      return fail(HttpParseStatus::kTooLarge,
+                  "request head exceeds the size cap");
+    }
+    return HttpParseStatus::kIncomplete;
+  }
+  if (head_end + 4 > limits.max_head_bytes) {
+    return fail(HttpParseStatus::kTooLarge,
+                "request head exceeds the size cap");
+  }
+  const std::string_view head = buf.substr(0, head_end);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(HttpParseStatus::kBad, "malformed request line");
+  }
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target =
+      request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() || target.empty()) {
+    return fail(HttpParseStatus::kBad, "malformed request line");
+  }
+  for (unsigned char c : method) {
+    if (!IsTokenChar(c)) {
+      return fail(HttpParseStatus::kBad, "bad method token");
+    }
+  }
+  // Origin-form targets only; anything else (absolute URIs, CONNECT
+  // authority, "*") is outside the gateway's routing.
+  if (target[0] != '/') {
+    return fail(HttpParseStatus::kBad, "target is not origin-form");
+  }
+  for (unsigned char c : target) {
+    if (c <= 0x20 || c == 0x7f) {
+      return fail(HttpParseStatus::kBad, "control byte in target");
+    }
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return fail(HttpParseStatus::kBad, "unsupported HTTP version");
+  }
+
+  HttpRequest parsed;
+  parsed.method = std::string(method);
+  parsed.target = std::string(target);
+  parsed.version = std::string(version);
+
+  // Headers.
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (parsed.headers.size() >= limits.max_headers) {
+      return fail(HttpParseStatus::kTooLarge, "too many headers");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(HttpParseStatus::kBad, "malformed header line");
+    }
+    const std::string_view name = line.substr(0, colon);
+    for (unsigned char c : name) {
+      // A space before the colon is the classic request-smuggling shape;
+      // reject rather than normalize.
+      if (!IsTokenChar(c)) {
+        return fail(HttpParseStatus::kBad, "bad header name");
+      }
+    }
+    parsed.headers.emplace_back(ToLower(name),
+                                std::string(TrimOws(line.substr(colon + 1))));
+  }
+
+  if (!parsed.Header("transfer-encoding").empty()) {
+    return fail(HttpParseStatus::kUnsupported,
+                "Transfer-Encoding is not supported; send a Content-Length "
+                "body");
+  }
+
+  // Body framing: absent Content-Length means no body.
+  uint64_t content_length = 0;
+  bool have_length = false;
+  for (const auto& [k, v] : parsed.headers) {
+    if (k != "content-length") continue;
+    uint64_t parsed_len = 0;
+    if (!ParseContentLength(v, &parsed_len)) {
+      return fail(HttpParseStatus::kBad, "malformed Content-Length");
+    }
+    if (have_length && parsed_len != content_length) {
+      return fail(HttpParseStatus::kBad, "conflicting Content-Length");
+    }
+    content_length = parsed_len;
+    have_length = true;
+  }
+  if (content_length > limits.max_body_bytes) {
+    return fail(HttpParseStatus::kBodyTooLarge,
+                "Content-Length exceeds the body cap");
+  }
+  const size_t body_start = head_end + 4;
+  if (buf.size() - body_start < content_length) {
+    return HttpParseStatus::kIncomplete;
+  }
+  parsed.body = std::string(buf.substr(body_start, content_length));
+  *request = std::move(parsed);
+  *consumed = body_start + content_length;
+  return HttpParseStatus::kComplete;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 207: return "Multi-Status";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string EncodeHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpStatusReason(status) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (!keep_alive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace graphalign

@@ -1,0 +1,75 @@
+// Hand-rolled HTTP/1.1 request parsing and response writing for the
+// embedded gateway (DESIGN.md §16), in the shasta AssemblerHttpServer
+// idiom: no dependency, a blocking server loop, and a total parser with
+// hard size caps so arbitrary bytes on the port yield a typed outcome —
+// never a crash, an unbounded buffer, or a hang the idle timeout can't
+// break.
+//
+// Scope (deliberate): requests with an optional Content-Length body.
+// Transfer-Encoding (chunked), HTTP/2 upgrade, and multipart are rejected
+// with typed statuses — every client the gateway serves (CLI tools, curl,
+// loadgen) speaks plain bodies.
+#ifndef GRAPHALIGN_GATEWAY_HTTP_H_
+#define GRAPHALIGN_GATEWAY_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace graphalign {
+
+// Hard caps applied while parsing, before any proportional buffering.
+struct HttpLimits {
+  size_t max_head_bytes = 16 * 1024;   // Request line + headers. → 431.
+  size_t max_headers = 64;             // Header count. → 431.
+  size_t max_body_bytes = 8u << 20;    // Declared Content-Length. → 413.
+};
+
+struct HttpRequest {
+  std::string method;   // Uppercase token, e.g. "GET".
+  std::string target;   // Origin-form target, e.g. "/v1/align".
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1".
+  // Names lowercased at parse time; values have outer whitespace trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // Case-insensitive lookup of the first header with this (lowercase)
+  // name; empty string when absent.
+  std::string_view Header(std::string_view name) const;
+  bool KeepAlive() const;  // HTTP/1.1 default-on, "Connection: close" off.
+};
+
+enum class HttpParseStatus {
+  kComplete,    // One whole request parsed; *consumed bytes were used.
+  kIncomplete,  // A prefix of a valid request; read more and retry.
+  kBad,         // Malformed request line/headers/body framing. → 400.
+  kTooLarge,    // Head past max_head_bytes/max_headers. → 431.
+  kBodyTooLarge,  // Declared Content-Length past max_body_bytes. → 413.
+  kUnsupported,   // Transfer-Encoding or other framing we refuse. → 501.
+};
+
+const char* HttpParseStatusName(HttpParseStatus status);
+
+// Attempts to parse one request from the front of `buf`. On kComplete,
+// *request is filled and *consumed is the total byte count (so a
+// keep-alive connection can shift the buffer and parse the next request).
+// On any non-kComplete/kIncomplete outcome *error names the violation.
+// Total: never reads past buf, never allocates past the declared
+// (validated) body length.
+HttpParseStatus ParseHttpRequest(std::string_view buf, const HttpLimits& limits,
+                                 HttpRequest* request, size_t* consumed,
+                                 std::string* error);
+
+// The reason phrase of the status codes the gateway emits.
+const char* HttpStatusReason(int status);
+
+// Serializes a full response with Content-Length framing (and
+// "Connection: close" unless keep_alive).
+std::string EncodeHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool keep_alive);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GATEWAY_HTTP_H_

@@ -1,0 +1,424 @@
+#include "gateway/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace graphalign {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  static const JsonValue kNull;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return kNull;
+}
+
+void JsonValue::Push(JsonValue v) {
+  GA_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  GA_CHECK(kind_ == Kind::kObject);
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+bool JsonValue::AsInt64(int64_t* out, int64_t min, int64_t max) const {
+  if (kind_ != Kind::kNumber) return false;
+  if (!std::isfinite(number_) || number_ != std::floor(number_)) return false;
+  // Compare in double space: the bounds used by the gateway are all far
+  // below 2^53, so the conversion is exact.
+  if (number_ < static_cast<double>(min) ||
+      number_ > static_cast<double>(max)) {
+    return false;
+  }
+  *out = static_cast<int64_t>(number_);
+  return true;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double d = v.AsNumber();
+      char buf[32];
+      if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+      } else if (std::isfinite(d)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      } else {
+        // JSON has no NaN/Inf; null is the least-wrong total encoding.
+        std::snprintf(buf, sizeof(buf), "null");
+      }
+      *out += buf;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += JsonEscape(v.AsString());
+      *out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.AsArray()) {
+        if (!first) *out += ',';
+        first = false;
+        DumpTo(e, out);
+      }
+      *out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.Items()) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(k);
+        *out += "\":";
+        DumpTo(e, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    GA_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after the JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, size_t depth) {
+    if (depth > kMaxJsonDepth) return Fail("nesting exceeds the depth cap");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!Literal("null")) return Fail("bad literal");
+      *out = JsonValue::Null();
+      return Status::Ok();
+    }
+    if (c == 't') {
+      if (!Literal("true")) return Fail("bad literal");
+      *out = JsonValue::Bool(true);
+      return Status::Ok();
+    }
+    if (c == 'f') {
+      if (!Literal("false")) return Fail("bad literal");
+      *out = JsonValue::Bool(false);
+      return Status::Ok();
+    }
+    if (c == '"') return ParseString(out);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    // Grammar-strict integer part: a bare "-" or a leading zero followed by
+    // digits is malformed JSON, not a lenient parse.
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      return Fail("malformed number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return Fail("malformed number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) return Fail("malformed number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(d)) {
+      return Fail("number out of range");
+    }
+    *out = JsonValue::Number(d);
+    return Status::Ok();
+  }
+
+  Status ParseString(JsonValue* out) {
+    std::string s;
+    GA_RETURN_IF_ERROR(ParseRawString(&s));
+    *out = JsonValue::Str(std::move(s));
+    return Status::Ok();
+  }
+
+  Status ParseRawString(std::string* s) {
+    ++pos_;  // Opening quote (caller verified).
+    s->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Fail("unescaped control byte in string");
+      if (c != '\\') {
+        s->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s->push_back('"'); break;
+        case '\\': s->push_back('\\'); break;
+        case '/': s->push_back('/'); break;
+        case 'b': s->push_back('\b'); break;
+        case 'f': s->push_back('\f'); break;
+        case 'n': s->push_back('\n'); break;
+        case 'r': s->push_back('\r'); break;
+        case 't': s->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<uint32_t>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // Encode as UTF-8. Surrogate pairs are not combined (the gateway
+          // never needs astral-plane text); lone surrogates round-trip as
+          // their replacement-free byte encoding would be invalid, so map
+          // them to U+FFFD.
+          if (cp >= 0xD800 && cp <= 0xDFFF) cp = 0xFFFD;
+          if (cp < 0x80) {
+            s->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, size_t depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = std::move(arr);
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue elem;
+      GA_RETURN_IF_ERROR(ParseValue(&elem, depth + 1));
+      arr.Push(std::move(elem));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = std::move(arr);
+        return Status::Ok();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, size_t depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = std::move(obj);
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      GA_RETURN_IF_ERROR(ParseRawString(&key));
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue val;
+      GA_RETURN_IF_ERROR(ParseValue(&val, depth + 1));
+      obj.Set(std::move(key), std::move(val));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = std::move(obj);
+        return Status::Ok();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace graphalign

@@ -1,0 +1,97 @@
+// Minimal JSON parser and writer for the HTTP gateway (DESIGN.md §16).
+//
+// The gateway's request bodies are small, flat documents (an edge list is
+// the largest thing they carry), so this is a strict recursive-descent
+// parser over the full text — total like every other decoder in the repo:
+// any byte sequence yields a parsed value or an InvalidArgument naming the
+// offset, never a crash, an unbounded recursion, or a proportional-to-
+// declared-size allocation. No dependencies; shared by the gateway, the
+// CLI's `submit --batch`, and the loadgen HTTP mode.
+//
+// Deliberate restrictions (wire-compatible with standard JSON):
+//  - numbers parse as double (the protocol's integers all fit exactly),
+//  - nesting depth is capped (kMaxJsonDepth) against stack exhaustion,
+//  - input size is the caller's problem (the HTTP body cap bounds it).
+#ifndef GRAPHALIGN_GATEWAY_JSON_H_
+#define GRAPHALIGN_GATEWAY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace graphalign {
+
+inline constexpr size_t kMaxJsonDepth = 32;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+
+  // Object access. Get returns null when the key is absent; Has
+  // distinguishes an absent key from an explicit null.
+  bool Has(const std::string& key) const;
+  const JsonValue& Get(const std::string& key) const;
+  // Keys in insertion order (the writer emits them in this order too).
+  const std::vector<std::pair<std::string, JsonValue>>& Items() const {
+    return object_;
+  }
+
+  // Builders.
+  void Push(JsonValue v);                       // Array append.
+  void Set(std::string key, JsonValue v);       // Object insert/overwrite.
+
+  // Integer view of a number: false unless the double is integral and in
+  // [min, max]. The gateway uses it for node ids, indices, and limits.
+  bool AsInt64(int64_t* out, int64_t min, int64_t max) const;
+
+  // Serializes with no insignificant whitespace. Doubles print round-trip
+  // exactly (%.17g) with integral values shortened to integer form.
+  std::string Dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Strict parse of exactly one JSON document (trailing non-whitespace is an
+// error). Errors name the byte offset of the violation.
+Result<JsonValue> ParseJson(std::string_view text);
+
+// Escapes a string for embedding in a JSON document (no surrounding
+// quotes). Control bytes become \u00XX; invalid UTF-8 is passed through
+// byte-wise (the daemon's messages are ASCII).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_GATEWAY_JSON_H_

@@ -278,6 +278,7 @@ std::string EncodeRequest(const Request& request) {
   w.U32(kProtocolVersion);
   w.U8(static_cast<uint8_t>(request.type));
   w.Str(request.client);
+  w.U8(static_cast<uint8_t>(request.transport));
   switch (request.type) {
     case RequestType::kPing:
     case RequestType::kCacheInfo:
@@ -315,6 +316,26 @@ std::string EncodeRequest(const Request& request) {
     case RequestType::kHasGraph:
       w.U64(request.has_graph.hash);
       break;
+    case RequestType::kAlignBatch: {
+      const AlignBatchRequest& b = request.align_batch;
+      w.U32(static_cast<uint32_t>(b.graphs.size()));
+      for (const BatchGraphRef& g : b.graphs) {
+        w.U8(g.by_hash ? 1 : 0);
+        w.U64(g.hash);
+        WriteWireGraph(&w, g.inline_graph);
+      }
+      w.U32(static_cast<uint32_t>(b.jobs.size()));
+      for (const BatchJob& j : b.jobs) {
+        w.U32(j.g1);
+        w.U32(j.g2);
+        w.Str(j.algo);
+        w.Str(j.assign);
+        w.U64(j.deadline_ms);
+        w.U64(j.mem_limit_mb);
+        w.U8(j.no_cache ? 1 : 0);
+      }
+      break;
+    }
   }
   return w.Take();
 }
@@ -334,6 +355,12 @@ Result<Request> DecodeRequest(std::string_view payload) {
   if (!r.Str(&request.client, kMaxNameLen)) {
     return BadPayload("malformed client identity");
   }
+  uint8_t transport = 0;
+  if (!r.U8(&transport) ||
+      transport > static_cast<uint8_t>(Transport::kHttp)) {
+    return BadPayload("malformed transport tag");
+  }
+  request.transport = static_cast<Transport>(transport);
   switch (static_cast<RequestType>(type)) {
     case RequestType::kPing:
     case RequestType::kCacheInfo:
@@ -390,6 +417,48 @@ Result<Request> DecodeRequest(std::string_view payload) {
         return BadPayload("malformed has-graph request");
       }
       break;
+    case RequestType::kAlignBatch: {
+      request.type = RequestType::kAlignBatch;
+      AlignBatchRequest& b = request.align_batch;
+      uint32_t num_graphs = 0;
+      if (!r.U32(&num_graphs) || num_graphs == 0 ||
+          num_graphs > kMaxBatchGraphs) {
+        return BadPayload("malformed batch graph table");
+      }
+      b.graphs.resize(num_graphs);
+      for (BatchGraphRef& g : b.graphs) {
+        uint8_t by_hash = 0;
+        if (!r.U8(&by_hash) || by_hash > 1 || !r.U64(&g.hash) ||
+            !ReadWireGraph(&r, &g.inline_graph)) {
+          return BadPayload("malformed batch graph entry");
+        }
+        g.by_hash = by_hash != 0;
+        // Mirror the kAlign rule: a hash reference must not also carry an
+        // inline graph (the two could disagree).
+        if (g.by_hash && (g.inline_graph.num_nodes != 0 ||
+                          !g.inline_graph.edges.empty())) {
+          return BadPayload("batch graph entry has both hash and inline");
+        }
+      }
+      uint32_t num_jobs = 0;
+      if (!r.U32(&num_jobs) || num_jobs == 0 || num_jobs > kMaxBatchJobs) {
+        return BadPayload("malformed batch job list");
+      }
+      b.jobs.resize(num_jobs);
+      for (BatchJob& j : b.jobs) {
+        uint8_t no_cache = 0;
+        if (!r.U32(&j.g1) || !r.U32(&j.g2) || !r.Str(&j.algo, kMaxNameLen) ||
+            !r.Str(&j.assign, kMaxNameLen) || !r.U64(&j.deadline_ms) ||
+            !r.U64(&j.mem_limit_mb) || !r.U8(&no_cache)) {
+          return BadPayload("malformed batch job");
+        }
+        j.no_cache = no_cache != 0;
+        if (j.g1 >= num_graphs || j.g2 >= num_graphs) {
+          return BadPayload("batch job references a graph out of range");
+        }
+      }
+      break;
+    }
     default:
       return BadPayload("unknown request type " + std::to_string(type));
   }
@@ -414,6 +483,7 @@ const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kShed: return "SHED";
     case ResponseCode::kQuarantined: return "QUARANTINED";
     case ResponseCode::kNoGraph: return "NO_GRAPH";
+    case ResponseCode::kPartial: return "PARTIAL";
   }
   return "UNKNOWN";
 }
@@ -458,6 +528,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
     case ResponseCode::kShed:
     case ResponseCode::kQuarantined:
     case ResponseCode::kNoGraph:
+    case ResponseCode::kPartial:
       response.code = static_cast<ResponseCode>(code);
       break;
     default:
@@ -490,6 +561,44 @@ Result<AlignResult> DecodeAlignResult(std::string_view body) {
     return BadPayload("malformed align result");
   }
   result.degraded = degraded != 0;
+  return result;
+}
+
+std::string EncodeAlignBatchResult(const AlignBatchResult& result) {
+  ByteWriter w;
+  w.U32(result.graph_loads);
+  w.U32(static_cast<uint32_t>(result.jobs.size()));
+  for (const BatchJobOutcome& job : result.jobs) {
+    w.U8(static_cast<uint8_t>(job.code));
+    w.U8(job.cache_hit ? 1 : 0);
+    w.Str(job.message);
+    w.Str(job.body);
+  }
+  return w.Take();
+}
+
+Result<AlignBatchResult> DecodeAlignBatchResult(std::string_view body) {
+  ByteReader r(body);
+  AlignBatchResult result;
+  uint32_t num_jobs = 0;
+  if (!r.U32(&result.graph_loads) || !r.U32(&num_jobs) ||
+      num_jobs > kMaxBatchJobs) {
+    return BadPayload("malformed align batch result");
+  }
+  result.jobs.resize(num_jobs);
+  for (BatchJobOutcome& job : result.jobs) {
+    uint8_t code = 0, cache_hit = 0;
+    if (!r.U8(&code) || !r.U8(&cache_hit) ||
+        !r.Str(&job.message, kMaxMessageLen) ||
+        !r.Str(&job.body, kMaxFramePayload) ||
+        strcmp(ResponseCodeName(static_cast<ResponseCode>(code)),
+               "UNKNOWN") == 0) {
+      return BadPayload("malformed align batch job outcome");
+    }
+    job.code = static_cast<ResponseCode>(code);
+    job.cache_hit = cache_hit != 0;
+  }
+  if (!r.AtEnd()) return BadPayload("malformed align batch result");
   return result;
 }
 
@@ -566,6 +675,13 @@ std::string EncodeServerStatsResult(const ServerStatsResult& result) {
   w.U64(result.store_corrupt);
   w.U64(result.store_missing);
   w.U64(result.store_unavailable);
+  w.U64(result.served_http);
+  w.U64(result.quota_rejected_http);
+  w.U64(result.shed_http);
+  w.U64(result.batches);
+  w.U64(result.batch_jobs);
+  w.U64(result.batch_cache_hits);
+  w.U64(result.batch_graph_loads);
   w.U32(static_cast<uint32_t>(result.worker_restarts.size()));
   for (uint64_t r : result.worker_restarts) w.U64(r);
   return w.Take();
@@ -588,7 +704,10 @@ Result<ServerStatsResult> DecodeServerStatsResult(std::string_view body) {
       !r.U64(&result.cache_open_errors) || !r.U64(&result.store_puts) ||
       !r.U64(&result.store_gets) || !r.U64(&result.store_corrupt) ||
       !r.U64(&result.store_missing) || !r.U64(&result.store_unavailable) ||
-      !r.U32(&workers)) {
+      !r.U64(&result.served_http) || !r.U64(&result.quota_rejected_http) ||
+      !r.U64(&result.shed_http) || !r.U64(&result.batches) ||
+      !r.U64(&result.batch_jobs) || !r.U64(&result.batch_cache_hits) ||
+      !r.U64(&result.batch_graph_loads) || !r.U32(&workers)) {
     return BadPayload("malformed server stats result");
   }
   // Worker count is operator-bounded (<= 1024 threads); the same bound

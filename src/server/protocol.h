@@ -36,9 +36,12 @@ namespace graphalign {
 // the kServerStats request. Version 3 added the graph store surface:
 // kPutGraph/kHasGraph, align-by-hash (AlignRequest.by_hash + g1_hash/
 // g2_hash), the NO_GRAPH response code, and the store_* counters in
-// kServerStats. Peers speaking a different version are rejected with a
-// typed BAD_REQUEST naming the version.
-inline constexpr uint32_t kProtocolVersion = 3;
+// kServerStats. Version 4 added the top-level `transport` tag (GAF1 vs the
+// HTTP gateway, for per-transport serving counters), kAlignBatch with the
+// PARTIAL response code, and the batch/transport counters in kServerStats.
+// Peers speaking a different version are rejected with a typed BAD_REQUEST
+// naming the version.
+inline constexpr uint32_t kProtocolVersion = 4;
 
 // Frames beyond this payload size are rejected before buffering (a 64 MB
 // frame holds an ~4M-edge graph pair; bigger graphs belong in the offline
@@ -141,6 +144,17 @@ enum class RequestType : uint8_t {
   kServerStats = 7,
   kPutGraph = 8,   // Upload a graph into the daemon's mapped store.
   kHasGraph = 9,   // Probe whether the store holds a content hash.
+  kAlignBatch = 10,  // K align jobs over a shared graph table (one frame).
+};
+
+// Transport over which a request reached the daemon. The HTTP gateway tags
+// the GAF1 calls it forwards so kServerStats can attribute served/quota/
+// shed counts per transport; direct GAF1 clients leave the default. The
+// tag is advisory (a raw client can claim kHttp) — it skews stats only,
+// never admission or execution.
+enum class Transport : uint8_t {
+  kGaf1 = 0,
+  kHttp = 1,
 };
 
 // A graph shipped inline: node count plus canonical-orientation edges.
@@ -169,6 +183,38 @@ struct PutGraphRequest {
   WireGraph g;
 };
 
+// Caps on batch shape, enforced by the decoder before any job runs. A batch
+// amortizes graph resolution and admission, not compute: 256 jobs over 64
+// graphs is already far past what one worker should serialize.
+inline constexpr size_t kMaxBatchGraphs = 64;
+inline constexpr size_t kMaxBatchJobs = 256;
+
+// One entry of the batch graph table: either a store hash or an inline
+// edge list (exactly one; by_hash entries carry an empty inline graph).
+struct BatchGraphRef {
+  bool by_hash = false;
+  uint64_t hash = 0;   // Valid when by_hash.
+  WireGraph inline_graph;  // Valid when !by_hash.
+};
+
+// One alignment job of a batch; g1/g2 index into the shared graph table.
+struct BatchJob {
+  uint32_t g1 = 0, g2 = 0;
+  std::string algo;
+  std::string assign = "JV";
+  uint64_t deadline_ms = 0;
+  uint64_t mem_limit_mb = 0;
+  bool no_cache = false;
+};
+
+// kAlignBatch: K jobs over a shared graph table. Each referenced graph is
+// resolved (store open / inline construction) at most once per batch, and
+// the whole batch pays one admission + quota decision.
+struct AlignBatchRequest {
+  std::vector<BatchGraphRef> graphs;
+  std::vector<BatchJob> jobs;
+};
+
 struct HasGraphRequest {
   uint64_t hash = 0;
 };
@@ -189,11 +235,15 @@ struct Request {
   // at most 64 bytes; empty means the shared "anon" bucket. Carried on
   // every request type so quota accounting never depends on the payload.
   std::string client;
+  // Which transport delivered this request (set by the HTTP gateway on
+  // forwarded calls; stats attribution only).
+  Transport transport = Transport::kGaf1;
   AlignRequest align;        // Valid when type == kAlign.
   EvaluateRequest evaluate;  // Valid when type == kEvaluate.
   StatsRequest stats;        // Valid when type == kStats.
   PutGraphRequest put_graph; // Valid when type == kPutGraph.
   HasGraphRequest has_graph; // Valid when type == kHasGraph.
+  AlignBatchRequest align_batch;  // Valid when type == kAlignBatch.
 };
 
 std::string EncodeRequest(const Request& request);
@@ -224,6 +274,9 @@ enum class ResponseCode : uint8_t {
                             // not hold (never held, or its copy failed
                             // verification and was quarantined). Permanent
                             // until the client re-uploads: not retried.
+  kPartial = kExitPartial,  // A batch finished with mixed per-job outcomes;
+                            // the body carries each job's typed code. Never
+                            // retried as a whole (re-submit the failed jobs).
 };
 
 const char* ResponseCodeName(ResponseCode code);
@@ -250,6 +303,28 @@ struct AlignResult {
 
 std::string EncodeAlignResult(const AlignResult& result);
 Result<AlignResult> DecodeAlignResult(std::string_view body);
+
+// One job's outcome inside a kAlignBatch response body. `body` holds an
+// encoded AlignResult when code == kOk, else it is empty and `message`
+// names what went wrong — the same pair a standalone kAlign would return.
+struct BatchJobOutcome {
+  ResponseCode code = ResponseCode::kOk;
+  bool cache_hit = false;
+  std::string message;
+  std::string body;
+};
+
+// Body of a kAlignBatch response (codes kOk, kPartial, or any shared
+// failure code; the per-job detail is always present). graph_loads counts
+// the distinct graph-table entries actually resolved — the amortization
+// the batch exists for (K jobs over 2 store graphs load 2, not 2K).
+struct AlignBatchResult {
+  uint32_t graph_loads = 0;
+  std::vector<BatchJobOutcome> jobs;
+};
+
+std::string EncodeAlignBatchResult(const AlignBatchResult& result);
+Result<AlignBatchResult> DecodeAlignBatchResult(std::string_view body);
 
 // Body of a successful kEvaluate response.
 struct EvaluateResult {
@@ -326,6 +401,13 @@ struct ServerStatsResult {
   uint64_t store_missing = 0;     // By-hash lookups that found no entry.
   uint64_t store_unavailable = 0; // 1 when --store-dir was given but could
                                   // not be opened (wire-graph path only).
+  uint64_t served_http = 0;         // Served requests tagged Transport::kHttp.
+  uint64_t quota_rejected_http = 0; // Quota rejections on HTTP-tagged calls.
+  uint64_t shed_http = 0;           // Sheds on HTTP-tagged align calls.
+  uint64_t batches = 0;             // kAlignBatch requests served.
+  uint64_t batch_jobs = 0;          // Jobs carried by those batches.
+  uint64_t batch_cache_hits = 0;    // Batch jobs answered from the cache.
+  uint64_t batch_graph_loads = 0;   // Graph-table resolutions (amortized).
   std::vector<uint64_t> worker_restarts;  // Watchdog kills per worker slot.
 };
 

@@ -83,6 +83,16 @@ std::string EncodeChildError(ResponseCode code, const std::string& message) {
   return w.Take();
 }
 
+// Per-job alignment parameters, independent of how the graphs arrived
+// (inline, by-hash, or through a batch graph table).
+struct AlignSpec {
+  std::string algo;
+  std::string assign;
+  uint64_t deadline_ms = 0;
+  uint64_t mem_limit_mb = 0;
+  bool no_cache = false;
+};
+
 double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        since)
@@ -332,6 +342,14 @@ class Server::Impl {
       s.store_missing = c.missing;
     }
     s.store_unavailable = store_unavailable_.load(std::memory_order_relaxed);
+    s.served_http = served_http_.load(std::memory_order_relaxed);
+    s.quota_rejected_http =
+        quota_rejected_http_.load(std::memory_order_relaxed);
+    s.shed_http = shed_http_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.batch_jobs = batch_jobs_.load(std::memory_order_relaxed);
+    s.batch_cache_hits = batch_cache_hits_.load(std::memory_order_relaxed);
+    s.batch_graph_loads = batch_graph_loads_.load(std::memory_order_relaxed);
     for (const WorkerSlot& slot : slots_) {
       s.worker_restarts.push_back(
           slot.restarts.load(std::memory_order_relaxed));
@@ -592,6 +610,9 @@ class Server::Impl {
       response.elapsed_us = static_cast<uint64_t>(timer.Seconds() * 1e6);
       if (!WriteFrameToFd(fd, EncodeResponse(response)).ok()) return;
       served_.fetch_add(1, std::memory_order_relaxed);
+      if (request.ok() && request->transport == Transport::kHttp) {
+        served_http_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (shutdown_after) {
         Shutdown();
         return;
@@ -642,17 +663,20 @@ class Server::Impl {
       }
       case RequestType::kAlign: {
         if (options_.quota_rps > 0.0 && !TakeQuotaToken(request.client)) {
-          quota_rejected_.fetch_add(1, std::memory_order_relaxed);
-          return ErrorResponse(
-              ResponseCode::kBusy,
-              "client \"" +
-                  (request.client.empty() ? std::string("anon")
-                                          : request.client) +
-                  "\" exceeded its quota of " +
-                  std::to_string(options_.quota_rps) +
-                  " align requests/s; back off and retry");
+          return QuotaRejected(request);
         }
-        return HandleAlign(request.align, slot, queue_wait_ms);
+        return HandleAlign(request.align, slot, queue_wait_ms,
+                           request.transport);
+      }
+      case RequestType::kAlignBatch: {
+        // One quota token admits the whole batch: amortized admission is
+        // part of what batching buys (kMaxBatchJobs bounds the skew a
+        // batch can extract from a per-request quota).
+        if (options_.quota_rps > 0.0 && !TakeQuotaToken(request.client)) {
+          return QuotaRejected(request);
+        }
+        return HandleAlignBatch(request.align_batch, slot, queue_wait_ms,
+                                request.transport);
       }
       case RequestType::kEvaluate:
         return HandleEvaluate(request.evaluate);
@@ -674,6 +698,19 @@ class Server::Impl {
     response.code = code;
     response.message = std::move(message);
     return response;
+  }
+
+  Response QuotaRejected(const Request& request) {
+    quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (request.transport == Transport::kHttp) {
+      quota_rejected_http_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorResponse(
+        ResponseCode::kBusy,
+        "client \"" +
+            (request.client.empty() ? std::string("anon") : request.client) +
+            "\" exceeded its quota of " + std::to_string(options_.quota_rps) +
+            " align requests/s; back off and retry");
   }
 
   // Per-client token bucket: refill at quota_rps, burst of 2 seconds' worth
@@ -788,20 +825,31 @@ class Server::Impl {
                          std::string(which) + ": " + st.ToString());
   }
 
+  bool ShouldShed(uint64_t deadline_ms, double queue_wait_ms) const {
+    return options_.shed && deadline_ms > 0 &&
+           queue_wait_ms >= static_cast<double>(deadline_ms);
+  }
+
+  // Shed before any parsing: if the admission-queue wait already consumed
+  // the client's deadline, every further cycle spent on this request is
+  // guaranteed-late work stolen from requests that can still make it.
+  Response ShedResponse(uint64_t deadline_ms, double queue_wait_ms,
+                        Transport transport) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (transport == Transport::kHttp) {
+      shed_http_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorResponse(
+        ResponseCode::kShed,
+        "shed: " + std::to_string(static_cast<int64_t>(queue_wait_ms)) +
+            "ms of queue wait consumed the " + std::to_string(deadline_ms) +
+            "ms deadline; retry against a less loaded instance");
+  }
+
   Response HandleAlign(const AlignRequest& req, WorkerSlot* slot,
-                       double queue_wait_ms) {
-    // Shed before any parsing: if the admission-queue wait already consumed
-    // the client's deadline, every further cycle spent on this request is
-    // guaranteed-late work stolen from requests that can still make it.
-    if (options_.shed && req.deadline_ms > 0 &&
-        queue_wait_ms >= static_cast<double>(req.deadline_ms)) {
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      return ErrorResponse(
-          ResponseCode::kShed,
-          "shed: " + std::to_string(static_cast<int64_t>(queue_wait_ms)) +
-              "ms of queue wait consumed the " +
-              std::to_string(req.deadline_ms) +
-              "ms deadline; retry against a less loaded instance");
+                       double queue_wait_ms, Transport transport) {
+    if (ShouldShed(req.deadline_ms, queue_wait_ms)) {
+      return ShedResponse(req.deadline_ms, queue_wait_ms, transport);
     }
     Result<Graph> g1 = Graph();
     Result<Graph> g2 = Graph();
@@ -831,6 +879,28 @@ class Server::Impl {
                              "g2: " + g2.status().ToString());
       }
     }
+    return AlignResolved(*g1, *g2,
+                         AlignSpec{req.algo, req.assign, req.deadline_ms,
+                                   req.mem_limit_mb, req.no_cache},
+                         slot);
+  }
+
+  Response QuarantinedResponse() {
+    quarantined_responses_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(
+        ResponseCode::kQuarantined,
+        "request signature quarantined: " +
+            std::to_string(options_.quarantine_threshold) +
+            " consecutive crash/OOM outcomes for this (g1, g2, algo); "
+            "refusing to re-fork until restart");
+  }
+
+  // The post-resolution align path shared by kAlign and every kAlignBatch
+  // job: algorithm/assignment validation, quarantine, cache consult, the
+  // isolated fork, outcome mapping, and cache fill. Graph resolution stays
+  // with the callers so a batch can amortize it across jobs.
+  Response AlignResolved(const Graph& g1, const Graph& g2,
+                         const AlignSpec& req, WorkerSlot* slot) {
     // Validate the algorithm and assignment up front, in the parent: an
     // unknown name is a client mistake, not a reason to fork.
     std::unique_ptr<Aligner> aligner = MakeFaultAligner(req.algo);
@@ -856,18 +926,12 @@ class Server::Impl {
     // ever runs, so re-forking it under a different extractor is the same
     // crash with extra steps.
     const uint64_t fault_key = ResultCache::Key(
-        g1->ContentHash(), g2->ContentHash(), req.algo, "!quarantine");
+        g1.ContentHash(), g2.ContentHash(), req.algo, "!quarantine");
     if (options_.quarantine_threshold > 0 && IsQuarantined(fault_key)) {
-      quarantined_responses_.fetch_add(1, std::memory_order_relaxed);
-      return ErrorResponse(
-          ResponseCode::kQuarantined,
-          "request signature quarantined: " +
-              std::to_string(options_.quarantine_threshold) +
-              " consecutive crash/OOM outcomes for this (g1, g2, algo); "
-              "refusing to re-fork until restart");
+      return QuarantinedResponse();
     }
 
-    const uint64_t key = ResultCache::Key(g1->ContentHash(), g2->ContentHash(),
+    const uint64_t key = ResultCache::Key(g1.ContentHash(), g2.ContentHash(),
                                           req.algo, req.assign);
     if (!req.no_cache) {
       std::string cached;
@@ -918,9 +982,9 @@ class Server::Impl {
           bool degraded = false;
           std::string degrade_reason;
           if (native) {
-            alignment = aligner->AlignNative(*g1, *g2, deadline);
+            alignment = aligner->AlignNative(g1, g2, deadline);
           } else {
-            auto robust = aligner->AlignRobust(*g1, *g2, method, deadline);
+            auto robust = aligner->AlignRobust(g1, g2, method, deadline);
             if (robust.ok()) {
               degraded = robust->degraded;
               degrade_reason = robust->degrade_reason;
@@ -942,9 +1006,9 @@ class Server::Impl {
             AlignResult result;
             result.align_seconds = align_timer.Seconds();
             result.mnc =
-                MeanMatchedNeighborhoodConsistency(*g1, *g2, *alignment);
-            result.ec = EdgeCorrectness(*g1, *g2, *alignment);
-            result.s3 = SymmetricSubstructureScore(*g1, *g2, *alignment);
+                MeanMatchedNeighborhoodConsistency(g1, g2, *alignment);
+            result.ec = EdgeCorrectness(g1, g2, *alignment);
+            result.s3 = SymmetricSubstructureScore(g1, g2, *alignment);
             result.mapping = ToWireMapping(*alignment);
             result.degraded = degraded;
             result.degrade_reason = degrade_reason;
@@ -999,6 +1063,149 @@ class Server::Impl {
         if (store_ != nullptr) store_->Append(key, response.body);
       }
     }
+    return response;
+  }
+
+  Response HandleAlignBatch(const AlignBatchRequest& req, WorkerSlot* slot,
+                            double queue_wait_ms, Transport transport) {
+    // Each graph-table entry resolves at most once — lazily, so a batch
+    // answered entirely from the cache (or shed outright) opens nothing.
+    // K jobs over two store graphs cost 2 store opens, not 2K.
+    std::vector<std::unique_ptr<Graph>> resolved(req.graphs.size());
+    std::vector<Response> resolve_errors(req.graphs.size());
+    std::vector<bool> attempted(req.graphs.size(), false);
+    uint32_t loads = 0;
+    auto resolve = [&](uint32_t idx) -> const Graph* {
+      if (!attempted[idx]) {
+        attempted[idx] = true;
+        const BatchGraphRef& ref = req.graphs[idx];
+        if (ref.by_hash) {
+          if (graph_store_ == nullptr) {
+            resolve_errors[idx] = ErrorResponse(
+                ResponseCode::kNoGraph,
+                "batch graph " + std::to_string(idx) +
+                    " is by-hash, and this daemon has no graph store (start "
+                    "it with --store-dir); submit inline graphs instead");
+          } else {
+            auto g = graph_store_->Get(ref.hash);
+            if (g.ok()) {
+              resolved[idx] = std::make_unique<Graph>(*std::move(g));
+              ++loads;
+            } else {
+              resolve_errors[idx] = NoGraphResponse(
+                  ("batch graph " + std::to_string(idx)).c_str(), ref.hash,
+                  g.status());
+            }
+          }
+        } else {
+          auto g = Graph::FromEdges(ref.inline_graph.num_nodes,
+                                    ref.inline_graph.edges);
+          if (g.ok()) {
+            resolved[idx] = std::make_unique<Graph>(*std::move(g));
+            ++loads;
+          } else {
+            resolve_errors[idx] = ErrorResponse(
+                ResponseCode::kBadRequest,
+                "batch graph " + std::to_string(idx) + ": " +
+                    g.status().ToString());
+          }
+        }
+      }
+      return resolved[idx].get();
+    };
+
+    AlignBatchResult batch;
+    batch.jobs.resize(req.jobs.size());
+    uint64_t cache_hits = 0;
+    for (size_t i = 0; i < req.jobs.size(); ++i) {
+      const BatchJob& job = req.jobs[i];
+      Response r;
+      if (ShouldShed(job.deadline_ms, queue_wait_ms)) {
+        // queue_wait_ms is the whole batch's admission wait; a job whose
+        // deadline it consumed is shed exactly as a standalone kAlign
+        // would be (jobs run serially, so later jobs have waited at least
+        // this long too).
+        r = ShedResponse(job.deadline_ms, queue_wait_ms, transport);
+      } else {
+        // By-hash jobs probe quarantine and the result cache with the table
+        // hashes before resolving anything: the store is content-addressed,
+        // so a graph's request hash IS its content hash, and an all-cached
+        // batch therefore opens zero graphs.
+        const BatchGraphRef& r1 = req.graphs[job.g1];
+        const BatchGraphRef& r2 = req.graphs[job.g2];
+        bool answered = false;
+        if (r1.by_hash && r2.by_hash) {
+          const uint64_t fault_key =
+              ResultCache::Key(r1.hash, r2.hash, job.algo, "!quarantine");
+          if (options_.quarantine_threshold > 0 && IsQuarantined(fault_key)) {
+            r = QuarantinedResponse();
+            answered = true;
+          } else if (!job.no_cache) {
+            std::string cached;
+            if (cache_.Get(ResultCache::Key(r1.hash, r2.hash, job.algo,
+                                            job.assign),
+                           &cached)) {
+              r.cache_hit = true;
+              r.body = std::move(cached);
+              answered = true;
+            }
+          }
+        }
+        if (!answered) {
+          const Graph* g1 = resolve(job.g1);
+          const Graph* g2 = resolve(job.g2);
+          if (g1 == nullptr) {
+            r = resolve_errors[job.g1];
+          } else if (g2 == nullptr) {
+            r = resolve_errors[job.g2];
+          } else {
+            r = AlignResolved(*g1, *g2,
+                              AlignSpec{job.algo, job.assign, job.deadline_ms,
+                                        job.mem_limit_mb, job.no_cache},
+                              slot);
+          }
+        }
+      }
+      BatchJobOutcome& out = batch.jobs[i];
+      out.code = r.code;
+      out.cache_hit = r.cache_hit;
+      out.message = std::move(r.message);
+      if (r.code == ResponseCode::kOk) out.body = std::move(r.body);
+      if (r.cache_hit) ++cache_hits;
+    }
+    batch.graph_loads = loads;
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batch_jobs_.fetch_add(req.jobs.size(), std::memory_order_relaxed);
+    batch_cache_hits_.fetch_add(cache_hits, std::memory_order_relaxed);
+    batch_graph_loads_.fetch_add(loads, std::memory_order_relaxed);
+
+    // Top-level code: OK when every job is OK, the shared code when every
+    // job failed the same way (so retry classification keeps working, e.g.
+    // an all-SHED batch stays transient), PARTIAL on any mix.
+    size_t failed = 0;
+    bool mixed = false;
+    for (const BatchJobOutcome& out : batch.jobs) {
+      if (out.code != batch.jobs[0].code) mixed = true;
+      if (out.code != ResponseCode::kOk) ++failed;
+    }
+    Response response;
+    if (mixed) {
+      response.code = ResponseCode::kPartial;
+      response.message = std::to_string(failed) + " of " +
+                         std::to_string(batch.jobs.size()) +
+                         " batch jobs failed; see per-job outcomes";
+    } else {
+      response.code = batch.jobs[0].code;
+      if (response.code != ResponseCode::kOk) {
+        response.message = "all " + std::to_string(batch.jobs.size()) +
+                           " batch jobs failed with " +
+                           ResponseCodeName(response.code);
+      }
+      // All-hit batches surface as a cache hit, mirroring kAlign.
+      response.cache_hit = cache_hits == batch.jobs.size();
+    }
+    response.body = EncodeAlignBatchResult(batch);
     return response;
   }
 
@@ -1103,6 +1310,13 @@ class Server::Impl {
   std::atomic<uint64_t> quarantined_signatures_{0};
   std::atomic<uint64_t> watchdog_kills_{0};
   std::atomic<uint64_t> cache_open_errors_{0};
+  std::atomic<uint64_t> served_http_{0};
+  std::atomic<uint64_t> quota_rejected_http_{0};
+  std::atomic<uint64_t> shed_http_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_jobs_{0};
+  std::atomic<uint64_t> batch_cache_hits_{0};
+  std::atomic<uint64_t> batch_graph_loads_{0};
 };
 
 Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}

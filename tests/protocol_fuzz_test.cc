@@ -16,6 +16,8 @@
 
 #include "common/crc32.h"
 #include "common/status.h"
+#include "gateway/http.h"
+#include "gateway/json.h"
 #include "graph/graph.h"
 #include "server/protocol.h"
 #include "store/gst.h"
@@ -64,6 +66,7 @@ void DrainDecoders(std::string_view payload) {
   { Result<ServerStatsResult> r = DecodeServerStatsResult(payload); (void)r; }
   { Result<PutGraphResult> r = DecodePutGraphResult(payload); (void)r; }
   { Result<HasGraphResult> r = DecodeHasGraphResult(payload); (void)r; }
+  { Result<AlignBatchResult> r = DecodeAlignBatchResult(payload); (void)r; }
 }
 
 // The GST1 opener sees whatever bytes survived the disk; like the wire
@@ -183,6 +186,30 @@ std::vector<std::string> SeedCorpus(SplitMix64* rng) {
   by_hash.align.g2_hash = 0x5555666677778888ull;
   corpus.push_back(EncodeRequest(by_hash));
 
+  // A batch: two graph-table entries (one by hash, one inline), three jobs.
+  // Mutations of this seed cover the table/job counts, the per-job index
+  // validation, and the by-hash exclusivity check.
+  Request batch;
+  batch.type = RequestType::kAlignBatch;
+  batch.client = "fuzz-batch";
+  BatchGraphRef by_hash_ref;
+  by_hash_ref.by_hash = true;
+  by_hash_ref.hash = 0x99aabbccddeeff00ull;
+  batch.align_batch.graphs.push_back(by_hash_ref);
+  BatchGraphRef inline_ref;
+  inline_ref.inline_graph = SmallWireGraph(rng, 7, 10);
+  batch.align_batch.graphs.push_back(inline_ref);
+  for (int j = 0; j < 3; ++j) {
+    BatchJob job;
+    job.g1 = static_cast<uint32_t>(j % 2);
+    job.g2 = static_cast<uint32_t>((j + 1) % 2);
+    job.algo = j == 0 ? "NSD" : "LREA";
+    job.deadline_ms = 100 * static_cast<uint64_t>(j);
+    job.no_cache = (j == 2);
+    batch.align_batch.jobs.push_back(job);
+  }
+  corpus.push_back(EncodeRequest(batch));
+
   Response ok;
   ok.code = ResponseCode::kOk;
   ok.cache_hit = true;
@@ -237,6 +264,25 @@ std::vector<std::string> SeedCorpus(SplitMix64* rng) {
   HasGraphResult has_body;
   has_body.present = true;
   corpus.push_back(EncodeHasGraphResult(has_body));
+
+  // A partial batch result: one OK job carrying a nested AlignResult body,
+  // one failed job. Flips reach the nested-body length and the per-job
+  // code validation.
+  AlignBatchResult batch_body;
+  batch_body.graph_loads = 2;
+  BatchJobOutcome job_ok;
+  job_ok.code = ResponseCode::kOk;
+  job_ok.cache_hit = true;
+  AlignResult nested;
+  nested.mapping = {2, 0, 1};
+  nested.mnc = 0.5;
+  job_ok.body = EncodeAlignResult(nested);
+  batch_body.jobs.push_back(job_ok);
+  BatchJobOutcome job_bad;
+  job_bad.code = ResponseCode::kDnf;
+  job_bad.message = "deadline exceeded in child";
+  batch_body.jobs.push_back(job_bad);
+  corpus.push_back(EncodeAlignBatchResult(batch_body));
 
   return corpus;
 }
@@ -348,7 +394,8 @@ TEST(ProtocolFuzzTest, ValidCorpusStillRoundTrips) {
     if (DecodeRequest(msg).ok()) ++request_ok;
     if (DecodeResponse(msg).ok()) ++response_ok;
   }
-  EXPECT_GE(request_ok, 10);  // One per RequestType, plus the by-hash align.
+  // One per RequestType, plus the by-hash align and the batch.
+  EXPECT_GE(request_ok, 11);
   EXPECT_GE(response_ok, 2);  // The kOk and kQuarantined seeds.
 
   Request align;
@@ -371,6 +418,166 @@ TEST(ProtocolFuzzTest, ValidCorpusStillRoundTrips) {
 // (DESIGN.md §15). These run under ASan via tools/run_sanitize.sh, where a
 // lying section offset that is dereferenced before validation becomes a
 // hard failure instead of a silent overread.
+
+// --- Hostile HTTP ----------------------------------------------------------
+// The gateway's HTTP parser (DESIGN.md §16) faces raw internet-shaped bytes
+// on a TCP port, so it gets the same total-function treatment as the GAF1
+// decoders, under the same ASan pass: random blobs, truncations of valid
+// requests, header floods, and hostile Content-Length declarations must all
+// return a typed HttpParseStatus without crashing or buffering past a cap.
+
+void DrainHttpParser(std::string_view buf, const HttpLimits& limits) {
+  HttpRequest request;
+  size_t consumed = 0;
+  std::string error;
+  const HttpParseStatus status =
+      ParseHttpRequest(buf, limits, &request, &consumed, &error);
+  switch (status) {
+    case HttpParseStatus::kComplete:
+      EXPECT_LE(consumed, buf.size());
+      EXPECT_LE(request.body.size(), limits.max_body_bytes);
+      break;
+    case HttpParseStatus::kIncomplete:
+    case HttpParseStatus::kBad:
+    case HttpParseStatus::kTooLarge:
+    case HttpParseStatus::kBodyTooLarge:
+    case HttpParseStatus::kUnsupported:
+      break;
+    default:
+      FAIL() << "untyped HTTP parse status " << static_cast<int>(status);
+  }
+}
+
+TEST(HttpFuzzTest, RandomBlobsNeverCrashTheParser) {
+  SplitMix64 rng(0x687474705f66757aull);  // "http_fuz"
+  const HttpLimits limits;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string blob = rng.Bytes(rng.Below(256));
+    // Half the blobs get a plausible prefix so header and body parsing are
+    // reached, not just the request-line check.
+    switch (rng.Below(4)) {
+      case 0:
+        blob = "POST /v1/align HTTP/1.1\r\n" + blob;
+        break;
+      case 1:
+        blob = "GET / HTTP/1.1\r\nContent-Length: " + blob;
+        break;
+      default:
+        break;
+    }
+    DrainHttpParser(blob, limits);
+  }
+  DrainHttpParser("", limits);
+  for (int b = 0; b < 256; ++b) {
+    char c = static_cast<char>(b);
+    DrainHttpParser(std::string_view(&c, 1), limits);
+  }
+}
+
+TEST(HttpFuzzTest, TruncationsAndFlipsOfValidRequestsAreTyped) {
+  SplitMix64 rng(0x687474705f66757bull);
+  const HttpLimits limits;
+  const std::string valid =
+      "POST /v1/align:batch HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 24\r\n"
+      "\r\n"
+      "{\"graphs\":[],\"jobs\":[]}x";
+  for (size_t len = 0; len < valid.size(); ++len) {
+    DrainHttpParser(std::string_view(valid.data(), len), limits);
+  }
+  for (size_t pos = 0; pos < valid.size(); ++pos) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1u << rng.Below(8)));
+    DrainHttpParser(mutated, limits);
+  }
+}
+
+TEST(HttpFuzzTest, HeaderFloodsAreBoundedByTheCap) {
+  // An endless header drip must flip to kTooLarge once the cap is crossed
+  // and stay there — the caller never buffers proportional to attacker
+  // input beyond max_head_bytes plus one read.
+  HttpLimits limits;
+  limits.max_head_bytes = 2048;
+  std::string flood = "GET / HTTP/1.1\r\n";
+  bool saturated = false;
+  while (flood.size() < limits.max_head_bytes * 2) {
+    HttpRequest request;
+    size_t consumed = 0;
+    std::string error;
+    const HttpParseStatus status =
+        ParseHttpRequest(flood, limits, &request, &consumed, &error);
+    if (flood.size() > limits.max_head_bytes) {
+      EXPECT_EQ(status, HttpParseStatus::kTooLarge);
+      saturated = true;
+    } else {
+      EXPECT_EQ(status, HttpParseStatus::kIncomplete);
+    }
+    flood += "X-F: " + std::string(97, 'a') + "\r\n";
+  }
+  EXPECT_TRUE(saturated);
+}
+
+TEST(HttpFuzzTest, HostileContentLengthsNeverAllocate) {
+  SplitMix64 rng(0x687474705f66757cull);
+  const HttpLimits limits;
+  const char* hostile[] = {
+      "18446744073709551615", "99999999999999999999", "0x1000", "1e9",
+      "-1", " 5", "5 ", "5,5", "+5", "005x", "", "9223372036854775808",
+  };
+  for (const char* cl : hostile) {
+    const std::string req = "POST / HTTP/1.1\r\nContent-Length: " +
+                            std::string(cl) + "\r\n\r\n";
+    DrainHttpParser(req, limits);
+  }
+  // Random numeric declarations: over the cap must reject from the header
+  // alone (kBodyTooLarge), never wait for (or buffer) the declared bytes.
+  for (int iter = 0; iter < 256; ++iter) {
+    const uint64_t declared = rng.Next() % (uint64_t{1} << 40);
+    const std::string req = "POST / HTTP/1.1\r\nContent-Length: " +
+                            std::to_string(declared) + "\r\n\r\n";
+    HttpRequest request;
+    size_t consumed = 0;
+    std::string error;
+    const HttpParseStatus status =
+        ParseHttpRequest(req, limits, &request, &consumed, &error);
+    if (declared > limits.max_body_bytes) {
+      EXPECT_EQ(status, HttpParseStatus::kBodyTooLarge) << declared;
+    } else {
+      EXPECT_EQ(status, HttpParseStatus::kIncomplete) << declared;
+    }
+  }
+}
+
+TEST(HttpFuzzTest, JsonParserIsTotalOnHostileBodies) {
+  // The JSON layer sits directly behind the HTTP body; same discipline.
+  SplitMix64 rng(0x6a736f6e5f66757aull);  // "json_fuz"
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string blob = rng.Bytes(rng.Below(160));
+    if (rng.Below(2) == 0) blob = "{\"a\":[" + blob;
+    Result<JsonValue> r = ParseJson(blob);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  const std::string valid =
+      R"({"graphs":[{"hash":"00ff00ff00ff00ff"},{"n":3,"edges":[[0,1]]}],)"
+      R"("jobs":[{"g1":0,"g2":1,"algo":"NSD","deadline_ms":100}]})";
+  for (size_t len = 0; len < valid.size(); ++len) {
+    Result<JsonValue> r = ParseJson(std::string_view(valid.data(), len));
+    (void)r;
+  }
+  for (size_t pos = 0; pos < valid.size(); ++pos) {
+    std::string mutated = valid;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1u << rng.Below(8)));
+    Result<JsonValue> r = ParseJson(mutated);
+    if (r.ok()) {
+      // Anything that parses must re-serialize without crashing.
+      (void)r->Dump();
+    }
+  }
+}
 
 TEST(GstFuzzTest, RandomBlobsNeverCrashTheOpener) {
   SplitMix64 rng(0x6773745f66757a31ull);  // "gst_fuz1"

@@ -13,15 +13,32 @@
 //   poison   _CRASH on a small pool of pairs: repeated signatures, so a
 //            daemon with quarantine enabled trips it mid-run and the tail
 //            of the mix is answered with typed QUARANTINED, not forks.
+//   batch    one kAlignBatch frame: 4 NSD jobs over the shared hit pair,
+//            exercising amortized graph resolution (and, after the first
+//            batch, the result cache).
+//
+// With --http-port N the generator also drives the HTTP/JSON gateway:
+// when a GAF1 endpoint (--socket/--port) is given too, each request flips
+// a deterministic coin between GAF1 and HTTP (mixed-transport traffic,
+// reported as separate `kind@http` rows); with only --http-port, all
+// traffic is HTTP. The HTTP client is a minimal blocking loopback client
+// (one connection per request, Connection: close), mirroring how curl-ish
+// clients hit the gateway.
 //
 // Reports per-kind counts, a typed-response histogram (SHED, QUARANTINED,
 // BUSY, ... plus TRANSPORT for connect/IO failures), latency percentiles
 // (p50/p90/p99/p999), and closed-loop throughput. --json writes the same
-// table with run metadata for checked-in baselines (BENCH_loadgen.json).
+// table with run metadata for checked-in baselines (BENCH_loadgen.json,
+// BENCH_gateway.json for --http-port runs).
 //
 // Exit code: 0 when every response was *typed* (any code — overload
 // answers are correct behavior under chaos), 1 when transport errors or
 // bad arguments show the daemon actually failed its clients.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -36,6 +53,7 @@
 #include "common/random.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "gateway/json.h"
 #include "graph/generators.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -51,6 +69,7 @@ struct MixEntry {
 struct LoadgenOptions {
   std::string socket_path;
   int port = -1;
+  int http_port = -1;  // >= 0: also (or only) drive the HTTP gateway.
   int clients = 4;
   int requests = 50;  // Per client.
   std::vector<MixEntry> mix = {{"hit", 6}, {"miss", 3}, {"poison", 1}};
@@ -74,8 +93,9 @@ struct KindStats {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket PATH | --port N [--clients C] [--requests N]\n"
-      "  [--mix hit:W,miss:W,degraded:W,poison:W] [--seed S]\n"
+      "usage: %s --socket PATH | --port N | --http-port N\n"
+      "  [--clients C] [--requests N]\n"
+      "  [--mix hit:W,miss:W,degraded:W,poison:W,batch:W] [--seed S]\n"
       "  [--deadline-ms D] [--nodes N] [--timeout T] [--json PATH]\n",
       argv0);
   return 1;
@@ -93,7 +113,7 @@ bool ParseMix(const std::string& spec, std::vector<MixEntry>* out) {
     MixEntry e;
     e.kind = part.substr(0, colon);
     if (e.kind != "hit" && e.kind != "miss" && e.kind != "degraded" &&
-        e.kind != "poison") {
+        e.kind != "poison" && e.kind != "batch") {
       return false;
     }
     try {
@@ -124,6 +144,98 @@ Result<WireGraph> MakeWirePair(int nodes, uint64_t seed, WireGraph* second) {
   GA_ASSIGN_OR_RETURN(Graph g2, ErdosRenyi(nodes, 0.12, &rng));
   *second = ToWire(g2);
   return ToWire(g1);
+}
+
+// The gateway's inline-graph schema: {"n": N, "edges": [[u, v], ...]}.
+JsonValue WireGraphJson(const WireGraph& g) {
+  JsonValue out = JsonValue::Object();
+  out.Set("n", JsonValue::Number(static_cast<double>(g.num_nodes)));
+  JsonValue edges = JsonValue::Array();
+  for (const Edge& e : g.edges) {
+    JsonValue pair = JsonValue::Array();
+    pair.Push(JsonValue::Number(static_cast<double>(e.u)));
+    pair.Push(JsonValue::Number(static_cast<double>(e.v)));
+    edges.Push(std::move(pair));
+  }
+  out.Set("edges", std::move(edges));
+  return out;
+}
+
+// Minimal blocking HTTP/1.1 call against the loopback gateway: one
+// connection per request, Connection: close, read to EOF. On transport
+// failure returns false; otherwise *status_name holds the JSON body's
+// "status" (the daemon's typed response code, or the gateway's own error
+// status), falling back to the numeric HTTP status for opaque bodies, and
+// *cache_hit the body's "cache_hit" when present.
+bool HttpCall(int port, const std::string& method, const std::string& target,
+              const std::string& body, double timeout_seconds,
+              std::string* status_name, bool* cache_hit) {
+  *status_name = "TRANSPORT";
+  *cache_hit = false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                        "Host: 127.0.0.1\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    reply.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (reply.size() < 12 || reply.compare(0, 5, "HTTP/") != 0) return false;
+  *status_name = "HTTP_" + reply.substr(9, 3);
+  const size_t split = reply.find("\r\n\r\n");
+  if (split != std::string::npos) {
+    auto parsed = ParseJson(
+        std::string_view(reply).substr(split + 4));
+    if (parsed.ok()) {
+      if (parsed->Get("status").is_string()) {
+        *status_name = parsed->Get("status").AsString();
+      }
+      if (parsed->Get("cache_hit").is_bool()) {
+        *cache_hit = parsed->Get("cache_hit").AsBool();
+      }
+    }
+  }
+  return true;
 }
 
 class Loadgen {
@@ -185,11 +297,33 @@ class Loadgen {
     return options_.mix.back().kind;
   }
 
+  static constexpr int kBatchJobs = 4;
+
   Request BuildRequest(const std::string& kind, int client_index, Rng* rng) {
     Request req;
     req.type = RequestType::kAlign;
     req.client =
         options_.client_prefix + "-" + std::to_string(client_index);
+    if (kind == "batch") {
+      // K identical NSD jobs over the shared hit pair: one frame, one
+      // admission decision, two graph constructions — and after the first
+      // batch lands, pure cache hits.
+      req.type = RequestType::kAlignBatch;
+      AlignBatchRequest& b = req.align_batch;
+      b.graphs.resize(2);
+      b.graphs[0].inline_graph = hit_.g1;
+      b.graphs[1].inline_graph = hit_.g2;
+      for (int j = 0; j < kBatchJobs; ++j) {
+        BatchJob job;
+        job.g1 = 0;
+        job.g2 = 1;
+        job.algo = "NSD";
+        job.assign = "JV";
+        job.deadline_ms = options_.deadline_ms;
+        b.jobs.push_back(std::move(job));
+      }
+      return req;
+    }
     AlignRequest& a = req.align;
     a.assign = "JV";
     a.deadline_ms = options_.deadline_ms;
@@ -226,6 +360,43 @@ class Loadgen {
     return req;
   }
 
+  // Serializes a built GAF1 request into the gateway's JSON schema, so a
+  // traffic kind exercises the daemon identically over both transports.
+  static void ToHttp(const Request& req, std::string* target,
+                     std::string* body) {
+    JsonValue v = JsonValue::Object();
+    v.Set("client", JsonValue::Str(req.client));
+    if (req.type == RequestType::kAlignBatch) {
+      *target = "/v1/align:batch";
+      JsonValue graphs = JsonValue::Array();
+      for (const BatchGraphRef& ref : req.align_batch.graphs) {
+        graphs.Push(WireGraphJson(ref.inline_graph));
+      }
+      v.Set("graphs", std::move(graphs));
+      JsonValue jobs = JsonValue::Array();
+      for (const BatchJob& job : req.align_batch.jobs) {
+        JsonValue j = JsonValue::Object();
+        j.Set("g1", JsonValue::Number(static_cast<double>(job.g1)));
+        j.Set("g2", JsonValue::Number(static_cast<double>(job.g2)));
+        j.Set("algo", JsonValue::Str(job.algo));
+        j.Set("assign", JsonValue::Str(job.assign));
+        j.Set("deadline_ms",
+              JsonValue::Number(static_cast<double>(job.deadline_ms)));
+        jobs.Push(std::move(j));
+      }
+      v.Set("jobs", std::move(jobs));
+    } else {
+      *target = "/v1/align";
+      v.Set("algo", JsonValue::Str(req.align.algo));
+      v.Set("assign", JsonValue::Str(req.align.assign));
+      v.Set("deadline_ms",
+            JsonValue::Number(static_cast<double>(req.align.deadline_ms)));
+      v.Set("g1", WireGraphJson(req.align.g1));
+      v.Set("g2", WireGraphJson(req.align.g2));
+    }
+    *body = v.Dump();
+  }
+
   void ClientLoop(int client_index) {
     // Deterministic per-thread stream: same seed + same mix => same
     // request sequence, independent of scheduling.
@@ -235,13 +406,34 @@ class Loadgen {
     conn.socket_path = options_.socket_path;
     conn.port = options_.port;
     conn.timeout_seconds = options_.timeout_seconds;
+    // Mixed-transport runs flip a per-request coin; HTTP-only runs (no
+    // GAF1 endpoint at all) send everything through the gateway.
+    const bool has_gaf1 = !options_.socket_path.empty() || options_.port >= 0;
     std::map<std::string, KindStats> local;
     for (int i = 0; i < options_.requests; ++i) {
       const std::string kind = PickKind(&rng);
+      const bool use_http =
+          options_.http_port >= 0 && (!has_gaf1 || rng.UniformInt(2) == 0);
       const Request req = BuildRequest(kind, client_index, &rng);
-      KindStats& ks = local[kind];
+      KindStats& ks = local[use_http ? kind + "@http" : kind];
       ++ks.sent;
       WallTimer timer;
+      if (use_http) {
+        std::string target, body, status;
+        bool cache_hit = false;
+        ToHttp(req, &target, &body);
+        const bool transported =
+            HttpCall(options_.http_port, "POST", target, body,
+                     options_.timeout_seconds, &status, &cache_hit);
+        ks.latencies_ms.push_back(timer.Seconds() * 1e3);
+        if (!transported) {
+          ++ks.transport_errors;
+          continue;
+        }
+        ++ks.by_code[status];
+        if (cache_hit) ++ks.cache_hits;
+        continue;
+      }
       auto client = Client::Connect(conn);
       Result<Response> resp =
           client.ok() ? client->Call(req) : Result<Response>(client.status());
@@ -317,7 +509,8 @@ class Loadgen {
 
     if (!options_.json_path.empty()) {
       std::vector<std::pair<std::string, std::string>> meta = {
-          {"bench", "loadgen"},
+          {"bench", options_.http_port >= 0 ? "gateway" : "loadgen"},
+          {"http_port_used", options_.http_port >= 0 ? "1" : "0"},
           {"clients", std::to_string(options_.clients)},
           {"requests_per_client", std::to_string(options_.requests)},
           {"seed", std::to_string(options_.seed)},
@@ -362,6 +555,8 @@ int Main(int argc, char** argv) {
       options.socket_path = v;
     } else if (arg == "--port" && (v = next())) {
       options.port = std::atoi(v);
+    } else if (arg == "--http-port" && (v = next())) {
+      options.http_port = std::atoi(v);
     } else if (arg == "--clients" && (v = next())) {
       options.clients = std::atoi(v);
     } else if (arg == "--requests" && (v = next())) {
@@ -388,8 +583,10 @@ int Main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (options.socket_path.empty() && options.port < 0) {
-    std::fprintf(stderr, "loadgen: --socket or --port is required\n");
+  if (options.socket_path.empty() && options.port < 0 &&
+      options.http_port < 0) {
+    std::fprintf(stderr,
+                 "loadgen: --socket, --port, or --http-port is required\n");
     return Usage(argv[0]);
   }
   if (options.clients <= 0 || options.requests <= 0 || options.nodes < 8) {
