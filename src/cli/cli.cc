@@ -5,6 +5,7 @@
 #include <stdlib.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -27,6 +28,7 @@
 #include "gateway/json.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "jobs/manager.h"
 #include "metrics/metrics.h"
 #include "noise/noise.h"
 #include "server/client.h"
@@ -558,6 +560,20 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
     if (!grace.ok()) return Fail(err, grace.status());
     options.watchdog_grace_seconds = *grace;
   }
+  // --jobs-dir DIR enables the durable async job queue (DESIGN.md §17);
+  // without it kSubmitJob is refused and the daemon is synchronous-only.
+  options.jobs_dir = flags.GetString("jobs-dir");
+  auto job_attempts =
+      StrictIntFlag(flags, "job-attempts", options.job_attempts);
+  if (!job_attempts.ok()) return Fail(err, job_attempts.status());
+  options.job_attempts = *job_attempts;
+  auto job_ttl = StrictDoubleFlag(flags, "job-ttl", options.job_ttl_seconds);
+  if (!job_ttl.ok()) return Fail(err, job_ttl.status());
+  options.job_ttl_seconds = *job_ttl;
+  auto job_workers =
+      StrictIntFlag(flags, "job-workers", options.job_workers);
+  if (!job_workers.ok()) return Fail(err, job_workers.status());
+  options.job_workers = *job_workers;
   // --http-port N: also serve the HTTP/JSON gateway (DESIGN.md §16) on
   // 127.0.0.1:N (0 = kernel-assigned). The gateway forwards every HTTP
   // request as a GAF1 call against this daemon, so quotas/shed/quarantine
@@ -695,7 +711,56 @@ int PrintAlignResponse(const Response& response, const AlignRequest& request,
   return kExitOk;
 }
 
-int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
+// Prints the outcome of a job-surface call (kSubmitJob/kJobStatus/
+// kJobResult/kCancelJob) and exits with the response code, so scripts can
+// branch on 13 (accepted/pending), 14 (no such job), 15 (conflict) without
+// parsing. A finished kJobResult carries the align result — byte-identical
+// to what the synchronous path would have returned — and honors --out.
+int PrintJobResponse(const Request& request, const Response& response,
+                     const std::string& out_path, std::ostream& out,
+                     std::ostream& err) {
+  if (request.type == RequestType::kJobResult &&
+      response.code == ResponseCode::kOk) {
+    auto result = DecodeAlignResult(response.body);
+    if (!result.ok()) return Fail(err, result.status());
+    int matched = 0;
+    for (int32_t v : result->mapping) matched += (v >= 0);
+    out << "job result: matched=" << matched << "/" << result->mapping.size()
+        << " MNC=" << Table::Num(result->mnc)
+        << " EC=" << Table::Num(result->ec)
+        << " S3=" << Table::Num(result->s3)
+        << " align_s=" << Table::Num(result->align_seconds, 2) << "\n";
+    if (!out_path.empty()) {
+      Alignment alignment(result->mapping.begin(), result->mapping.end());
+      Status s = WriteMapping(alignment, out_path);
+      if (!s.ok()) return Fail(err, s);
+      out << "mapping written to " << out_path << "\n";
+    }
+    return kExitOk;
+  }
+  // Everything else answers with a job envelope when one exists.
+  auto info = DecodeJobInfo(response.body);
+  if (info.ok()) {
+    out << "job=" << GraphStore::HashName(info->job_id)
+        << " state=" << info->state_name << " attempts=" << info->attempts
+        << "/" << info->max_attempts;
+    if (info->existing) out << " (existing)";
+    if (JobStateTerminal(static_cast<JobState>(info->state))) {
+      out << " terminal=" << ResponseCodeName(
+                                 static_cast<ResponseCode>(info->terminal_code));
+    }
+    if (!info->message.empty()) out << " message=" << info->message;
+    out << "\n";
+  }
+  if (response.code != ResponseCode::kOk &&
+      response.code != ResponseCode::kAccepted) {
+    err << ResponseCodeName(response.code) << ": " << response.message << "\n";
+  }
+  return static_cast<int>(response.code);
+}
+
+int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err,
+              bool force_async = false) {
   ClientOptions conn;
   conn.socket_path = flags.GetString("socket");
   if (flags.Has("port")) {
@@ -891,6 +956,26 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
                          "flags (--g1 --g2 --mapping)"));
   }
 
+  // --async (or `graphalign jobs submit`): enqueue the align as a durable
+  // job instead of blocking on it. --idem-key KEY makes resubmission after
+  // a client crash return the original job instead of executing twice.
+  if (flags.Has("async") || force_async) {
+    if (request.type != RequestType::kAlign) {
+      return Fail(err, Status::InvalidArgument(
+                           "--async applies to align submissions only"));
+    }
+    const std::string idem_key = flags.GetString("idem-key");
+    if (idem_key.size() > kMaxNameLen) {
+      return Fail(err, Status::InvalidArgument(
+                           "--idem-key must be at most " +
+                           std::to_string(kMaxNameLen) + " bytes"));
+    }
+    request.type = RequestType::kSubmitJob;
+    request.submit_job.align = std::move(request.align);
+    request.align = AlignRequest{};
+    request.submit_job.idem_key = idem_key;
+  }
+
   auto response = CallWithRetry(conn, request, retry_policy);
   if (!response.ok()) return Fail(err, response.status());
 
@@ -898,6 +983,13 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
   out << "status=" << ResponseCodeName(response->code)
       << " cache=" << (response->cache_hit ? "hit" : "miss")
       << " elapsed_us=" << response->elapsed_us << "\n";
+  if (request.type == RequestType::kSubmitJob ||
+      request.type == RequestType::kJobStatus ||
+      request.type == RequestType::kJobResult ||
+      request.type == RequestType::kCancelJob) {
+    return PrintJobResponse(request, *response, flags.GetString("out"), out,
+                            err);
+  }
   if (request.type == RequestType::kAlignBatch) {
     // Batches carry per-job detail even on PARTIAL or a uniform failure
     // code; only an admission-level rejection (BUSY/SHUTTING_DOWN before
@@ -982,6 +1074,14 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
           << " corrupt=" << stats->store_corrupt
           << " missing=" << stats->store_missing
           << " unavailable=" << stats->store_unavailable << "\n";
+      out << "jobs: submitted=" << stats->jobs_submitted
+          << " deduped=" << stats->jobs_deduped
+          << " done=" << stats->jobs_done
+          << " failed=" << stats->jobs_failed
+          << " cancelled=" << stats->jobs_cancelled
+          << " executions=" << stats->jobs_executions
+          << " recovered=" << stats->jobs_recovered
+          << " pending=" << stats->jobs_pending << "\n";
       out << "worker_restarts:";
       for (uint64_t r : stats->worker_restarts) out << " " << r;
       out << "\n";
@@ -1030,7 +1130,11 @@ int CmdSubmit(const Flags& flags, std::ostream& out, std::ostream& err) {
       return PrintAlignResponse(*response, request.align, align_n1,
                                 flags.GetString("out"), out, err);
     case RequestType::kAlignBatch:
-      return kExitError;  // Unreachable: batches return above.
+    case RequestType::kSubmitJob:
+    case RequestType::kJobStatus:
+    case RequestType::kJobResult:
+    case RequestType::kCancelJob:
+      return kExitError;  // Unreachable: handled above.
   }
   return kExitError;
 }
@@ -1203,10 +1307,122 @@ int CmdStore(int argc, const char* const* argv, std::ostream& out,
   return kExitUsage;
 }
 
+// ---------------------------------------------------------------------------
+// jobs: the durable async job queue (DESIGN.md §17). submit/status/result/
+// cancel talk to a live daemon; ls/gc open the journal directly (the
+// CmdStore model) and must not race a daemon on the same --dir.
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+int CmdJobsLs(const Flags& flags, std::ostream& out, std::ostream& err) {
+  JobManagerOptions options;
+  options.dir = flags.GetString("dir");
+  // Opening replays the journal, which also journals crash recovery for
+  // any RUNNING jobs it finds — correct offline (a RUNNING job with no
+  // daemon attached IS a crashed attempt), wrong against a live daemon.
+  auto manager = JobManager::Open(options, NowUnixMs());
+  if (!manager.ok()) return Fail(err, manager.status());
+  const std::vector<JobRecord> jobs = (*manager)->List();
+  for (const JobRecord& r : jobs) {
+    out << GraphStore::HashName(r.job_id) << " " << JobStateName(r.state)
+        << " attempts=" << r.attempts << "/" << r.max_attempts
+        << " updated_ms=" << r.updated_unix_ms;
+    if (!r.idem_key.empty()) out << " key=" << r.idem_key;
+    if (!r.message.empty()) out << " message=" << r.message;
+    out << "\n";
+  }
+  out << jobs.size() << " jobs\n";
+  return kExitOk;
+}
+
+int CmdJobsGc(const Flags& flags, std::ostream& out, std::ostream& err) {
+  JobManagerOptions options;
+  options.dir = flags.GetString("dir");
+  auto ttl = StrictDoubleFlag(flags, "ttl", options.ttl_seconds);
+  if (!ttl.ok()) return Fail(err, ttl.status());
+  options.ttl_seconds = *ttl;
+  auto manager = JobManager::Open(options, NowUnixMs());
+  if (!manager.ok()) return Fail(err, manager.status());
+  Status gc = (*manager)->Gc(NowUnixMs());
+  if (!gc.ok()) return Fail(err, gc);
+  const JobManagerStats stats = (*manager)->Stats();
+  out << "gced=" << stats.gced << " journal_bytes=" << stats.journal_bytes
+      << "\n";
+  return kExitOk;
+}
+
+int CmdJobs(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  if (argc < 3) {
+    err << "usage: graphalign jobs <submit|status|result|cancel|ls|gc> "
+           "[--flags]\n";
+    return kExitUsage;
+  }
+  const std::string action = argv[2];
+  Flags flags(argc, argv, 3);
+  if (!flags.error().empty()) {
+    return Fail(err, Status::InvalidArgument(flags.error()));
+  }
+  // `jobs submit` is `submit --async` under its canonical name.
+  if (action == "submit") return CmdSubmit(flags, out, err, true);
+  if (action == "ls" || action == "gc") {
+    if (flags.GetString("dir").empty()) {
+      return Fail(err, Status::InvalidArgument("jobs " + action +
+                                               " requires --dir DIR"));
+    }
+    return action == "ls" ? CmdJobsLs(flags, out, err)
+                          : CmdJobsGc(flags, out, err);
+  }
+  if (action != "status" && action != "result" && action != "cancel") {
+    err << "unknown jobs action: " << action
+        << " (want submit|status|result|cancel|ls|gc)\n";
+    return kExitUsage;
+  }
+  ClientOptions conn;
+  conn.socket_path = flags.GetString("socket");
+  if (flags.Has("port")) {
+    auto port = ParseStrictUint64(flags.GetString("port"));
+    if (!port.ok() || *port == 0 || *port > 65535) {
+      return Fail(err, Status::InvalidArgument(
+                           "--port must be an integer in 1..65535, got '" +
+                           flags.GetString("port") + "'"));
+    }
+    conn.port = static_cast<int>(*port);
+  }
+  conn.host = flags.GetString("host", conn.host);
+  auto timeout = StrictDoubleFlag(flags, "timeout", conn.timeout_seconds);
+  if (!timeout.ok()) return Fail(err, timeout.status());
+  conn.timeout_seconds = *timeout;
+  auto id = GraphStore::ParseHashName(flags.GetString("id"));
+  if (!id.ok()) {
+    return Fail(err, Status::InvalidArgument(
+                         "jobs " + action +
+                         " requires --id JOBID (16 hex digits, as printed "
+                         "by submit --async)"));
+  }
+  Request request;
+  request.client = flags.GetString("client");
+  request.type = action == "status"   ? RequestType::kJobStatus
+                 : action == "result" ? RequestType::kJobResult
+                                      : RequestType::kCancelJob;
+  request.job_id.job_id = *id;
+  auto response = CallWithRetry(conn, request, {});
+  if (!response.ok()) return Fail(err, response.status());
+  out << "status=" << ResponseCodeName(response->code)
+      << " elapsed_us=" << response->elapsed_us << "\n";
+  return PrintJobResponse(request, *response, flags.GetString("out"), out,
+                          err);
+}
+
 constexpr char kUsage[] =
     "usage: graphalign "
-    "<generate|perturb|align|evaluate|stats|serve|submit|store|failpoints> "
-    "[--flags]\n"
+    "<generate|perturb|align|evaluate|stats|serve|submit|jobs|store|"
+    "failpoints> [--flags]\n"
     "  generate --model {er,ba,ws,nw,pl,geometric} --n N [--p P] [--m M]\n"
     "           [--k K] [--radius R] [--seed S] --out FILE\n"
     "  perturb  --in FILE [--noise {one-way,multi-modal,two-way}]\n"
@@ -1224,6 +1440,9 @@ constexpr char kUsage[] =
     "           [--shed] [--quarantine N] [--grace T] [--store-dir DIR]\n"
     "           [--http-port N]  (also serve the HTTP/JSON gateway; see\n"
     "           README \"HTTP API\". 0 = kernel-assigned)\n"
+    "           [--jobs-dir DIR] [--job-attempts N] [--job-ttl T]\n"
+    "           [--job-workers K]  (durable async jobs; see README "
+    "\"Async jobs\")\n"
     "  submit   --socket PATH | [--host H] --port N [--timeout T]\n"
     "           [--retries N] [--client NAME]\n"
     "           with --ping | --shutdown | --cache-info | --stats [FILE]\n"
@@ -1231,11 +1450,18 @@ constexpr char kUsage[] =
     "           | --put-graph FILE | --has-graph HASH\n"
     "           | --g1 FILE --g2 FILE --algo NAME [--assign M]\n"
     "             [--time-limit T] [--mem-limit MB] [--no-cache] [--out FILE]\n"
+    "             [--async [--idem-key KEY]]  (enqueue as a durable job;\n"
+    "             prints the job id, exit 13)\n"
     "           | --g1-hash HASH --g2-hash HASH --algo NAME [...]\n"
     "           | --g1 FILE --g2 FILE --mapping FILE [--truth FILE]\n"
     "           | --batch JOBS.json  (K align jobs over a shared graph\n"
     "             table, one frame; graphs: {\"hash\"}|{\"file\"}|\n"
     "             {\"n\",\"edges\"}; exit 12 = mixed per-job outcomes)\n"
+    "  jobs     <submit|status|result|cancel> --socket PATH | --port N\n"
+    "           submit: align flags as `submit --async` [--idem-key KEY]\n"
+    "           status|result|cancel: --id JOBID [--out FILE (result)]\n"
+    "           <ls|gc> --dir DIR [--ttl T (gc)]  (offline journal access;\n"
+    "           do not run against a live daemon's --jobs-dir)\n"
     "  store    <import|ls|verify|gc|bench> --dir DIR\n"
     "           import: --in FILE | --dataset NAME [--scale S] [--seed S]\n"
     "           bench:  --in FILE[,FILE...] [--reps N] [--json FILE]\n"
@@ -1247,7 +1473,10 @@ constexpr char kUsage[] =
     "  --retries), 10 quarantined (signature kept crashing; permanent),\n"
     "  11 no graph (submit-by-hash named a hash the store does not hold;\n"
     "  re-upload with --put-graph), 12 partial (a batch finished with\n"
-    "  mixed per-job outcomes; inspect the per-job codes)\n"
+    "  mixed per-job outcomes; inspect the per-job codes), 13 accepted\n"
+    "  (async job enqueued or still running; poll jobs status), 14 no job\n"
+    "  (unknown or GC-expired job id), 15 conflict (idem-key bound to\n"
+    "  different content, or cancelling a finished job)\n"
     "fault injection: GRAPHALIGN_FAILPOINTS=\"site=mode[:arg],...\" with\n"
     "  modes error|once|prob:P|nan|delay-ms:N|crash|oom (see DESIGN.md §12)\n";
 
@@ -1260,8 +1489,10 @@ int RunCli(int argc, const char* const* argv, std::ostream& out,
     return kExitUsage;
   }
   const std::string cmd = argv[1];
-  // `store` has a positional action word; it parses its own flags.
+  // `store` and `jobs` have a positional action word; they parse their own
+  // flags.
   if (cmd == "store") return CmdStore(argc, argv, out, err);
+  if (cmd == "jobs") return CmdJobs(argc, argv, out, err);
   Flags flags(argc, argv, 2);
   if (!flags.error().empty()) {
     return Fail(err, Status::InvalidArgument(flags.error()));

@@ -37,6 +37,16 @@ inline constexpr int kExitNoGraph = 11;  // A submit-by-hash request named a
 inline constexpr int kExitPartial = 12;  // A batch completed with mixed
                                          // per-job outcomes (some OK, some
                                          // not); inspect the per-job codes.
+inline constexpr int kExitAccepted = 13;  // An async job was accepted (or
+                                          // deduplicated onto an existing
+                                          // unfinished one); poll its id.
+inline constexpr int kExitNoJob = 14;  // A job id the daemon does not hold
+                                       // (never submitted, or GC'd past
+                                       // its TTL).
+inline constexpr int kExitConflict = 15;  // The request conflicts with the
+                                          // job's state: cancel of a
+                                          // finished job, or an idempotency
+                                          // key reused for other content.
 
 }  // namespace graphalign
 

@@ -42,10 +42,21 @@ const char* const kKnownSites[] = {
     "server.cache.append.torn",    // Crash mid-append: torn record on disk.
     "server.cache.replay.error",   // Cache-log open/replay fails (cold start).
     "store.write.error",           // GST1 temp-file write fails (IO error).
+    "store.write.enospc",          // Disk full (ENOSPC) on the GST1 write:
+                                   // must classify kUnavailable, never
+                                   // kCorrupt / quarantine.
     "store.fsync.error",           // fsync of the temp file fails.
     "store.rename.error",          // Crash window: temp written, not renamed.
     "store.mmap.error",            // mmap of a .gst file fails (transient).
     "store.verify.corrupt",        // Force CRC verification failure on open.
+    "server.cache.append.enospc",  // Disk full on a cache-log append: the
+                                   // record is dropped and counted, the
+                                   // in-memory cache keeps serving.
+    "jobs.journal.append.error",   // Job-journal append fails (IO error).
+    "jobs.journal.append.torn",    // Crash mid-append: torn journal record.
+    "jobs.journal.replay.error",   // Journal open/replay fails entirely.
+    "jobs.exec.delay",             // Stall the job runner before executing
+                                   // (holds a job in RUNNING for kill tests).
 };
 
 uint64_t Fnv1a(const std::string& s) {

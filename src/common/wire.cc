@@ -1,0 +1,88 @@
+#include "common/wire.h"
+
+#include <cstring>
+
+namespace graphalign {
+
+void ByteWriter::U32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, sizeof(v));
+  bytes_.append(b, sizeof(b));
+}
+
+void ByteWriter::U64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, sizeof(v));
+  bytes_.append(b, sizeof(b));
+}
+
+void ByteWriter::F64(double v) {
+  char b[8];
+  std::memcpy(b, &v, sizeof(v));
+  bytes_.append(b, sizeof(b));
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+bool ByteReader::Take(size_t n, const char** p) {
+  if (failed_ || bytes_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  *p = bytes_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::U8(uint8_t* v) {
+  const char* p;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool ByteReader::U32(uint32_t* v) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  std::memcpy(v, p, 4);
+  return true;
+}
+
+bool ByteReader::U64(uint64_t* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool ByteReader::I32(int32_t* v) {
+  uint32_t u;
+  if (!U32(&u)) return false;
+  std::memcpy(v, &u, sizeof(u));
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  std::memcpy(v, p, 8);
+  return true;
+}
+
+bool ByteReader::Str(std::string* s, size_t max_len) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  if (len > max_len) {
+    failed_ = true;
+    return false;
+  }
+  const char* p;
+  if (!Take(len, &p)) return false;
+  s->assign(p, len);
+  return true;
+}
+
+}  // namespace graphalign

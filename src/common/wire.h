@@ -1,0 +1,62 @@
+// Bounds-checked little-endian (de)serialization primitives.
+//
+// ByteWriter/ByteReader started life inside the server protocol
+// (server/protocol.h) and moved here when the durable job journal
+// (src/jobs) needed the same total-decoding discipline without pulling the
+// whole protocol in: every component that persists or ships bytes — GAF1
+// payloads, the cache log, the job journal — encodes with the writer and
+// decodes with the reader, whose every getter returns false (and poisons
+// the reader) on underflow so decoders can chain reads and check once.
+#ifndef GRAPHALIGN_COMMON_WIRE_H_
+#define GRAPHALIGN_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace graphalign {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v);
+  // u32 length followed by the raw bytes.
+  void Str(std::string_view s);
+
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+// Every getter returns false (and leaves the reader poisoned) on underflow,
+// so decoders can chain reads and check once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I32(int32_t* v);
+  bool F64(double* v);
+  // Reads a u32-length-prefixed string of at most max_len bytes.
+  bool Str(std::string* s, size_t max_len);
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return !failed_ && pos_ == bytes_.size(); }
+
+ private:
+  bool Take(size_t n, const char** p);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace graphalign
+
+#endif  // GRAPHALIGN_COMMON_WIRE_H_

@@ -17,6 +17,7 @@
 
 #include "common/subprocess.h"
 #include "gateway/json.h"
+#include "jobs/manager.h"
 #include "store/graph_store.h"
 
 namespace graphalign {
@@ -265,6 +266,33 @@ JsonValue AlignResultJson(const AlignResult& r) {
   return out;
 }
 
+// Async-job envelope shared by POST /v1/jobs, GET /v1/jobs/<id>, and
+// DELETE /v1/jobs/<id>. The job id is rendered as the same 16-hex-digit
+// string `submit --async` prints, never a JSON number: a u64 does not
+// survive the double round trip.
+JsonValue JobInfoJson(const JobInfo& info) {
+  JsonValue out = JsonValue::Object();
+  out.Set("job_id", JsonValue::Str(GraphStore::HashName(info.job_id)));
+  out.Set("state", JsonValue::Str(info.state_name));
+  out.Set("attempts", JsonValue::Number(static_cast<double>(info.attempts)));
+  out.Set("max_attempts",
+          JsonValue::Number(static_cast<double>(info.max_attempts)));
+  out.Set("submitted_unix_ms",
+          JsonValue::Number(static_cast<double>(info.submitted_unix_ms)));
+  out.Set("updated_unix_ms",
+          JsonValue::Number(static_cast<double>(info.updated_unix_ms)));
+  out.Set("existing", JsonValue::Bool(info.existing));
+  if (JobStateTerminal(static_cast<JobState>(info.state))) {
+    out.Set("terminal_status",
+            JsonValue::Str(ResponseCodeName(
+                static_cast<ResponseCode>(info.terminal_code))));
+  }
+  if (!info.message.empty()) {
+    out.Set("message", JsonValue::Str(info.message));
+  }
+  return out;
+}
+
 }  // namespace
 
 Status BatchRequestFromJson(const JsonValue& body, Request* request) {
@@ -278,10 +306,13 @@ Status BatchRequestFromJson(const JsonValue& body, Request* request) {
 int HttpStatusForResponseCode(ResponseCode code) {
   switch (code) {
     case ResponseCode::kOk: return 200;
+    case ResponseCode::kAccepted: return 202;
     case ResponseCode::kPartial: return 207;
     case ResponseCode::kBadRequest: return 400;
     case ResponseCode::kQuarantined: return 409;
+    case ResponseCode::kConflict: return 409;
     case ResponseCode::kNoGraph: return 404;
+    case ResponseCode::kNoJob: return 404;
     case ResponseCode::kBusy: return 429;
     case ResponseCode::kShuttingDown:
     case ResponseCode::kShed:
@@ -433,8 +464,11 @@ class Gateway::Impl {
             "{\"status\":\"BUSY\",\"error\":\"gateway connection limit (" +
             std::to_string(options_.max_connections) +
             ") reached; retry with backoff\"}";
-        const std::string resp =
-            EncodeHttpResponse(503, kJsonType, body, false);
+        // The accept-time 503 carries the same Retry-After hint the daemon
+        // attaches to its own transient rejections; clients treat both
+        // identically.
+        const std::string resp = EncodeHttpResponse(
+            503, kJsonType, body, false, {{"Retry-After", "1"}});
         (void)send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
         close(fd);
       }
@@ -466,10 +500,13 @@ class Gateway::Impl {
   }
 
   // Sends a response; false on socket error (peer gone).
-  bool Send(int fd, int status, const std::string& body, bool keep_alive,
-            const char* content_type = kJsonType) {
-    const std::string resp =
-        EncodeHttpResponse(status, content_type, body, keep_alive);
+  bool Send(
+      int fd, int status, const std::string& body, bool keep_alive,
+      const char* content_type = kJsonType,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {}) {
+    const std::string resp = EncodeHttpResponse(status, content_type, body,
+                                                keep_alive, extra_headers);
     size_t off = 0;
     while (off < resp.size()) {
       const ssize_t n =
@@ -606,6 +643,20 @@ class Gateway::Impl {
       if (request.method != "POST") return MethodNotAllowed(fd, keep_alive);
       return HandleAlign(fd, request, keep_alive);
     }
+    if (path == "/v1/jobs") {
+      if (request.method != "POST") return MethodNotAllowed(fd, keep_alive);
+      return HandleSubmitJob(fd, request, keep_alive);
+    }
+    if (path.rfind("/v1/jobs/", 0) == 0) {
+      const std::string id_name = path.substr(strlen("/v1/jobs/"));
+      if (request.method == "GET") {
+        return HandleJobStatus(fd, id_name, keep_alive);
+      }
+      if (request.method == "DELETE") {
+        return HandleCancelJob(fd, id_name, keep_alive);
+      }
+      return MethodNotAllowed(fd, keep_alive);
+    }
     if (path == "/v1/align:batch") {
       if (request.method != "POST") return MethodNotAllowed(fd, keep_alive);
       return HandleAlignBatch(fd, request, keep_alive);
@@ -645,8 +696,18 @@ class Gateway::Impl {
     if (!response.message.empty()) {
       body.Set("error", JsonValue::Str(response.message));
     }
-    return Send(fd, HttpStatusForResponseCode(response.code), body.Dump(),
-                keep_alive);
+    const int status = HttpStatusForResponseCode(response.code);
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (response.retry_after_ms > 0 && (status == 429 || status == 503)) {
+      // Retry-After is delta-seconds; round up so a 250ms hint never
+      // becomes "retry immediately". The exact millisecond hint rides in
+      // the body for clients that want the finer grain.
+      extra.emplace_back(
+          "Retry-After", std::to_string((response.retry_after_ms + 999) / 1000));
+      body.Set("retry_after_ms",
+               JsonValue::Number(static_cast<double>(response.retry_after_ms)));
+    }
+    return Send(fd, status, body.Dump(), keep_alive, kJsonType, extra);
   }
 
   bool HandleStats(int fd, bool keep_alive) {
@@ -705,6 +766,14 @@ class Gateway::Impl {
     daemon.Set("batch_jobs", num(d.batch_jobs));
     daemon.Set("batch_cache_hits", num(d.batch_cache_hits));
     daemon.Set("batch_graph_loads", num(d.batch_graph_loads));
+    daemon.Set("jobs_submitted", num(d.jobs_submitted));
+    daemon.Set("jobs_deduped", num(d.jobs_deduped));
+    daemon.Set("jobs_done", num(d.jobs_done));
+    daemon.Set("jobs_failed", num(d.jobs_failed));
+    daemon.Set("jobs_cancelled", num(d.jobs_cancelled));
+    daemon.Set("jobs_executions", num(d.jobs_executions));
+    daemon.Set("jobs_recovered", num(d.jobs_recovered));
+    daemon.Set("jobs_pending", num(d.jobs_pending));
     daemon.Set("cache_replayed", num(d.cache_replayed));
     daemon.Set("store_puts", num(d.store_puts));
     daemon.Set("store_gets", num(d.store_gets));
@@ -785,6 +854,97 @@ class Gateway::Impl {
     if (response->code == ResponseCode::kOk) {
       auto result = DecodeAlignResult(response->body);
       if (result.ok()) body = AlignResultJson(*result);
+    }
+    return SendDaemonResponse(fd, *response, std::move(body), keep_alive);
+  }
+
+  // POST /v1/jobs: the /v1/align JSON schema plus an optional "idem_key"
+  // string. Accepted (or deduplicated) jobs come back 202 with the job
+  // envelope; poll GET /v1/jobs/<id> for completion.
+  bool HandleSubmitJob(int fd, const HttpRequest& request, bool keep_alive) {
+    auto parsed = ParseJson(request.body);
+    if (!parsed.ok()) {
+      return BadJson(fd, parsed.status().ToString(), keep_alive);
+    }
+    Request req;
+    std::string err;
+    if (!BuildAlignRequest(*parsed, &req, &err)) {
+      return BadJson(fd, err, keep_alive);
+    }
+    // Re-target the parsed align at the async surface.
+    req.type = RequestType::kSubmitJob;
+    req.submit_job.align = std::move(req.align);
+    req.align = AlignRequest{};
+    if (parsed->Has("idem_key")) {
+      if (!parsed->Get("idem_key").is_string() ||
+          parsed->Get("idem_key").AsString().empty() ||
+          parsed->Get("idem_key").AsString().size() > kMaxNameLen) {
+        return BadJson(fd, "\"idem_key\" must be a short non-empty string",
+                       keep_alive);
+      }
+      req.submit_job.idem_key = parsed->Get("idem_key").AsString();
+    }
+    auto response = CallBackend(std::move(req));
+    if (!response.ok()) return BackendDown(fd, response.status(), keep_alive);
+    JsonValue body = JsonValue::Object();
+    if (response->code == ResponseCode::kAccepted) {
+      auto info = DecodeJobInfo(response->body);
+      if (info.ok()) body = JobInfoJson(*info);
+    }
+    return SendDaemonResponse(fd, *response, std::move(body), keep_alive);
+  }
+
+  // GET /v1/jobs/<16hex>: the job envelope; once the job is DONE the
+  // response embeds the alignment result under "result", so one poll
+  // both observes completion and retrieves the mapping.
+  bool HandleJobStatus(int fd, const std::string& id_name, bool keep_alive) {
+    auto id = GraphStore::ParseHashName(id_name);
+    if (!id.ok()) {
+      return BadJson(fd, "job id must be 16 hex digits: " + id_name,
+                     keep_alive);
+    }
+    Request req;
+    req.type = RequestType::kJobStatus;
+    req.job_id.job_id = *id;
+    auto response = CallBackend(std::move(req));
+    if (!response.ok()) return BackendDown(fd, response.status(), keep_alive);
+    JsonValue body = JsonValue::Object();
+    if (response->code == ResponseCode::kOk) {
+      auto info = DecodeJobInfo(response->body);
+      if (info.ok()) {
+        body = JobInfoJson(*info);
+        if (static_cast<JobState>(info->state) == JobState::kDone) {
+          Request result_req;
+          result_req.type = RequestType::kJobResult;
+          result_req.job_id.job_id = *id;
+          auto result = CallBackend(std::move(result_req));
+          if (result.ok() && result->code == ResponseCode::kOk) {
+            auto align = DecodeAlignResult(result->body);
+            if (align.ok()) body.Set("result", AlignResultJson(*align));
+          }
+        }
+      }
+    }
+    return SendDaemonResponse(fd, *response, std::move(body), keep_alive);
+  }
+
+  // DELETE /v1/jobs/<16hex>: cancel. 200 with the (now CANCELLED)
+  // envelope, 404 for an unknown id, 409 when the job already finished.
+  bool HandleCancelJob(int fd, const std::string& id_name, bool keep_alive) {
+    auto id = GraphStore::ParseHashName(id_name);
+    if (!id.ok()) {
+      return BadJson(fd, "job id must be 16 hex digits: " + id_name,
+                     keep_alive);
+    }
+    Request req;
+    req.type = RequestType::kCancelJob;
+    req.job_id.job_id = *id;
+    auto response = CallBackend(std::move(req));
+    if (!response.ok()) return BackendDown(fd, response.status(), keep_alive);
+    JsonValue body = JsonValue::Object();
+    if (response->code == ResponseCode::kOk) {
+      auto info = DecodeJobInfo(response->body);
+      if (info.ok()) body = JobInfoJson(*info);
     }
     return SendDaemonResponse(fd, *response, std::move(body), keep_alive);
   }

@@ -16,15 +16,24 @@
 //   GET  /v1/graphs/<16hex>    kHasGraph → 200 | 404
 //   POST /v1/align             JSON align job (inline or *_hash) → kAlign
 //   POST /v1/align:batch       {"graphs":[...],"jobs":[...]} → kAlignBatch
+//   POST   /v1/jobs            align JSON + optional "idem_key"
+//                              → kSubmitJob → 202 job envelope
+//   GET    /v1/jobs/<16hex>    kJobStatus (+ embedded "result" once DONE)
+//   DELETE /v1/jobs/<16hex>    kCancelJob → 200 | 404 | 409
 //
 // Status mapping (mirrors the exit-code table; the JSON body always
 // carries the exact code name in "status"):
-//   OK→200  PARTIAL→207  BAD_REQUEST→400  NO_GRAPH→404  BUSY→429
-//   SHED/SHUTTING_DOWN→503  DNF→504  QUARANTINED→409
-//   ERROR/CRASH/OOM/NUMERICAL→500
+//   OK→200  ACCEPTED→202  PARTIAL→207  BAD_REQUEST→400
+//   NO_GRAPH/NO_JOB→404  BUSY→429  SHED/SHUTTING_DOWN→503  DNF→504
+//   QUARANTINED/CONFLICT→409  ERROR/CRASH/OOM/NUMERICAL→500
 // plus gateway-local 400 (bad HTTP/JSON), 404 (unknown route), 405, 408
 // (idle/slowloris timeout), 413 (body cap), 431 (head cap), 501
 // (unsupported framing), 503 (connection limit).
+//
+// Transient rejections (429 quota, 503 busy/shed/drain, and the gateway's
+// own accept-time 503) carry a Retry-After header (delta-seconds, rounded
+// up) plus "retry_after_ms" in the body — the server-side backoff hint
+// `submit --retries` honors over its jitter schedule.
 #ifndef GRAPHALIGN_GATEWAY_GATEWAY_H_
 #define GRAPHALIGN_GATEWAY_GATEWAY_H_
 

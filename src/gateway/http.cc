@@ -210,6 +210,7 @@ HttpParseStatus ParseHttpRequest(std::string_view buf,
 const char* HttpStatusReason(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 207: return "Multi-Status";
     case 400: return "Bad Request";
     case 404: return "Not Found";
@@ -227,13 +228,18 @@ const char* HttpStatusReason(int status) {
   }
 }
 
-std::string EncodeHttpResponse(int status, std::string_view content_type,
-                               std::string_view body, bool keep_alive) {
+std::string EncodeHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     HttpStatusReason(status) + "\r\n";
   out += "Content-Type: " + std::string(content_type) + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   if (!keep_alive) out += "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "\r\n";
   out += body;
   return out;

@@ -66,9 +66,13 @@ HttpParseStatus ParseHttpRequest(std::string_view buf, const HttpLimits& limits,
 const char* HttpStatusReason(int status);
 
 // Serializes a full response with Content-Length framing (and
-// "Connection: close" unless keep_alive).
-std::string EncodeHttpResponse(int status, std::string_view content_type,
-                               std::string_view body, bool keep_alive);
+// "Connection: close" unless keep_alive). `extra_headers` are emitted
+// verbatim after the framing headers — the gateway uses this for
+// Retry-After backoff hints on 429/503.
+std::string EncodeHttpResponse(
+    int status, std::string_view content_type, std::string_view body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers = {});
 
 }  // namespace graphalign
 

@@ -1,4 +1,4 @@
-#include "server/cache_store.h"
+#include "jobs/journal.h"
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -10,32 +10,14 @@
 
 #include "common/crc32.h"
 #include "common/failpoint.h"
-#include "server/protocol.h"
 
 namespace graphalign {
 
 namespace {
 
-constexpr char kRecordMagic[4] = {'G', 'A', 'R', '1'};
+constexpr char kRecordMagic[4] = {'G', 'A', 'J', '1'};
 constexpr size_t kRecordHeaderBytes =
     sizeof(kRecordMagic) + sizeof(uint32_t) + sizeof(uint32_t);
-// A record payload is u64 key + value; values are response bodies, already
-// bounded by the frame cap. Anything declaring more is corrupt framing.
-constexpr uint32_t kMaxRecordPayload = kMaxFramePayload + sizeof(uint64_t);
-
-std::string BuildRecord(uint64_t key, const std::string& value) {
-  std::string payload;
-  payload.reserve(sizeof(key) + value.size());
-  payload.append(reinterpret_cast<const char*>(&key), sizeof(key));
-  payload.append(value);
-  std::string record(kRecordMagic, sizeof(kRecordMagic));
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  const uint32_t crc = Crc32c(payload);
-  record.append(reinterpret_cast<const char*>(&len), sizeof(len));
-  record.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  record.append(payload);
-  return record;
-}
 
 bool WriteAll(int fd, const char* data, size_t len) {
   size_t off = 0;
@@ -50,9 +32,9 @@ bool WriteAll(int fd, const char* data, size_t len) {
   return true;
 }
 
-// Reads the whole log into memory. Cache logs hold encoded align results of
-// request-sized graphs; at service-realistic sizes this is megabytes, and
-// replay happens once per daemon start.
+// Reads the whole journal into memory. Job events are state transitions
+// (tens of bytes) plus one spec per job; at service-realistic job counts
+// this is megabytes, and replay happens once per daemon start.
 Result<std::string> ReadWholeFile(int fd) {
   std::string bytes;
   char buf[1 << 16];
@@ -61,7 +43,7 @@ Result<std::string> ReadWholeFile(int fd) {
     if (n == 0) return bytes;
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal("cache log read failed: " +
+      return Status::Internal("job journal read failed: " +
                               std::string(strerror(errno)));
     }
     bytes.append(buf, static_cast<size_t>(n));
@@ -70,32 +52,42 @@ Result<std::string> ReadWholeFile(int fd) {
 
 }  // namespace
 
-CacheStore::CacheStore(int fd, std::string path)
+std::string JobJournal::BuildRecord(std::string_view payload) {
+  std::string record(kRecordMagic, sizeof(kRecordMagic));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32c(payload);
+  record.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  record.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  record.append(payload);
+  return record;
+}
+
+JobJournal::JobJournal(int fd, std::string path)
     : path_(std::move(path)), fd_(fd) {}
 
-CacheStore::~CacheStore() {
+JobJournal::~JobJournal() {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) close(fd_);
   fd_ = -1;
 }
 
-Result<std::unique_ptr<CacheStore>> CacheStore::Open(
+Result<std::unique_ptr<JobJournal>> JobJournal::Open(
     const std::string& dir,
-    const std::function<void(uint64_t key, std::string value)>& on_record,
+    const std::function<void(std::string_view payload)>& on_record,
     ReplayStats* stats) {
-  GA_FAILPOINT_STATUS("server.cache.replay.error",
-                      Status::Internal("cache log unreadable (injected)"));
+  GA_FAILPOINT_STATUS("jobs.journal.replay.error",
+                      Status::Internal("job journal unreadable (injected)"));
   if (dir.empty()) {
-    return Status::InvalidArgument("cache store: directory path is empty");
+    return Status::InvalidArgument("job journal: directory path is empty");
   }
   if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::Internal("cache store: cannot create " + dir + ": " +
+    return Status::Internal("job journal: cannot create " + dir + ": " +
                             std::string(strerror(errno)));
   }
-  const std::string path = dir + "/cache.log";
+  const std::string path = dir + "/jobs.journal";
   const int fd = open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
-    return Status::Internal("cache store: cannot open " + path + ": " +
+    return Status::Internal("job journal: cannot open " + path + ": " +
                             std::string(strerror(errno)));
   }
   auto bytes = ReadWholeFile(fd);
@@ -105,7 +97,7 @@ Result<std::unique_ptr<CacheStore>> CacheStore::Open(
   }
 
   ReplayStats local;
-  size_t pos = 0;            // Cursor into the log.
+  size_t pos = 0;            // Cursor into the journal.
   size_t good_end = 0;       // End offset of the last well-framed record.
   const std::string& log = *bytes;
   while (pos < log.size()) {
@@ -119,7 +111,7 @@ Result<std::unique_ptr<CacheStore>> CacheStore::Open(
     std::memcpy(&len, log.data() + pos + sizeof(kRecordMagic), sizeof(len));
     std::memcpy(&crc, log.data() + pos + sizeof(kRecordMagic) + sizeof(len),
                 sizeof(crc));
-    if (len < sizeof(uint64_t) || len > kMaxRecordPayload) break;
+    if (len == 0 || len > kMaxJournalPayload) break;
     if (remaining < kRecordHeaderBytes + len) break;  // Partial body.
     const std::string_view payload(log.data() + pos + kRecordHeaderBytes,
                                    len);
@@ -131,11 +123,7 @@ Result<std::unique_ptr<CacheStore>> CacheStore::Open(
       ++local.crc_skipped;
       continue;
     }
-    uint64_t key = 0;
-    std::memcpy(&key, payload.data(), sizeof(key));
-    if (on_record) {
-      on_record(key, std::string(payload.substr(sizeof(key))));
-    }
+    if (on_record) on_record(payload);
     ++local.replayed;
   }
   local.truncated_bytes = log.size() - good_end;
@@ -143,51 +131,99 @@ Result<std::unique_ptr<CacheStore>> CacheStore::Open(
     // Drop the torn tail so future appends start at a record boundary.
     if (ftruncate(fd, static_cast<off_t>(good_end)) != 0) {
       close(fd);
-      return Status::Internal("cache store: cannot truncate torn tail of " +
+      return Status::Internal("job journal: cannot truncate torn tail of " +
                               path + ": " + std::string(strerror(errno)));
     }
   }
   if (lseek(fd, 0, SEEK_END) < 0) {
     close(fd);
-    return Status::Internal("cache store: cannot seek " + path + ": " +
+    return Status::Internal("job journal: cannot seek " + path + ": " +
                             std::string(strerror(errno)));
   }
   if (stats != nullptr) *stats = local;
-  return std::unique_ptr<CacheStore>(new CacheStore(fd, path));
+  return std::unique_ptr<JobJournal>(new JobJournal(fd, path));
 }
 
-Status CacheStore::Compact(
-    const std::vector<std::pair<uint64_t, std::string>>& live) {
+Status JobJournal::Append(std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxJournalPayload) {
+    return Status::InvalidArgument("job journal: bad record size " +
+                                   std::to_string(payload.size()));
+  }
+  const std::string record = BuildRecord(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) {
+    ++append_errors_;
+    return Status::FailedPrecondition("job journal: not open");
+  }
+  if (GA_FAILPOINT_FIRED("jobs.journal.append.error")) {
+    ++append_errors_;
+    return Status::Unavailable("job journal append failed (injected)");
+  }
+  if (GA_FAILPOINT_FIRED("jobs.journal.append.torn")) {
+    // Simulate dying mid-append: header plus half the payload reach disk.
+    const size_t torn =
+        kRecordHeaderBytes + (record.size() - kRecordHeaderBytes) / 2;
+    (void)WriteAll(fd_, record.data(), torn);
+    ++append_errors_;
+    return Status::Unavailable("job journal append torn (injected)");
+  }
+  if (!WriteAll(fd_, record.data(), record.size())) {
+    const int err = errno;
+    ++append_errors_;
+    // ENOSPC/EDQUOT are transient-environment failures, never corruption:
+    // the record simply did not commit.
+    return Status::Unavailable("job journal append failed: " +
+                               std::string(strerror(err)));
+  }
+  if (fsync(fd_) != 0) {
+    ++append_errors_;
+    return Status::Unavailable("job journal fsync failed: " +
+                               std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status JobJournal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("job journal: not open");
+  if (fsync(fd_) != 0) {
+    return Status::Unavailable("job journal fsync failed: " +
+                               std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status JobJournal::Compact(const std::vector<std::string>& live) {
   std::string fresh;
-  for (const auto& [key, value] : live) {
-    fresh += BuildRecord(key, value);
+  for (const std::string& payload : live) {
+    fresh += BuildRecord(payload);
   }
   const std::string tmp = path_ + ".tmp";
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) {
-    return Status::FailedPrecondition("cache store: not open");
+    return Status::FailedPrecondition("job journal: not open");
   }
   const int tfd = open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (tfd < 0) {
-    return Status::Unavailable("cache compact: cannot create " + tmp + ": " +
-                               std::string(strerror(errno)));
+    return Status::Unavailable("journal compact: cannot create " + tmp +
+                               ": " + std::string(strerror(errno)));
   }
   if (!WriteAll(tfd, fresh.data(), fresh.size()) || fsync(tfd) != 0) {
     const int err = errno;
     close(tfd);
     unlink(tmp.c_str());
-    return Status::Unavailable("cache compact: write/fsync of " + tmp +
+    return Status::Unavailable("journal compact: write/fsync of " + tmp +
                                " failed: " + std::string(strerror(err)));
   }
   if (rename(tmp.c_str(), path_.c_str()) != 0) {
     const int err = errno;
     close(tfd);
     unlink(tmp.c_str());
-    return Status::Unavailable("cache compact: rename over " + path_ +
+    return Status::Unavailable("journal compact: rename over " + path_ +
                                " failed: " + std::string(strerror(err)));
   }
-  // Make the rename durable; the temp fd IS the new log, so appends keep
-  // going to the published file.
+  // Make the rename durable; the temp fd IS the new journal, so appends
+  // keep going to the published file.
   std::string dir = path_;
   const size_t slash = dir.rfind('/');
   dir = slash == std::string::npos ? "." : dir.substr(0, slash);
@@ -201,7 +237,7 @@ Status CacheStore::Compact(
   return Status::Ok();
 }
 
-uint64_t CacheStore::log_bytes() const {
+uint64_t JobJournal::log_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (fd_ < 0) return 0;
   struct stat st;
@@ -209,47 +245,7 @@ uint64_t CacheStore::log_bytes() const {
   return static_cast<uint64_t>(st.st_size);
 }
 
-void CacheStore::Append(uint64_t key, const std::string& value) {
-  const std::string record = BuildRecord(key, value);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ < 0) {
-    ++append_errors_;
-    return;
-  }
-  if (GA_FAILPOINT_FIRED("server.cache.append.error")) {
-    ++append_errors_;
-    return;
-  }
-  if (GA_FAILPOINT_FIRED("server.cache.append.enospc")) {
-    // Disk full is a transient-environment failure: the record is dropped
-    // and counted exactly like any other failed write — never treated as
-    // corruption, never quarantined.
-    ++append_errors_;
-    return;
-  }
-  if (GA_FAILPOINT_FIRED("server.cache.append.torn")) {
-    // Simulate dying mid-append: header plus half the payload reach disk.
-    const size_t torn = kRecordHeaderBytes + (record.size() - kRecordHeaderBytes) / 2;
-    (void)WriteAll(fd_, record.data(), torn);
-    ++append_errors_;
-    return;
-  }
-  if (!WriteAll(fd_, record.data(), record.size())) {
-    ++append_errors_;
-  }
-}
-
-Status CacheStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ < 0) return Status::FailedPrecondition("cache store: not open");
-  if (fsync(fd_) != 0) {
-    return Status::Unavailable("cache log fsync failed: " +
-                               std::string(strerror(errno)));
-  }
-  return Status::Ok();
-}
-
-uint64_t CacheStore::append_errors() const {
+uint64_t JobJournal::append_errors() const {
   std::lock_guard<std::mutex> lock(mu_);
   return append_errors_;
 }

@@ -35,6 +35,8 @@
 //
 // Failpoints in the write path (tools/run_chaos.sh arms them):
 //   server.cache.append.error  - the append is dropped as if write() failed
+//   server.cache.append.enospc - the append is dropped as if the disk were
+//                                full (ENOSPC): counted, never corruption
 //   server.cache.append.torn   - a deliberately truncated record is written,
 //                                simulating a crash mid-append
 //   server.cache.replay.error  - Open() fails, simulating an unreadable log
@@ -87,6 +89,11 @@ class CacheStore {
   // append fd switches to the new file; on failure the old log and fd keep
   // working unchanged. Thread-safe against Append.
   Status Compact(const std::vector<std::pair<uint64_t, std::string>>& live);
+
+  // fsyncs the log fd: appends are buffered writes, so this is the seal a
+  // graceful (SIGTERM) drain applies before exit to make every record that
+  // reached the kernel durable.
+  Status Sync();
 
   // Current byte size of the log on disk (0 if the store is unusable).
   uint64_t log_bytes() const;

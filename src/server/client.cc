@@ -139,7 +139,12 @@ Result<Response> CallWithRetry(const ClientOptions& options,
       transient = true;
     }
     if (!transient || attempt == attempts) return last;
-    SleepForMs(backoff.NextDelayMs());
+    // A server-provided backoff hint (Retry-After over HTTP) beats the
+    // client's jittered schedule: the daemon knows its own queue and quota
+    // refill; guessing longer wastes latency, guessing shorter wastes a
+    // doomed round trip.
+    const uint64_t hint_ms = last.ok() ? last->retry_after_ms : 0;
+    SleepForMs(hint_ms > 0 ? hint_ms : backoff.NextDelayMs());
   }
   return last;
 }

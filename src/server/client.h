@@ -53,7 +53,10 @@ class Client {
 // One logical request with transient-failure handling (common/retry.h):
 // reconnects and retries, with the policy's jittered backoff, on transport
 // errors (connect refused while the daemon is still binding, a connection
-// dropped mid-flight) and on typed BUSY / SHUTTING_DOWN responses. Every
+// dropped mid-flight) and on typed BUSY / SHUTTING_DOWN responses. When a
+// transient response carries a server-side backoff hint
+// (Response::retry_after_ms), that hint replaces the jittered delay for the
+// following attempt. Every
 // other response — including DNF/CRASH/OOM, which re-running would only
 // reproduce at full cost — is returned as-is from the first attempt that
 // produced it. Each attempt uses a fresh connection.

@@ -68,6 +68,42 @@ void WriteMapping(ByteWriter* w, const std::vector<int32_t>& mapping) {
   for (int32_t v : mapping) w->I32(v);
 }
 
+// The align-request field block, shared by kAlign, kSubmitJob, and the
+// durable job spec (EncodeAlignSpec): one encoding, three carriers.
+void WriteAlignRequest(ByteWriter* w, const AlignRequest& a) {
+  w->Str(a.algo);
+  w->Str(a.assign);
+  w->U64(a.deadline_ms);
+  w->U64(a.mem_limit_mb);
+  w->U8(a.no_cache ? 1 : 0);
+  w->U8(a.by_hash ? 1 : 0);
+  w->U64(a.g1_hash);
+  w->U64(a.g2_hash);
+  WriteWireGraph(w, a.g1);
+  WriteWireGraph(w, a.g2);
+}
+
+bool ReadAlignRequest(ByteReader* r, AlignRequest* a) {
+  uint8_t no_cache = 0;
+  uint8_t by_hash = 0;
+  if (!r->Str(&a->algo, kMaxNameLen) || !r->Str(&a->assign, kMaxNameLen) ||
+      !r->U64(&a->deadline_ms) || !r->U64(&a->mem_limit_mb) ||
+      !r->U8(&no_cache) || !r->U8(&by_hash) || !r->U64(&a->g1_hash) ||
+      !r->U64(&a->g2_hash) || !ReadWireGraph(r, &a->g1) ||
+      !ReadWireGraph(r, &a->g2)) {
+    return false;
+  }
+  a->no_cache = no_cache != 0;
+  a->by_hash = by_hash != 0;
+  // A by-hash align must not also carry inline graphs: the two sources
+  // could disagree and the cache key would be ambiguous.
+  if (a->by_hash && (a->g1.num_nodes != 0 || !a->g1.edges.empty() ||
+                     a->g2.num_nodes != 0 || !a->g2.edges.empty())) {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -180,91 +216,7 @@ Status WriteFrameToFd(int fd, std::string_view payload) {
 }
 
 // ---------------------------------------------------------------------------
-// ByteWriter / ByteReader.
-
-void ByteWriter::U32(uint32_t v) {
-  char b[4];
-  std::memcpy(b, &v, sizeof(v));
-  bytes_.append(b, sizeof(b));
-}
-
-void ByteWriter::U64(uint64_t v) {
-  char b[8];
-  std::memcpy(b, &v, sizeof(v));
-  bytes_.append(b, sizeof(b));
-}
-
-void ByteWriter::F64(double v) {
-  char b[8];
-  std::memcpy(b, &v, sizeof(v));
-  bytes_.append(b, sizeof(b));
-}
-
-void ByteWriter::Str(std::string_view s) {
-  U32(static_cast<uint32_t>(s.size()));
-  bytes_.append(s);
-}
-
-bool ByteReader::Take(size_t n, const char** p) {
-  if (failed_ || bytes_.size() - pos_ < n) {
-    failed_ = true;
-    return false;
-  }
-  *p = bytes_.data() + pos_;
-  pos_ += n;
-  return true;
-}
-
-bool ByteReader::U8(uint8_t* v) {
-  const char* p;
-  if (!Take(1, &p)) return false;
-  *v = static_cast<uint8_t>(*p);
-  return true;
-}
-
-bool ByteReader::U32(uint32_t* v) {
-  const char* p;
-  if (!Take(4, &p)) return false;
-  std::memcpy(v, p, 4);
-  return true;
-}
-
-bool ByteReader::U64(uint64_t* v) {
-  const char* p;
-  if (!Take(8, &p)) return false;
-  std::memcpy(v, p, 8);
-  return true;
-}
-
-bool ByteReader::I32(int32_t* v) {
-  uint32_t u;
-  if (!U32(&u)) return false;
-  std::memcpy(v, &u, sizeof(u));
-  return true;
-}
-
-bool ByteReader::F64(double* v) {
-  const char* p;
-  if (!Take(8, &p)) return false;
-  std::memcpy(v, p, 8);
-  return true;
-}
-
-bool ByteReader::Str(std::string* s, size_t max_len) {
-  uint32_t len = 0;
-  if (!U32(&len)) return false;
-  if (len > max_len) {
-    failed_ = true;
-    return false;
-  }
-  const char* p;
-  if (!Take(len, &p)) return false;
-  s->assign(p, len);
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// Requests.
+// Requests. (ByteWriter/ByteReader live in common/wire.cc.)
 
 WireGraph ToWire(const Graph& g) {
   WireGraph wire;
@@ -285,20 +237,18 @@ std::string EncodeRequest(const Request& request) {
     case RequestType::kShutdown:
     case RequestType::kServerStats:
       break;
-    case RequestType::kAlign: {
-      const AlignRequest& a = request.align;
-      w.Str(a.algo);
-      w.Str(a.assign);
-      w.U64(a.deadline_ms);
-      w.U64(a.mem_limit_mb);
-      w.U8(a.no_cache ? 1 : 0);
-      w.U8(a.by_hash ? 1 : 0);
-      w.U64(a.g1_hash);
-      w.U64(a.g2_hash);
-      WriteWireGraph(&w, a.g1);
-      WriteWireGraph(&w, a.g2);
+    case RequestType::kAlign:
+      WriteAlignRequest(&w, request.align);
       break;
-    }
+    case RequestType::kSubmitJob:
+      WriteAlignRequest(&w, request.submit_job.align);
+      w.Str(request.submit_job.idem_key);
+      break;
+    case RequestType::kJobStatus:
+    case RequestType::kJobResult:
+    case RequestType::kCancelJob:
+      w.U64(request.job_id.job_id);
+      break;
     case RequestType::kEvaluate: {
       const EvaluateRequest& e = request.evaluate;
       WriteWireGraph(&w, e.g1);
@@ -368,28 +318,27 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case RequestType::kServerStats:
       request.type = static_cast<RequestType>(type);
       break;
-    case RequestType::kAlign: {
+    case RequestType::kAlign:
       request.type = RequestType::kAlign;
-      AlignRequest& a = request.align;
-      uint8_t no_cache = 0;
-      uint8_t by_hash = 0;
-      if (!r.Str(&a.algo, kMaxNameLen) || !r.Str(&a.assign, kMaxNameLen) ||
-          !r.U64(&a.deadline_ms) || !r.U64(&a.mem_limit_mb) ||
-          !r.U8(&no_cache) || !r.U8(&by_hash) || !r.U64(&a.g1_hash) ||
-          !r.U64(&a.g2_hash) || !ReadWireGraph(&r, &a.g1) ||
-          !ReadWireGraph(&r, &a.g2)) {
+      if (!ReadAlignRequest(&r, &request.align)) {
         return BadPayload("malformed align request");
       }
-      a.no_cache = no_cache != 0;
-      a.by_hash = by_hash != 0;
-      // A by-hash align must not also carry inline graphs: the two sources
-      // could disagree and the cache key would be ambiguous.
-      if (a.by_hash && (a.g1.num_nodes != 0 || !a.g1.edges.empty() ||
-                        a.g2.num_nodes != 0 || !a.g2.edges.empty())) {
-        return BadPayload("align request has both hashes and inline graphs");
+      break;
+    case RequestType::kSubmitJob:
+      request.type = RequestType::kSubmitJob;
+      if (!ReadAlignRequest(&r, &request.submit_job.align) ||
+          !r.Str(&request.submit_job.idem_key, kMaxNameLen)) {
+        return BadPayload("malformed submit-job request");
       }
       break;
-    }
+    case RequestType::kJobStatus:
+    case RequestType::kJobResult:
+    case RequestType::kCancelJob:
+      request.type = static_cast<RequestType>(type);
+      if (!r.U64(&request.job_id.job_id)) {
+        return BadPayload("malformed job id request");
+      }
+      break;
     case RequestType::kEvaluate: {
       request.type = RequestType::kEvaluate;
       EvaluateRequest& e = request.evaluate;
@@ -484,6 +433,9 @@ const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kQuarantined: return "QUARANTINED";
     case ResponseCode::kNoGraph: return "NO_GRAPH";
     case ResponseCode::kPartial: return "PARTIAL";
+    case ResponseCode::kAccepted: return "ACCEPTED";
+    case ResponseCode::kNoJob: return "NO_JOB";
+    case ResponseCode::kConflict: return "CONFLICT";
   }
   return "UNKNOWN";
 }
@@ -494,6 +446,7 @@ std::string EncodeResponse(const Response& response) {
   w.U8(static_cast<uint8_t>(response.code));
   w.U8(response.cache_hit ? 1 : 0);
   w.U64(response.elapsed_us);
+  w.U64(response.retry_after_ms);
   w.Str(response.message);
   w.Str(response.body);
   return w.Take();
@@ -505,7 +458,7 @@ Result<Response> DecodeResponse(std::string_view payload) {
   uint8_t code = 0, cache_hit = 0;
   Response response;
   if (!r.U32(&version) || !r.U8(&code) || !r.U8(&cache_hit) ||
-      !r.U64(&response.elapsed_us) ||
+      !r.U64(&response.elapsed_us) || !r.U64(&response.retry_after_ms) ||
       !r.Str(&response.message, kMaxMessageLen) ||
       !r.Str(&response.body, kMaxFramePayload) ||
       !r.AtEnd()) {
@@ -529,6 +482,9 @@ Result<Response> DecodeResponse(std::string_view payload) {
     case ResponseCode::kQuarantined:
     case ResponseCode::kNoGraph:
     case ResponseCode::kPartial:
+    case ResponseCode::kAccepted:
+    case ResponseCode::kNoJob:
+    case ResponseCode::kConflict:
       response.code = static_cast<ResponseCode>(code);
       break;
     default:
@@ -651,6 +607,52 @@ Result<StatsResult> DecodeStatsResult(std::string_view body) {
   return result;
 }
 
+std::string EncodeJobInfo(const JobInfo& info) {
+  ByteWriter w;
+  w.U64(info.job_id);
+  w.U32(info.state);
+  w.Str(info.state_name);
+  w.U32(info.attempts);
+  w.U32(info.max_attempts);
+  w.U64(info.submitted_unix_ms);
+  w.U64(info.updated_unix_ms);
+  w.U32(info.terminal_code);
+  w.Str(info.message);
+  w.U8(info.existing ? 1 : 0);
+  return w.Take();
+}
+
+Result<JobInfo> DecodeJobInfo(std::string_view body) {
+  ByteReader r(body);
+  JobInfo info;
+  uint8_t existing = 0;
+  if (!r.U64(&info.job_id) || !r.U32(&info.state) ||
+      !r.Str(&info.state_name, kMaxNameLen) || !r.U32(&info.attempts) ||
+      !r.U32(&info.max_attempts) || !r.U64(&info.submitted_unix_ms) ||
+      !r.U64(&info.updated_unix_ms) || !r.U32(&info.terminal_code) ||
+      !r.Str(&info.message, kMaxMessageLen) || !r.U8(&existing) ||
+      !r.AtEnd()) {
+    return BadPayload("malformed job info");
+  }
+  info.existing = existing != 0;
+  return info;
+}
+
+std::string EncodeAlignSpec(const AlignRequest& align) {
+  ByteWriter w;
+  WriteAlignRequest(&w, align);
+  return w.Take();
+}
+
+Result<AlignRequest> DecodeAlignSpec(std::string_view spec) {
+  ByteReader r(spec);
+  AlignRequest align;
+  if (!ReadAlignRequest(&r, &align) || !r.AtEnd()) {
+    return BadPayload("malformed align spec");
+  }
+  return align;
+}
+
 std::string EncodeServerStatsResult(const ServerStatsResult& result) {
   ByteWriter w;
   w.U64(result.workers);
@@ -682,6 +684,14 @@ std::string EncodeServerStatsResult(const ServerStatsResult& result) {
   w.U64(result.batch_jobs);
   w.U64(result.batch_cache_hits);
   w.U64(result.batch_graph_loads);
+  w.U64(result.jobs_submitted);
+  w.U64(result.jobs_deduped);
+  w.U64(result.jobs_done);
+  w.U64(result.jobs_failed);
+  w.U64(result.jobs_cancelled);
+  w.U64(result.jobs_executions);
+  w.U64(result.jobs_recovered);
+  w.U64(result.jobs_pending);
   w.U32(static_cast<uint32_t>(result.worker_restarts.size()));
   for (uint64_t r : result.worker_restarts) w.U64(r);
   return w.Take();
@@ -707,7 +717,11 @@ Result<ServerStatsResult> DecodeServerStatsResult(std::string_view body) {
       !r.U64(&result.served_http) || !r.U64(&result.quota_rejected_http) ||
       !r.U64(&result.shed_http) || !r.U64(&result.batches) ||
       !r.U64(&result.batch_jobs) || !r.U64(&result.batch_cache_hits) ||
-      !r.U64(&result.batch_graph_loads) || !r.U32(&workers)) {
+      !r.U64(&result.batch_graph_loads) || !r.U64(&result.jobs_submitted) ||
+      !r.U64(&result.jobs_deduped) || !r.U64(&result.jobs_done) ||
+      !r.U64(&result.jobs_failed) || !r.U64(&result.jobs_cancelled) ||
+      !r.U64(&result.jobs_executions) || !r.U64(&result.jobs_recovered) ||
+      !r.U64(&result.jobs_pending) || !r.U32(&workers)) {
     return BadPayload("malformed server stats result");
   }
   // Worker count is operator-bounded (<= 1024 threads); the same bound

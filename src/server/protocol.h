@@ -27,6 +27,7 @@
 
 #include "common/exit_codes.h"
 #include "common/status.h"
+#include "common/wire.h"
 #include "graph/graph.h"
 
 namespace graphalign {
@@ -39,9 +40,13 @@ namespace graphalign {
 // kServerStats. Version 4 added the top-level `transport` tag (GAF1 vs the
 // HTTP gateway, for per-transport serving counters), kAlignBatch with the
 // PARTIAL response code, and the batch/transport counters in kServerStats.
+// Version 5 added the durable async job surface: kSubmitJob/kJobStatus/
+// kJobResult/kCancelJob with the ACCEPTED/NO_JOB/CONFLICT response codes,
+// Response.retry_after_ms (server-provided backoff hint on BUSY/SHED/
+// SHUTTING_DOWN), and the jobs_* counters in kServerStats.
 // Peers speaking a different version are rejected with a typed BAD_REQUEST
 // naming the version.
-inline constexpr uint32_t kProtocolVersion = 4;
+inline constexpr uint32_t kProtocolVersion = 5;
 
 // Frames beyond this payload size are rejected before buffering (a 64 MB
 // frame holds an ~4M-edge graph pair; bigger graphs belong in the offline
@@ -87,49 +92,9 @@ std::string EncodeFrame(std::string_view payload);
 Result<bool> ReadFrameFromFd(int fd, std::string* payload);
 Status WriteFrameToFd(int fd, std::string_view payload);
 
-// ---------------------------------------------------------------------------
-// Bounds-checked payload (de)serialization.
-
-class ByteWriter {
- public:
-  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
-  void F64(double v);
-  // u32 length followed by the raw bytes.
-  void Str(std::string_view s);
-
-  std::string Take() { return std::move(bytes_); }
-
- private:
-  std::string bytes_;
-};
-
-// Every getter returns false (and leaves the reader poisoned) on underflow,
-// so decoders can chain reads and check once.
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
-
-  bool U8(uint8_t* v);
-  bool U32(uint32_t* v);
-  bool U64(uint64_t* v);
-  bool I32(int32_t* v);
-  bool F64(double* v);
-  // Reads a u32-length-prefixed string of at most max_len bytes.
-  bool Str(std::string* s, size_t max_len);
-
-  bool failed() const { return failed_; }
-  bool AtEnd() const { return !failed_ && pos_ == bytes_.size(); }
-
- private:
-  bool Take(size_t n, const char** p);
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-  bool failed_ = false;
-};
+// Payload (de)serialization uses the shared bounds-checked ByteWriter/
+// ByteReader (common/wire.h), the same primitives behind the cache log and
+// the job journal.
 
 // ---------------------------------------------------------------------------
 // Requests.
@@ -145,6 +110,10 @@ enum class RequestType : uint8_t {
   kPutGraph = 8,   // Upload a graph into the daemon's mapped store.
   kHasGraph = 9,   // Probe whether the store holds a content hash.
   kAlignBatch = 10,  // K align jobs over a shared graph table (one frame).
+  kSubmitJob = 11,   // Enqueue an align as a durable async job (DESIGN §17).
+  kJobStatus = 12,   // Poll a job's state/attempt counters by job id.
+  kJobResult = 13,   // Fetch a DONE job's AlignResult (ACCEPTED until then).
+  kCancelJob = 14,   // Cancel a job that has not finished yet.
 };
 
 // Transport over which a request reached the daemon. The HTTP gateway tags
@@ -219,6 +188,21 @@ struct HasGraphRequest {
   uint64_t hash = 0;
 };
 
+// kSubmitJob: the align spec to run asynchronously, plus an optional client
+// idempotency key (<= kMaxNameLen). The daemon derives the job id from the
+// spec content, so resubmitting the same work — by key or byte-identical
+// spec — returns the existing job instead of executing twice.
+struct SubmitJobRequest {
+  AlignRequest align;
+  std::string idem_key;
+};
+
+// kJobStatus / kJobResult / kCancelJob: the job id as printed by submit
+// (16 lowercase hex digits).
+struct JobIdRequest {
+  uint64_t job_id = 0;
+};
+
 struct EvaluateRequest {
   WireGraph g1, g2;
   std::vector<int32_t> mapping;  // mapping[u] = node of g2, -1 unmatched.
@@ -244,6 +228,8 @@ struct Request {
   PutGraphRequest put_graph; // Valid when type == kPutGraph.
   HasGraphRequest has_graph; // Valid when type == kHasGraph.
   AlignBatchRequest align_batch;  // Valid when type == kAlignBatch.
+  SubmitJobRequest submit_job;    // Valid when type == kSubmitJob.
+  JobIdRequest job_id;   // Valid for kJobStatus/kJobResult/kCancelJob.
 };
 
 std::string EncodeRequest(const Request& request);
@@ -277,6 +263,16 @@ enum class ResponseCode : uint8_t {
   kPartial = kExitPartial,  // A batch finished with mixed per-job outcomes;
                             // the body carries each job's typed code. Never
                             // retried as a whole (re-submit the failed jobs).
+  kAccepted = kExitAccepted,  // An async job was accepted (or deduplicated
+                              // onto an existing one) and has not finished:
+                              // the body is a JobInfo, not a result. Poll
+                              // kJobStatus/kJobResult for completion.
+  kNoJob = kExitNoJob,        // kJobStatus/kJobResult/kCancelJob named a job
+                              // id the daemon does not hold (never submitted,
+                              // or already GC'd past its TTL).
+  kConflict = kExitConflict,  // The request conflicts with the job's current
+                              // state: cancelling a finished job, or reusing
+                              // an idempotency key for different content.
 };
 
 const char* ResponseCodeName(ResponseCode code);
@@ -285,6 +281,11 @@ struct Response {
   ResponseCode code = ResponseCode::kOk;
   bool cache_hit = false;
   uint64_t elapsed_us = 0;  // Server-side handling time for this request.
+  // Server-provided backoff hint in milliseconds, set on transient
+  // rejections (BUSY/SHED/SHUTTING_DOWN): the client should wait this long
+  // before retrying instead of guessing with its own jitter schedule. 0 =
+  // no hint (non-transient codes, or an older peer).
+  uint64_t retry_after_ms = 0;
   std::string message;      // Error detail / human-readable note.
   std::string body;         // Type-specific encoded result (below).
 };
@@ -366,6 +367,33 @@ struct HasGraphResult {
 std::string EncodeHasGraphResult(const HasGraphResult& result);
 Result<HasGraphResult> DecodeHasGraphResult(std::string_view body);
 
+// Body of a kSubmitJob / kJobStatus / kCancelJob response (and of a
+// kJobResult answered kAccepted, i.e. polled before completion). Mirrors
+// jobs/manager.h's JobRecord without the spec/result payloads.
+struct JobInfo {
+  uint64_t job_id = 0;
+  uint32_t state = 0;         // jobs/manager.h JobState numeric value.
+  std::string state_name;     // ACCEPTED/RUNNING/DONE/FAILED/...
+  uint32_t attempts = 0;      // Executions started (including recoveries).
+  uint32_t max_attempts = 0;
+  uint64_t submitted_unix_ms = 0;
+  uint64_t updated_unix_ms = 0;
+  uint32_t terminal_code = 0;  // ResponseCode of the terminal outcome
+                               // (kOk for DONE); meaningless until terminal.
+  std::string message;         // Failure/cancel detail; empty otherwise.
+  bool existing = false;       // Submit was deduplicated onto a prior job.
+};
+
+std::string EncodeJobInfo(const JobInfo& info);
+Result<JobInfo> DecodeJobInfo(std::string_view body);
+
+// Canonical byte encoding of an AlignRequest on its own — the durable job
+// spec. The job id is content-derived from exactly these bytes, and the
+// journal replays them to re-enqueue work after a crash, so this encoding
+// must stay stable across daemon versions that share a journal.
+std::string EncodeAlignSpec(const AlignRequest& align);
+Result<AlignRequest> DecodeAlignSpec(std::string_view spec);
+
 // Body of a successful kCacheInfo response.
 struct CacheInfoResult {
   uint64_t hits = 0, misses = 0, evictions = 0;
@@ -408,6 +436,15 @@ struct ServerStatsResult {
   uint64_t batch_jobs = 0;          // Jobs carried by those batches.
   uint64_t batch_cache_hits = 0;    // Batch jobs answered from the cache.
   uint64_t batch_graph_loads = 0;   // Graph-table resolutions (amortized).
+  uint64_t jobs_submitted = 0;      // kSubmitJob requests that created a job.
+  uint64_t jobs_deduped = 0;        // Submits answered with an existing job.
+  uint64_t jobs_done = 0;           // Jobs that reached DONE.
+  uint64_t jobs_failed = 0;         // Jobs that reached FAILED/QUARANTINED.
+  uint64_t jobs_cancelled = 0;      // Jobs cancelled before completion.
+  uint64_t jobs_executions = 0;     // Execution attempts started (retries
+                                    // and crash recoveries included).
+  uint64_t jobs_recovered = 0;      // RUNNING jobs re-enqueued at replay.
+  uint64_t jobs_pending = 0;        // Jobs queued or running right now.
   std::vector<uint64_t> worker_restarts;  // Watchdog kills per worker slot.
 };
 

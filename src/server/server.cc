@@ -28,6 +28,7 @@
 #include "common/failpoint.h"
 #include "common/subprocess.h"
 #include "common/timer.h"
+#include "jobs/manager.h"
 #include "metrics/metrics.h"
 #include "server/cache_store.h"
 #include "server/protocol.h"
@@ -97,6 +98,48 @@ double ElapsedSeconds(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        since)
       .count();
+}
+
+// Wall-clock Unix time for job journal timestamps (steady_clock cannot be
+// persisted across restarts).
+uint64_t UnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Backoff hints attached to transient rejections (Retry-After over HTTP).
+// BUSY/SHED clear quickly once the queue moves; a drain means "find another
+// instance", which deserves a longer pause.
+constexpr uint64_t kBusyRetryAfterMs = 250;
+constexpr uint64_t kShedRetryAfterMs = 250;
+constexpr uint64_t kDrainRetryAfterMs = 1000;
+
+// A job's stored terminal code is replayed from disk; map anything that is
+// not a known response code to a plain ERROR instead of leaking raw bytes
+// onto the wire.
+ResponseCode TerminalResponseCode(uint32_t code) {
+  switch (static_cast<ResponseCode>(code)) {
+    case ResponseCode::kOk:
+    case ResponseCode::kError:
+    case ResponseCode::kBusy:
+    case ResponseCode::kBadRequest:
+    case ResponseCode::kDnf:
+    case ResponseCode::kCrash:
+    case ResponseCode::kOom:
+    case ResponseCode::kNumerical:
+    case ResponseCode::kShed:
+    case ResponseCode::kQuarantined:
+    case ResponseCode::kShuttingDown:
+    case ResponseCode::kNoGraph:
+    case ResponseCode::kPartial:
+    case ResponseCode::kAccepted:
+    case ResponseCode::kNoJob:
+    case ResponseCode::kConflict:
+      return static_cast<ResponseCode>(code);
+  }
+  return ResponseCode::kError;
 }
 
 bool DecodeChildOutcome(std::string_view payload, Response* response) {
@@ -243,11 +286,44 @@ class Server::Impl {
                      graph_store.status().ToString().c_str());
       }
     }
-    for (int w = 0; w < options_.workers; ++w) {
+    if (!options_.jobs_dir.empty()) {
+      // Durable async jobs: replay the journal, resume interrupted work,
+      // expire what the TTL says is stale. An unusable journal degrades the
+      // daemon to synchronous-only — startup never fails because of it.
+      JobManagerOptions jopts;
+      jopts.dir = options_.jobs_dir;
+      jopts.max_attempts =
+          static_cast<uint32_t>(std::max(1, options_.job_attempts));
+      jopts.ttl_seconds =
+          static_cast<uint64_t>(std::max(0.0, options_.job_ttl_seconds));
+      jopts.exhausted_terminal_code =
+          static_cast<uint32_t>(ResponseCode::kCrash);
+      auto jobs = JobManager::Open(jopts, UnixMs());
+      if (jobs.ok()) {
+        jobs_ = *std::move(jobs);
+        Status gc = jobs_->Gc(UnixMs());
+        if (!gc.ok()) {
+          std::fprintf(stderr, "job journal gc failed (kept): %s\n",
+                       gc.ToString().c_str());
+        }
+      } else {
+        std::fprintf(stderr, "job subsystem disabled (synchronous only): %s\n",
+                     jobs.status().ToString().c_str());
+      }
+    }
+    // Job runners get watchdog slots of their own, after the workers', so
+    // a hung job child is killed by the same scan that guards requests.
+    const int job_workers =
+        jobs_ != nullptr ? std::max(1, options_.job_workers) : 0;
+    for (int w = 0; w < options_.workers + job_workers; ++w) {
       slots_.emplace_back();
     }
     for (int w = 0; w < options_.workers; ++w) {
       threads_.emplace_back([this, w] { WorkerLoop(&slots_[w]); });
+    }
+    for (int j = 0; j < job_workers; ++j) {
+      const int s = options_.workers + j;
+      threads_.emplace_back([this, s] { JobRunnerLoop(&slots_[s]); });
     }
     if (options_.watchdog_grace_seconds > 0.0) {
       threads_.emplace_back([this] { WatchdogLoop(); });
@@ -259,6 +335,7 @@ class Server::Impl {
   void Shutdown() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
+    if (jobs_ != nullptr) jobs_->Stop();  // Wake idle job runners to exit.
     // Unblock accept(); the fd itself is closed in the destructor so the
     // accept thread never races a reused descriptor number.
     if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
@@ -287,10 +364,29 @@ class Server::Impl {
     Response shutting_down;
     shutting_down.code = ResponseCode::kShuttingDown;
     shutting_down.message = "server draining; resubmit to a live instance";
+    shutting_down.retry_after_ms = kDrainRetryAfterMs;
     const std::string frame = EncodeResponse(shutting_down);
     for (const QueueEntry& e : waiting) {
       (void)WriteFrameToFd(e.fd, frame);
       close(e.fd);
+    }
+    // Seal the durable state: job runners stop claiming (in-flight jobs
+    // finish and journal their own fsynced completion), and both logs get
+    // an explicit final fsync so nothing rides on the per-append behavior.
+    if (jobs_ != nullptr) {
+      jobs_->Stop();
+      Status sealed = jobs_->Seal();
+      if (!sealed.ok()) {
+        std::fprintf(stderr, "job journal seal failed: %s\n",
+                     sealed.ToString().c_str());
+      }
+    }
+    if (store_ != nullptr) {
+      Status synced = store_->Sync();
+      if (!synced.ok()) {
+        std::fprintf(stderr, "cache log seal failed: %s\n",
+                     synced.ToString().c_str());
+      }
     }
   }
 
@@ -350,6 +446,17 @@ class Server::Impl {
     s.batch_jobs = batch_jobs_.load(std::memory_order_relaxed);
     s.batch_cache_hits = batch_cache_hits_.load(std::memory_order_relaxed);
     s.batch_graph_loads = batch_graph_loads_.load(std::memory_order_relaxed);
+    if (jobs_ != nullptr) {
+      const JobManagerStats j = jobs_->Stats();
+      s.jobs_submitted = j.submitted;
+      s.jobs_deduped = j.deduped;
+      s.jobs_done = j.done;
+      s.jobs_failed = j.failed;
+      s.jobs_cancelled = j.cancelled;
+      s.jobs_executions = j.executions;
+      s.jobs_recovered = j.recovered;
+      s.jobs_pending = j.pending;
+    }
     for (const WorkerSlot& slot : slots_) {
       s.worker_restarts.push_back(
           slot.restarts.load(std::memory_order_relaxed));
@@ -456,6 +563,7 @@ class Server::Impl {
         Response shutting_down;
         shutting_down.code = ResponseCode::kShuttingDown;
         shutting_down.message = "server draining; resubmit to a live instance";
+        shutting_down.retry_after_ms = kDrainRetryAfterMs;
         (void)WriteFrameToFd(fd, EncodeResponse(shutting_down));
         close(fd);
         continue;
@@ -480,6 +588,7 @@ class Server::Impl {
         busy.code = ResponseCode::kBusy;
         busy.message = "admission queue full (" +
                        std::to_string(queue_capacity_) + " waiting)";
+        busy.retry_after_ms = kBusyRetryAfterMs;
         (void)WriteFrameToFd(fd, EncodeResponse(busy));
         close(fd);
       }
@@ -571,6 +680,17 @@ class Server::Impl {
             !slot.cancel.exchange(true, std::memory_order_relaxed)) {
           watchdog_kills_.fetch_add(1, std::memory_order_relaxed);
           slot.restarts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Piggyback periodic job GC on the watchdog cadence (~every 60s of
+      // 200ms scans): expire terminal jobs past their TTL and compact the
+      // journal once it has grown past the threshold.
+      if (jobs_ != nullptr && ++job_gc_ticks_ >= 300) {
+        job_gc_ticks_ = 0;
+        Status gc = jobs_->Gc(UnixMs());
+        if (!gc.ok()) {
+          std::fprintf(stderr, "job journal gc failed (kept): %s\n",
+                       gc.ToString().c_str());
         }
       }
       lock.lock();
@@ -686,6 +806,20 @@ class Server::Impl {
         return HandlePutGraph(request.put_graph);
       case RequestType::kHasGraph:
         return HandleHasGraph(request.has_graph);
+      case RequestType::kSubmitJob: {
+        // Async submission spends a quota token like the synchronous align
+        // it defers — otherwise jobs would be a quota bypass.
+        if (options_.quota_rps > 0.0 && !TakeQuotaToken(request.client)) {
+          return QuotaRejected(request);
+        }
+        return HandleSubmitJob(request.submit_job);
+      }
+      case RequestType::kJobStatus:
+        return HandleJobStatus(request.job_id.job_id);
+      case RequestType::kJobResult:
+        return HandleJobResult(request.job_id.job_id);
+      case RequestType::kCancelJob:
+        return HandleCancelJob(request.job_id.job_id);
     }
     Response response;
     response.code = ResponseCode::kBadRequest;
@@ -705,12 +839,16 @@ class Server::Impl {
     if (request.transport == Transport::kHttp) {
       quota_rejected_http_.fetch_add(1, std::memory_order_relaxed);
     }
-    return ErrorResponse(
+    Response response = ErrorResponse(
         ResponseCode::kBusy,
         "client \"" +
             (request.client.empty() ? std::string("anon") : request.client) +
             "\" exceeded its quota of " + std::to_string(options_.quota_rps) +
             " align requests/s; back off and retry");
+    // Hint: roughly the time until the bucket refills one token.
+    response.retry_after_ms = static_cast<uint64_t>(std::clamp(
+        1000.0 / options_.quota_rps, 100.0, 10000.0));
+    return response;
   }
 
   // Per-client token bucket: refill at quota_rps, burst of 2 seconds' worth
@@ -807,6 +945,194 @@ class Server::Impl {
     return response;
   }
 
+  // -------------------------------------------------------------------------
+  // Durable async jobs (DESIGN.md §17).
+
+  static JobInfo ToJobInfo(const JobRecord& rec, bool existing) {
+    JobInfo info;
+    info.job_id = rec.job_id;
+    info.state = static_cast<uint32_t>(rec.state);
+    info.state_name = JobStateName(rec.state);
+    info.attempts = rec.attempts;
+    info.max_attempts = rec.max_attempts;
+    info.submitted_unix_ms = rec.submitted_unix_ms;
+    info.updated_unix_ms = rec.updated_unix_ms;
+    info.terminal_code = rec.terminal_code;
+    info.message = rec.message;
+    info.existing = existing;
+    return info;
+  }
+
+  Response JobsDisabled() {
+    return ErrorResponse(ResponseCode::kError,
+                         "job subsystem disabled on this daemon (start with "
+                         "--jobs-dir); use a synchronous align instead");
+  }
+
+  Response HandleSubmitJob(const SubmitJobRequest& req) {
+    if (jobs_ == nullptr) return JobsDisabled();
+    // Validate what the parent can check cheaply — an unknown algorithm or
+    // assignment is a client mistake that deserves an immediate BAD_REQUEST,
+    // not a journaled job doomed to FAILED.
+    if (MakeFaultAligner(req.align.algo) == nullptr) {
+      auto made = MakeAligner(req.align.algo);
+      if (!made.ok()) {
+        return ErrorResponse(ResponseCode::kBadRequest,
+                             made.status().ToString());
+      }
+    }
+    if (req.align.assign != "native") {
+      auto parsed = ParseAssignMethod(req.align.assign);
+      if (!parsed.ok()) {
+        return ErrorResponse(ResponseCode::kBadRequest,
+                             parsed.status().ToString());
+      }
+    }
+    if (req.align.by_hash && graph_store_ == nullptr) {
+      return ErrorResponse(
+          ResponseCode::kNoGraph,
+          "submit-by-hash jobs need a graph store, and this daemon has none "
+          "(start it with --store-dir); submit inline graphs instead");
+    }
+    auto out = jobs_->Submit(req.idem_key, EncodeAlignSpec(req.align),
+                             UnixMs());
+    if (!out.ok()) {
+      switch (out.status().code()) {
+        case StatusCode::kFailedPrecondition:  // Idempotency-key conflict.
+          return ErrorResponse(ResponseCode::kConflict,
+                               out.status().message());
+        case StatusCode::kInvalidArgument:
+          return ErrorResponse(ResponseCode::kBadRequest,
+                               out.status().message());
+        default:  // Journal append failure: the job was refused, retryable.
+          return ErrorResponse(ResponseCode::kError,
+                               out.status().ToString());
+      }
+    }
+    Response response;
+    response.code = ResponseCode::kAccepted;
+    response.message = out->existing
+                           ? "deduplicated onto existing job; poll its id"
+                           : "job accepted; poll its id";
+    response.body = EncodeJobInfo(ToJobInfo(out->record, out->existing));
+    return response;
+  }
+
+  Response HandleJobStatus(uint64_t job_id) {
+    if (jobs_ == nullptr) return JobsDisabled();
+    auto rec = jobs_->Get(job_id);
+    if (!rec.ok()) {
+      return ErrorResponse(ResponseCode::kNoJob, rec.status().message());
+    }
+    Response response;
+    response.body = EncodeJobInfo(ToJobInfo(*rec, false));
+    return response;
+  }
+
+  Response HandleJobResult(uint64_t job_id) {
+    if (jobs_ == nullptr) return JobsDisabled();
+    auto rec = jobs_->Get(job_id);
+    if (!rec.ok()) {
+      return ErrorResponse(ResponseCode::kNoJob, rec.status().message());
+    }
+    switch (rec->state) {
+      case JobState::kDone: {
+        // The stored result IS an encoded AlignResult — byte-identical to
+        // what the synchronous align path would have answered.
+        Response response;
+        response.body = rec->result_bytes;
+        return response;
+      }
+      case JobState::kFailed:
+      case JobState::kQuarantined:
+        return ErrorResponse(
+            TerminalResponseCode(rec->terminal_code),
+            rec->message.empty() ? "job failed" : rec->message);
+      case JobState::kCancelled:
+        return ErrorResponse(ResponseCode::kConflict,
+                             "job " + std::to_string(job_id) +
+                                 " was cancelled; it has no result");
+      case JobState::kAccepted:
+      case JobState::kRunning: {
+        Response response;
+        response.code = ResponseCode::kAccepted;
+        response.message = "job not finished; poll status";
+        response.body = EncodeJobInfo(ToJobInfo(*rec, false));
+        return response;
+      }
+    }
+    return ErrorResponse(ResponseCode::kError, "job in unknown state");
+  }
+
+  Response HandleCancelJob(uint64_t job_id) {
+    if (jobs_ == nullptr) return JobsDisabled();
+    auto rec = jobs_->Cancel(job_id, UnixMs());
+    if (!rec.ok()) {
+      switch (rec.status().code()) {
+        case StatusCode::kNotFound:
+          return ErrorResponse(ResponseCode::kNoJob,
+                               rec.status().message());
+        case StatusCode::kFailedPrecondition:  // Already terminal.
+          return ErrorResponse(ResponseCode::kConflict,
+                               rec.status().message());
+        default:
+          return ErrorResponse(ResponseCode::kError,
+                               rec.status().ToString());
+      }
+    }
+    Response response;
+    response.message = "job cancelled";
+    response.body = EncodeJobInfo(ToJobInfo(*rec, false));
+    return response;
+  }
+
+  // Dedicated runner: claim → execute through the same isolated-fork path a
+  // synchronous align uses → journal the completion. Each runner owns a
+  // watchdog slot, so a hung job child is killed like a hung request child.
+  void JobRunnerLoop(WorkerSlot* slot) {
+    ScopedForkTolerantThread fork_tolerant;
+    JobRecord job;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    while (jobs_->ClaimNext(&job, &cancel)) {
+      // Hold point for crash tests: arming jobs.exec.delay with delay-ms:N
+      // pins the claimed job in RUNNING long enough to kill -9 the daemon.
+      (void)GA_FAILPOINT_FIRED("jobs.exec.delay");
+      RunJob(job, cancel.get(), slot);
+      if (stopping_.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  void RunJob(const JobRecord& job, const std::atomic<bool>* cancel,
+              WorkerSlot* slot) {
+    auto spec = DecodeAlignSpec(job.spec_bytes);
+    if (!spec.ok()) {
+      // Journal-resident spec no longer decodes (version skew, bit rot that
+      // passed CRC): terminal, typed, never retried.
+      (void)jobs_->CompleteFailed(
+          job.job_id, static_cast<uint32_t>(ResponseCode::kBadRequest),
+          "job spec: " + spec.status().ToString(), /*quarantined=*/false,
+          UnixMs());
+      return;
+    }
+    Response r = HandleAlign(*spec, slot, /*queue_wait_ms=*/0.0,
+                             Transport::kGaf1, cancel);
+    const uint64_t now = UnixMs();
+    if (r.code == ResponseCode::kOk) {
+      (void)jobs_->CompleteDone(job.job_id, std::move(r.body), now);
+    } else if (r.code == ResponseCode::kCrash ||
+               r.code == ResponseCode::kOom) {
+      // Crash-class outcomes retry up to the attempt budget; the quarantine
+      // subsystem independently stops a signature that keeps crashing.
+      (void)jobs_->CompleteRetryable(
+          job.job_id,
+          std::string(ResponseCodeName(r.code)) + ": " + r.message, now);
+    } else {
+      (void)jobs_->CompleteFailed(job.job_id,
+                                  static_cast<uint32_t>(r.code), r.message,
+                                  r.code == ResponseCode::kQuarantined, now);
+    }
+  }
+
   // Maps a failed store lookup for a by-hash align to a wire response.
   // Absent and corrupt(-now-quarantined) entries both mean the store does
   // not hold a usable copy: typed NO_GRAPH, the client re-uploads. Only
@@ -839,15 +1165,18 @@ class Server::Impl {
     if (transport == Transport::kHttp) {
       shed_http_.fetch_add(1, std::memory_order_relaxed);
     }
-    return ErrorResponse(
+    Response response = ErrorResponse(
         ResponseCode::kShed,
         "shed: " + std::to_string(static_cast<int64_t>(queue_wait_ms)) +
             "ms of queue wait consumed the " + std::to_string(deadline_ms) +
             "ms deadline; retry against a less loaded instance");
+    response.retry_after_ms = kShedRetryAfterMs;
+    return response;
   }
 
   Response HandleAlign(const AlignRequest& req, WorkerSlot* slot,
-                       double queue_wait_ms, Transport transport) {
+                       double queue_wait_ms, Transport transport,
+                       const std::atomic<bool>* extra_cancel = nullptr) {
     if (ShouldShed(req.deadline_ms, queue_wait_ms)) {
       return ShedResponse(req.deadline_ms, queue_wait_ms, transport);
     }
@@ -882,7 +1211,7 @@ class Server::Impl {
     return AlignResolved(*g1, *g2,
                          AlignSpec{req.algo, req.assign, req.deadline_ms,
                                    req.mem_limit_mb, req.no_cache},
-                         slot);
+                         slot, extra_cancel);
   }
 
   Response QuarantinedResponse() {
@@ -900,7 +1229,8 @@ class Server::Impl {
   // isolated fork, outcome mapping, and cache fill. Graph resolution stays
   // with the callers so a batch can amortize it across jobs.
   Response AlignResolved(const Graph& g1, const Graph& g2,
-                         const AlignSpec& req, WorkerSlot* slot) {
+                         const AlignSpec& req, WorkerSlot* slot,
+                         const std::atomic<bool>* extra_cancel = nullptr) {
     // Validate the algorithm and assignment up front, in the parent: an
     // unknown name is a client mistake, not a reason to fork.
     std::unique_ptr<Aligner> aligner = MakeFaultAligner(req.algo);
@@ -961,8 +1291,16 @@ class Server::Impl {
       slot->cancel.store(false, std::memory_order_relaxed);
       slot->start = std::chrono::steady_clock::now();
       slot->active.store(true, std::memory_order_release);
-      isolation.cancel = [slot] {
-        return slot->cancel.load(std::memory_order_relaxed);
+      // extra_cancel is the job subsystem's client-cancel flag: a cancelled
+      // async job kills its in-flight child exactly like a watchdog would.
+      isolation.cancel = [slot, extra_cancel] {
+        return slot->cancel.load(std::memory_order_relaxed) ||
+               (extra_cancel != nullptr &&
+                extra_cancel->load(std::memory_order_relaxed));
+      };
+    } else if (extra_cancel != nullptr) {
+      isolation.cancel = [extra_cancel] {
+        return extra_cancel->load(std::memory_order_relaxed);
       };
     }
 
@@ -1279,12 +1617,14 @@ class Server::Impl {
   CacheStore::ReplayStats replay_stats_;  // Fixed after Start().
   std::unique_ptr<GraphStore> graph_store_;  // Null without store_dir.
   std::atomic<uint64_t> store_unavailable_{0};  // store_dir set but unusable.
+  std::unique_ptr<JobManager> jobs_;  // Null without jobs_dir (or unusable).
   std::chrono::steady_clock::time_point start_time_;
 
   int listen_fd_ = -1;
   int bound_port_ = -1;
   std::string bound_socket_path_;
   int queue_capacity_ = 0;
+  int job_gc_ticks_ = 0;  // Watchdog-thread only.
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> draining_{false};

@@ -111,6 +111,27 @@ struct ServerOptions {
   // rewritten to a fresh log via the same atomic temp+fsync+rename publish
   // the store uses. 0 = never compact.
   double cache_compact_mb = 0.0;
+
+  // Durable async job subsystem (src/jobs, DESIGN.md §17): kSubmitJob
+  // requests are journaled here and executed by dedicated runner threads;
+  // a restart replays the journal and resumes interrupted work. Empty =
+  // jobs disabled (job requests answer a typed ERROR). An unusable
+  // directory degrades the daemon to synchronous-only — startup never
+  // fails because of the job journal.
+  std::string jobs_dir;
+
+  // Executions per job before it becomes a typed FAILED (bounds the retry
+  // cost of a job that crashes the daemon or its isolated child every time).
+  int job_attempts = 3;
+
+  // Terminal jobs (DONE/FAILED/CANCELLED/...) older than this are expired
+  // by journal GC (startup + periodic); their results become NO_JOB.
+  double job_ttl_seconds = 24.0 * 3600.0;
+
+  // Dedicated job-runner threads (beyond the request workers). Each runs
+  // one claimed job at a time through the same isolated-fork path as a
+  // synchronous align.
+  int job_workers = 1;
 };
 
 class Server {

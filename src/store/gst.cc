@@ -232,6 +232,15 @@ Result<Graph> OpenGstFile(const std::string& path, GstInfo* info) {
 Status WriteGstFile(const Graph& g, const std::string& path) {
   GA_FAILPOINT_STATUS("store.write.error",
                       Status::Unavailable("store write failed (injected)"));
+  // Disk full is the transient-environment failure class, NEVER corruption:
+  // the temp file simply did not commit, nothing on disk lies, and no
+  // quarantine may fire. The injected status carries the strerror(ENOSPC)
+  // text so callers exercise the same message path a real full disk takes.
+  GA_FAILPOINT_STATUS(
+      "store.write.enospc",
+      Status::Unavailable("write to " + path + ".tmp failed: " +
+                          std::string(strerror(ENOSPC)) +
+                          " (injected ENOSPC)"));
   const std::string bytes = EncodeGst(g);
   // pid + sequence keeps concurrent writers (daemon worker threads racing
   // to publish the same graph) off each other's temp files; whoever renames

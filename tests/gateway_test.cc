@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "common/exit_codes.h"
+#include "common/failpoint.h"
 #include "common/status.h"
 #include "common/subprocess.h"
 #include "gateway/gateway.h"
@@ -286,10 +287,13 @@ TEST(JsonTest, AsInt64EnforcesIntegralityAndRange) {
 
 TEST(StatusMappingTest, EveryResponseCodeMapsToItsPinnedStatus) {
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kOk), 200);
+  EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kAccepted), 202);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kPartial), 207);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kBadRequest), 400);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kNoGraph), 404);
+  EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kNoJob), 404);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kQuarantined), 409);
+  EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kConflict), 409);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kBusy), 429);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kShed), 503);
   EXPECT_EQ(HttpStatusForResponseCode(ResponseCode::kShuttingDown), 503);
@@ -812,6 +816,8 @@ TEST_F(GatewayFixture, ConnectionLimitAnswers503AtAccept) {
   auto body = ParseJson(reply.body);
   ASSERT_TRUE(body.ok());
   EXPECT_EQ(body->Get("status").AsString(), "BUSY");
+  // The accept-time rejection carries the standard backoff hint.
+  EXPECT_NE(reply.raw.find("Retry-After:"), std::string::npos) << reply.raw;
   EXPECT_GE(gateway_->stats().rejected_overload, 1u);
   close(held);
 }
@@ -896,6 +902,164 @@ TEST_F(GatewayFixture, GatewayWithDeadBackendAnswers503) {
   HttpReply reply = Get(port(), "/healthz");
   EXPECT_EQ(reply.status, 503);
   EXPECT_GE(gateway_->stats().backend_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Async jobs over HTTP (DESIGN.md §17).
+
+HttpReply Delete(int port, const std::string& path) {
+  return DoRaw(port, "DELETE " + path + " HTTP/1.1\r\nHost: t\r\n"
+                     "Connection: close\r\n\r\n");
+}
+
+TEST_F(GatewayFixture, JobRoutesEndToEnd) {
+  ServerOptions sopts;
+  sopts.jobs_dir = TempPath("jobs");
+  StartDaemon(sopts);
+  StartGateway();
+
+  // Submit: 202 with the job envelope, job id rendered as 16 hex digits.
+  const std::string job_body =
+      R"({"idem_key":"e2e-key",)" + std::string(kInlineAlignBody).substr(1);
+  HttpReply sub = Post(port(), "/v1/jobs", job_body);
+  ASSERT_EQ(sub.status, 202) << sub.raw;
+  auto sub_json = ParseJson(sub.body);
+  ASSERT_TRUE(sub_json.ok()) << sub.body;
+  EXPECT_EQ(sub_json->Get("status").AsString(), "ACCEPTED");
+  const std::string id = sub_json->Get("job_id").AsString();
+  ASSERT_EQ(id.size(), 16u);
+
+  // Resubmitting the identical content dedupes onto the same job id.
+  HttpReply dup = Post(port(), "/v1/jobs", job_body);
+  ASSERT_EQ(dup.status, 202) << dup.raw;
+  auto dup_json = ParseJson(dup.body);
+  ASSERT_TRUE(dup_json.ok());
+  EXPECT_EQ(dup_json->Get("job_id").AsString(), id);
+  EXPECT_TRUE(dup_json->Get("existing").AsBool());
+
+  // The same key bound to different content is a typed 409 CONFLICT.
+  const std::string clashing =
+      R"({"idem_key":"e2e-key","algo":"NSD","g1":{"n":2,"edges":[[0,1]]},)"
+      R"("g2":{"n":2,"edges":[[0,1]]}})";
+  HttpReply clash = Post(port(), "/v1/jobs", clashing);
+  EXPECT_EQ(clash.status, 409) << clash.raw;
+  EXPECT_EQ(ParseJson(clash.body)->Get("status").AsString(), "CONFLICT");
+
+  // Malformed and unknown ids get their own typed answers.
+  EXPECT_EQ(Get(port(), "/v1/jobs/zz").status, 400);
+  HttpReply missing = Get(port(), "/v1/jobs/00000000000000ff");
+  EXPECT_EQ(missing.status, 404) << missing.raw;
+  EXPECT_EQ(ParseJson(missing.body)->Get("status").AsString(), "NO_JOB");
+
+  // Poll the job to DONE; the status answer then embeds the result.
+  JsonValue done;
+  for (int i = 0; i < 200; ++i) {
+    HttpReply poll = Get(port(), "/v1/jobs/" + id);
+    ASSERT_TRUE(poll.ok) << poll.raw;
+    auto poll_json = ParseJson(poll.body);
+    ASSERT_TRUE(poll_json.ok()) << poll.body;
+    const std::string state = poll_json->Get("state").AsString();
+    ASSERT_NE(state, "FAILED") << poll.body;
+    if (state == "DONE") {
+      ASSERT_EQ(poll.status, 200);
+      done = *poll_json;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(done.is_object()) << "job never reached DONE";
+  EXPECT_EQ(done.Get("terminal_status").AsString(), "OK");
+  // The embedded mapping is the same alignment a synchronous POST
+  // /v1/align of the identical body produces.
+  ASSERT_EQ(done.Get("result").Get("mapping").AsArray().size(), 4u);
+  HttpReply sync = Post(port(), "/v1/align", kInlineAlignBody);
+  ASSERT_EQ(sync.status, 200);
+  auto sync_json = ParseJson(sync.body);
+  ASSERT_TRUE(sync_json.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    int64_t via_job = -2, via_sync = -3;
+    ASSERT_TRUE(done.Get("result").Get("mapping").AsArray()[i].AsInt64(
+        &via_job, -1, 1 << 20));
+    ASSERT_TRUE(sync_json->Get("mapping").AsArray()[i].AsInt64(&via_sync, -1,
+                                                               1 << 20));
+    EXPECT_EQ(via_job, via_sync) << "node " << i;
+  }
+
+  // Cancelling a finished job is a typed 409; the daemon's job counters
+  // are visible through GET /stats.
+  HttpReply cancel = Delete(port(), "/v1/jobs/" + id);
+  EXPECT_EQ(cancel.status, 409) << cancel.raw;
+  HttpReply stats = Get(port(), "/stats");
+  ASSERT_EQ(stats.status, 200);
+  auto stats_json = ParseJson(stats.body);
+  ASSERT_TRUE(stats_json.ok());
+  int64_t v = 0;
+  ASSERT_TRUE(
+      stats_json->Get("daemon").Get("jobs_submitted").AsInt64(&v, 1, 1 << 20));
+  ASSERT_TRUE(
+      stats_json->Get("daemon").Get("jobs_deduped").AsInt64(&v, 1, 1 << 20));
+}
+
+TEST_F(GatewayFixture, CancelAcceptedJobBeforeItRuns) {
+  ServerOptions sopts;
+  sopts.jobs_dir = TempPath("canceljobs");
+  sopts.job_workers = 1;
+  StartDaemon(sopts);
+  StartGateway();
+
+  // Wedge the single job worker with a slow job, then submit and cancel a
+  // second one while it is still ACCEPTED.
+  ASSERT_TRUE(
+      ActivateFailpoint("jobs.exec.delay", "delay-ms:700").ok());
+  ASSERT_EQ(Post(port(), "/v1/jobs", kInlineAlignBody).status, 202);
+  const std::string second =
+      R"({"algo":"NSD","g1":{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4]]},)"
+      R"("g2":{"n":5,"edges":[[0,1],[1,2],[2,3],[3,4],[4,0]]}})";
+  HttpReply sub = Post(port(), "/v1/jobs", second);
+  ASSERT_EQ(sub.status, 202) << sub.raw;
+  const std::string id = ParseJson(sub.body)->Get("job_id").AsString();
+  HttpReply cancel = Delete(port(), "/v1/jobs/" + id);
+  ASSERT_EQ(cancel.status, 200) << cancel.raw;
+  auto cancel_json = ParseJson(cancel.body);
+  ASSERT_TRUE(cancel_json.ok());
+  EXPECT_EQ(cancel_json->Get("state").AsString(), "CANCELLED");
+  // A cancelled job stays cancelled: polling reports the terminal verdict.
+  HttpReply poll = Get(port(), "/v1/jobs/" + id);
+  EXPECT_EQ(ParseJson(poll.body)->Get("state").AsString(), "CANCELLED");
+  DeactivateAllFailpoints();
+}
+
+TEST_F(GatewayFixture, JobsDisabledDaemonAnswersTypedError) {
+  StartDaemon({});  // No --jobs-dir: synchronous-only.
+  StartGateway();
+  HttpReply reply = Post(port(), "/v1/jobs", kInlineAlignBody);
+  EXPECT_EQ(reply.status, 500) << reply.raw;
+  auto body = ParseJson(reply.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Get("status").AsString(), "ERROR");
+}
+
+TEST_F(GatewayFixture, QuotaRejectionCarriesRetryAfterHint) {
+  ServerOptions sopts;
+  sopts.quota_rps = 0.5;  // Burst max(1, 2*0.5) = 1: the second align trips.
+  StartDaemon(sopts);
+  StartGateway();
+
+  const std::string body =
+      R"({"client":"quota-tester",)" + std::string(kInlineAlignBody).substr(1);
+  HttpReply first = Post(port(), "/v1/align", body);
+  ASSERT_EQ(first.status, 200) << first.raw;
+  HttpReply second = Post(port(), "/v1/align", body);
+  ASSERT_EQ(second.status, 429) << second.raw;
+  auto json = ParseJson(second.body);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Get("status").AsString(), "BUSY");
+  // The daemon's backoff hint reaches HTTP clients twice: as a standard
+  // Retry-After header (delta-seconds, rounded up) and verbatim in the
+  // body for sub-second precision.
+  EXPECT_NE(second.raw.find("Retry-After:"), std::string::npos) << second.raw;
+  int64_t hint_ms = 0;
+  ASSERT_TRUE(json->Get("retry_after_ms").AsInt64(&hint_ms, 1, 60000));
 }
 
 }  // namespace

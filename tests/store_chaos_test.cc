@@ -137,6 +137,32 @@ TEST_F(StoreChaosTest, MmapErrorIsUnavailableAndNeverQuarantines) {
   ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
 }
 
+TEST_F(StoreChaosTest, EnospcFailsPutAsUnavailableAndNeverQuarantines) {
+  // A full disk is a transient-environment failure: the Put comes back as
+  // a typed kUnavailable — never kCorrupt, never a quarantine — and the
+  // store serves normally once space exists again.
+  auto store = GraphStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const Graph g = SmallGraph(6);
+  ASSERT_TRUE(ActivateFailpoint("store.write.enospc", "once").ok());
+  auto put = (*store)->Put(g);
+  ASSERT_FALSE(put.ok());
+  EXPECT_EQ(put.status().code(), StatusCode::kUnavailable)
+      << put.status().ToString();
+  EXPECT_NE(put.status().ToString().find("No space left"), std::string::npos)
+      << put.status().ToString();
+  EXPECT_EQ(CountFilesMatching("\\.gst$"), 0);
+  EXPECT_EQ(CountFilesMatching("\\.corrupt$"), 0);
+  EXPECT_EQ((*store)->counters().corrupt, 0u);
+  EXPECT_FALSE((*store)->Has(g.ContentHash()));
+  // Space back: the same graph publishes and round-trips.
+  auto again = (*store)->Put(g);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  auto got = (*store)->Get(*again);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ContentHash(), g.ContentHash());
+}
+
 TEST_F(StoreChaosTest, InjectedVerifyCorruptQuarantinesLikeRealRot) {
   auto store = GraphStore::Open(dir_);
   ASSERT_TRUE(store.ok());
@@ -334,6 +360,48 @@ TEST_F(StoreServerChaosTest, ByHashHitsShareTheResultCacheWithWirePath) {
   ASSERT_TRUE(second.ok());
   ASSERT_EQ(second->code, ResponseCode::kOk);
   EXPECT_TRUE(second->cache_hit);
+}
+
+TEST_F(StoreServerChaosTest, CacheLogEnospcDegradesDurabilityNotService) {
+  // Disk-full on the durable cache log: every append is dropped and
+  // counted, the in-memory cache keeps serving hits, alignments keep
+  // succeeding, and nothing is ever quarantined or corrupted.
+  ServerOptions opts;
+  opts.socket_path = TempSocketPath("enospc");
+  opts.workers = 2;
+  opts.cache_dir = dir_ + "/cache";
+  StartServer(opts);
+
+  ASSERT_TRUE(ActivateFailpoint("server.cache.append.enospc", "error").ok());
+  const Graph g1 = SmallGraph(20);
+  const Graph g2 = SmallGraph(21);
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto first = client->Call(WireAlignRequest(g1, g2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->code, ResponseCode::kOk) << first->message;
+  EXPECT_FALSE(first->cache_hit);
+  // Durability is lost, service is not: the in-memory entry still hits.
+  auto second = client->Call(WireAlignRequest(g1, g2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->code, ResponseCode::kOk);
+  EXPECT_TRUE(second->cache_hit);
+
+  Request stats_req;
+  stats_req.type = RequestType::kServerStats;
+  auto stats_resp = client->Call(stats_req);
+  ASSERT_TRUE(stats_resp.ok());
+  ASSERT_EQ(stats_resp->code, ResponseCode::kOk);
+  auto stats = DecodeServerStatsResult(stats_resp->body);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->cache_append_errors, 1u);
+
+  // The fault clears: appends work again and the daemon never noticed at
+  // the service level.
+  DeactivateAllFailpoints();
+  auto third = client->Call(WireAlignRequest(g2, g1));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->code, ResponseCode::kOk) << third->message;
 }
 
 }  // namespace

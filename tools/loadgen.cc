@@ -16,6 +16,11 @@
 //   batch    one kAlignBatch frame: 4 NSD jobs over the shared hit pair,
 //            exercising amortized graph resolution (and, after the first
 //            batch, the result cache).
+//   async    kSubmitJob against the durable job queue (daemon must run
+//            with --jobs-dir): a deterministic coin picks between the
+//            shared hit pair (idempotent resubmission — answered with the
+//            existing job) and a unique pair (fresh enqueue + background
+//            execution). ACCEPTED is the expected typed answer.
 //
 // With --http-port N the generator also drives the HTTP/JSON gateway:
 // when a GAF1 endpoint (--socket/--port) is given too, each request flips
@@ -95,7 +100,7 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --socket PATH | --port N | --http-port N\n"
       "  [--clients C] [--requests N]\n"
-      "  [--mix hit:W,miss:W,degraded:W,poison:W,batch:W] [--seed S]\n"
+      "  [--mix hit:W,miss:W,degraded:W,poison:W,batch:W,async:W] [--seed S]\n"
       "  [--deadline-ms D] [--nodes N] [--timeout T] [--json PATH]\n",
       argv0);
   return 1;
@@ -113,7 +118,7 @@ bool ParseMix(const std::string& spec, std::vector<MixEntry>* out) {
     MixEntry e;
     e.kind = part.substr(0, colon);
     if (e.kind != "hit" && e.kind != "miss" && e.kind != "degraded" &&
-        e.kind != "poison" && e.kind != "batch") {
+        e.kind != "poison" && e.kind != "batch" && e.kind != "async") {
       return false;
     }
     try {
@@ -324,6 +329,32 @@ class Loadgen {
       }
       return req;
     }
+    if (kind == "async") {
+      // Half the stream resubmits the shared hit pair (content-id dedupe:
+      // the daemon answers with the existing job, no re-execution), half
+      // enqueues a unique pair the job runners grind through in the
+      // background.
+      req.type = RequestType::kSubmitJob;
+      AlignRequest& job = req.submit_job.align;
+      job.algo = "NSD";
+      job.assign = "JV";
+      job.deadline_ms = options_.deadline_ms;
+      if (rng->UniformInt(2) == 0) {
+        job.g1 = hit_.g1;
+        job.g2 = hit_.g2;
+      } else {
+        WireGraph g2;
+        auto g1 = MakeWirePair(options_.nodes, rng->Next(), &g2);
+        if (g1.ok()) {
+          job.g1 = *std::move(g1);
+          job.g2 = std::move(g2);
+        } else {
+          job.g1 = hit_.g1;
+          job.g2 = hit_.g2;
+        }
+      }
+      return req;
+    }
     AlignRequest& a = req.align;
     a.assign = "JV";
     a.deadline_ms = options_.deadline_ms;
@@ -385,6 +416,15 @@ class Loadgen {
         jobs.Push(std::move(j));
       }
       v.Set("jobs", std::move(jobs));
+    } else if (req.type == RequestType::kSubmitJob) {
+      *target = "/v1/jobs";
+      const AlignRequest& job = req.submit_job.align;
+      v.Set("algo", JsonValue::Str(job.algo));
+      v.Set("assign", JsonValue::Str(job.assign));
+      v.Set("deadline_ms",
+            JsonValue::Number(static_cast<double>(job.deadline_ms)));
+      v.Set("g1", WireGraphJson(job.g1));
+      v.Set("g2", WireGraphJson(job.g2));
     } else {
       *target = "/v1/align";
       v.Set("algo", JsonValue::Str(req.align.algo));
